@@ -1,0 +1,82 @@
+// Command lockclient drives load against a NetLock switch over UDP and
+// reports throughput and latency, mirroring the paper's DPDK client (§5).
+//
+//	lockclient -switch 127.0.0.1:9000 -locks 1024 -mode exclusive \
+//	           -concurrency 32 -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netlock/internal/stats"
+	"netlock/internal/transport"
+	"netlock/internal/wire"
+)
+
+func main() {
+	swAddr := flag.String("switch", "127.0.0.1:9000", "switch UDP address")
+	locks := flag.Uint("locks", 1024, "lock ID space (1..N)")
+	modeStr := flag.String("mode", "exclusive", "lock mode: shared|exclusive")
+	concurrency := flag.Int("concurrency", 32, "concurrent workers")
+	duration := flag.Duration("duration", 5*time.Second, "run duration")
+	think := flag.Duration("think", 0, "hold time per lock")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-acquire timeout")
+	flag.Parse()
+
+	mode := wire.Exclusive
+	if *modeStr == "shared" {
+		mode = wire.Shared
+	}
+
+	var wg sync.WaitGroup
+	var grants, timeouts atomic.Int64
+	var mu sync.Mutex
+	var lat stats.Histogram
+	stop := time.Now().Add(*duration)
+
+	for w := 0; w < *concurrency; w++ {
+		c, err := transport.NewClient(*swAddr)
+		if err != nil {
+			log.Fatalf("client: %v", err)
+		}
+		defer c.Close()
+		wg.Add(1)
+		go func(c *transport.Client, seed uint32) {
+			defer wg.Done()
+			id := seed
+			for time.Now().Before(stop) {
+				id = id*1664525 + 1013904223 // LCG walk over the lock space
+				lock := id%uint32(*locks) + 1
+				t0 := time.Now()
+				g, err := c.Acquire(lock, mode, *timeout)
+				if err != nil {
+					timeouts.Add(1)
+					continue
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				lat.Record(d.Nanoseconds())
+				mu.Unlock()
+				grants.Add(1)
+				if *think > 0 {
+					time.Sleep(*think)
+				}
+				g.Release()
+			}
+		}(c, uint32(w)+1)
+	}
+	wg.Wait()
+
+	secs := duration.Seconds()
+	mu.Lock()
+	sum := lat.Summarize()
+	mu.Unlock()
+	fmt.Printf("grants: %d (%.0f locks/s), timeouts: %d\n",
+		grants.Load(), float64(grants.Load())/secs, timeouts.Load())
+	fmt.Printf("latency: %v\n", sum)
+}

@@ -1,0 +1,106 @@
+// Command netlockd runs a NetLock rack over real UDP sockets: one switch
+// node and N lock-server nodes, optionally with a set of locks preinstalled
+// in the switch data plane.
+//
+//	netlockd -listen 127.0.0.1:9000 -servers 2 -preinstall 1024 -slots-per-lock 16
+//
+// The switch address is printed on startup; point cmd/lockclient (or any
+// internal/transport.Client) at it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netlock/internal/lockserver"
+	"netlock/internal/switchdp"
+	"netlock/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "switch UDP listen address")
+	servers := flag.Int("servers", 2, "number of lock servers (in-process)")
+	slots := flag.Int("slots", 100_000, "switch shared-queue slots")
+	maxLocks := flag.Int("max-locks", 8192, "switch lock-table capacity")
+	priorities := flag.Int("priorities", 1, "priority levels (1-8)")
+	preinstall := flag.Uint("preinstall", 0, "preinstall locks 1..N in the switch")
+	slotsPerLock := flag.Uint64("slots-per-lock", 16, "queue slots per preinstalled lock")
+	lease := flag.Duration("lease", 500*time.Millisecond, "default lock lease (0 disables)")
+	flag.Parse()
+
+	var srvs []*transport.Server
+	var addrs []string
+	for i := 0; i < *servers; i++ {
+		srv, err := transport.NewServer(transport.ServerConfig{
+			Listen: "127.0.0.1:0",
+			Config: lockserver.Config{Priorities: *priorities, DefaultLeaseNs: int64(*lease)},
+		})
+		if err != nil {
+			log.Fatalf("start lock server %d: %v", i, err)
+		}
+		defer srv.Close()
+		srvs = append(srvs, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	sw, err := transport.NewSwitch(transport.SwitchConfig{
+		Listen: *listen,
+		DataPlane: switchdp.Config{
+			MaxLocks:       *maxLocks,
+			TotalSlots:     *slots,
+			Priorities:     *priorities,
+			DefaultLeaseNs: int64(*lease),
+		},
+		Servers: addrs,
+	})
+	if err != nil {
+		log.Fatalf("start switch: %v", err)
+	}
+	defer sw.Close()
+	for _, srv := range srvs {
+		if err := srv.SetSwitchAddr(sw.Addr()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Control-plane placement of the preinstalled locks: install in the
+	// switch and release ownership at the partition servers.
+	installed := 0
+	for id := uint32(1); id <= uint32(*preinstall); id++ {
+		sw.Lock()
+		err := sw.DataPlane().CtrlInstallLock(id, uniformRegions(*priorities, id, *slotsPerLock))
+		sw.Unlock()
+		if err != nil {
+			log.Printf("preinstall stopped at lock %d: %v", id, err)
+			break
+		}
+		srvs[lockserver.RSSCore(id, len(srvs))].LockServer().CtrlReleaseOwnership(id)
+		installed++
+	}
+
+	fmt.Printf("netlockd: switch on %s\n", sw.Addr())
+	for i, a := range addrs {
+		fmt.Printf("netlockd: lock server %d on %s\n", i, a)
+	}
+	fmt.Printf("netlockd: %d locks preinstalled (%d slots each), %d total slots, lease %v\n",
+		installed, *slotsPerLock, *slots, *lease)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("netlockd: shutting down")
+}
+
+// uniformRegions assigns lock id a contiguous region of n slots per bank.
+func uniformRegions(banks int, id uint32, n uint64) []switchdp.Region {
+	rs := make([]switchdp.Region, banks)
+	left := uint64(id-1) * n
+	for b := range rs {
+		rs[b] = switchdp.Region{Left: left, Right: left + n}
+	}
+	return rs
+}

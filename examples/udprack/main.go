@@ -1,0 +1,111 @@
+// UDP rack: a NetLock switch and two lock servers on loopback sockets,
+// driven by concurrent clients — the deployment shape of the paper's
+// prototype (§5), in miniature.
+//
+// The control plane (this program) installs a hot lock in the switch and
+// leaves the rest to the servers; clients observe identical semantics on
+// both paths.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netlock/internal/lockserver"
+	"netlock/internal/switchdp"
+	"netlock/internal/transport"
+	"netlock/internal/wire"
+)
+
+func main() {
+	// Two lock servers.
+	var servers []*transport.Server
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, err := transport.NewServer(transport.ServerConfig{Listen: "127.0.0.1:0"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	// The ToR lock switch, with leases for crash recovery.
+	sw, err := transport.NewSwitch(transport.SwitchConfig{
+		Listen: "127.0.0.1:0",
+		DataPlane: switchdp.Config{
+			MaxLocks:       1024,
+			TotalSlots:     10_000,
+			Priorities:     1,
+			DefaultLeaseNs: int64(500 * time.Millisecond),
+		},
+		Servers: addrs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sw.Close()
+	for _, srv := range servers {
+		srv.SetSwitchAddr(sw.Addr())
+	}
+	fmt.Printf("switch on %s, lock servers on %v\n", sw.Addr(), addrs)
+
+	// Control plane: lock 1 is hot — install it in the switch (and release
+	// ownership at its partition server, the §4.3 move).
+	sw.Lock()
+	err = sw.DataPlane().CtrlInstallLock(1, []switchdp.Region{{Left: 0, Right: 64}})
+	sw.Unlock()
+	if err != nil {
+		log.Fatal(err)
+	}
+	home := servers[lockserver.RSSCore(1, len(servers))]
+	if err := home.LockServer().CtrlReleaseOwnership(1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Clients hammer the hot lock (switch path) and a cold lock (server
+	// path) concurrently.
+	var wg sync.WaitGroup
+	var hot, cold atomic.Int64
+	deadline := time.Now().Add(time.Second)
+	for w := 0; w < 4; w++ {
+		c, err := transport.NewClient(sw.Addr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		wg.Add(1)
+		go func(c *transport.Client, w int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				g, err := c.Acquire(1, wire.Exclusive, 2*time.Second)
+				if err != nil {
+					log.Fatal(err)
+				}
+				hot.Add(1)
+				g.Release()
+				g2, err := c.Acquire(uint32(100+w), wire.Shared, 2*time.Second)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cold.Add(1)
+				g2.Release()
+			}
+		}(c, w)
+	}
+	wg.Wait()
+
+	sw.Lock()
+	st := sw.DataPlane().Stats()
+	sw.Unlock()
+	fmt.Printf("hot lock (switch path): %d acquisitions, %d switch grants\n",
+		hot.Load(), st.GrantsImmediate+st.GrantsQueued)
+	fmt.Printf("cold locks (server path): %d acquisitions, %d forwards\n",
+		cold.Load(), st.Forwards)
+	if st.GrantsImmediate+st.GrantsQueued == 0 || st.Forwards == 0 {
+		log.Fatal("expected both switch-path and server-path traffic")
+	}
+}

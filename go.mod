@@ -1,0 +1,3 @@
+module netlock
+
+go 1.22

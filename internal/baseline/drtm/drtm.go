@@ -1,0 +1,68 @@
+// Package drtm implements the lock-word protocol DrTM-style systems use for
+// remote locks (Wei et al., SOSP 2015), the fail-and-retry baseline in the
+// paper's evaluation (§6).
+//
+// Each lock is one 64-bit word:
+//
+//	bit 63      : writer bit (exclusive holder present)
+//	bits 32..62 : exclusive owner ID (truncated transaction ID)
+//	bits 0..31  : shared reader count
+//
+// Exclusive acquisition is a CAS from the free word (0) to
+// writerBit|owner; any failure means "try again later" — the blind
+// fail-and-retry strategy whose contention collapse and starvation NetLock
+// is measured against. Shared acquisition optimistically FAAs the reader
+// count and backs out (FAA -1) if the writer bit was set.
+//
+// The pure word protocol lives here; the emulated RDMA transport, retry
+// backoff and lease timing live in internal/cluster.
+package drtm
+
+// WriterBit marks an exclusive holder in the lock word.
+const WriterBit uint64 = 1 << 63
+
+const (
+	ownerShift        = 32
+	ownerMask  uint64 = (1<<31 - 1) << ownerShift
+	readerMask uint64 = 1<<32 - 1
+)
+
+// ExclusiveWord returns the word value an exclusive CAS installs.
+func ExclusiveWord(txnID uint64) uint64 {
+	return WriterBit | (txnID<<ownerShift)&ownerMask
+}
+
+// Free is the word value of an uncontended lock (the CAS expect value).
+const Free uint64 = 0
+
+// HasWriter reports whether the word carries an exclusive holder.
+func HasWriter(w uint64) bool { return w&WriterBit != 0 }
+
+// Readers returns the shared reader count.
+func Readers(w uint64) uint32 { return uint32(w & readerMask) }
+
+// Owner returns the truncated owner ID of the exclusive holder.
+func Owner(w uint64) uint32 { return uint32((w & ownerMask) >> ownerShift) }
+
+// SharedAcquired interprets the result of FAA(+1) for a shared request:
+// the acquisition succeeded iff no writer held the lock at increment time.
+// On failure the client must issue FAA(-1) to back out.
+func SharedAcquired(prev uint64) bool { return !HasWriter(prev) }
+
+// SharedBackoutDelta is the FAA delta undoing a failed shared acquisition
+// (two's-complement -1 on the reader field).
+const SharedBackoutDelta uint64 = ^uint64(0) // FAA(-1)
+
+// SharedReleaseDelta is the FAA delta releasing a granted shared lock.
+const SharedReleaseDelta uint64 = ^uint64(0) // FAA(-1)
+
+// SharedAddDelta is the FAA delta for a shared acquisition attempt.
+const SharedAddDelta uint64 = 1
+
+// CanCASExclusive reports whether an exclusive CAS can possibly succeed
+// against the observed word (used to avoid pointless CAS verbs after a
+// READ poll).
+func CanCASExclusive(w uint64) bool { return w == Free }
+
+// ExclusiveReleased is the word an exclusive holder writes on release.
+const ExclusiveReleased uint64 = Free

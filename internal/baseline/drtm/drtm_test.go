@@ -1,0 +1,119 @@
+package drtm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExclusiveWord(t *testing.T) {
+	w := ExclusiveWord(42)
+	if !HasWriter(w) {
+		t.Fatalf("writer bit missing")
+	}
+	if Owner(w) != 42 {
+		t.Fatalf("owner = %d, want 42", Owner(w))
+	}
+	if Readers(w) != 0 {
+		t.Fatalf("readers = %d, want 0", Readers(w))
+	}
+}
+
+func TestOwnerTruncation(t *testing.T) {
+	w := ExclusiveWord(0xFFFFFFFFFF) // wider than 31 bits
+	if !HasWriter(w) || Readers(w) != 0 {
+		t.Fatalf("truncated owner corrupted other fields: %x", w)
+	}
+}
+
+func TestSharedCounting(t *testing.T) {
+	var w uint64
+	// Two shared acquisitions.
+	if !SharedAcquired(w) {
+		t.Fatalf("shared should acquire on free lock")
+	}
+	w += SharedAddDelta
+	if !SharedAcquired(w) {
+		t.Fatalf("second shared should acquire")
+	}
+	w += SharedAddDelta
+	if Readers(w) != 2 {
+		t.Fatalf("readers = %d, want 2", Readers(w))
+	}
+	// Releases bring it back to free.
+	w += SharedReleaseDelta
+	w += SharedReleaseDelta
+	if w != Free {
+		t.Fatalf("word = %x after all releases", w)
+	}
+}
+
+func TestSharedBlockedByWriter(t *testing.T) {
+	w := ExclusiveWord(7)
+	if SharedAcquired(w) {
+		t.Fatalf("shared must fail while writer holds")
+	}
+	// The failed attempt FAA'd +1 and must back out.
+	w += SharedAddDelta
+	w += SharedBackoutDelta
+	if Readers(w) != 0 {
+		t.Fatalf("backout did not restore reader count: %d", Readers(w))
+	}
+	if !HasWriter(w) || Owner(w) != 7 {
+		t.Fatalf("backout corrupted writer state")
+	}
+}
+
+func TestCanCASExclusive(t *testing.T) {
+	if !CanCASExclusive(Free) {
+		t.Fatalf("free lock should be CAS-able")
+	}
+	if CanCASExclusive(ExclusiveWord(1)) {
+		t.Fatalf("held lock should not be CAS-able")
+	}
+	if CanCASExclusive(SharedAddDelta) {
+		t.Fatalf("lock with readers should not be CAS-able")
+	}
+}
+
+func TestExclusiveLifecycle(t *testing.T) {
+	var w uint64
+	// CAS Free -> ExclusiveWord succeeds conceptually when w == Free.
+	if w != Free {
+		t.Fatalf("setup")
+	}
+	w = ExclusiveWord(9)
+	// A second CAS would fail: word != Free.
+	if CanCASExclusive(w) {
+		t.Fatalf("double exclusive")
+	}
+	w = ExclusiveReleased
+	if !CanCASExclusive(w) {
+		t.Fatalf("release did not free the lock")
+	}
+}
+
+// Property: for any interleaving of shared add/backout/release pairs, the
+// reader count never underflows into the owner field (i.e. stays within
+// the 32-bit reader mask) as long as operations are balanced.
+func TestReaderFieldIsolationProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		var w uint64
+		outstanding := 0
+		for _, add := range ops {
+			if add {
+				w += SharedAddDelta
+				outstanding++
+			} else if outstanding > 0 {
+				w += SharedReleaseDelta
+				outstanding--
+			}
+			if int(Readers(w)) != outstanding || HasWriter(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package dslr implements the lock-word protocol of DSLR (Yoon, Chowdhury,
+// Mozafari — SIGMOD 2018), the state-of-the-art decentralized RDMA lock
+// manager NetLock is evaluated against (paper §6).
+//
+// DSLR adapts Lamport's bakery algorithm to RDMA fetch-and-add: each lock
+// is one 64-bit word holding four 16-bit counters,
+//
+//	[ nowS | nowX | maxS | maxX ]
+//
+// where maxX/maxS are the next tickets to hand out for exclusive/shared
+// requests and nowX/nowS count completed (released) exclusive/shared
+// grants. A client acquires by FAA-ing the appropriate max counter; the
+// previous value is its ticket and its view of the queue ahead of it. It
+// then waits (by RDMA READ polling, with a wait-time estimate) until the
+// now counters show that everything ahead has released. The design gives
+// FCFS without any server CPU involvement — but every operation costs
+// NIC-bound atomic verbs plus polling round trips, which is exactly the
+// ceiling NetLock's switch removes.
+//
+// This package is the pure protocol: word layout, ticket math, grant
+// predicates, and the counter-reset (overflow) rule. The emulated transport
+// (internal/rdma) and timing live in internal/cluster.
+package dslr
+
+// Field shifts within the lock word.
+const (
+	shiftMaxX = 0
+	shiftMaxS = 16
+	shiftNowX = 32
+	shiftNowS = 48
+)
+
+// Deltas for fetch-and-add on each counter.
+const (
+	DeltaMaxX uint64 = 1 << shiftMaxX
+	DeltaMaxS uint64 = 1 << shiftMaxS
+	DeltaNowX uint64 = 1 << shiftNowX
+	DeltaNowS uint64 = 1 << shiftNowS
+)
+
+// MaxTicket is the largest usable ticket value; a FAA that returns it must
+// trigger the counter-reset protocol instead of waiting on the ticket.
+const MaxTicket = 1<<16 - 1
+
+// Fields unpacks a lock word.
+func Fields(w uint64) (maxX, maxS, nowX, nowS uint16) {
+	return uint16(w >> shiftMaxX), uint16(w >> shiftMaxS),
+		uint16(w >> shiftNowX), uint16(w >> shiftNowS)
+}
+
+// Pack builds a lock word from its fields (used by tests and the reset).
+func Pack(maxX, maxS, nowX, nowS uint16) uint64 {
+	return uint64(maxX)<<shiftMaxX | uint64(maxS)<<shiftMaxS |
+		uint64(nowX)<<shiftNowX | uint64(nowS)<<shiftNowS
+}
+
+// Ticket is a client's bakery ticket for one lock.
+type Ticket struct {
+	Exclusive bool
+	// Mine is the ticket number drawn from maxX (exclusive) or maxS
+	// (shared).
+	Mine uint16
+	// SnapX and SnapS are the other max counters at draw time: the
+	// exclusive/shared populations ahead of this ticket.
+	SnapX, SnapS uint16
+}
+
+// DrawExclusive interprets the FAA(DeltaMaxX) result as an exclusive
+// ticket.
+func DrawExclusive(prev uint64) Ticket {
+	maxX, maxS, _, _ := Fields(prev)
+	return Ticket{Exclusive: true, Mine: maxX, SnapX: maxX, SnapS: maxS}
+}
+
+// DrawShared interprets the FAA(DeltaMaxS) result as a shared ticket.
+func DrawShared(prev uint64) Ticket {
+	maxX, maxS, _, _ := Fields(prev)
+	return Ticket{Exclusive: false, Mine: maxS, SnapX: maxX, SnapS: maxS}
+}
+
+// Overflowed reports whether the ticket hit the counter limit, requiring
+// the reset protocol: the drawing client must wait for the queue to drain
+// and CAS the word back to zero before retrying.
+func (t Ticket) Overflowed() bool { return t.Mine == MaxTicket }
+
+// Granted reports whether the lock word shows this ticket's turn:
+//
+//   - exclusive: all earlier exclusive holders released (nowX == Mine) and
+//     all shared holders that drew before us released (nowS == SnapS);
+//   - shared: all exclusive requests that drew before us released
+//     (nowX == SnapX). Concurrent shared holders proceed together.
+func (t Ticket) Granted(w uint64) bool {
+	_, _, nowX, nowS := Fields(w)
+	if t.Exclusive {
+		return nowX == t.Mine && nowS == t.SnapS
+	}
+	return nowX == t.SnapX
+}
+
+// ReleaseDelta is the FAA delta that releases a granted ticket.
+func (t Ticket) ReleaseDelta() uint64 {
+	if t.Exclusive {
+		return DeltaNowX
+	}
+	return DeltaNowS
+}
+
+// Drained reports whether every issued ticket has been released, the
+// precondition for the overflow reset CAS.
+func Drained(w uint64) bool {
+	maxX, maxS, nowX, nowS := Fields(w)
+	return nowX == maxX && nowS == maxS
+}
+
+// WaitEstimateNs implements DSLR's waiting-time estimation: rather than
+// hammering the NIC with READ polls, a client estimates its queueing delay
+// as (requests ahead) x (expected per-holder service time) and sleeps that
+// long before the first poll.
+func (t Ticket) WaitEstimateNs(w uint64, perHolderNs int64) int64 {
+	_, _, nowX, nowS := Fields(w)
+	var ahead int64
+	if t.Exclusive {
+		ahead = int64(t.Mine-nowX) + int64(t.SnapS-nowS)
+	} else {
+		ahead = int64(t.SnapX - nowX)
+	}
+	if ahead < 0 {
+		ahead = 0
+	}
+	return ahead * perHolderNs
+}

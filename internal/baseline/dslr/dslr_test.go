@@ -1,0 +1,221 @@
+package dslr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackFields(t *testing.T) {
+	w := Pack(1, 2, 3, 4)
+	maxX, maxS, nowX, nowS := Fields(w)
+	if maxX != 1 || maxS != 2 || nowX != 3 || nowS != 4 {
+		t.Fatalf("fields = %d %d %d %d", maxX, maxS, nowX, nowS)
+	}
+}
+
+func TestPackFieldsRoundTripProperty(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		maxX, maxS, nowX, nowS := Fields(Pack(a, b, c, d))
+		return maxX == a && maxS == b && nowX == c && nowS == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveImmediateGrant(t *testing.T) {
+	var w uint64
+	// FAA returns the previous word.
+	tk := DrawExclusive(w)
+	w += DeltaMaxX
+	if !tk.Granted(w) {
+		t.Fatalf("first exclusive ticket should be granted immediately")
+	}
+}
+
+func TestExclusiveFCFS(t *testing.T) {
+	var w uint64
+	t1 := DrawExclusive(w)
+	w += DeltaMaxX
+	t2 := DrawExclusive(w)
+	w += DeltaMaxX
+	if !t1.Granted(w) || t2.Granted(w) {
+		t.Fatalf("grants out of order: t1=%v t2=%v", t1.Granted(w), t2.Granted(w))
+	}
+	// t1 releases: t2's turn.
+	w += t1.ReleaseDelta()
+	if !t2.Granted(w) {
+		t.Fatalf("t2 should be granted after t1 releases")
+	}
+}
+
+func TestSharedConcurrent(t *testing.T) {
+	var w uint64
+	s1 := DrawShared(w)
+	w += DeltaMaxS
+	s2 := DrawShared(w)
+	w += DeltaMaxS
+	if !s1.Granted(w) || !s2.Granted(w) {
+		t.Fatalf("concurrent shared tickets should both be granted")
+	}
+}
+
+func TestSharedWaitsForEarlierExclusive(t *testing.T) {
+	var w uint64
+	x := DrawExclusive(w)
+	w += DeltaMaxX
+	s := DrawShared(w)
+	w += DeltaMaxS
+	if s.Granted(w) {
+		t.Fatalf("shared must wait for earlier exclusive")
+	}
+	if !x.Granted(w) {
+		t.Fatalf("exclusive should hold")
+	}
+	w += x.ReleaseDelta()
+	if !s.Granted(w) {
+		t.Fatalf("shared should be granted after exclusive releases")
+	}
+}
+
+func TestExclusiveWaitsForEarlierShared(t *testing.T) {
+	var w uint64
+	s := DrawShared(w)
+	w += DeltaMaxS
+	x := DrawExclusive(w)
+	w += DeltaMaxX
+	if x.Granted(w) {
+		t.Fatalf("exclusive must wait for earlier shared")
+	}
+	w += s.ReleaseDelta()
+	if !x.Granted(w) {
+		t.Fatalf("exclusive should be granted after shared releases")
+	}
+}
+
+func TestInterleavedSXS(t *testing.T) {
+	// S1, X2, S3: S1 granted; X2 waits for S1; S3 waits for X2.
+	var w uint64
+	s1 := DrawShared(w)
+	w += DeltaMaxS
+	x2 := DrawExclusive(w)
+	w += DeltaMaxX
+	s3 := DrawShared(w)
+	w += DeltaMaxS
+	if !s1.Granted(w) || x2.Granted(w) || s3.Granted(w) {
+		t.Fatalf("initial grants wrong")
+	}
+	w += s1.ReleaseDelta()
+	if !x2.Granted(w) || s3.Granted(w) {
+		t.Fatalf("after S1 release: x2=%v s3=%v", x2.Granted(w), s3.Granted(w))
+	}
+	w += x2.ReleaseDelta()
+	if !s3.Granted(w) {
+		t.Fatalf("S3 should be granted last")
+	}
+}
+
+func TestOverflowTicket(t *testing.T) {
+	w := Pack(MaxTicket, 0, 0, 0)
+	tk := DrawExclusive(w)
+	if !tk.Overflowed() {
+		t.Fatalf("ticket at MaxTicket should be overflowed")
+	}
+	if DrawExclusive(Pack(5, 0, 0, 0)).Overflowed() {
+		t.Fatalf("ordinary ticket flagged as overflow")
+	}
+}
+
+func TestDrained(t *testing.T) {
+	if !Drained(Pack(3, 2, 3, 2)) {
+		t.Fatalf("fully released word should be drained")
+	}
+	if Drained(Pack(3, 2, 2, 2)) {
+		t.Fatalf("outstanding exclusive not detected")
+	}
+}
+
+func TestWaitEstimate(t *testing.T) {
+	// Two exclusive holders and one shared holder ahead.
+	w := Pack(2, 1, 0, 0)
+	tk := DrawExclusive(w)
+	w += DeltaMaxX
+	if got := tk.WaitEstimateNs(w, 100); got != 300 {
+		t.Fatalf("estimate = %d, want 300", got)
+	}
+	// Shared ticket waits only for exclusives ahead.
+	w2 := Pack(2, 0, 0, 0)
+	ts := DrawShared(w2)
+	w2 += DeltaMaxS
+	if got := ts.WaitEstimateNs(w2, 100); got != 200 {
+		t.Fatalf("shared estimate = %d, want 200", got)
+	}
+	// Granted ticket estimates zero.
+	var w3 uint64
+	t0 := DrawExclusive(w3)
+	w3 += DeltaMaxX
+	if got := t0.WaitEstimateNs(w3, 100); got != 0 {
+		t.Fatalf("granted estimate = %d, want 0", got)
+	}
+}
+
+// Property: simulate an arbitrary arrival sequence of shared/exclusive
+// requests released in grant order; bakery semantics must never grant an
+// exclusive together with anything else, and must preserve FCFS among
+// exclusives.
+func TestBakerySafetyProperty(t *testing.T) {
+	f := func(arrivals []bool) bool {
+		if len(arrivals) > 60 {
+			arrivals = arrivals[:60]
+		}
+		var w uint64
+		type holder struct {
+			tk   Ticket
+			done bool
+		}
+		var hs []holder
+		for _, isX := range arrivals {
+			if isX {
+				hs = append(hs, holder{tk: DrawExclusive(w)})
+				w += DeltaMaxX
+			} else {
+				hs = append(hs, holder{tk: DrawShared(w)})
+				w += DeltaMaxS
+			}
+		}
+		for steps := 0; steps < len(hs)+1; steps++ {
+			// Collect currently granted, not-yet-released tickets.
+			var granted []int
+			xCount := 0
+			for i := range hs {
+				if !hs[i].done && hs[i].tk.Granted(w) {
+					granted = append(granted, i)
+					if hs[i].tk.Exclusive {
+						xCount++
+					}
+				}
+			}
+			if xCount > 1 || (xCount == 1 && len(granted) > 1) {
+				return false // exclusive not exclusive
+			}
+			if len(granted) == 0 {
+				// All done?
+				for i := range hs {
+					if !hs[i].done {
+						return false // deadlock
+					}
+				}
+				return true
+			}
+			// Release all granted.
+			for _, i := range granted {
+				w += hs[i].tk.ReleaseDelta()
+				hs[i].done = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

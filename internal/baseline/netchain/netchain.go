@@ -1,0 +1,136 @@
+// Package netchain implements the NetChain-style switch lock service the
+// paper compares against (§6.1): an in-switch key-value store used as a
+// lock table.
+//
+// NetChain (Jin et al., NSDI 2018) stores values in switch register arrays
+// and serves reads/writes at line rate, but it is not a lock manager: it
+// has no queues, supports only exclusive ownership (shared lock requests
+// are treated as exclusive), and resolves contention by client-side retry.
+// A lock here is one register holding the owner's transaction ID, acquired
+// with a single read-modify-write per packet:
+//
+//	acquire: if slot == 0 { slot = txn; granted } else { rejected }
+//	release: if slot == txn { slot = 0 }
+//
+// Because NetChain keeps everything in the switch, the paper adapts the
+// lock granularity so the whole lock set fits switch memory; Config.Locks
+// reflects that adapted table size, and callers map their lock IDs onto it.
+package netchain
+
+import (
+	"fmt"
+
+	"netlock/internal/p4sim"
+)
+
+// Config sizes the NetChain lock table.
+type Config struct {
+	// Locks is the table size; all locks live in the switch.
+	Locks int
+}
+
+// Result of an acquire attempt.
+type Result uint8
+
+const (
+	// Granted: the slot was free (or already ours) and is now owned.
+	Granted Result = iota + 1
+	// Rejected: another transaction owns the slot; retry later.
+	Rejected
+)
+
+// Service is the switch-resident lock table. Not safe for concurrent use.
+type Service struct {
+	cfg   Config
+	pipe  *p4sim.Pipeline
+	slots *p4sim.RegisterArray
+	stats Stats
+}
+
+// Stats counts table operations.
+type Stats struct {
+	Acquires uint64
+	Grants   uint64
+	Rejects  uint64
+	Releases uint64
+}
+
+// New builds the service on its own single-purpose pipeline.
+func New(cfg Config) *Service {
+	if cfg.Locks <= 0 {
+		panic("netchain: non-positive lock count")
+	}
+	pipe := p4sim.NewPipeline(p4sim.Config{Stages: 12, StageSlots: cfg.Locks, MaxResubmits: 4})
+	return &Service{
+		cfg:   cfg,
+		pipe:  pipe,
+		slots: pipe.AllocArray("owners", 0, cfg.Locks),
+	}
+}
+
+// Stats returns a snapshot of the operation counters.
+func (s *Service) Stats() Stats { return s.stats }
+
+// Locks returns the table size.
+func (s *Service) Locks() int { return s.cfg.Locks }
+
+// Acquire attempts to take lock idx for txn (one pipeline pass, one RMW).
+// Re-acquiring an owned lock is idempotent.
+func (s *Service) Acquire(idx int, txn uint64) Result {
+	if txn == 0 {
+		panic("netchain: transaction ID 0 is reserved for the free slot")
+	}
+	s.stats.Acquires++
+	var res Result
+	s.pipe.Process(func(c *p4sim.Ctx) {
+		old := s.slots.ReadModifyWrite(c, s.index(idx), func(v uint64) uint64 {
+			if v == 0 || v == txn {
+				return txn
+			}
+			return v
+		})
+		if old == 0 || old == txn {
+			res = Granted
+		} else {
+			res = Rejected
+		}
+	})
+	if res == Granted {
+		s.stats.Grants++
+	} else {
+		s.stats.Rejects++
+	}
+	return res
+}
+
+// Release frees lock idx if txn owns it (one pipeline pass, one RMW).
+func (s *Service) Release(idx int, txn uint64) {
+	s.stats.Releases++
+	s.pipe.Process(func(c *p4sim.Ctx) {
+		s.slots.ReadModifyWrite(c, s.index(idx), func(v uint64) uint64 {
+			if v == txn {
+				return 0
+			}
+			return v
+		})
+	})
+}
+
+// CtrlOwner reads a slot's owner from the control plane (0 = free).
+func (s *Service) CtrlOwner(idx int) uint64 { return s.slots.CtrlRead(s.index(idx)) }
+
+// CtrlReset clears the whole table (switch failure).
+func (s *Service) CtrlReset() {
+	for i := 0; i < s.cfg.Locks; i++ {
+		s.slots.CtrlWrite(i, 0)
+	}
+	s.stats = Stats{}
+}
+
+func (s *Service) index(idx int) int {
+	if idx < 0 {
+		panic(fmt.Sprintf("netchain: negative lock index %d", idx))
+	}
+	// Granularity adaptation: fold larger ID spaces onto the table.
+	return idx % s.cfg.Locks
+}

@@ -1,0 +1,141 @@
+package netchain
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAcquireReleaseCycle(t *testing.T) {
+	s := New(Config{Locks: 8})
+	if got := s.Acquire(3, 100); got != Granted {
+		t.Fatalf("first acquire = %v", got)
+	}
+	if got := s.Acquire(3, 200); got != Rejected {
+		t.Fatalf("contended acquire = %v", got)
+	}
+	s.Release(3, 100)
+	if got := s.Acquire(3, 200); got != Granted {
+		t.Fatalf("acquire after release = %v", got)
+	}
+	st := s.Stats()
+	if st.Acquires != 3 || st.Grants != 2 || st.Rejects != 1 || st.Releases != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAcquireIdempotent(t *testing.T) {
+	s := New(Config{Locks: 4})
+	s.Acquire(1, 7)
+	if got := s.Acquire(1, 7); got != Granted {
+		t.Fatalf("re-acquire by owner = %v", got)
+	}
+}
+
+func TestReleaseByNonOwnerIgnored(t *testing.T) {
+	s := New(Config{Locks: 4})
+	s.Acquire(1, 7)
+	s.Release(1, 9)
+	if s.CtrlOwner(1) != 7 {
+		t.Fatalf("non-owner release stole the lock")
+	}
+}
+
+func TestGranularityFolding(t *testing.T) {
+	s := New(Config{Locks: 4})
+	// Lock 1 and lock 5 fold onto the same slot: coarse-grained locking.
+	if s.Acquire(1, 7) != Granted {
+		t.Fatalf("setup")
+	}
+	if s.Acquire(5, 9) != Rejected {
+		t.Fatalf("folded lock should conflict")
+	}
+}
+
+func TestTxnZeroPanics(t *testing.T) {
+	s := New(Config{Locks: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	s.Acquire(1, 0)
+}
+
+func TestNegativeIndexPanics(t *testing.T) {
+	s := New(Config{Locks: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	s.Acquire(-1, 5)
+}
+
+func TestCtrlReset(t *testing.T) {
+	s := New(Config{Locks: 4})
+	s.Acquire(2, 5)
+	s.CtrlReset()
+	if s.CtrlOwner(2) != 0 {
+		t.Fatalf("reset did not clear owners")
+	}
+	if s.Stats() != (Stats{}) {
+		t.Fatalf("reset did not clear stats")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	New(Config{Locks: 0})
+}
+
+// Property: mutual exclusion — at any point, a slot has exactly one owner,
+// and only that owner's release frees it.
+func TestMutualExclusionProperty(t *testing.T) {
+	f := func(ops []struct {
+		Idx uint8
+		Txn uint8
+		Rel bool
+	}) bool {
+		s := New(Config{Locks: 4})
+		owners := map[int]uint64{}
+		for _, op := range ops {
+			idx := int(op.Idx % 4)
+			txn := uint64(op.Txn%8) + 1
+			if op.Rel {
+				s.Release(idx, txn)
+				if owners[idx] == txn {
+					delete(owners, idx)
+				}
+			} else {
+				res := s.Acquire(idx, txn)
+				cur, held := owners[idx]
+				switch {
+				case !held:
+					if res != Granted {
+						return false
+					}
+					owners[idx] = txn
+				case cur == txn:
+					if res != Granted {
+						return false
+					}
+				default:
+					if res != Rejected {
+						return false
+					}
+				}
+			}
+			if uint64(s.CtrlOwner(idx)) != owners[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"netlock/internal/eventsim"
+	"netlock/internal/lockserver"
+	"netlock/internal/wire"
+)
+
+// CentralOptions configures the traditional server-only centralized lock
+// manager (§2.1): the "lock server" side of Figure 9.
+type CentralOptions struct {
+	// Servers is the number of lock servers; locks partition across them.
+	Servers int
+	// Cores per server; Figure 9 sweeps 1..8.
+	Cores int
+	// CoreNs is the per-request CPU service time of one core.
+	CoreNs int64
+	// Priorities configures the server lock tables.
+	Priorities int
+}
+
+// DefaultCentralOptions uses the calibrated DPDK server (18 MRPS at 8
+// cores).
+func DefaultCentralOptions(servers, cores int) CentralOptions {
+	return CentralOptions{Servers: servers, Cores: cores, CoreNs: 444, Priorities: 1}
+}
+
+// CentralService is the server-only centralized baseline: every lock is
+// owned by a lock server; the ToR switch only forwards packets. It provides
+// the same policy flexibility as NetLock but its throughput is bounded by
+// server CPUs — the trade-off NetLock's switch offload removes.
+type CentralService struct {
+	tb      *Testbed
+	opts    CentralOptions
+	servers []*lockserver.Server
+	cores   [][]*eventsim.Station
+	pending map[pendKey]*pendingAcq
+}
+
+// NewCentralService builds the baseline on the testbed.
+func NewCentralService(tb *Testbed, opts CentralOptions) *CentralService {
+	if opts.Servers <= 0 || opts.Cores <= 0 {
+		panic("cluster: invalid central options")
+	}
+	if opts.Priorities == 0 {
+		opts.Priorities = 1
+	}
+	s := &CentralService{tb: tb, opts: opts, pending: make(map[pendKey]*pendingAcq)}
+	for i := 0; i < opts.Servers; i++ {
+		s.servers = append(s.servers, lockserver.New(lockserver.Config{Priorities: opts.Priorities}))
+		var cs []*eventsim.Station
+		for c := 0; c < opts.Cores; c++ {
+			cs = append(cs, eventsim.NewStation(tb.Eng, opts.CoreNs))
+		}
+		s.cores = append(s.cores, cs)
+	}
+	return s
+}
+
+// Name implements LockService.
+func (s *CentralService) Name() string { return "CentralServer" }
+
+// Server exposes lock server i for stats.
+func (s *CentralService) Server(i int) *lockserver.Server { return s.servers[i] }
+
+func (s *CentralService) home(lockID uint32) int {
+	return lockserver.RSSCore(lockID, s.opts.Servers)
+}
+
+// Acquire implements LockService.
+func (s *CentralService) Acquire(req Request, granted func()) {
+	s.pending[pendKey{req.LockID, req.TxnID}] = &pendingAcq{req: req, granted: granted}
+	s.send(req.Client, req.Header(wire.OpAcquire))
+}
+
+// Release implements LockService.
+func (s *CentralService) Release(req Request) {
+	s.send(req.Client, req.Header(wire.OpRelease))
+}
+
+// send charges client send, two hops (through the forwarding ToR), and the
+// RSS-selected server core, then routes the server's emits.
+func (s *CentralService) send(client int, h wire.Header) {
+	cfg := s.tb.Cfg
+	srv := s.home(h.LockID)
+	core := lockserver.RSSCore(h.LockID, s.opts.Cores)
+	s.tb.ClientNIC(client).Submit(func() {
+		s.tb.Eng.After(cfg.ClientOverheadNs+2*cfg.HopNs+cfg.ServerBatchNs, func() {
+			s.cores[srv][core].Submit(func() {
+				emits := s.servers[srv].ProcessPacket(&h)
+				for _, e := range emits {
+					s.route(e)
+				}
+			})
+		})
+	})
+}
+
+func (s *CentralService) route(e lockserver.Emit) {
+	cfg := s.tb.Cfg
+	h := e.Hdr
+	switch e.Action {
+	case lockserver.ActGrant:
+		s.tb.Eng.After(2*cfg.HopNs+cfg.ClientOverheadNs, func() {
+			key := pendKey{h.LockID, h.TxnID}
+			if p, ok := s.pending[key]; ok {
+				delete(s.pending, key)
+				p.granted()
+			}
+		})
+	case lockserver.ActFetch:
+		s.tb.Eng.After(cfg.HopNs, func() {
+			s.tb.DBStation().Submit(func() {
+				s.tb.Eng.After(2*cfg.HopNs+cfg.ClientOverheadNs, func() {
+					key := pendKey{h.LockID, h.TxnID}
+					if p, ok := s.pending[key]; ok {
+						delete(s.pending, key)
+						p.granted()
+					}
+				})
+			})
+		})
+	}
+}

@@ -1,0 +1,443 @@
+// Package cluster is the virtual-time testbed that reproduces the paper's
+// evaluation (§6): one rack with client machines, a ToR lock switch, lock
+// servers, and (for the RDMA baselines) server NICs, all running on the
+// deterministic discrete-event engine.
+//
+// Calibration follows the paper's measured constants:
+//
+//   - a client machine generates up to 18 MRPS with a 40G NIC (§5):
+//     ~55 ns/request send path;
+//   - a lock server sustains 18 MRPS across 8 cores with DPDK+RSS (§5):
+//     ~444 ns/request per core;
+//   - the Tofino processes >4 billion packets/s (§6.2): ~0.25 ns/pass —
+//     effectively line rate, never the bottleneck;
+//   - in-rack one-way hop ~1 µs, client software+NIC overhead a few µs, so
+//     an uncontended switch grant lands at the ~8 µs median of Figure 8a;
+//   - a ConnectX-3-class RDMA NIC executes a few million atomics/s
+//     (internal/rdma defaults).
+//
+// The shapes of every figure — who wins, by what factor, where crossovers
+// fall — emerge from these capacities plus the protocol implementations;
+// none of the figures is hard-coded.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"netlock/internal/eventsim"
+	"netlock/internal/stats"
+	"netlock/internal/wire"
+)
+
+// Config describes the rack and the client behavior.
+type Config struct {
+	Seed int64
+	// Clients is the number of client machines.
+	Clients int
+	// WorkersPerClient is the closed-loop concurrency per client machine:
+	// outstanding transaction contexts (DPDK pipelining).
+	WorkersPerClient int
+	// OpenLoopRate, if positive, switches clients to open-loop generation
+	// at this many transactions per second per client machine.
+	OpenLoopRate float64
+
+	// HopNs is the one-way delay of one in-rack hop (client<->switch or
+	// switch<->server).
+	HopNs int64
+	// ClientSendNs is the client NIC serialization time per request.
+	ClientSendNs int64
+	// ClientOverheadNs is the client software+NIC processing overhead,
+	// charged once at send and once at receive.
+	ClientOverheadNs int64
+	// SwitchPassNs is the switch service time per pipeline pass.
+	SwitchPassNs int64
+	// ServerCores and ServerCoreNs set each lock server's CPU capacity.
+	ServerCores  int
+	ServerCoreNs int64
+	// ServerBatchNs is the fixed request latency added at a lock server
+	// before processing: DPDK RX polling and batch assembly. It models why
+	// server-involved lock paths always cost more than an RTT (§1, §2.1)
+	// without reducing server throughput.
+	ServerBatchNs int64
+	// DBServiceNs is the database server's per-fetch service time
+	// (one-RTT mode experiments).
+	DBServiceNs int64
+
+	// RetryTimeoutNs resends an unanswered acquire (packet loss / switch
+	// failure). Zero disables retries.
+	RetryTimeoutNs int64
+	// SeriesBucketNs enables per-tenant throughput time series with the
+	// given bucket width (Figures 12 and 15). Zero disables.
+	SeriesBucketNs int64
+	// Tenants is the number of tenants; tenant IDs are assigned to client
+	// machines round-robin by TenantOf unless a workload overrides them.
+	Tenants int
+	// ClientStartNs delays client machine i's workers until the given
+	// virtual time (Figure 12a's late-starting tenant). Missing entries
+	// start at time zero.
+	ClientStartNs map[int]int64
+}
+
+// DefaultConfig returns the calibrated testbed parameters.
+func DefaultConfig() Config {
+	return Config{
+		Clients:          10,
+		WorkersPerClient: 48,
+		HopNs:            1000,
+		ClientSendNs:     55,
+		ClientOverheadNs: 2800,
+		SwitchPassNs:     1, // 4+ BPPS line rate: never the bottleneck
+		ServerCores:      8,
+		ServerCoreNs:     444,
+		ServerBatchNs:    15_000,
+		DBServiceNs:      1000,
+		Tenants:          1,
+	}
+}
+
+// Request is one lock operation issued by a client worker.
+type Request struct {
+	LockID   uint32
+	Mode     wire.Mode
+	TxnID    uint64
+	Tenant   uint8
+	Priority uint8
+	Client   int // client machine index
+	// LeaseNs is the requested lease duration (0: service default).
+	LeaseNs int64
+	// OneRTT requests grant-to-database forwarding.
+	OneRTT bool
+}
+
+// Header builds the wire header for the request.
+func (r Request) Header(op wire.Op) wire.Header {
+	h := wire.Header{
+		Op:       op,
+		Mode:     r.Mode,
+		LockID:   r.LockID,
+		TxnID:    r.TxnID,
+		ClientIP: ClientIP(r.Client),
+		TenantID: r.Tenant,
+		Priority: r.Priority,
+		LeaseNs:  r.LeaseNs,
+	}
+	if r.OneRTT {
+		h.Flags |= wire.FlagOneRTT
+	}
+	return h
+}
+
+// ClientIP maps a client machine index to its address.
+func ClientIP(idx int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 0, byte(idx >> 8), byte(idx)})
+}
+
+// ClientIndex inverts ClientIP.
+func ClientIndex(a netip.Addr) int {
+	b := a.As4()
+	return int(b[2])<<8 | int(b[3])
+}
+
+// LockService is a lock-manager system under test. Implementations schedule
+// their own virtual-time delays on the testbed and invoke the callbacks at
+// the corresponding completion times.
+type LockService interface {
+	// Name identifies the system in reports.
+	Name() string
+	// Acquire requests a lock; granted runs when the client learns of the
+	// grant.
+	Acquire(req Request, granted func())
+	// Release releases a granted lock; fire-and-forget.
+	Release(req Request)
+}
+
+// LockOrderer is implemented by services whose effective lock identity
+// differs from the application's lock ID (NetChain's granularity-adapted
+// table). Clients sort a transaction's acquisitions by OrderKey so the
+// global acquisition order — the deadlock-freedom discipline — holds for
+// the identities actually locked.
+type LockOrderer interface {
+	OrderKey(lockID uint32) uint64
+}
+
+// Testbed is the simulated rack.
+type Testbed struct {
+	Cfg Config
+	Eng *eventsim.Engine
+	Rng *rand.Rand
+
+	clientNIC []*eventsim.Station
+	switchSt  *eventsim.Station
+	dbSt      *eventsim.Station
+
+	switchDown bool
+
+	nextTxn uint64
+
+	// Metrics.
+	TxnLatency  stats.Histogram
+	LockLatency stats.Histogram
+	Txns        uint64
+	Grants      uint64
+	measuring   bool
+	measureFrom int64
+
+	tenantTxns   []uint64
+	tenantSeries []*stats.TimeSeries
+}
+
+// NewTestbed builds the rack.
+func NewTestbed(cfg Config) *Testbed {
+	if cfg.Clients <= 0 {
+		panic("cluster: need at least one client")
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 1
+	}
+	eng := &eventsim.Engine{}
+	tb := &Testbed{
+		Cfg:      cfg,
+		Eng:      eng,
+		Rng:      rand.New(rand.NewSource(cfg.Seed)),
+		switchSt: eventsim.NewStation(eng, cfg.SwitchPassNs),
+		dbSt:     eventsim.NewStation(eng, cfg.DBServiceNs),
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		tb.clientNIC = append(tb.clientNIC, eventsim.NewStation(eng, cfg.ClientSendNs))
+	}
+	tb.tenantTxns = make([]uint64, cfg.Tenants)
+	if cfg.SeriesBucketNs > 0 {
+		for i := 0; i < cfg.Tenants; i++ {
+			tb.tenantSeries = append(tb.tenantSeries, stats.NewTimeSeries(cfg.SeriesBucketNs))
+		}
+	}
+	return tb
+}
+
+// NextTxnID allocates a fresh transaction ID (never wire.TxnNone).
+func (tb *Testbed) NextTxnID() uint64 {
+	tb.nextTxn++
+	return tb.nextTxn
+}
+
+// TenantOf maps a client machine to its tenant (round-robin blocks).
+func (tb *Testbed) TenantOf(client int) uint8 {
+	if tb.Cfg.Tenants <= 1 {
+		return 0
+	}
+	per := (tb.Cfg.Clients + tb.Cfg.Tenants - 1) / tb.Cfg.Tenants
+	t := client / per
+	if t >= tb.Cfg.Tenants {
+		t = tb.Cfg.Tenants - 1
+	}
+	return uint8(t)
+}
+
+// SetSwitchDown drops all traffic through the ToR (switch failure window).
+func (tb *Testbed) SetSwitchDown(down bool) { tb.switchDown = down }
+
+// SwitchDown reports the failure state.
+func (tb *Testbed) SwitchDown() bool { return tb.switchDown }
+
+// SwitchStation exposes the switch service station to services.
+func (tb *Testbed) SwitchStation() *eventsim.Station { return tb.switchSt }
+
+// DBStation exposes the database-server station (one-RTT mode).
+func (tb *Testbed) DBStation() *eventsim.Station { return tb.dbSt }
+
+// ClientNIC exposes client machine i's send station.
+func (tb *Testbed) ClientNIC(i int) *eventsim.Station { return tb.clientNIC[i] }
+
+// --- metric recording (services and workers call these) ---
+
+// RecordGrant records a completed lock acquisition that took latencyNs.
+func (tb *Testbed) RecordGrant(latencyNs int64) {
+	if !tb.measuring {
+		return
+	}
+	tb.Grants++
+	tb.LockLatency.Record(latencyNs)
+}
+
+// RecordTxn records a completed transaction for a tenant.
+func (tb *Testbed) RecordTxn(tenant uint8, latencyNs int64) {
+	tb.tick(tenant)
+	if !tb.measuring {
+		return
+	}
+	tb.Txns++
+	tb.TxnLatency.Record(latencyNs)
+	tb.tenantTxns[tenant]++
+}
+
+// tick updates the per-tenant time series (recorded even outside the
+// measurement window, since the series is the measurement for the
+// time-series figures).
+func (tb *Testbed) tick(tenant uint8) {
+	if tb.tenantSeries != nil {
+		tb.tenantSeries[tenant].Add(tb.Eng.Now(), 1)
+	}
+}
+
+// TenantSeries returns tenant t's transaction-rate time series (nil if
+// disabled).
+func (tb *Testbed) TenantSeries(t int) *stats.TimeSeries {
+	if tb.tenantSeries == nil {
+		return nil
+	}
+	return tb.tenantSeries[t]
+}
+
+// TenantTxns returns the transactions completed per tenant inside the
+// measurement window.
+func (tb *Testbed) TenantTxns() []uint64 {
+	out := make([]uint64, len(tb.tenantTxns))
+	copy(out, tb.tenantTxns)
+	return out
+}
+
+// --- run loop ---
+
+// TxnSpec is one transaction: the locks to hold simultaneously and the
+// execution (think) time while holding them.
+type TxnSpec struct {
+	Locks []Request
+	// ThinkNs is the in-memory execution time while the locks are held.
+	ThinkNs int64
+	// Tenant overrides the worker's default tenant when >= 0.
+	Tenant int
+}
+
+// Workload generates transactions for client workers.
+type Workload interface {
+	// NextTxn returns the next transaction for a worker on the given
+	// client machine. Implementations must be deterministic given rng.
+	NextTxn(client int, rng *rand.Rand) TxnSpec
+}
+
+// Result summarizes one experiment run.
+type Result struct {
+	System     string
+	WindowSec  float64
+	Txns       uint64
+	Grants     uint64
+	TxnRate    float64 // transactions/second
+	LockRate   float64 // granted lock requests/second
+	TxnLat     stats.Summary
+	LockLat    stats.Summary
+	TenantTxns []uint64
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s txn=%.3f MTPS lock=%.3f MRPS txn-lat{%v} lock-lat{%v}",
+		r.System, r.TxnRate/1e6, r.LockRate/1e6, r.TxnLat, r.LockLat)
+}
+
+// Run drives the workload against the service: closed-loop (or open-loop)
+// client workers, a warmup period excluded from measurement, then a
+// measured window. It returns the collected metrics.
+func (tb *Testbed) Run(svc LockService, wl Workload, warmupNs, windowNs int64) Result {
+	if windowNs <= 0 {
+		panic("cluster: non-positive measurement window")
+	}
+	for c := 0; c < tb.Cfg.Clients; c++ {
+		if tb.Cfg.OpenLoopRate > 0 {
+			tb.startOpenLoop(c, svc, wl)
+			continue
+		}
+		for w := 0; w < tb.Cfg.WorkersPerClient; w++ {
+			tb.startWorker(c, svc, wl)
+		}
+	}
+	tb.Eng.RunUntil(warmupNs)
+	tb.measuring = true
+	tb.measureFrom = tb.Eng.Now()
+	tb.Eng.RunUntil(warmupNs + windowNs)
+	tb.measuring = false
+	sec := float64(windowNs) / 1e9
+	return Result{
+		System:     svc.Name(),
+		WindowSec:  sec,
+		Txns:       tb.Txns,
+		Grants:     tb.Grants,
+		TxnRate:    float64(tb.Txns) / sec,
+		LockRate:   float64(tb.Grants) / sec,
+		TxnLat:     tb.TxnLatency.Summarize(),
+		LockLat:    tb.LockLatency.Summarize(),
+		TenantTxns: tb.TenantTxns(),
+	}
+}
+
+// startWorker runs one closed-loop transaction context.
+func (tb *Testbed) startWorker(client int, svc LockService, wl Workload) {
+	var runTxn func()
+	runTxn = func() {
+		spec := wl.NextTxn(client, tb.Rng)
+		tb.execute(client, svc, spec, runTxn)
+	}
+	// Stagger worker starts to avoid a synchronized burst at t=0.
+	tb.Eng.At(tb.Cfg.ClientStartNs[client]+tb.Rng.Int63n(10_000)+1, runTxn)
+}
+
+// startOpenLoop generates transactions at a fixed rate regardless of
+// completions.
+func (tb *Testbed) startOpenLoop(client int, svc LockService, wl Workload) {
+	interval := int64(1e9 / tb.Cfg.OpenLoopRate)
+	if interval <= 0 {
+		interval = 1
+	}
+	var arrive func()
+	arrive = func() {
+		spec := wl.NextTxn(client, tb.Rng)
+		tb.execute(client, svc, spec, func() {})
+		tb.Eng.After(interval, arrive)
+	}
+	tb.Eng.After(tb.Rng.Int63n(interval)+1, arrive)
+}
+
+// execute runs one transaction: acquire all locks in order, think, release
+// all, record, then continue with next.
+func (tb *Testbed) execute(client int, svc LockService, spec TxnSpec, next func()) {
+	start := tb.Eng.Now()
+	tenant := tb.TenantOf(client)
+	if spec.Tenant >= 0 {
+		tenant = uint8(spec.Tenant)
+	}
+	txn := tb.NextTxnID()
+	reqs := make([]Request, len(spec.Locks))
+	for i, r := range spec.Locks {
+		r.TxnID = txn
+		r.Client = client
+		r.Tenant = tenant
+		reqs[i] = r
+	}
+	if ord, ok := svc.(LockOrderer); ok {
+		sort.SliceStable(reqs, func(i, j int) bool {
+			return ord.OrderKey(reqs[i].LockID) < ord.OrderKey(reqs[j].LockID)
+		})
+	}
+	var acquire func(i int)
+	acquire = func(i int) {
+		if i == len(reqs) {
+			// All locks held: execute, then release and complete.
+			tb.Eng.After(spec.ThinkNs, func() {
+				for _, r := range reqs {
+					svc.Release(r)
+				}
+				tb.RecordTxn(tenant, tb.Eng.Now()-start)
+				next()
+			})
+			return
+		}
+		t0 := tb.Eng.Now()
+		svc.Acquire(reqs[i], func() {
+			tb.RecordGrant(tb.Eng.Now() - t0)
+			acquire(i + 1)
+		})
+	}
+	acquire(0)
+}

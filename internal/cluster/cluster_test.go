@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"netlock/internal/core"
+	"netlock/internal/memalloc"
+	"netlock/internal/switchdp"
+	"netlock/internal/wire"
+)
+
+// singleLock is a one-lock-per-transaction test workload.
+type singleLock struct {
+	locks    uint32
+	mode     wire.Mode
+	thinkNs  int64
+	disjoint bool
+}
+
+func (w singleLock) NextTxn(client int, rng *rand.Rand) TxnSpec {
+	id := uint32(rng.Intn(int(w.locks))) + 1
+	if w.disjoint {
+		id += uint32(client) * w.locks
+	}
+	return TxnSpec{
+		Locks:   []Request{{LockID: id, Mode: w.mode}},
+		ThinkNs: w.thinkNs,
+		Tenant:  -1,
+	}
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Clients = 2
+	cfg.WorkersPerClient = 4
+	return cfg
+}
+
+func newNetLock(tb *Testbed, servers int, hot []memalloc.Demand) *NetLockService {
+	mgr := core.New(core.Config{
+		Switch: switchdp.Config{
+			MaxLocks: 256, TotalSlots: 4096, Priorities: 1,
+			Now: tb.Eng.Now,
+		},
+		Servers: servers,
+	})
+	if hot != nil {
+		mgr.Reallocate(hot, nil)
+	}
+	return NewNetLockService(tb, NetLockOptions{Manager: mgr})
+}
+
+func hotDemands(n uint32, contention uint64) []memalloc.Demand {
+	var ds []memalloc.Demand
+	for id := uint32(1); id <= n; id++ {
+		ds = append(ds, memalloc.Demand{LockID: id, Rate: 1000, Contention: contention})
+	}
+	return ds
+}
+
+func TestNetLockMicrobenchCompletes(t *testing.T) {
+	tb := NewTestbed(smallConfig())
+	svc := newNetLock(tb, 1, hotDemands(16, 16))
+	res := tb.Run(svc, singleLock{locks: 16, mode: wire.Exclusive}, 1e6, 50e6)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions completed: %+v", res)
+	}
+	// Uncontended-ish grants should land in single-digit microseconds.
+	if res.LockLat.Median > 50_000 {
+		t.Fatalf("median lock latency = %dns, absurdly high", res.LockLat.Median)
+	}
+	// All locks acquired were granted by the switch (all resident).
+	st := svc.Manager().Switch().Stats()
+	if st.Forwards != 0 {
+		t.Fatalf("unexpected forwards for resident locks: %+v", st)
+	}
+}
+
+func TestNetLockServerPathCompletes(t *testing.T) {
+	tb := NewTestbed(smallConfig())
+	svc := newNetLock(tb, 2, nil) // nothing resident: all server-processed
+	res := tb.Run(svc, singleLock{locks: 16, mode: wire.Exclusive}, 1e6, 50e6)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions completed")
+	}
+	st := svc.Manager().Switch().Stats()
+	if st.Forwards == 0 || st.GrantsImmediate != 0 {
+		t.Fatalf("expected pure server path: %+v", st)
+	}
+}
+
+func TestNetLockSwitchLatencyBelowServerLatency(t *testing.T) {
+	wl := singleLock{locks: 64, mode: wire.Exclusive, disjoint: true}
+	tbA := NewTestbed(smallConfig())
+	svcA := newNetLock(tbA, 1, hotDemands(64*3, 4))
+	resA := tbA.Run(svcA, wl, 1e6, 50e6)
+
+	tbB := NewTestbed(smallConfig())
+	svcB := newNetLock(tbB, 1, nil)
+	resB := tbB.Run(svcB, wl, 1e6, 50e6)
+
+	if resA.LockLat.Mean >= resB.LockLat.Mean {
+		t.Fatalf("switch path (%.0fns) should beat server path (%.0fns)",
+			resA.LockLat.Mean, resB.LockLat.Mean)
+	}
+}
+
+// The overflow protocol must deliver every grant even when the switch
+// region is far smaller than the contention (liveness end to end).
+func TestNetLockOverflowLiveness(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Clients = 4
+	cfg.WorkersPerClient = 8 // 32 concurrent requests on...
+	tb := NewTestbed(cfg)
+	// ...a single lock with a 4-slot switch region.
+	svc := newNetLock(tb, 1, []memalloc.Demand{{LockID: 1, Rate: 1e6, Contention: 4}})
+	res := tb.Run(svc, singleLock{locks: 1, mode: wire.Exclusive}, 1e6, 200e6)
+	if res.Txns < 100 {
+		t.Fatalf("overflow stalled the lock: only %d txns", res.Txns)
+	}
+	st := svc.Manager().Switch().Stats()
+	if st.Overflows == 0 || st.PushNotifies == 0 {
+		t.Fatalf("overflow path not exercised: %+v", st)
+	}
+	srvStats := svc.Manager().Server(0).Stats()
+	if srvStats.Buffered == 0 || srvStats.Pushed == 0 {
+		t.Fatalf("server buffering not exercised: %+v", srvStats)
+	}
+}
+
+func TestNetLockSharedContention(t *testing.T) {
+	tb := NewTestbed(smallConfig())
+	svc := newNetLock(tb, 1, []memalloc.Demand{{LockID: 1, Rate: 1e6, Contention: 64}})
+	res := tb.Run(svc, singleLock{locks: 1, mode: wire.Shared}, 1e6, 50e6)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions")
+	}
+	// Shared locks on one object should all be granted immediately: the
+	// latency distribution should be as tight as the uncontended case.
+	if res.LockLat.P99 > 100_000 {
+		t.Fatalf("shared lock p99 = %dns, contention where none expected", res.LockLat.P99)
+	}
+}
+
+func TestNetLockExclusiveContentionSlower(t *testing.T) {
+	shared := func() Result {
+		tb := NewTestbed(smallConfig())
+		svc := newNetLock(tb, 1, []memalloc.Demand{{LockID: 1, Rate: 1e6, Contention: 64}})
+		return tb.Run(svc, singleLock{locks: 1, mode: wire.Shared}, 1e6, 50e6)
+	}()
+	excl := func() Result {
+		tb := NewTestbed(smallConfig())
+		svc := newNetLock(tb, 1, []memalloc.Demand{{LockID: 1, Rate: 1e6, Contention: 64}})
+		return tb.Run(svc, singleLock{locks: 1, mode: wire.Exclusive}, 1e6, 50e6)
+	}()
+	if excl.TxnRate >= shared.TxnRate {
+		t.Fatalf("exclusive contention (%.0f TPS) should be slower than shared (%.0f TPS)",
+			excl.TxnRate, shared.TxnRate)
+	}
+}
+
+func TestNetLockFailureAndRecovery(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RetryTimeoutNs = 2e6 // clients retry lost requests
+	tb := NewTestbed(cfg)
+	svc := newNetLock(tb, 1, hotDemands(16, 8))
+	wl := singleLock{locks: 16, mode: wire.Exclusive}
+	for c := 0; c < cfg.Clients; c++ {
+		for w := 0; w < cfg.WorkersPerClient; w++ {
+			tb.startWorker(c, svc, wl)
+		}
+	}
+	tb.measuring = true
+	tb.Eng.RunUntil(20e6)
+	preTxns := tb.Txns
+	if preTxns == 0 {
+		t.Fatalf("no pre-failure transactions")
+	}
+	// Fail the switch: traffic drops.
+	svc.Manager().FailSwitch()
+	tb.SetSwitchDown(true)
+	tb.Eng.RunUntil(40e6)
+	during := tb.Txns - preTxns
+	// A few in-flight completions may land right after the cut; after
+	// that, silence.
+	if during > preTxns/5 {
+		t.Fatalf("too many transactions during failure: %d (pre: %d)", during, preTxns)
+	}
+	// Reactivate: the control plane reinstalls the table, clients retry.
+	svc.Manager().RestartSwitch()
+	tb.SetSwitchDown(false)
+	tb.Eng.RunUntil(60e6)
+	after := tb.Txns - preTxns - during
+	if after < preTxns/2 {
+		t.Fatalf("throughput did not recover: pre=%d after=%d", preTxns, after)
+	}
+}
+
+func TestDSLRServiceCompletes(t *testing.T) {
+	tb := NewTestbed(smallConfig())
+	svc := NewDSLRService(tb, DefaultDSLROptions(2, 64))
+	res := tb.Run(svc, singleLock{locks: 16, mode: wire.Exclusive}, 1e6, 50e6)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions")
+	}
+	if svc.NICStats().Atomics == 0 {
+		t.Fatalf("no atomic verbs recorded")
+	}
+}
+
+func TestDSLRSharedConcurrency(t *testing.T) {
+	// Shared-only traffic: everything grants in one RTT.
+	tb := NewTestbed(smallConfig())
+	svc := NewDSLRService(tb, DefaultDSLROptions(2, 64))
+	res := tb.Run(svc, singleLock{locks: 4, mode: wire.Shared}, 1e6, 50e6)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions")
+	}
+	if res.LockLat.P99 > 100_000 {
+		t.Fatalf("shared DSLR p99 = %d, unexpected waiting", res.LockLat.P99)
+	}
+}
+
+func TestDrTMServiceCompletes(t *testing.T) {
+	tb := NewTestbed(smallConfig())
+	svc := NewDrTMService(tb, DefaultDrTMOptions(2, 64))
+	res := tb.Run(svc, singleLock{locks: 2, mode: wire.Exclusive}, 1e6, 50e6)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions")
+	}
+	if svc.Retries == 0 {
+		t.Fatalf("contended DrTM should retry")
+	}
+}
+
+func TestNetChainServiceCompletes(t *testing.T) {
+	tb := NewTestbed(smallConfig())
+	svc := NewNetChainService(tb, DefaultNetChainOptions(64))
+	res := tb.Run(svc, singleLock{locks: 8, mode: wire.Exclusive}, 1e6, 50e6)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions")
+	}
+}
+
+func TestCentralServiceCompletesAndScalesWithCores(t *testing.T) {
+	run := func(cores int) Result {
+		cfg := smallConfig()
+		cfg.Clients = 4
+		cfg.WorkersPerClient = 64
+		tb := NewTestbed(cfg)
+		svc := NewCentralService(tb, DefaultCentralOptions(1, cores))
+		return tb.Run(svc, singleLock{locks: 4096, mode: wire.Exclusive}, 1e6, 50e6)
+	}
+	one := run(1)
+	eight := run(8)
+	if one.Txns == 0 || eight.Txns == 0 {
+		t.Fatalf("no transactions: 1-core=%d 8-core=%d", one.Txns, eight.Txns)
+	}
+	if eight.TxnRate < 2*one.TxnRate {
+		t.Fatalf("8 cores (%.0f) should beat 1 core (%.0f) clearly", eight.TxnRate, one.TxnRate)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		cfg := smallConfig()
+		cfg.Seed = 42
+		tb := NewTestbed(cfg)
+		svc := newNetLock(tb, 1, hotDemands(8, 8))
+		return tb.Run(svc, singleLock{locks: 8, mode: wire.Exclusive}, 1e6, 20e6)
+	}
+	a, b := run(), run()
+	if a.Txns != b.Txns || a.Grants != b.Grants || a.TxnLat != b.TxnLat {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestOpenLoopMode(t *testing.T) {
+	cfg := smallConfig()
+	cfg.OpenLoopRate = 10_000 // 10k txn/s per client, 2 clients
+	tb := NewTestbed(cfg)
+	svc := newNetLock(tb, 1, hotDemands(16, 8))
+	res := tb.Run(svc, singleLock{locks: 16, mode: wire.Shared}, 10e6, 100e6)
+	// Offered: 20k/s over 0.1s window = ~2000 txns.
+	if res.Txns < 1500 || res.Txns > 2500 {
+		t.Fatalf("open-loop txns = %d, want ~2000", res.Txns)
+	}
+}
+
+func TestTenantSeriesAndQuota(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Clients = 4
+	cfg.Tenants = 2
+	cfg.SeriesBucketNs = 10e6
+	tb := NewTestbed(cfg)
+	svc := newNetLock(tb, 1, hotDemands(16, 16))
+	res := tb.Run(svc, singleLock{locks: 16, mode: wire.Shared}, 1e6, 50e6)
+	tt := res.TenantTxns
+	if len(tt) != 2 || tt[0] == 0 || tt[1] == 0 {
+		t.Fatalf("tenant txns = %v", tt)
+	}
+	if tb.TenantSeries(0) == nil || tb.TenantSeries(0).Total() == 0 {
+		t.Fatalf("tenant series not recorded")
+	}
+}
+
+func TestClientIPRoundTrip(t *testing.T) {
+	for _, idx := range []int{0, 1, 255, 256, 1000} {
+		if got := ClientIndex(ClientIP(idx)); got != idx {
+			t.Fatalf("client IP round trip: %d -> %d", idx, got)
+		}
+	}
+}
+
+func TestTenantOfBlocks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clients = 10
+	cfg.Tenants = 2
+	tb := NewTestbed(cfg)
+	for c := 0; c < 5; c++ {
+		if tb.TenantOf(c) != 0 {
+			t.Fatalf("client %d tenant = %d, want 0", c, tb.TenantOf(c))
+		}
+	}
+	for c := 5; c < 10; c++ {
+		if tb.TenantOf(c) != 1 {
+			t.Fatalf("client %d tenant = %d, want 1", c, tb.TenantOf(c))
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tb := NewTestbed(smallConfig())
+	svc := newNetLock(tb, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for zero window")
+		}
+	}()
+	tb.Run(svc, singleLock{locks: 1, mode: wire.Shared}, 0, 0)
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"netlock/internal/baseline/drtm"
+	"netlock/internal/lockserver"
+	"netlock/internal/rdma"
+	"netlock/internal/wire"
+)
+
+// DrTMOptions configures the DrTM fail-and-retry baseline.
+type DrTMOptions struct {
+	Servers   int
+	MaxLockID uint32
+	NIC       rdma.Config
+	// BackoffMinNs and BackoffMaxNs bound the exponential retry backoff
+	// after a failed CAS/FAA attempt.
+	BackoffMinNs int64
+	BackoffMaxNs int64
+}
+
+// DefaultDrTMOptions mirrors the CloudLab setup (§6.1).
+func DefaultDrTMOptions(servers int, maxLockID uint32) DrTMOptions {
+	return DrTMOptions{
+		Servers:      servers,
+		MaxLockID:    maxLockID,
+		NIC:          rdma.DefaultConfig(),
+		BackoffMinNs: 10_000,
+		BackoffMaxNs: 1_000_000,
+	}
+}
+
+// DrTMService emulates DrTM-style remote locking (§6.1): blind
+// fail-and-retry over RDMA CAS/FAA. There is no queue and no fairness: a
+// failed attempt burns a NIC atomic and an RTT, then backs off and retries,
+// which collapses under contention and starves unlucky clients — the
+// behavior NetLock's queues eliminate.
+type DrTMService struct {
+	tb   *Testbed
+	opts DrTMOptions
+	mems []*rdma.Memory
+	nics []*rdma.NIC
+	// Retries counts failed acquisition attempts (observability for the
+	// benchmark reports).
+	Retries uint64
+}
+
+// NewDrTMService builds the baseline on the testbed.
+func NewDrTMService(tb *Testbed, opts DrTMOptions) *DrTMService {
+	if opts.Servers <= 0 || opts.MaxLockID == 0 {
+		panic("cluster: invalid DrTM options")
+	}
+	s := &DrTMService{tb: tb, opts: opts}
+	for i := 0; i < opts.Servers; i++ {
+		// Huge ID spaces (TPC-C) use sparse registered memory.
+		if opts.MaxLockID > 1<<20 {
+			s.mems = append(s.mems, rdma.NewSparseMemory())
+		} else {
+			s.mems = append(s.mems, rdma.NewMemory(int(opts.MaxLockID)+1))
+		}
+		s.nics = append(s.nics, rdma.NewNIC(tb.Eng, opts.NIC))
+	}
+	return s
+}
+
+// Name implements LockService.
+func (s *DrTMService) Name() string { return "DrTM" }
+
+func (s *DrTMService) home(lockID uint32) int {
+	return lockserver.RSSCore(lockID, s.opts.Servers)
+}
+
+// backoff returns the randomized exponential backoff for the given attempt.
+func (s *DrTMService) backoff(attempt int) int64 {
+	d := s.opts.BackoffMinNs << uint(attempt)
+	if d > s.opts.BackoffMaxNs || d <= 0 {
+		d = s.opts.BackoffMaxNs
+	}
+	return d/2 + s.tb.Rng.Int63n(d/2+1)
+}
+
+// Acquire implements LockService.
+func (s *DrTMService) Acquire(req Request, granted func()) {
+	if req.Mode == wire.Exclusive {
+		s.tryExclusive(req, 0, granted)
+	} else {
+		s.tryShared(req, 0, granted)
+	}
+}
+
+func (s *DrTMService) tryExclusive(req Request, attempt int, granted func()) {
+	srv := s.home(req.LockID)
+	idx := int(req.LockID)
+	cfg := s.tb.Cfg
+	s.tb.ClientNIC(req.Client).Submit(func() {
+		s.tb.Eng.After(cfg.ClientOverheadNs+2*cfg.HopNs, func() {
+			s.nics[srv].CompareSwap(s.mems[srv], idx, drtm.Free, drtm.ExclusiveWord(req.TxnID),
+				func(_ uint64, swapped bool) {
+					s.tb.Eng.After(2*cfg.HopNs+cfg.ClientOverheadNs, func() {
+						if swapped {
+							granted()
+							return
+						}
+						s.Retries++
+						s.tb.Eng.After(s.backoff(attempt), func() {
+							s.tryExclusive(req, attempt+1, granted)
+						})
+					})
+				})
+		})
+	})
+}
+
+func (s *DrTMService) tryShared(req Request, attempt int, granted func()) {
+	srv := s.home(req.LockID)
+	idx := int(req.LockID)
+	cfg := s.tb.Cfg
+	s.tb.ClientNIC(req.Client).Submit(func() {
+		s.tb.Eng.After(cfg.ClientOverheadNs+2*cfg.HopNs, func() {
+			s.nics[srv].FetchAdd(s.mems[srv], idx, drtm.SharedAddDelta, func(old uint64) {
+				s.tb.Eng.After(2*cfg.HopNs+cfg.ClientOverheadNs, func() {
+					if drtm.SharedAcquired(old) {
+						granted()
+						return
+					}
+					// Back out the optimistic increment, then retry.
+					s.Retries++
+					s.tb.ClientNIC(req.Client).Submit(func() {
+						s.tb.Eng.After(cfg.ClientOverheadNs+2*cfg.HopNs, func() {
+							s.nics[srv].FetchAdd(s.mems[srv], idx, drtm.SharedBackoutDelta, func(uint64) {})
+						})
+					})
+					s.tb.Eng.After(s.backoff(attempt), func() {
+						s.tryShared(req, attempt+1, granted)
+					})
+				})
+			})
+		})
+	})
+}
+
+// Release implements LockService.
+func (s *DrTMService) Release(req Request) {
+	srv := s.home(req.LockID)
+	idx := int(req.LockID)
+	cfg := s.tb.Cfg
+	s.tb.ClientNIC(req.Client).Submit(func() {
+		s.tb.Eng.After(cfg.ClientOverheadNs+2*cfg.HopNs, func() {
+			if req.Mode == wire.Exclusive {
+				s.nics[srv].Write(s.mems[srv], idx, drtm.ExclusiveReleased, func() {})
+			} else {
+				s.nics[srv].FetchAdd(s.mems[srv], idx, drtm.SharedReleaseDelta, func(uint64) {})
+			}
+		})
+	})
+}

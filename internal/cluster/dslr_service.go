@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"netlock/internal/baseline/dslr"
+	"netlock/internal/lockserver"
+	"netlock/internal/rdma"
+	"netlock/internal/wire"
+)
+
+// DSLROptions configures the DSLR baseline.
+type DSLROptions struct {
+	// Servers is the number of lock servers holding lock tables.
+	Servers int
+	// MaxLockID bounds the lock table size.
+	MaxLockID uint32
+	// NIC sets the RDMA NIC service model.
+	NIC rdma.Config
+	// EstHoldNs is the expected per-holder service time used by DSLR's
+	// waiting-time estimation before the first poll.
+	EstHoldNs int64
+	// PollIntervalNs is the READ-poll interval after the estimate elapses.
+	PollIntervalNs int64
+	// LeaseNs is DSLR's lease: a waiter not granted within the lease
+	// assumes a failed or stuck holder and force-resets the lock word (CAS
+	// to zero), then retries with a fresh ticket. The reset destroys the
+	// queue state of every other waiter on the lock — the fault-tolerance
+	// mechanism whose side effects collapse DSLR under heavy contention.
+	LeaseNs int64
+}
+
+// DefaultDSLROptions mirrors the CloudLab setup (§6.1).
+func DefaultDSLROptions(servers int, maxLockID uint32) DSLROptions {
+	return DSLROptions{
+		Servers:        servers,
+		MaxLockID:      maxLockID,
+		NIC:            rdma.DefaultConfig(),
+		EstHoldNs:      10_000,
+		PollIntervalNs: 5_000,
+		LeaseNs:        10_000_000,
+	}
+}
+
+// DSLRService emulates DSLR (§2.1, §6): decentralized bakery locks over
+// one-sided RDMA. Lock tables live in server memory; clients FAA to draw
+// tickets and READ-poll to learn their turn; the server CPU is idle and the
+// NIC's atomic units are the shared bottleneck.
+type DSLRService struct {
+	tb   *Testbed
+	opts DSLROptions
+	mems []*rdma.Memory
+	nics []*rdma.NIC
+	// LeaseResets counts force-resets issued by timed-out waiters.
+	LeaseResets uint64
+}
+
+// NewDSLRService builds the baseline on the testbed.
+func NewDSLRService(tb *Testbed, opts DSLROptions) *DSLRService {
+	if opts.Servers <= 0 || opts.MaxLockID == 0 {
+		panic("cluster: invalid DSLR options")
+	}
+	s := &DSLRService{tb: tb, opts: opts}
+	for i := 0; i < opts.Servers; i++ {
+		// Huge ID spaces (TPC-C) use sparse registered memory.
+		if opts.MaxLockID > 1<<20 {
+			s.mems = append(s.mems, rdma.NewSparseMemory())
+		} else {
+			s.mems = append(s.mems, rdma.NewMemory(int(opts.MaxLockID)+1))
+		}
+		s.nics = append(s.nics, rdma.NewNIC(tb.Eng, opts.NIC))
+	}
+	return s
+}
+
+// Name implements LockService.
+func (s *DSLRService) Name() string { return "DSLR" }
+
+func (s *DSLRService) home(lockID uint32) int {
+	return lockserver.RSSCore(lockID, s.opts.Servers)
+}
+
+// Acquire implements LockService: FAA a ticket, then wait per the bakery
+// protocol.
+func (s *DSLRService) Acquire(req Request, granted func()) {
+	srv := s.home(req.LockID)
+	idx := int(req.LockID)
+	delta := dslr.DeltaMaxX
+	if req.Mode == wire.Shared {
+		delta = dslr.DeltaMaxS
+	}
+	cfg := s.tb.Cfg
+	s.tb.ClientNIC(req.Client).Submit(func() {
+		s.tb.Eng.After(cfg.ClientOverheadNs+2*cfg.HopNs, func() {
+			s.nics[srv].FetchAdd(s.mems[srv], idx, delta, func(old uint64) {
+				// Reply travels back to the client.
+				s.tb.Eng.After(2*cfg.HopNs+cfg.ClientOverheadNs, func() {
+					var tk dslr.Ticket
+					if delta == dslr.DeltaMaxX {
+						tk = dslr.DrawExclusive(old)
+					} else {
+						tk = dslr.DrawShared(old)
+					}
+					if tk.Overflowed() {
+						s.handleOverflow(req, granted)
+						return
+					}
+					if tk.Granted(old + delta) {
+						granted()
+						return
+					}
+					deadline := s.tb.Eng.Now() + s.opts.LeaseNs
+					wait := tk.WaitEstimateNs(old+delta, s.opts.EstHoldNs)
+					if wait < s.opts.PollIntervalNs {
+						wait = s.opts.PollIntervalNs
+					}
+					s.tb.Eng.After(wait, func() { s.poll(req, tk, deadline, granted) })
+				})
+			})
+		})
+	})
+}
+
+// poll issues an RDMA READ and checks the ticket's turn; waiters that
+// exceed their lease force-reset the lock word and retry from scratch.
+func (s *DSLRService) poll(req Request, tk dslr.Ticket, deadline int64, granted func()) {
+	srv := s.home(req.LockID)
+	cfg := s.tb.Cfg
+	s.tb.ClientNIC(req.Client).Submit(func() {
+		s.tb.Eng.After(cfg.ClientOverheadNs+2*cfg.HopNs, func() {
+			s.nics[srv].Read(s.mems[srv], int(req.LockID), func(w uint64) {
+				s.tb.Eng.After(2*cfg.HopNs+cfg.ClientOverheadNs, func() {
+					if tk.Granted(w) {
+						granted()
+						return
+					}
+					if s.opts.LeaseNs > 0 && s.tb.Eng.Now() > deadline {
+						// Lease expired: assume the holder failed, reset
+						// the word, and retry with a fresh ticket.
+						s.LeaseResets++
+						s.nics[srv].CompareSwap(s.mems[srv], int(req.LockID), w, 0, func(uint64, bool) {
+							s.tb.Eng.After(s.opts.PollIntervalNs, func() { s.Acquire(req, granted) })
+						})
+						return
+					}
+					s.tb.Eng.After(s.opts.PollIntervalNs, func() { s.poll(req, tk, deadline, granted) })
+				})
+			})
+		})
+	})
+}
+
+// handleOverflow implements the counter-reset protocol: wait for the queue
+// to drain, CAS the word back to zero, then retry the acquisition.
+func (s *DSLRService) handleOverflow(req Request, granted func()) {
+	srv := s.home(req.LockID)
+	idx := int(req.LockID)
+	var attempt func()
+	attempt = func() {
+		s.nics[srv].Read(s.mems[srv], idx, func(w uint64) {
+			if !dslr.Drained(w) {
+				s.tb.Eng.After(s.opts.PollIntervalNs, attempt)
+				return
+			}
+			s.nics[srv].CompareSwap(s.mems[srv], idx, w, 0, func(_ uint64, _ bool) {
+				// Whether we or a peer reset it, retry the acquisition.
+				s.Acquire(req, granted)
+			})
+		})
+	}
+	s.tb.Eng.After(s.opts.PollIntervalNs, attempt)
+}
+
+// Release implements LockService: one fire-and-forget FAA.
+func (s *DSLRService) Release(req Request) {
+	srv := s.home(req.LockID)
+	idx := int(req.LockID)
+	delta := dslr.DeltaNowX
+	if req.Mode == wire.Shared {
+		delta = dslr.DeltaNowS
+	}
+	cfg := s.tb.Cfg
+	s.tb.ClientNIC(req.Client).Submit(func() {
+		s.tb.Eng.After(cfg.ClientOverheadNs+2*cfg.HopNs, func() {
+			s.nics[srv].FetchAdd(s.mems[srv], idx, delta, func(uint64) {})
+		})
+	})
+}
+
+// NICStats aggregates verb counts over all emulated NICs.
+func (s *DSLRService) NICStats() rdma.Stats {
+	var total rdma.Stats
+	for _, n := range s.nics {
+		st := n.Stats()
+		total.Atomics += st.Atomics
+		total.ReadWrites += st.ReadWrites
+	}
+	return total
+}

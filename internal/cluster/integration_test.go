@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"netlock/internal/core"
+	"netlock/internal/switchdp"
+	"netlock/internal/wire"
+)
+
+// End-to-end integration tests of the testbed beyond the basic service
+// checks: TPC-C over NetLock with the control loops on, the one-RTT mode,
+// and live hot-lock migration.
+
+func TestNetLockOneRTTMode(t *testing.T) {
+	run := func(oneRTT bool) Result {
+		cfg := smallConfig()
+		tb := NewTestbed(cfg)
+		svc := newNetLock(tb, 1, hotDemands(64, 4))
+		return tb.Run(svc, oneRTTWL{locks: 64, oneRTT: oneRTT}, 1e6, 30e6)
+	}
+	basic := run(false)
+	one := run(true)
+	if basic.Txns == 0 || one.Txns == 0 {
+		t.Fatalf("no transactions: basic=%d one=%d", basic.Txns, one.Txns)
+	}
+	// One-RTT lock latency includes the database fetch, so it is higher
+	// than the bare grant, but bounded (~one extra hop + db service).
+	if one.LockLat.Mean <= basic.LockLat.Mean {
+		t.Fatalf("one-RTT (%.0fns) should include the fetch beyond basic (%.0fns)",
+			one.LockLat.Mean, basic.LockLat.Mean)
+	}
+	if one.LockLat.Mean > basic.LockLat.Mean+20_000 {
+		t.Fatalf("one-RTT overhead too high: %.0f vs %.0f", one.LockLat.Mean, basic.LockLat.Mean)
+	}
+}
+
+type oneRTTWL struct {
+	locks  uint32
+	oneRTT bool
+}
+
+func (w oneRTTWL) NextTxn(client int, rng *rand.Rand) TxnSpec {
+	return TxnSpec{
+		Locks: []Request{{
+			LockID: uint32(rng.Intn(int(w.locks))) + 1,
+			Mode:   wire.Exclusive,
+			OneRTT: w.oneRTT,
+		}},
+		Tenant: -1,
+	}
+}
+
+func TestNetLockLiveMigration(t *testing.T) {
+	// Start with everything at the servers; the allocation loop must move
+	// the hot lock set into the switch mid-run without losing any grants.
+	cfg := smallConfig()
+	cfg.Clients = 4
+	cfg.WorkersPerClient = 8
+	tb := NewTestbed(cfg)
+	mgr := core.New(core.Config{
+		Switch: switchdp.Config{
+			MaxLocks: 256, TotalSlots: 4096, Priorities: 1, Now: tb.Eng.Now,
+		},
+		Servers: 1,
+	})
+	svc := NewNetLockService(tb, NetLockOptions{Manager: mgr, AllocEveryNs: 5e6})
+	res := tb.Run(svc, singleLock{locks: 16, mode: wire.Exclusive}, 20e6, 60e6)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions")
+	}
+	if !mgr.Switch().CtrlHasLock(1) {
+		t.Fatalf("hot lock not migrated")
+	}
+	// After migration, the switch handles the traffic.
+	st := mgr.Switch().Stats()
+	total := st.GrantsImmediate + st.GrantsQueued
+	if total == 0 {
+		t.Fatalf("switch idle after migration")
+	}
+	if svc.PendingAcquires() > cfg.Clients*cfg.WorkersPerClient {
+		t.Fatalf("grants lost across migration: pending=%d", svc.PendingAcquires())
+	}
+}
+
+func TestServerFailoverUnderTraffic(t *testing.T) {
+	// A lock server fails mid-run; the manager reassigns its locks to the
+	// survivor and clients (with retries enabled) make progress again.
+	cfg := smallConfig()
+	cfg.RetryTimeoutNs = 2e6
+	tb := NewTestbed(cfg)
+	mgr := core.New(core.Config{
+		Switch: switchdp.Config{
+			MaxLocks: 64, TotalSlots: 1024, Priorities: 1, Now: tb.Eng.Now,
+		},
+		Servers: 2,
+	})
+	svc := NewNetLockService(tb, NetLockOptions{Manager: mgr})
+	wl := singleLock{locks: 32, mode: wire.Exclusive}
+	for c := 0; c < cfg.Clients; c++ {
+		for w := 0; w < cfg.WorkersPerClient; w++ {
+			tb.startWorker(c, svc, wl)
+		}
+	}
+	tb.measuring = true
+	tb.Eng.RunUntil(20e6)
+	pre := tb.Txns
+	if pre == 0 {
+		t.Fatalf("no pre-failure transactions")
+	}
+	// Server 0 fails: its locks move to server 1 with empty queues.
+	mgr.FailServer(0, 1)
+	tb.Eng.RunUntil(60e6)
+	post := tb.Txns - pre
+	if post < pre/2 {
+		t.Fatalf("no recovery after server failover: pre=%d post=%d", pre, post)
+	}
+	// Every lock is now owned by server 1.
+	if owned := mgr.Server(0).CtrlOwnedLocks(); len(owned) != 0 {
+		t.Fatalf("failed server still owns locks: %v", owned)
+	}
+}
+
+// Shared-heavy TPC-C-like mix through the switch must never grant an
+// exclusive lock concurrently with anything else: checked by replaying the
+// grant/release streams against holder counting.
+func TestMutualExclusionInvariant(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Clients = 4
+	cfg.WorkersPerClient = 8
+	tb := NewTestbed(cfg)
+	svc := newNetLock(tb, 1, hotDemands(4, 64))
+	wl := &invariantWL{}
+	var violations int
+	tracker := &trackingService{
+		inner:      svc,
+		holders:    map[uint32]*holdCount{},
+		violations: &violations,
+	}
+	res := tb.Run(tracker, wl, 1e6, 30e6)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions")
+	}
+	if violations != 0 {
+		t.Fatalf("%d mutual exclusion violations", violations)
+	}
+}
+
+// invariantWL mixes shared and exclusive requests over a tiny hot set.
+type invariantWL struct{}
+
+func (invariantWL) NextTxn(client int, rng *rand.Rand) TxnSpec {
+	mode := wire.Shared
+	if rng.Intn(3) == 0 {
+		mode = wire.Exclusive
+	}
+	return TxnSpec{
+		Locks:   []Request{{LockID: uint32(rng.Intn(4)) + 1, Mode: mode}},
+		ThinkNs: 2000,
+		Tenant:  -1,
+	}
+}
+
+// trackingService wraps a LockService and checks the single-writer /
+// multi-reader invariant at grant and release time.
+type trackingService struct {
+	inner      LockService
+	holders    map[uint32]*holdCount
+	violations *int
+}
+
+type holdCount struct{ shared, excl int }
+
+func (t *trackingService) Name() string { return t.inner.Name() }
+
+func (t *trackingService) Acquire(req Request, granted func()) {
+	t.inner.Acquire(req, func() {
+		h := t.holders[req.LockID]
+		if h == nil {
+			h = &holdCount{}
+			t.holders[req.LockID] = h
+		}
+		if req.Mode == wire.Exclusive {
+			if h.shared > 0 || h.excl > 0 {
+				*t.violations++
+			}
+			h.excl++
+		} else {
+			if h.excl > 0 {
+				*t.violations++
+			}
+			h.shared++
+		}
+		granted()
+	})
+}
+
+func (t *trackingService) Release(req Request) {
+	h := t.holders[req.LockID]
+	if h != nil {
+		if req.Mode == wire.Exclusive {
+			h.excl--
+		} else {
+			h.shared--
+		}
+	}
+	t.inner.Release(req)
+}

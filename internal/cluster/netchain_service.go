@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"netlock/internal/baseline/netchain"
+)
+
+// NetChainOptions configures the NetChain baseline.
+type NetChainOptions struct {
+	// Locks is the in-switch lock table size; lock IDs fold onto it
+	// (granularity adaptation, §6.1).
+	Locks int
+	// ChainLength is the number of switches in NetChain's replication
+	// chain. NetChain is a chain-replicated KV store: every state-changing
+	// operation (acquire, release) traverses the whole chain before the
+	// tail replies, adding per-hop latency that a single NetLock switch
+	// does not pay.
+	ChainLength int
+	// BackoffMinNs / BackoffMaxNs bound the client retry backoff after a
+	// rejected acquisition.
+	BackoffMinNs int64
+	BackoffMaxNs int64
+}
+
+// DefaultNetChainOptions mirrors the evaluation setup.
+func DefaultNetChainOptions(locks int) NetChainOptions {
+	return NetChainOptions{Locks: locks, ChainLength: 3, BackoffMinNs: 10_000, BackoffMaxNs: 500_000}
+}
+
+// NetChainService emulates the NetChain comparison point (§6.1): an
+// in-switch exclusive-only lock table with client-side retry. Shared
+// requests are treated as exclusive, so read-read concurrency is lost, and
+// every conflict costs the client a full retry round trip — but the switch
+// itself runs at line rate and no server is involved.
+type NetChainService struct {
+	tb   *Testbed
+	opts NetChainOptions
+	kv   *netchain.Service
+	// Retries counts rejected acquisition attempts.
+	Retries uint64
+}
+
+// NewNetChainService builds the baseline on the testbed.
+func NewNetChainService(tb *Testbed, opts NetChainOptions) *NetChainService {
+	if opts.ChainLength <= 0 {
+		opts.ChainLength = 1
+	}
+	return &NetChainService{tb: tb, opts: opts, kv: netchain.New(netchain.Config{Locks: opts.Locks})}
+}
+
+// chainNs is the extra one-way latency of traversing the replication chain
+// beyond the first switch.
+func (s *NetChainService) chainNs() int64 {
+	return int64(s.opts.ChainLength-1) * s.tb.Cfg.HopNs
+}
+
+// Name implements LockService.
+func (s *NetChainService) Name() string { return "NetChain" }
+
+// Table exposes the underlying switch KV for stats.
+func (s *NetChainService) Table() *netchain.Service { return s.kv }
+
+// OrderKey implements cluster.LockOrderer: the effective lock identity is
+// the folded table slot, plus the original ID to keep the order total.
+// Transactions acquiring in this order cannot deadlock even when distinct
+// application locks fold onto one slot.
+func (s *NetChainService) OrderKey(lockID uint32) uint64 {
+	return uint64(lockID)%uint64(s.opts.Locks)<<32 | uint64(lockID)
+}
+
+func (s *NetChainService) backoff(attempt int) int64 {
+	d := s.opts.BackoffMinNs << uint(attempt)
+	if d > s.opts.BackoffMaxNs || d <= 0 {
+		d = s.opts.BackoffMaxNs
+	}
+	return d/2 + s.tb.Rng.Int63n(d/2+1)
+}
+
+// Acquire implements LockService: one switch round trip per attempt.
+func (s *NetChainService) Acquire(req Request, granted func()) {
+	s.try(req, 0, granted)
+}
+
+func (s *NetChainService) try(req Request, attempt int, granted func()) {
+	cfg := s.tb.Cfg
+	s.tb.ClientNIC(req.Client).Submit(func() {
+		s.tb.Eng.After(cfg.ClientOverheadNs+cfg.HopNs, func() {
+			if s.tb.SwitchDown() {
+				return
+			}
+			s.tb.SwitchStation().Submit(func() {
+				res := s.kv.Acquire(int(req.LockID), req.TxnID)
+				// The write commits at the chain tail; the reply returns
+				// from there.
+				s.tb.Eng.After(s.chainNs()+cfg.HopNs+cfg.ClientOverheadNs, func() {
+					if res == netchain.Granted {
+						granted()
+						return
+					}
+					s.Retries++
+					s.tb.Eng.After(s.backoff(attempt), func() { s.try(req, attempt+1, granted) })
+				})
+			})
+		})
+	})
+}
+
+// Release implements LockService.
+func (s *NetChainService) Release(req Request) {
+	cfg := s.tb.Cfg
+	s.tb.ClientNIC(req.Client).Submit(func() {
+		s.tb.Eng.After(cfg.ClientOverheadNs+cfg.HopNs+s.chainNs(), func() {
+			if s.tb.SwitchDown() {
+				return
+			}
+			s.tb.SwitchStation().Submit(func() {
+				s.kv.Release(int(req.LockID), req.TxnID)
+			})
+		})
+	})
+}

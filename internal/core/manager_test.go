@@ -1,0 +1,362 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+
+	"netlock/internal/memalloc"
+	"netlock/internal/switchdp"
+	"netlock/internal/wire"
+)
+
+func newManager(servers int) *Manager {
+	return New(Config{
+		Switch:  switchdp.Config{MaxLocks: 64, TotalSlots: 128, Priorities: 1},
+		Servers: servers,
+	})
+}
+
+func acq(lockID uint32, txn uint64) *wire.Header {
+	return &wire.Header{
+		Op:       wire.OpAcquire,
+		Mode:     wire.Exclusive,
+		LockID:   lockID,
+		TxnID:    txn,
+		ClientIP: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+	}
+}
+
+func rel(lockID uint32, txn uint64) *wire.Header {
+	h := acq(lockID, txn)
+	h.Op = wire.OpRelease
+	return h
+}
+
+func demand(id uint32, rate float64, cont uint64) memalloc.Demand {
+	return memalloc.Demand{LockID: id, Rate: rate, Contention: cont}
+}
+
+func TestReallocateInstallsPopularLocks(t *testing.T) {
+	m := newManager(2)
+	demands := []memalloc.Demand{
+		demand(1, 1000, 4),
+		demand(2, 10, 2),
+		demand(3, 5000, 8),
+	}
+	rep := m.Reallocate(demands, nil)
+	if len(rep.Installed) != 3 {
+		t.Fatalf("installed = %v (plenty of capacity)", rep.Installed)
+	}
+	for _, id := range []uint32{1, 2, 3} {
+		if !m.Switch().CtrlHasLock(id) {
+			t.Fatalf("lock %d not resident", id)
+		}
+	}
+	// Requests for resident locks are now switch-processed.
+	emits, _ := m.Switch().ProcessPacket(acq(3, 1))
+	if len(emits) != 1 || emits[0].Action != switchdp.ActGrant {
+		t.Fatalf("emits = %v", emits)
+	}
+}
+
+func TestReallocateRespectsCapacity(t *testing.T) {
+	m := newManager(1)
+	// Capacity is 128; ask for far more.
+	var demands []memalloc.Demand
+	for id := uint32(1); id <= 20; id++ {
+		demands = append(demands, demand(id, float64(1000-id), 10))
+	}
+	rep := m.Reallocate(demands, nil)
+	if got := rep.Plan.SwitchSlotsUsed(); got > 128 {
+		t.Fatalf("plan uses %d slots > capacity", got)
+	}
+	if len(rep.Installed)+len(rep.Plan.Server) < 20 {
+		t.Fatalf("locks unaccounted: %+v", rep)
+	}
+	// The most valuable locks (highest r/c: lowest IDs here) are resident.
+	if !m.Switch().CtrlHasLock(1) {
+		t.Fatalf("most valuable lock should be resident")
+	}
+}
+
+func TestReallocateEvictsUnpopular(t *testing.T) {
+	m := newManager(1)
+	m.Reallocate([]memalloc.Demand{demand(1, 1000, 4)}, nil)
+	if !m.Switch().CtrlHasLock(1) {
+		t.Fatalf("setup failed")
+	}
+	// New window: lock 1 cold, lock 2 hot, and capacity only fits one big
+	// lock (contention 120 of 128 slots).
+	rep := m.Reallocate([]memalloc.Demand{
+		demand(1, 0, 0),
+		demand(2, 9000, 120),
+	}, nil)
+	if len(rep.Removed) != 1 || rep.Removed[0] != 1 {
+		t.Fatalf("removed = %v", rep.Removed)
+	}
+	if !m.Switch().CtrlHasLock(2) || m.Switch().CtrlHasLock(1) {
+		t.Fatalf("placement wrong after eviction")
+	}
+	// Lock 1 is served by its server now.
+	srv := m.Server(m.ServerFor(1))
+	emits := srv.ProcessPacket(acq(1, 5))
+	if len(emits) != 1 {
+		t.Fatalf("server did not adopt lock 1: %v", emits)
+	}
+}
+
+func TestReallocateDefersNonDrainedLocks(t *testing.T) {
+	m := newManager(1)
+	m.Reallocate([]memalloc.Demand{demand(1, 1000, 4)}, nil)
+	// Park a request in the switch queue so lock 1 cannot be drained.
+	m.Switch().ProcessPacket(acq(1, 1))
+	rep := m.Reallocate([]memalloc.Demand{demand(2, 9000, 4)}, nil)
+	found := false
+	for _, id := range rep.Deferred {
+		if id == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("non-drained lock should be deferred: %+v", rep)
+	}
+	if !m.Switch().CtrlHasLock(1) {
+		t.Fatalf("deferred lock must stay resident")
+	}
+	// After the queue drains, the next round evicts it.
+	m.Switch().ProcessPacket(rel(1, 1))
+	rep = m.Reallocate([]memalloc.Demand{demand(2, 9000, 4)}, nil)
+	if m.Switch().CtrlHasLock(1) {
+		t.Fatalf("lock 1 should be evicted after drain")
+	}
+}
+
+func TestReallocateResize(t *testing.T) {
+	m := newManager(1)
+	m.Reallocate([]memalloc.Demand{demand(1, 1000, 4)}, nil)
+	rep := m.Reallocate([]memalloc.Demand{demand(1, 1000, 16)}, nil)
+	if len(rep.Resized) != 1 || rep.Resized[0] != 1 {
+		t.Fatalf("resized = %v", rep.Resized)
+	}
+	st, _ := m.Switch().CtrlLockState(1)
+	if got := st.Banks[0].Capacity(); got != 16 {
+		t.Fatalf("capacity after resize = %d, want 16", got)
+	}
+}
+
+func TestReallocateDeferredServerSide(t *testing.T) {
+	m := newManager(1)
+	// Queue a request at the server so the lock cannot move to the switch.
+	srv := m.Server(m.ServerFor(5))
+	srv.ProcessPacket(acq(5, 1))
+	rep := m.Reallocate([]memalloc.Demand{demand(5, 1000, 4)}, nil)
+	if len(rep.Installed) != 0 || len(rep.Deferred) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Release at the server, then the move succeeds.
+	srv.ProcessPacket(rel(5, 1))
+	rep = m.Reallocate([]memalloc.Demand{demand(5, 1000, 4)}, nil)
+	if len(rep.Installed) != 1 {
+		t.Fatalf("install after drain failed: %+v", rep)
+	}
+}
+
+func TestReallocateAdoptionDeliversBufferedGrants(t *testing.T) {
+	m := newManager(1)
+	m.Reallocate([]memalloc.Demand{demand(1, 1000, 2)}, nil)
+	// Overflow the 2-slot region; the third request is buffered at the
+	// server (after the bounce round trip).
+	sw := m.Switch()
+	srv := m.Server(0)
+	sw.ProcessPacket(acq(1, 1))
+	sw.ProcessPacket(acq(1, 2))
+	emits, _ := sw.ProcessPacket(acq(1, 3))
+	if emits[0].Action != switchdp.ActForwardOverflow {
+		t.Fatalf("expected overflow forward: %v", emits)
+	}
+	sEmits := srv.ProcessPacket(&emits[0].Hdr) // bounce as push
+	pb := sEmits[0].Hdr
+	emits, _ = sw.ProcessPacket(&pb) // full again -> re-forward marked
+	if emits[0].Action != switchdp.ActForwardOverflow {
+		t.Fatalf("expected re-forward: %v", emits)
+	}
+	srv.ProcessPacket(&emits[0].Hdr) // buffered in q2
+	// Drain the switch queue completely.
+	sw.ProcessPacket(rel(1, 1))
+	sw.ProcessPacket(rel(1, 2))
+	// Evict: the adoption at the server must grant the buffered request.
+	rep := m.Reallocate([]memalloc.Demand{demand(1, 0, 0)}, nil)
+	if len(rep.Removed) != 1 {
+		t.Fatalf("eviction failed: %+v", rep)
+	}
+	if len(rep.Emits) != 1 || rep.Emits[0].Hdr.TxnID != 3 {
+		t.Fatalf("adoption emits = %v", rep.Emits)
+	}
+}
+
+func TestCompactMergesFreeSpace(t *testing.T) {
+	m := newManager(1)
+	// Install locks 1..8 with 16 slots each (fills 128), then evict the
+	// even ones to shatter the space.
+	var demands []memalloc.Demand
+	for id := uint32(1); id <= 8; id++ {
+		demands = append(demands, demand(id, float64(100*id), 16))
+	}
+	m.Reallocate(demands, nil)
+	demands = nil
+	for id := uint32(1); id <= 8; id += 2 {
+		demands = append(demands, demand(id, float64(100*id), 16))
+	}
+	m.Reallocate(demands, nil)
+	if m.FreeSlots() != 64 {
+		t.Fatalf("free slots = %d, want 64", m.FreeSlots())
+	}
+	// A 64-slot lock now fits only after compaction, which Reallocate
+	// performs automatically on fragmentation.
+	rep := m.Reallocate(append(demands, demand(100, 1e6, 64)), nil)
+	if len(rep.Installed) != 1 || rep.Installed[0] != 100 {
+		t.Fatalf("compaction did not make room: %+v", rep)
+	}
+}
+
+func TestMeasureDemandsCombinesSwitchAndServers(t *testing.T) {
+	m := newManager(2)
+	m.Reallocate([]memalloc.Demand{demand(1, 1000, 4)}, nil)
+	// Traffic: resident lock 1 via switch, lock 9 at its server.
+	sw := m.Switch()
+	for txn := uint64(1); txn <= 10; txn++ {
+		sw.ProcessPacket(acq(1, txn))
+	}
+	srv := m.Server(m.ServerFor(9))
+	srv.ProcessPacket(acq(9, 1))
+	demands := m.MeasureDemands(2.0)
+	byID := map[uint32]memalloc.Demand{}
+	for _, d := range demands {
+		byID[d.LockID] = d
+	}
+	if byID[1].Rate != 5.0 {
+		t.Fatalf("lock 1 rate = %f, want 10/2s", byID[1].Rate)
+	}
+	if byID[1].Contention != 4 {
+		t.Fatalf("lock 1 contention = %d (region cap)", byID[1].Contention)
+	}
+	if byID[9].Rate != 0.5 || byID[9].Contention != 1 {
+		t.Fatalf("lock 9 demand = %+v", byID[9])
+	}
+}
+
+func TestMeasureDemandsPanicsOnBadWindow(t *testing.T) {
+	m := newManager(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	m.MeasureDemands(0)
+}
+
+func TestSwitchFailureAndRestart(t *testing.T) {
+	m := newManager(1)
+	m.Reallocate([]memalloc.Demand{demand(1, 1000, 4)}, nil)
+	m.Switch().ProcessPacket(acq(1, 1))
+	m.FailSwitch()
+	if !m.SwitchFailed() {
+		t.Fatalf("switch should be failed")
+	}
+	if m.Switch().CtrlHasLock(1) {
+		t.Fatalf("failed switch retained state")
+	}
+	m.RestartSwitch()
+	if m.SwitchFailed() {
+		t.Fatalf("switch should be live after restart")
+	}
+	// The lock table is reinstalled with empty queues.
+	if !m.Switch().CtrlHasLock(1) {
+		t.Fatalf("restart did not reinstall the lock table")
+	}
+	st, _ := m.Switch().CtrlLockState(1)
+	if st.Held != 0 || st.Banks[0].Count != 0 {
+		t.Fatalf("restarted switch not empty: %+v", st)
+	}
+	emits, _ := m.Switch().ProcessPacket(acq(1, 2))
+	if len(emits) != 1 || emits[0].Action != switchdp.ActGrant {
+		t.Fatalf("restarted switch not functional: %v", emits)
+	}
+	// Restart when not failed is a no-op.
+	m.RestartSwitch()
+}
+
+func TestFailServerReassignsLocks(t *testing.T) {
+	m := newManager(2)
+	// Find a lock owned by server 0.
+	var lockID uint32
+	for id := uint32(1); id < 100; id++ {
+		if m.ServerFor(id) == 0 {
+			lockID = id
+			break
+		}
+	}
+	m.Server(0).ProcessPacket(acq(lockID, 1))
+	m.FailServer(0, 1)
+	// The replacement owns the lock with empty queues; a resubmitted
+	// request is granted there.
+	emits := m.Server(1).ProcessPacket(acq(lockID, 1))
+	if len(emits) != 1 {
+		t.Fatalf("replacement server not serving: %v", emits)
+	}
+}
+
+func TestFailServerPanicsOnSelf(t *testing.T) {
+	m := newManager(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	m.FailServer(1, 1)
+}
+
+func TestSweepLeases(t *testing.T) {
+	now := int64(0)
+	m := New(Config{
+		Switch: switchdp.Config{
+			MaxLocks: 16, TotalSlots: 64, Priorities: 1,
+			DefaultLeaseNs: 100, Now: func() int64 { return now },
+		},
+		Servers: 1,
+	})
+	m.Reallocate([]memalloc.Demand{demand(1, 1000, 4)}, nil)
+	m.Switch().ProcessPacket(acq(1, 1))  // resident grant
+	m.Server(0).ProcessPacket(acq(9, 2)) // server grant
+	now = 200
+	rels, emits := m.SweepLeases(now)
+	if len(rels) != 1 || rels[0].LockID != 1 {
+		t.Fatalf("switch releases = %v", rels)
+	}
+	_ = emits // no waiters at the server, so no grants
+	// While failed, the switch is not swept.
+	m.FailSwitch()
+	rels, _ = m.SweepLeases(400)
+	if len(rels) != 0 {
+		t.Fatalf("failed switch swept: %v", rels)
+	}
+}
+
+func TestServerForIsStable(t *testing.T) {
+	m := newManager(4)
+	for id := uint32(0); id < 100; id++ {
+		a, b := m.ServerFor(id), m.ServerFor(id)
+		if a != b || a < 0 || a >= 4 {
+			t.Fatalf("partition unstable or out of range")
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for zero servers")
+		}
+	}()
+	New(Config{Switch: switchdp.Config{MaxLocks: 4, TotalSlots: 16, Priorities: 1}})
+}

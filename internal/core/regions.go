@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// regionAllocator manages one priority bank's slot space as a set of free
+// intervals, supporting first-fit allocation, freeing, and the periodic
+// compaction the paper calls out ("the memory layout on the switch is
+// periodically reorganized to alleviate memory fragmentation", §4.3).
+type regionAllocator struct {
+	size uint64
+	free []interval // sorted by Left, non-overlapping, coalesced
+}
+
+type interval struct{ Left, Right uint64 }
+
+func newRegionAllocator(size uint64) *regionAllocator {
+	if size == 0 {
+		panic("core: zero-size region allocator")
+	}
+	return &regionAllocator{size: size, free: []interval{{0, size}}}
+}
+
+// alloc claims a contiguous region of n slots, first-fit.
+func (a *regionAllocator) alloc(n uint64) (interval, bool) {
+	if n == 0 {
+		panic("core: zero-size allocation")
+	}
+	for i, iv := range a.free {
+		if iv.Right-iv.Left >= n {
+			out := interval{iv.Left, iv.Left + n}
+			if iv.Right-iv.Left == n {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i].Left += n
+			}
+			return out, true
+		}
+	}
+	return interval{}, false
+}
+
+// release returns a region to the free list, coalescing neighbors.
+func (a *regionAllocator) release(iv interval) {
+	if iv.Right <= iv.Left || iv.Right > a.size {
+		panic(fmt.Sprintf("core: releasing invalid region [%d,%d)", iv.Left, iv.Right))
+	}
+	i := sort.Search(len(a.free), func(j int) bool { return a.free[j].Left >= iv.Left })
+	// Guard against double-free / overlap.
+	if i > 0 && a.free[i-1].Right > iv.Left {
+		panic(fmt.Sprintf("core: double free of region [%d,%d)", iv.Left, iv.Right))
+	}
+	if i < len(a.free) && a.free[i].Left < iv.Right {
+		panic(fmt.Sprintf("core: double free of region [%d,%d)", iv.Left, iv.Right))
+	}
+	a.free = append(a.free, interval{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = iv
+	// Coalesce with neighbors.
+	if i+1 < len(a.free) && a.free[i].Right == a.free[i+1].Left {
+		a.free[i].Right = a.free[i+1].Right
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].Right == a.free[i].Left {
+		a.free[i-1].Right = a.free[i].Right
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// freeSlots returns the total free capacity.
+func (a *regionAllocator) freeSlots() uint64 {
+	var sum uint64
+	for _, iv := range a.free {
+		sum += iv.Right - iv.Left
+	}
+	return sum
+}
+
+// largestFree returns the largest contiguous free region.
+func (a *regionAllocator) largestFree() uint64 {
+	var best uint64
+	for _, iv := range a.free {
+		if iv.Right-iv.Left > best {
+			best = iv.Right - iv.Left
+		}
+	}
+	return best
+}
+
+// fragmentation is 1 - largestFree/freeSlots: 0 when all free space is one
+// block, approaching 1 as free space shatters.
+func (a *regionAllocator) fragmentation() float64 {
+	total := a.freeSlots()
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(a.largestFree())/float64(total)
+}
+
+// reset reclaims the whole space as one free block.
+func (a *regionAllocator) reset() {
+	a.free = a.free[:1]
+	a.free[0] = interval{0, a.size}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionAllocFirstFit(t *testing.T) {
+	a := newRegionAllocator(100)
+	iv1, ok := a.alloc(30)
+	if !ok || iv1 != (interval{0, 30}) {
+		t.Fatalf("alloc = %v %v", iv1, ok)
+	}
+	iv2, ok := a.alloc(70)
+	if !ok || iv2 != (interval{30, 100}) {
+		t.Fatalf("alloc = %v %v", iv2, ok)
+	}
+	if _, ok := a.alloc(1); ok {
+		t.Fatalf("allocation from empty space should fail")
+	}
+	if a.freeSlots() != 0 {
+		t.Fatalf("free = %d", a.freeSlots())
+	}
+}
+
+func TestRegionReleaseCoalesces(t *testing.T) {
+	a := newRegionAllocator(100)
+	iv1, _ := a.alloc(30)
+	iv2, _ := a.alloc(30)
+	iv3, _ := a.alloc(40)
+	a.release(iv1)
+	a.release(iv3)
+	if a.largestFree() != 40 {
+		t.Fatalf("largest free = %d, want 40", a.largestFree())
+	}
+	a.release(iv2) // bridges both free blocks
+	if a.largestFree() != 100 || len(a.free) != 1 {
+		t.Fatalf("coalescing failed: %v", a.free)
+	}
+}
+
+func TestRegionDoubleFreePanics(t *testing.T) {
+	a := newRegionAllocator(100)
+	iv, _ := a.alloc(10)
+	a.release(iv)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double free should panic")
+		}
+	}()
+	a.release(iv)
+}
+
+func TestRegionInvalidFreePanics(t *testing.T) {
+	a := newRegionAllocator(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("invalid free should panic")
+		}
+	}()
+	a.release(interval{50, 200})
+}
+
+func TestRegionFragmentationMetric(t *testing.T) {
+	a := newRegionAllocator(100)
+	if a.fragmentation() != 0 {
+		t.Fatalf("fresh allocator fragmentation = %f", a.fragmentation())
+	}
+	// Create a checkerboard: alloc 10x10, free every other one.
+	var ivs []interval
+	for i := 0; i < 10; i++ {
+		iv, _ := a.alloc(10)
+		ivs = append(ivs, iv)
+	}
+	for i := 0; i < 10; i += 2 {
+		a.release(ivs[i])
+	}
+	f := a.fragmentation()
+	if f <= 0.7 {
+		t.Fatalf("checkerboard fragmentation = %f, want > 0.7", f)
+	}
+	a.reset()
+	if a.fragmentation() != 0 || a.freeSlots() != 100 {
+		t.Fatalf("reset failed: frag=%f free=%d", a.fragmentation(), a.freeSlots())
+	}
+}
+
+func TestRegionZeroAllocPanics(t *testing.T) {
+	a := newRegionAllocator(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("zero alloc should panic")
+		}
+	}()
+	a.alloc(0)
+}
+
+func TestNewRegionAllocatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("zero size should panic")
+		}
+	}()
+	newRegionAllocator(0)
+}
+
+// Property: after any interleaving of allocs and frees, the free list is
+// sorted, non-overlapping, coalesced, and accounts for exactly the
+// unallocated space.
+func TestRegionAllocatorInvariantProperty(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := newRegionAllocator(256)
+		var live []interval
+		allocated := uint64(0)
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				n := uint64(op%32) + 1
+				if iv, ok := a.alloc(n); ok {
+					live = append(live, iv)
+					allocated += n
+				}
+			} else {
+				i := rng.Intn(len(live))
+				iv := live[i]
+				live = append(live[:i], live[i+1:]...)
+				a.release(iv)
+				allocated -= iv.Right - iv.Left
+			}
+			// Invariants.
+			if a.freeSlots() != 256-allocated {
+				return false
+			}
+			for j := 1; j < len(a.free); j++ {
+				if a.free[j-1].Right >= a.free[j].Left {
+					return false // unsorted, overlapping, or uncoalesced
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package eventsim is a deterministic discrete-event simulation engine.
+//
+// The NetLock evaluation testbed (internal/cluster) runs entirely in virtual
+// time on this engine: clients, the lock switch, lock servers, and RDMA NICs
+// are processes that schedule callbacks on a shared Engine. Determinism is
+// guaranteed by a strict (time, sequence) ordering of events, so every
+// experiment is exactly reproducible from its seed.
+//
+// Time is int64 nanoseconds from the start of the run.
+package eventsim
+
+import "container/heap"
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+// Engine is not safe for concurrent use: simulations are single-threaded by
+// design (parallel runs use one Engine per goroutine).
+type Engine struct {
+	now     int64
+	seq     uint64
+	events  eventHeap
+	stopped bool
+}
+
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) runs fn at the current time, preserving FIFO order among
+// same-time events.
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Non-positive delays run
+// at the current time.
+func (e *Engine) After(d int64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Pending returns the number of scheduled events not yet dispatched.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Stop halts the current Run/RunUntil after the in-flight event callback
+// returns. Subsequent Run calls resume from the stop point.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in (time, sequence) order until no events remain or
+// Stop is called. It returns the final virtual time.
+func (e *Engine) Run() int64 {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with time <= deadline, then advances the clock
+// to the deadline. Events scheduled beyond the deadline remain pending.
+func (e *Engine) RunUntil(deadline int64) int64 {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events.peek().at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Station models a work-conserving FIFO service facility with a fixed
+// per-job service time: a switch pipeline, one lock-server core, or an RDMA
+// NIC's atomic-execution unit. Jobs submitted while the station is busy wait
+// in an implicit queue; completion callbacks fire in submission order.
+//
+// The model is O(1) per job: because service is FIFO and the service time is
+// known at submission, the completion time of job n is
+// max(now, completion(n-1)) + serviceNs.
+type Station struct {
+	eng *Engine
+	// ServiceNs is the time to process one job. A zero service time models
+	// an infinitely fast facility (pure delay line).
+	serviceNs int64
+	busyUntil int64
+	// queued counts jobs submitted but not yet completed, exposed for
+	// backpressure decisions and utilization metrics.
+	queued int
+	// busyNs accumulates total busy time for utilization reporting.
+	busyNs int64
+}
+
+// NewStation creates a station on the engine with a fixed service time.
+func NewStation(eng *Engine, serviceNs int64) *Station {
+	if serviceNs < 0 {
+		panic("eventsim: negative service time")
+	}
+	return &Station{eng: eng, serviceNs: serviceNs}
+}
+
+// Submit enqueues a job; done is invoked at the job's virtual completion
+// time. It returns the scheduled completion time.
+func (s *Station) Submit(done func()) int64 {
+	start := s.eng.now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	finish := start + s.serviceNs
+	s.busyUntil = finish
+	s.busyNs += s.serviceNs
+	s.queued++
+	s.eng.At(finish, func() {
+		s.queued--
+		done()
+	})
+	return finish
+}
+
+// QueueLen returns the number of jobs submitted but not yet completed.
+func (s *Station) QueueLen() int { return s.queued }
+
+// BusyNs returns the cumulative busy time of the station.
+func (s *Station) BusyNs() int64 { return s.busyNs }
+
+// Backlog returns how far the station's committed work extends beyond the
+// current time; zero when idle.
+func (s *Station) Backlog() int64 {
+	b := s.busyUntil - s.eng.now
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// ServiceNs returns the configured per-job service time.
+func (s *Station) ServiceNs() int64 { return s.serviceNs }
+
+// SetServiceNs changes the per-job service time for subsequently submitted
+// jobs (used to model reconfiguring server cores between experiment runs).
+func (s *Station) SetServiceNs(ns int64) {
+	if ns < 0 {
+		panic("eventsim: negative service time")
+	}
+	s.serviceNs = ns
+}

@@ -1,0 +1,268 @@
+package eventsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("final time = %d, want 30", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("dispatch order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestEnginePastSchedulingClamped(t *testing.T) {
+	var e Engine
+	var ranAt int64 = -1
+	e.At(100, func() {
+		e.At(50, func() { ranAt = e.Now() }) // in the past
+	})
+	e.Run()
+	if ranAt != 100 {
+		t.Fatalf("past event ran at %d, want clamped to 100", ranAt)
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	var e Engine
+	var ranAt int64
+	e.At(100, func() {
+		e.After(25, func() { ranAt = e.Now() })
+	})
+	e.Run()
+	if ranAt != 125 {
+		t.Fatalf("After(25) from t=100 ran at %d, want 125", ranAt)
+	}
+}
+
+func TestEngineAfterNegativeClamped(t *testing.T) {
+	var e Engine
+	ran := false
+	e.After(-5, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative delay should run at current time")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	var got []int64
+	for _, at := range []int64{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	end := e.RunUntil(25)
+	if end != 25 {
+		t.Fatalf("RunUntil returned %d, want 25", end)
+	}
+	if len(got) != 2 {
+		t.Fatalf("events dispatched = %v, want two", got)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(got) != 4 || e.Now() != 40 {
+		t.Fatalf("resume failed: got=%v now=%d", got, e.Now())
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	end := e.RunUntil(1000)
+	if end != 1000 || e.Now() != 1000 {
+		t.Fatalf("idle RunUntil should advance clock to deadline, got %d", end)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	var e Engine
+	count := 0
+	e.At(1, func() { count++; e.Stop() })
+	e.At(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("Stop did not halt dispatch: count=%d", count)
+	}
+	e.Run() // resumes
+	if count != 2 {
+		t.Fatalf("Run after Stop did not resume: count=%d", count)
+	}
+}
+
+func TestStationSerialService(t *testing.T) {
+	var e Engine
+	s := NewStation(&e, 10)
+	var done []int64
+	for i := 0; i < 3; i++ {
+		s.Submit(func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	want := []int64{10, 20, 30}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestStationIdleRestart(t *testing.T) {
+	var e Engine
+	s := NewStation(&e, 10)
+	var second int64
+	s.Submit(func() {})
+	e.At(100, func() {
+		s.Submit(func() { second = e.Now() })
+	})
+	e.Run()
+	if second != 110 {
+		t.Fatalf("idle station should start immediately: completed at %d, want 110", second)
+	}
+}
+
+func TestStationQueueLenAndBusy(t *testing.T) {
+	var e Engine
+	s := NewStation(&e, 5)
+	for i := 0; i < 4; i++ {
+		s.Submit(func() {})
+	}
+	if s.QueueLen() != 4 {
+		t.Fatalf("queue len = %d, want 4", s.QueueLen())
+	}
+	if s.Backlog() != 20 {
+		t.Fatalf("backlog = %d, want 20", s.Backlog())
+	}
+	e.Run()
+	if s.QueueLen() != 0 || s.Backlog() != 0 {
+		t.Fatalf("station should drain: q=%d backlog=%d", s.QueueLen(), s.Backlog())
+	}
+	if s.BusyNs() != 20 {
+		t.Fatalf("busy = %d, want 20", s.BusyNs())
+	}
+}
+
+func TestStationZeroService(t *testing.T) {
+	var e Engine
+	s := NewStation(&e, 0)
+	var at int64 = -1
+	e.At(42, func() { s.Submit(func() { at = e.Now() }) })
+	e.Run()
+	if at != 42 {
+		t.Fatalf("zero-service completion at %d, want 42", at)
+	}
+}
+
+func TestStationSetServiceNs(t *testing.T) {
+	var e Engine
+	s := NewStation(&e, 10)
+	s.SetServiceNs(3)
+	if s.ServiceNs() != 3 {
+		t.Fatalf("service ns = %d, want 3", s.ServiceNs())
+	}
+	var at int64
+	s.Submit(func() { at = e.Now() })
+	e.Run()
+	if at != 3 {
+		t.Fatalf("completion = %d, want 3", at)
+	}
+}
+
+func TestStationPanicsOnNegativeService(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewStation(&e, -1)
+}
+
+// Property: a FIFO station's completion times are non-decreasing and spaced
+// at least serviceNs apart, regardless of submission pattern.
+func TestStationFIFOProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var e Engine
+		s := NewStation(&e, 7)
+		var completions []int64
+		t0 := int64(0)
+		for _, d := range delays {
+			t0 += int64(d % 20)
+			e.At(t0, func() {
+				s.Submit(func() { completions = append(completions, e.Now()) })
+			})
+		}
+		e.Run()
+		for i := 1; i < len(completions); i++ {
+			if completions[i]-completions[i-1] < 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the engine dispatches every scheduled event exactly once, in
+// non-decreasing time order.
+func TestEngineDispatchProperty(t *testing.T) {
+	f := func(times []uint32) bool {
+		var e Engine
+		var dispatched []int64
+		for _, at := range times {
+			at := int64(at)
+			e.At(at, func() { dispatched = append(dispatched, at) })
+		}
+		e.Run()
+		if len(dispatched) != len(times) {
+			return false
+		}
+		for i := 1; i < len(dispatched); i++ {
+			if dispatched[i] < dispatched[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleDispatch(b *testing.B) {
+	var e Engine
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		e.At(int64(i), fn)
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

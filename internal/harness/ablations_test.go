@@ -1,0 +1,61 @@
+package harness
+
+import "testing"
+
+func TestAblationOneRTT(t *testing.T) {
+	res := AblationOneRTT(quick())
+	// The one-RTT mode must beat basic-lock-plus-separate-fetch, and must
+	// cost more than the bare lock (it includes the data fetch).
+	if res.OneRTTUs >= res.BasicLockUs+res.FetchUs {
+		t.Fatalf("one-RTT (%.1fus) should beat basic+fetch (%.1fus)",
+			res.OneRTTUs, res.BasicLockUs+res.FetchUs)
+	}
+	if res.OneRTTUs <= res.BasicLockUs {
+		t.Fatalf("one-RTT (%.1fus) includes the fetch and should exceed the bare lock (%.1fus)",
+			res.OneRTTUs, res.BasicLockUs)
+	}
+}
+
+func TestAblationResubmit(t *testing.T) {
+	res := AblationResubmit(quick())
+	if res.GrantsQueued == 0 {
+		t.Fatalf("shared-heavy contention should exercise the grant walk")
+	}
+	// Every packet takes at least one pass; walks add more.
+	if res.PassesPerPacket <= 1.0 {
+		t.Fatalf("passes/packet = %.2f, want > 1 under contention", res.PassesPerPacket)
+	}
+	// The walk is bounded: a sane workload stays far from the region size.
+	if res.PassesPerPacket > 16 {
+		t.Fatalf("passes/packet = %.2f, implausibly high", res.PassesPerPacket)
+	}
+}
+
+func TestAblationAllocPolicies(t *testing.T) {
+	rows := AblationAllocPolicies(quick())
+	byName := map[string]AllocPolicyRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	knap := byName["knapsack"]
+	// The optimal policy should not lose to either strawman.
+	for _, other := range []string{"random", "equal-split"} {
+		if knap.LockMRPS < byName[other].LockMRPS*0.95 {
+			t.Fatalf("knapsack (%.3f MRPS) lost to %s (%.3f MRPS)",
+				knap.LockMRPS, other, byName[other].LockMRPS)
+		}
+	}
+}
+
+func TestAblationCoarsening(t *testing.T) {
+	rows := AblationCoarsening(quick())
+	row, page := rows[0], rows[1]
+	if page.SwitchShare <= row.SwitchShare {
+		t.Fatalf("coarsening should raise the switch-processed share: row=%.2f page=%.2f",
+			row.SwitchShare, page.SwitchShare)
+	}
+	if page.TxnMTPS < row.TxnMTPS*0.9 {
+		t.Fatalf("coarsening should not lose throughput: row=%.3f page=%.3f",
+			row.TxnMTPS, page.TxnMTPS)
+	}
+}

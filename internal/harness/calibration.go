@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"netlock/internal/cluster"
+	"netlock/internal/wire"
+	"netlock/internal/workload"
+)
+
+// Calibration reports the testbed's calibrated capacity ceilings against
+// the paper's measured constants (§5): a client machine generating up to
+// 18M lock requests/s with a 40G NIC, and a lock server processing up to
+// 18M requests/s with 8 DPDK cores. Requests count both acquire and
+// release messages.
+type Calibration struct {
+	ClientGenMRPS   float64 // one client machine, closed loop, uncontended
+	Server8CoreMRPS float64 // one 8-core lock server, uncontended locks
+}
+
+// CalibrationRun measures both ceilings.
+func CalibrationRun(o Options) Calibration {
+	var out Calibration
+	warm, win := o.scale(1e6, 5e6), o.scale(5e6, 20e6)
+
+	// Client generation ceiling: one client machine with enough closed-loop
+	// concurrency to keep its NIC busy, shared locks on the switch
+	// (nothing downstream can bottleneck).
+	{
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Clients = 1
+		cfg.WorkersPerClient = 512
+		tb := cluster.NewTestbed(cfg)
+		mgr := newNetLockManager(tb, 1, 1, 0)
+		preinstall(mgr, 100, 600)
+		svc := cluster.NewNetLockService(tb, cluster.NetLockOptions{Manager: mgr})
+		res := tb.Run(svc, &workload.Micro{Locks: 100, Mode: wire.Shared}, warm, win)
+		out.ClientGenMRPS = requestMRPS(res.LockRate)
+	}
+
+	// Server ceiling: many clients drive one 8-core server with
+	// uncontended exclusive locks.
+	{
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Clients = 10
+		cfg.WorkersPerClient = 256
+		tb := cluster.NewTestbed(cfg)
+		svc := cluster.NewCentralService(tb, cluster.DefaultCentralOptions(1, 8))
+		wl := &workload.Micro{Locks: 4096, Mode: wire.Exclusive, PerClientDisjoint: true}
+		res := tb.Run(svc, wl, warm, win)
+		out.Server8CoreMRPS = requestMRPS(res.LockRate)
+	}
+
+	o.printf("Calibration — client generation: %.1f MRPS (paper: 18); 8-core lock server: %.1f MRPS (paper: 18)\n",
+		out.ClientGenMRPS, out.Server8CoreMRPS)
+	return out
+}

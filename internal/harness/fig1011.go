@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"netlock/internal/cluster"
+	"netlock/internal/tpcc"
+)
+
+// SystemRow is one (system, contention) cell of Figures 10 and 11.
+type SystemRow struct {
+	System     string
+	Contention string // "low" or "high"
+	LockMRPS   float64
+	TxnMTPS    float64
+	AvgLatMs   float64
+	P99LatMs   float64
+}
+
+// tpccSystems runs the four systems on TPC-C with the given rack shape.
+func tpccSystems(o Options, clients, lockServers int) []SystemRow {
+	warm, win := o.scale(30e6, 150e6), o.scale(50e6, 250e6)
+	var rows []SystemRow
+	for _, contention := range []string{"low", "high"} {
+		mkWL := func() *tpcc.Workload {
+			if contention == "low" {
+				return tpcc.New(tpcc.LowContention(clients))
+			}
+			return tpcc.New(tpcc.HighContention(clients))
+		}
+		mkCfg := func() cluster.Config {
+			cfg := cluster.DefaultConfig()
+			cfg.Seed = o.Seed
+			cfg.Clients = clients
+			cfg.WorkersPerClient = 24
+			return cfg
+		}
+		maxID := tpcc.New(tpcc.LowContention(clients)).MaxLockID()
+
+		// DSLR.
+		{
+			tb := cluster.NewTestbed(mkCfg())
+			svc := cluster.NewDSLRService(tb, cluster.DefaultDSLROptions(lockServers, maxID))
+			rows = append(rows, toRow(tb.Run(svc, mkWL(), warm, win), contention))
+		}
+		// DrTM.
+		{
+			tb := cluster.NewTestbed(mkCfg())
+			svc := cluster.NewDrTMService(tb, cluster.DefaultDrTMOptions(lockServers, maxID))
+			rows = append(rows, toRow(tb.Run(svc, mkWL(), warm, win), contention))
+		}
+		// NetChain: switch only, granularity-adapted table.
+		{
+			tb := cluster.NewTestbed(mkCfg())
+			svc := cluster.NewNetChainService(tb, cluster.DefaultNetChainOptions(100_000))
+			rows = append(rows, toRow(tb.Run(svc, mkWL(), warm, win), contention))
+		}
+		// NetLock: switch + lock servers, allocation loop self-tunes
+		// placement during warmup.
+		{
+			tb := cluster.NewTestbed(mkCfg())
+			mgr := newNetLockManager(tb, lockServers, 1, 0)
+			svc := cluster.NewNetLockService(tb, cluster.NetLockOptions{
+				Manager:      mgr,
+				AllocEveryNs: o.scale(10e6, 25e6),
+			})
+			rows = append(rows, toRow(tb.Run(svc, mkWL(), warm, win), contention))
+		}
+	}
+	return rows
+}
+
+func toRow(res cluster.Result, contention string) SystemRow {
+	return SystemRow{
+		System:     res.System,
+		Contention: contention,
+		LockMRPS:   res.LockRate / 1e6,
+		TxnMTPS:    res.TxnRate / 1e6,
+		AvgLatMs:   res.TxnLat.Mean / 1e6,
+		P99LatMs:   msI(res.TxnLat.P99),
+	}
+}
+
+func printSystemRows(o Options, title string, rows []SystemRow) {
+	o.printf("%s\n", title)
+	o.printf("  %-11s %-5s %12s %12s %10s %10s\n",
+		"system", "cont.", "lock tput", "txn tput", "avg lat", "p99 lat")
+	for _, r := range rows {
+		o.printf("  %-11s %-5s %7.3f MRPS %7.3f MTPS %7.3f ms %7.3f ms\n",
+			r.System, r.Contention, r.LockMRPS, r.TxnMTPS, r.AvgLatMs, r.P99LatMs)
+	}
+}
+
+// Fig10TPCC reproduces Figure 10: TPC-C with ten clients and two lock
+// servers. Expected shape: NetLock > NetChain > DSLR > DrTM in throughput;
+// NetLock lowest in average and tail latency.
+func Fig10TPCC(o Options) []SystemRow {
+	rows := tpccSystems(o, 10, 2)
+	printSystemRows(o, "Figure 10 — TPC-C, 10 clients / 2 lock servers", rows)
+	return rows
+}
+
+// Fig11TPCC reproduces Figure 11: six clients and six lock servers. Same
+// ordering as Figure 10 with smaller gaps (the servers are less loaded).
+func Fig11TPCC(o Options) []SystemRow {
+	rows := tpccSystems(o, 6, 6)
+	printSystemRows(o, "Figure 11 — TPC-C, 6 clients / 6 lock servers", rows)
+	return rows
+}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"netlock/internal/cluster"
+	"netlock/internal/core"
+	"netlock/internal/stats"
+	"netlock/internal/switchdp"
+	"netlock/internal/wire"
+	"netlock/internal/workload"
+)
+
+// Series is a labelled throughput time series.
+type Series struct {
+	Label  string
+	Points []stats.Point
+}
+
+// Fig12aServiceDiff reproduces Figure 12a: two tenants of five clients
+// each; the high-priority tenant starts sending mid-run. Without service
+// differentiation both tenants converge to similar throughput; with
+// priorities enabled in the switch, the high-priority tenant dominates.
+// The returned series are [w/o-low, w/o-high, w/-low, w/-high].
+func Fig12aServiceDiff(o Options) []Series {
+	total := o.scale(400e6, 2000e6)
+	hiStart := total / 4
+	bucket := total / 20
+
+	run := func(differentiate bool) []Series {
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Clients = 10
+		cfg.WorkersPerClient = 8
+		cfg.Tenants = 2
+		cfg.SeriesBucketNs = bucket
+		cfg.ClientStartNs = map[int]int64{}
+		// Clients 0-4 are the high-priority tenant, starting late.
+		for c := 0; c < 5; c++ {
+			cfg.ClientStartNs[c] = hiStart
+		}
+		tb := cluster.NewTestbed(cfg)
+		prios := 1
+		if differentiate {
+			prios = 2
+		}
+		mgr := newNetLockManager(tb, 2, prios, 0)
+		preinstall(mgr, 20, uint64(cfg.Clients*cfg.WorkersPerClient/4+2))
+		svc := cluster.NewNetLockService(tb, cluster.NetLockOptions{Manager: mgr})
+		wl := &workload.PriorityMix{
+			Inner:       &workload.Micro{Locks: 20, Mode: wire.Exclusive, ThinkNs: 5_000},
+			HighClients: 5,
+		}
+		tb.Run(svc, wl, 1, total)
+		label := "w/o differentiation"
+		if differentiate {
+			label = "w/ differentiation"
+		}
+		return []Series{
+			{Label: label + ", low priority", Points: tb.TenantSeries(1).Points()},
+			{Label: label + ", high priority", Points: tb.TenantSeries(0).Points()},
+		}
+	}
+	out := append(run(false), run(true)...)
+	o.printf("Figure 12a — service differentiation (high-priority tenant joins at t=%.1fs)\n",
+		float64(hiStart)/1e9)
+	for _, s := range out {
+		o.printf("  %-34s", s.Label)
+		for _, p := range s.Points {
+			o.printf(" %6.0f", p.Rate/1e3)
+		}
+		o.printf("  (kTPS per bucket)\n")
+	}
+	return out
+}
+
+// IsolationRow is one setting of Figure 12b.
+type IsolationRow struct {
+	Setting     string
+	Tenant1MTPS float64
+	Tenant2MTPS float64
+}
+
+// Fig12bIsolation reproduces Figure 12b: tenant 1 has seven clients,
+// tenant 2 has three. Without isolation tenant 1 grabs a proportionally
+// larger share; with per-tenant quotas both get the same share.
+func Fig12bIsolation(o Options) []IsolationRow {
+	warm, win := o.scale(20e6, 100e6), o.scale(100e6, 500e6)
+
+	run := func(isolate bool, quota float64) IsolationRow {
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Clients = 10
+		cfg.WorkersPerClient = 24
+		cfg.Tenants = 2
+		tb := cluster.NewTestbed(cfg)
+		mgr := core.New(core.Config{
+			Switch: switchdp.Config{
+				MaxLocks:   8192,
+				TotalSlots: 100_000,
+				Priorities: 1,
+				Isolation:  isolate,
+				Now:        tb.Eng.Now,
+			},
+			Servers: 2,
+		})
+		preinstall(mgr, 32, uint64(cfg.Clients*cfg.WorkersPerClient/8+2))
+		if isolate {
+			// Request-level quota: transactions are single-lock here, so
+			// the per-tenant request quota equals the txn quota.
+			mgr.Switch().CtrlSetTenantQuota(0, quota, 256)
+			mgr.Switch().CtrlSetTenantQuota(1, quota, 256)
+		}
+		svc := cluster.NewNetLockService(tb, cluster.NetLockOptions{Manager: mgr})
+		// Tenant blocks: clients 0-6 are tenant 0 (seven clients), 7-9 are
+		// tenant 1 (three clients). Exclusive locks on a small set make the
+		// lock capacity (not the clients) the contended resource, so the
+		// quota actually redistributes it.
+		wl := &workload.PriorityMix{
+			Inner:       &workload.Micro{Locks: 32, Mode: wire.Exclusive, ThinkNs: 2_000},
+			HighClients: 7,
+		}
+		res := tb.Run(svc, wl, warm, win)
+		setting := "w/o isolation"
+		if isolate {
+			setting = "w/ isolation"
+		}
+		return IsolationRow{
+			Setting:     setting,
+			Tenant1MTPS: float64(res.TenantTxns[0]) / (float64(win) / 1e9) / 1e6,
+			Tenant2MTPS: float64(res.TenantTxns[1]) / (float64(win) / 1e9) / 1e6,
+		}
+	}
+
+	// First run without isolation to find the system capacity, then set
+	// each tenant's quota to half of it.
+	free := run(false, 0)
+	totalRPS := (free.Tenant1MTPS + free.Tenant2MTPS) * 1e6
+	iso := run(true, totalRPS/2)
+	rows := []IsolationRow{free, iso}
+	o.printf("Figure 12b — performance isolation (tenant1: 7 clients, tenant2: 3 clients)\n")
+	for _, r := range rows {
+		o.printf("  %-15s tenant1=%.3f MTPS tenant2=%.3f MTPS\n", r.Setting, r.Tenant1MTPS, r.Tenant2MTPS)
+	}
+	return rows
+}

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"math/rand"
+
+	"netlock/internal/cluster"
+	"netlock/internal/core"
+	"netlock/internal/memalloc"
+	"netlock/internal/stats"
+	"netlock/internal/tpcc"
+)
+
+// randomAllocator is the strawman placement policy of Figures 13/14b.
+func randomAllocator(seed int64) core.Allocator {
+	rng := rand.New(rand.NewSource(seed))
+	return func(demands []memalloc.Demand, capacity uint64) memalloc.Plan {
+		return memalloc.Random(demands, capacity, rng)
+	}
+}
+
+// runMemExperiment runs TPC-C (low contention, 10 clients, 2 lock servers)
+// with the given switch memory size, allocator, and think time; it returns
+// the run result plus the switch/server processing split.
+func runMemExperiment(o Options, slots int, alloc core.Allocator, thinkNs int64, collectCDF bool) (cluster.Result, float64, float64, []stats.CDFPoint) {
+	cfg := cluster.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.Clients = 10
+	cfg.WorkersPerClient = 16
+	tb := cluster.NewTestbed(cfg)
+	mgr := newNetLockManager(tb, 2, 1, slots)
+	svc := cluster.NewNetLockService(tb, cluster.NetLockOptions{
+		Manager:      mgr,
+		AllocEveryNs: o.scale(10e6, 25e6),
+		Allocator:    alloc,
+	})
+	wcfg := tpcc.LowContention(cfg.Clients)
+	wcfg.ThinkNs = thinkNs
+	wl := tpcc.New(wcfg)
+	warm, win := o.scale(30e6, 120e6), o.scale(50e6, 200e6)
+	res := tb.Run(svc, wl, warm, win)
+	st := mgr.Switch().Stats()
+	switchGrants := float64(st.GrantsImmediate + st.GrantsQueued)
+	var serverGrants float64
+	for i := 0; i < mgr.NumServers(); i++ {
+		ss := mgr.Server(i).Stats()
+		serverGrants += float64(ss.GrantsImmediate + ss.GrantsQueued)
+	}
+	var cdf []stats.CDFPoint
+	if collectCDF {
+		cdf = tb.TxnLatency.CDF(64)
+	}
+	// The split counters cover the whole run (not just the window); the
+	// ratio is what Figure 13a plots, applied to the windowed rate.
+	total := switchGrants + serverGrants
+	if total == 0 {
+		total = 1
+	}
+	swRate := res.LockRate * switchGrants / total
+	srvRate := res.LockRate * serverGrants / total
+	return res, swRate, srvRate, cdf
+}
+
+// AllocRow is one bar group of Figure 13a.
+type AllocRow struct {
+	Allocator  string
+	SwitchMRPS float64
+	ServerMRPS float64
+	TotalMRPS  float64
+}
+
+// Fig13aMemAlloc reproduces Figure 13a: with limited switch memory, the
+// optimal knapsack allocation processes most requests in the switch; the
+// random split leaves them to the servers and loses several-fold total
+// throughput.
+func Fig13aMemAlloc(o Options) []AllocRow {
+	const slots = 3000
+	_, swK, srvK, _ := runMemExperiment(o, slots, nil, 10_000, false)
+	_, swR, srvR, _ := runMemExperiment(o, slots, randomAllocator(o.Seed+1), 10_000, false)
+	rows := []AllocRow{
+		{Allocator: "random", SwitchMRPS: swR / 1e6, ServerMRPS: srvR / 1e6, TotalMRPS: (swR + srvR) / 1e6},
+		{Allocator: "knapsack", SwitchMRPS: swK / 1e6, ServerMRPS: srvK / 1e6, TotalMRPS: (swK + srvK) / 1e6},
+	}
+	o.printf("Figure 13a — memory allocation mechanisms (TPC-C, %d switch slots)\n", slots)
+	for _, r := range rows {
+		o.printf("  %-9s switch=%.3f MRPS server=%.3f MRPS total=%.3f MRPS\n",
+			r.Allocator, r.SwitchMRPS, r.ServerMRPS, r.TotalMRPS)
+	}
+	return rows
+}
+
+// CDFSeries is one curve of Figure 13b.
+type CDFSeries struct {
+	Allocator string
+	Points    []stats.CDFPoint
+}
+
+// Fig13bMemAllocCDF reproduces Figure 13b: the transaction latency CDF
+// under the two allocators; knapsack sits strictly left of random,
+// especially at the tail.
+func Fig13bMemAllocCDF(o Options) []CDFSeries {
+	const slots = 3000
+	_, _, _, cdfK := runMemExperiment(o, slots, nil, 10_000, true)
+	_, _, _, cdfR := runMemExperiment(o, slots, randomAllocator(o.Seed+1), 10_000, true)
+	out := []CDFSeries{
+		{Allocator: "knapsack", Points: cdfK},
+		{Allocator: "random", Points: cdfR},
+	}
+	o.printf("Figure 13b — transaction latency CDF\n")
+	for _, s := range out {
+		o.printf("  %-9s", s.Allocator)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			o.printf(" p%.0f<=%.0fus", q*100, float64(cdfValueAt(s.Points, q))/1e3)
+		}
+		o.printf("\n")
+	}
+	return out
+}
+
+// cdfValueAt returns the smallest value whose CDF fraction reaches q.
+func cdfValueAt(pts []stats.CDFPoint, q float64) int64 {
+	for _, p := range pts {
+		if p.Fraction >= q {
+			return p.Value
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	return pts[len(pts)-1].Value
+}
+
+// MemSweepSeries is one curve of Figures 14a/14b: throughput vs switch
+// memory size.
+type MemSweepSeries struct {
+	Label string
+	Slots []int
+	MRPS  []float64
+}
+
+func memSizes(o Options) []int {
+	if o.Quick {
+		return []int{500, 2000, 8000}
+	}
+	return []int{250, 500, 1000, 2000, 4000, 8000, 16000, 40000}
+}
+
+// Fig14aThinkTime reproduces Figure 14a: throughput vs switch memory under
+// think times of 0/5/10/100 µs. Longer think times hold queue slots
+// longer, lowering the per-slot turnover rate and the achievable
+// throughput for a given memory size (§4.5).
+func Fig14aThinkTime(o Options) []MemSweepSeries {
+	thinks := []int64{0, 5_000, 10_000, 100_000}
+	var out []MemSweepSeries
+	for _, think := range thinks {
+		s := MemSweepSeries{Label: labelThink(think)}
+		for _, slots := range memSizes(o) {
+			res, _, _, _ := runMemExperiment(o, slots, nil, think, false)
+			s.Slots = append(s.Slots, slots)
+			s.MRPS = append(s.MRPS, res.LockRate/1e6)
+		}
+		out = append(out, s)
+	}
+	o.printf("Figure 14a — switch memory size vs think time (TPC-C)\n")
+	printMemSweep(o, out)
+	return out
+}
+
+func labelThink(ns int64) string {
+	switch ns {
+	case 0:
+		return "think=0us"
+	case 5_000:
+		return "think=5us"
+	case 10_000:
+		return "think=10us"
+	default:
+		return "think=100us"
+	}
+}
+
+// Fig14bAllocSweep reproduces Figure 14b: throughput vs switch memory for
+// the knapsack and random allocators. Knapsack reaches the workload's
+// maximum with a few thousand slots; random stays flat because extra
+// memory keeps landing on unpopular locks.
+func Fig14bAllocSweep(o Options) []MemSweepSeries {
+	var out []MemSweepSeries
+	for _, alloc := range []string{"knapsack", "random"} {
+		s := MemSweepSeries{Label: alloc}
+		for _, slots := range memSizes(o) {
+			var a core.Allocator
+			if alloc == "random" {
+				a = randomAllocator(o.Seed + 1)
+			}
+			res, _, _, _ := runMemExperiment(o, slots, a, 10_000, false)
+			s.Slots = append(s.Slots, slots)
+			s.MRPS = append(s.MRPS, res.LockRate/1e6)
+		}
+		out = append(out, s)
+	}
+	o.printf("Figure 14b — switch memory size vs allocation mechanism (TPC-C)\n")
+	printMemSweep(o, out)
+	return out
+}
+
+func printMemSweep(o Options, series []MemSweepSeries) {
+	o.printf("  %-12s", "slots")
+	for _, n := range memSizes(o) {
+		o.printf(" %7d", n)
+	}
+	o.printf("\n")
+	for _, s := range series {
+		o.printf("  %-12s", s.Label)
+		for _, v := range s.MRPS {
+			o.printf(" %7.3f", v)
+		}
+		o.printf("  (MRPS)\n")
+	}
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"netlock/internal/cluster"
+	"netlock/internal/wire"
+	"netlock/internal/workload"
+)
+
+// FailureResult is the Figure 15 output: the throughput time series around
+// a switch failure, plus the phase averages used to assert recovery.
+type FailureResult struct {
+	Series        Series
+	PreMRPS       float64 // steady state before the failure
+	DuringMRPS    float64 // while the switch is down
+	RecoveredMRPS float64 // after reactivation
+	FailAtSec     float64
+	RestartAtSec  float64
+}
+
+// Fig15Failure reproduces Figure 15: the lock switch is stopped mid-run
+// (throughput drops to zero immediately — the ToR is the only path) and
+// then reactivated with none of its former register state. The control
+// plane reinstalls the lock table, clients retry their requests, and
+// throughput returns to the pre-failure level.
+func Fig15Failure(o Options) FailureResult {
+	total := o.scale(300e6, 2000e6)
+	failAt := total * 2 / 5
+	restartAt := total * 3 / 5
+	bucket := total / 25
+
+	cfg := cluster.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.Clients = 10
+	cfg.WorkersPerClient = 16
+	cfg.SeriesBucketNs = bucket
+	cfg.RetryTimeoutNs = o.scale(2e6, 5e6)
+	tb := cluster.NewTestbed(cfg)
+	mgr := newNetLockManager(tb, 2, 1, 0)
+	const locks = 1000
+	preinstall(mgr, locks, 8)
+	svc := cluster.NewNetLockService(tb, cluster.NetLockOptions{
+		Manager:      mgr,
+		SweepEveryNs: o.scale(10e6, 50e6),
+	})
+	wl := &workload.Micro{Locks: locks, Mode: wire.Exclusive}
+
+	// Drive the run manually so the failure can be injected mid-flight.
+	tb.Eng.At(failAt, func() {
+		mgr.FailSwitch()
+		tb.SetSwitchDown(true)
+	})
+	tb.Eng.At(restartAt, func() {
+		mgr.RestartSwitch()
+		tb.SetSwitchDown(false)
+	})
+	res := tb.Run(svc, wl, 1, total)
+	_ = res
+
+	series := tb.TenantSeries(0)
+	pts := series.Points()
+	phase := func(fromNs, toNs int64) float64 {
+		var sum float64
+		var n int
+		for i, p := range pts {
+			t := int64(i) * bucket
+			if t >= fromNs && t+bucket <= toNs {
+				sum += p.Rate
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n) / 1e6
+	}
+	out := FailureResult{
+		Series:        Series{Label: "NetLock", Points: pts},
+		PreMRPS:       phase(total/10, failAt),
+		DuringMRPS:    phase(failAt+bucket, restartAt),
+		RecoveredMRPS: phase(restartAt+2*bucket, total),
+		FailAtSec:     float64(failAt) / 1e9,
+		RestartAtSec:  float64(restartAt) / 1e9,
+	}
+	o.printf("Figure 15 — failure handling (switch stops at %.2fs, reactivates at %.2fs)\n",
+		out.FailAtSec, out.RestartAtSec)
+	o.printf("  pre-failure=%.3f MTPS during=%.3f MTPS recovered=%.3f MTPS\n",
+		out.PreMRPS, out.DuringMRPS, out.RecoveredMRPS)
+	o.printf("  series:")
+	for _, p := range pts {
+		o.printf(" %5.2f", p.Rate/1e6)
+	}
+	o.printf("  (MTPS per bucket)\n")
+	return out
+}

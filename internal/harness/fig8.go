@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"netlock/internal/cluster"
+	"netlock/internal/wire"
+	"netlock/internal/workload"
+)
+
+// LatencyPoint is one point of a latency-vs-throughput curve (Figures 8a
+// and 8b).
+type LatencyPoint struct {
+	OfferedMRPS  float64
+	AchievedMRPS float64
+	AvgUs        float64
+	MedianUs     float64
+	P99Us        float64
+	P999Us       float64
+}
+
+// fig8LoadSweep runs the open-loop microbenchmark at increasing offered
+// loads with 12 client machines (§6.2). Rates are transactions/second per
+// client; each transaction is one acquire plus one release, so the request
+// rate is twice the transaction rate (a client NIC peaks at 18M requests/s
+// = 9M transactions/s).
+func fig8LoadSweep(o Options, mode wire.Mode, disjoint bool) []LatencyPoint {
+	perClientRates := []float64{5_000, 50_000, 500_000, 2.5e6, 5e6, 8.5e6}
+	if o.Quick {
+		perClientRates = []float64{50_000, 500_000, 5e6}
+	}
+	var out []LatencyPoint
+	for _, rate := range perClientRates {
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Clients = 12
+		cfg.OpenLoopRate = rate
+		tb := cluster.NewTestbed(cfg)
+		mgr := newNetLockManager(tb, 2, 1, 0)
+		locks := uint32(1000)
+		if disjoint {
+			// Exclusive without contention: disjoint per-client ranges.
+			preinstall(mgr, locks*uint32(cfg.Clients+1), 2)
+		} else {
+			preinstall(mgr, locks, 16)
+		}
+		svc := cluster.NewNetLockService(tb, cluster.NetLockOptions{Manager: mgr})
+		wl := &workload.Micro{Locks: locks, Mode: mode, PerClientDisjoint: disjoint}
+		warm, win := o.scale(5e5, 2e6), o.scale(1e6, 4e6)
+		res := tb.Run(svc, wl, warm, win)
+		out = append(out, LatencyPoint{
+			OfferedMRPS:  2 * rate * float64(cfg.Clients) / 1e6,
+			AchievedMRPS: requestMRPS(res.LockRate),
+			AvgUs:        us(res.LockLat.Mean),
+			MedianUs:     usI(res.LockLat.Median),
+			P99Us:        usI(res.LockLat.P99),
+			P999Us:       usI(res.LockLat.P999),
+		})
+	}
+	return out
+}
+
+// Fig8aSharedLocks reproduces Figure 8a: latency vs throughput for shared
+// locks. The switch grants everything at line rate, so latency stays flat
+// as offered load rises to the clients' generation capacity.
+func Fig8aSharedLocks(o Options) []LatencyPoint {
+	pts := fig8LoadSweep(o, wire.Shared, false)
+	o.printf("Figure 8a — shared locks, 12 clients (latency vs throughput)\n")
+	printLatencyPoints(o, pts)
+	return pts
+}
+
+// Fig8bExclusiveNoContention reproduces Figure 8b: exclusive locks on
+// disjoint lock sets behave identically to shared locks.
+func Fig8bExclusiveNoContention(o Options) []LatencyPoint {
+	pts := fig8LoadSweep(o, wire.Exclusive, true)
+	o.printf("Figure 8b — exclusive locks w/o contention (latency vs throughput)\n")
+	printLatencyPoints(o, pts)
+	return pts
+}
+
+func printLatencyPoints(o Options, pts []LatencyPoint) {
+	o.printf("  %12s %12s %9s %9s %9s %9s\n", "offered", "achieved", "avg", "p50", "p99", "p99.9")
+	for _, p := range pts {
+		o.printf("  %9.2f MRPS %9.2f MRPS %7.1fus %7.1fus %7.1fus %7.1fus\n",
+			p.OfferedMRPS, p.AchievedMRPS, p.AvgUs, p.MedianUs, p.P99Us, p.P999Us)
+	}
+}
+
+// ContentionPoint is one point of Figures 8c and 8d: exclusive locks with
+// contention, sweeping the lock-set size.
+type ContentionPoint struct {
+	Locks          int
+	ThroughputMRPS float64
+	AvgUs          float64
+	MedianUs       float64
+	P99Us          float64
+	P999Us         float64
+}
+
+// Fig8cdExclusiveContention reproduces Figures 8c and 8d: 12 clients all
+// target the same lock set; throughput rises and latency falls as the set
+// grows and contention dilutes.
+func Fig8cdExclusiveContention(o Options) []ContentionPoint {
+	sizes := []int{500, 2000, 4000, 6000, 8000, 10000}
+	if o.Quick {
+		sizes = []int{500, 4000, 10000}
+	}
+	var out []ContentionPoint
+	for _, n := range sizes {
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Clients = 12
+		cfg.WorkersPerClient = 96
+		tb := cluster.NewTestbed(cfg)
+		mgr := newNetLockManager(tb, 2, 1, 0)
+		slots := uint64(2*cfg.Clients*cfg.WorkersPerClient/n + 2)
+		preinstall(mgr, uint32(n), slots)
+		svc := cluster.NewNetLockService(tb, cluster.NetLockOptions{Manager: mgr})
+		wl := &workload.Micro{Locks: uint32(n), Mode: wire.Exclusive}
+		warm, win := o.scale(1e6, 5e6), o.scale(4e6, 20e6)
+		res := tb.Run(svc, wl, warm, win)
+		out = append(out, ContentionPoint{
+			Locks:          n,
+			ThroughputMRPS: requestMRPS(res.LockRate),
+			AvgUs:          us(res.LockLat.Mean),
+			MedianUs:       usI(res.LockLat.Median),
+			P99Us:          usI(res.LockLat.P99),
+			P999Us:         usI(res.LockLat.P999),
+		})
+	}
+	o.printf("Figures 8c/8d — exclusive locks w/ contention (12 clients, shared lock set)\n")
+	o.printf("  %7s %12s %9s %9s %9s %9s\n", "locks", "throughput", "avg", "p50", "p99", "p99.9")
+	for _, p := range out {
+		o.printf("  %7d %9.2f MRPS %7.1fus %7.1fus %7.1fus %7.1fus\n",
+			p.Locks, p.ThroughputMRPS, p.AvgUs, p.MedianUs, p.P99Us, p.P999Us)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"netlock/internal/cluster"
+	"netlock/internal/wire"
+	"netlock/internal/workload"
+)
+
+// Fig9Row is one workload row of Figure 9: the lock switch against a lock
+// server with 1..8 cores.
+type Fig9Row struct {
+	Workload   string
+	SwitchMRPS float64
+	// ServerMRPS[i] is the throughput with i+1 cores.
+	ServerMRPS []float64
+}
+
+// Fig9SwitchVsServer reproduces Figure 9: ten clients drive three
+// microbenchmark workloads against (a) the NetLock switch and (b) a
+// traditional server-only lock manager with 1–8 cores. The server scales
+// roughly linearly with cores to its DPDK ceiling; the switch is never
+// saturated and outperforms the 8-core server several-fold.
+func Fig9SwitchVsServer(o Options) []Fig9Row {
+	type wlCase struct {
+		name     string
+		mode     wire.Mode
+		locks    uint32
+		disjoint bool
+	}
+	cases := []wlCase{
+		{"shared", wire.Shared, 5000, false},
+		// 1000 disjoint locks per client keep contention at zero while
+		// fitting the switch lock table.
+		{"exclusive w/o contention", wire.Exclusive, 1000, true},
+		{"exclusive w/ contention", wire.Exclusive, 5000, false},
+	}
+	cores := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if o.Quick {
+		cores = []int{1, 4, 8}
+	}
+	warm, win := o.scale(1e6, 5e6), o.scale(5e6, 25e6)
+
+	var rows []Fig9Row
+	for _, wc := range cases {
+		wl := &workload.Micro{Locks: wc.locks, Mode: wc.mode, PerClientDisjoint: wc.disjoint}
+		row := Fig9Row{Workload: wc.name}
+
+		// Switch side: every lock resident.
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Clients = 10
+		cfg.WorkersPerClient = 128
+		tb := cluster.NewTestbed(cfg)
+		mgr := newNetLockManager(tb, 1, 1, 200_000)
+		n := wc.locks
+		if wc.disjoint {
+			n = wl.MaxLockID(cfg.Clients)
+		}
+		slots := uint64(2)
+		if !wc.disjoint {
+			slots = uint64(2*cfg.Clients*cfg.WorkersPerClient/int(wc.locks) + 2)
+		}
+		preinstall(mgr, n, slots)
+		svc := cluster.NewNetLockService(tb, cluster.NetLockOptions{Manager: mgr})
+		res := tb.Run(svc, wl, warm, win)
+		row.SwitchMRPS = requestMRPS(res.LockRate)
+
+		// Server side: sweep core counts.
+		for _, c := range cores {
+			cfgS := cluster.DefaultConfig()
+			cfgS.Seed = o.Seed
+			cfgS.Clients = 10
+			cfgS.WorkersPerClient = 128
+			tbS := cluster.NewTestbed(cfgS)
+			srv := cluster.NewCentralService(tbS, cluster.DefaultCentralOptions(1, c))
+			resS := tbS.Run(srv, wl, warm, win)
+			row.ServerMRPS = append(row.ServerMRPS, requestMRPS(resS.LockRate))
+		}
+		rows = append(rows, row)
+	}
+
+	o.printf("Figure 9 — lock switch vs lock server (10 clients)\n")
+	o.printf("  %-26s %10s", "workload", "switch")
+	for _, c := range cores {
+		o.printf(" %6d-core", c)
+	}
+	o.printf("\n")
+	for _, r := range rows {
+		o.printf("  %-26s %7.1f MRPS", r.Workload, r.SwitchMRPS)
+		for _, v := range r.ServerMRPS {
+			o.printf(" %10.1f", v)
+		}
+		o.printf("\n")
+	}
+	return rows
+}

@@ -1,0 +1,244 @@
+package harness
+
+// The tests in this file machine-check the shape claims of every figure the
+// paper reports, in Quick mode: orderings, monotonicity, crossovers, and
+// recovery. EXPERIMENTS.md records the corresponding full-scale numbers.
+
+import "testing"
+
+func quick() Options { return Options{Quick: true, Seed: 1} }
+
+func TestCalibrationMatchesPaper(t *testing.T) {
+	c := CalibrationRun(quick())
+	if c.ClientGenMRPS < 15 || c.ClientGenMRPS > 21 {
+		t.Fatalf("client generation = %.1f MRPS, want ~18", c.ClientGenMRPS)
+	}
+	if c.Server8CoreMRPS < 15 || c.Server8CoreMRPS > 21 {
+		t.Fatalf("8-core server = %.1f MRPS, want ~18", c.Server8CoreMRPS)
+	}
+}
+
+func TestFig8aSharedLatencyFlat(t *testing.T) {
+	pts := Fig8aSharedLocks(quick())
+	if len(pts) < 3 {
+		t.Fatalf("too few points")
+	}
+	// Latency must not grow with offered load while under the client
+	// generation ceiling (all quick points are).
+	first, last := pts[0], pts[len(pts)-1]
+	if last.MedianUs > 2*first.MedianUs {
+		t.Fatalf("median latency grew with load: %.1fus -> %.1fus", first.MedianUs, last.MedianUs)
+	}
+	// Single-digit-to-low-tens microseconds, as in the paper (~8us).
+	for _, p := range pts {
+		if p.MedianUs < 2 || p.MedianUs > 30 {
+			t.Fatalf("median latency %.1fus out of the paper's range", p.MedianUs)
+		}
+	}
+	// Offered load is achieved (switch never saturates).
+	if last.AchievedMRPS < 0.9*last.OfferedMRPS {
+		t.Fatalf("achieved %.1f < offered %.1f", last.AchievedMRPS, last.OfferedMRPS)
+	}
+}
+
+func TestFig8bExclusiveNoContentionMatchesShared(t *testing.T) {
+	a := Fig8aSharedLocks(quick())
+	b := Fig8bExclusiveNoContention(quick())
+	// Without contention, exclusive locks behave like shared locks.
+	for i := range b {
+		if b[i].MedianUs > 2*a[i].MedianUs+2 {
+			t.Fatalf("exclusive-no-contention point %d much slower than shared: %.1f vs %.1f",
+				i, b[i].MedianUs, a[i].MedianUs)
+		}
+	}
+}
+
+func TestFig8cdContentionShape(t *testing.T) {
+	pts := Fig8cdExclusiveContention(quick())
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ThroughputMRPS < pts[i-1].ThroughputMRPS*0.95 {
+			t.Fatalf("throughput should rise with lock count: %+v", pts)
+		}
+		if pts[i].AvgUs > pts[i-1].AvgUs*1.05+1 {
+			t.Fatalf("latency should fall with lock count: %+v", pts)
+		}
+	}
+	lo, hi := pts[0], pts[len(pts)-1]
+	if hi.ThroughputMRPS < 1.5*lo.ThroughputMRPS {
+		t.Fatalf("contention effect too weak: %.1f -> %.1f MRPS", lo.ThroughputMRPS, hi.ThroughputMRPS)
+	}
+}
+
+func TestFig9SwitchBeatsServer(t *testing.T) {
+	rows := Fig9SwitchVsServer(quick())
+	for _, r := range rows {
+		best := 0.0
+		for _, v := range r.ServerMRPS {
+			if v > best {
+				best = v
+			}
+		}
+		// Paper: the switch outperforms the 8-core server by ~7x and is
+		// client-bound, not switch-bound.
+		if r.SwitchMRPS < 3*best {
+			t.Fatalf("%s: switch %.1f MRPS should far exceed best server %.1f", r.Workload, r.SwitchMRPS, best)
+		}
+		// The server scales with cores (within contention limits).
+		if r.ServerMRPS[len(r.ServerMRPS)-1] < r.ServerMRPS[0] {
+			t.Fatalf("%s: server throughput should not fall with more cores: %v", r.Workload, r.ServerMRPS)
+		}
+	}
+}
+
+func TestFig10Ordering(t *testing.T) {
+	rows := Fig10TPCC(quick())
+	byKey := map[string]SystemRow{}
+	for _, r := range rows {
+		byKey[r.System+"/"+r.Contention] = r
+	}
+	for _, c := range []string{"low", "high"} {
+		nl := byKey["NetLock/"+c]
+		for _, sys := range []string{"DSLR", "DrTM", "NetChain"} {
+			b := byKey[sys+"/"+c]
+			if nl.TxnMTPS <= b.TxnMTPS {
+				t.Errorf("%s contention: NetLock (%.3f MTPS) should beat %s (%.3f)", c, nl.TxnMTPS, sys, b.TxnMTPS)
+			}
+			if nl.AvgLatMs >= b.AvgLatMs {
+				t.Errorf("%s contention: NetLock avg latency (%.3f ms) should beat %s (%.3f)", c, nl.AvgLatMs, sys, b.AvgLatMs)
+			}
+			if nl.P99LatMs >= b.P99LatMs {
+				t.Errorf("%s contention: NetLock p99 (%.3f ms) should beat %s (%.3f)", c, nl.P99LatMs, sys, b.P99LatMs)
+			}
+		}
+		// Paper's ordering among the baselines: NetChain > DSLR > DrTM.
+		if byKey["NetChain/"+c].TxnMTPS <= byKey["DrTM/"+c].TxnMTPS {
+			t.Errorf("%s: NetChain should beat DrTM", c)
+		}
+		if byKey["DSLR/"+c].TxnMTPS <= byKey["DrTM/"+c].TxnMTPS {
+			t.Errorf("%s: DSLR should beat DrTM", c)
+		}
+	}
+}
+
+func TestFig11Ordering(t *testing.T) {
+	rows := Fig11TPCC(quick())
+	byKey := map[string]SystemRow{}
+	for _, r := range rows {
+		byKey[r.System+"/"+r.Contention] = r
+	}
+	for _, c := range []string{"low", "high"} {
+		nl := byKey["NetLock/"+c]
+		for _, sys := range []string{"DSLR", "DrTM", "NetChain"} {
+			if nl.TxnMTPS <= byKey[sys+"/"+c].TxnMTPS {
+				t.Errorf("%s contention: NetLock should beat %s", c, sys)
+			}
+		}
+	}
+}
+
+func TestFig12aDifferentiation(t *testing.T) {
+	series := Fig12aServiceDiff(quick())
+	if len(series) != 4 {
+		t.Fatalf("want 4 series")
+	}
+	// Average rate over the second half (both tenants active).
+	tail := func(s Series) float64 {
+		pts := s.Points
+		var sum float64
+		n := 0
+		for _, p := range pts[len(pts)/2:] {
+			sum += p.Rate
+			n++
+		}
+		return sum / float64(n)
+	}
+	woLo, woHi := tail(series[0]), tail(series[1])
+	wLo, wHi := tail(series[2]), tail(series[3])
+	if woHi > 1.5*woLo || woLo > 1.5*woHi {
+		t.Fatalf("w/o differentiation tenants should be similar: lo=%.0f hi=%.0f", woLo, woHi)
+	}
+	if wHi < 2.5*wLo {
+		t.Fatalf("w/ differentiation high priority should dominate: lo=%.0f hi=%.0f", wLo, wHi)
+	}
+}
+
+func TestFig12bIsolation(t *testing.T) {
+	rows := Fig12bIsolation(quick())
+	wo, w := rows[0], rows[1]
+	if wo.Tenant1MTPS < 1.8*wo.Tenant2MTPS {
+		t.Fatalf("w/o isolation tenant1 should dominate: %+v", wo)
+	}
+	ratio := w.Tenant1MTPS / w.Tenant2MTPS
+	if ratio > 1.3 || ratio < 0.7 {
+		t.Fatalf("w/ isolation tenants should be similar: %+v", w)
+	}
+}
+
+func TestFig13aKnapsackBeatsRandom(t *testing.T) {
+	rows := Fig13aMemAlloc(quick())
+	random, knap := rows[0], rows[1]
+	if knap.TotalMRPS < 1.2*random.TotalMRPS {
+		t.Fatalf("knapsack (%.2f) should clearly beat random (%.2f)", knap.TotalMRPS, random.TotalMRPS)
+	}
+	// Knapsack processes most of its requests in the switch; random leaves
+	// them to the servers.
+	if knap.SwitchMRPS < knap.ServerMRPS {
+		t.Fatalf("knapsack should be switch-dominant: %+v", knap)
+	}
+	if random.SwitchMRPS > random.ServerMRPS {
+		t.Fatalf("random should be server-dominant: %+v", random)
+	}
+}
+
+func TestFig13bCDFKnapsackLeft(t *testing.T) {
+	series := Fig13bMemAllocCDF(quick())
+	knap, random := series[0], series[1]
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		k, r := cdfValueAt(knap.Points, q), cdfValueAt(random.Points, q)
+		if k > r {
+			t.Fatalf("knapsack p%.0f (%dns) should be <= random (%dns)", q*100, k, r)
+		}
+	}
+}
+
+func TestFig14aThinkTimeShape(t *testing.T) {
+	series := Fig14aThinkTime(quick())
+	// think=0 is first, think=100us last.
+	fast, slow := series[0], series[len(series)-1]
+	lastIdx := len(fast.MRPS) - 1
+	if fast.MRPS[lastIdx] < 1.5*slow.MRPS[lastIdx] {
+		t.Fatalf("think=0 (%.2f) should far exceed think=100us (%.2f) at max memory",
+			fast.MRPS[lastIdx], slow.MRPS[lastIdx])
+	}
+	// Throughput grows (or saturates) with memory for the fast case.
+	if fast.MRPS[lastIdx] < fast.MRPS[0] {
+		t.Fatalf("throughput should not fall with more memory: %v", fast.MRPS)
+	}
+}
+
+func TestFig14bAllocSweepShape(t *testing.T) {
+	series := Fig14bAllocSweep(quick())
+	knap, random := series[0], series[1]
+	last := len(knap.MRPS) - 1
+	if knap.MRPS[last] < 1.15*random.MRPS[last] {
+		t.Fatalf("knapsack (%.2f) should beat random (%.2f) at max memory", knap.MRPS[last], random.MRPS[last])
+	}
+	for i := range knap.MRPS {
+		if knap.MRPS[i] < random.MRPS[i]*0.9 {
+			t.Fatalf("knapsack should never lose to random: %v vs %v", knap.MRPS, random.MRPS)
+		}
+	}
+}
+
+func TestFig15FailureRecovery(t *testing.T) {
+	res := Fig15Failure(quick())
+	if res.PreMRPS <= 0 {
+		t.Fatalf("no pre-failure throughput")
+	}
+	if res.DuringMRPS > 0.05*res.PreMRPS {
+		t.Fatalf("throughput should collapse during failure: pre=%.2f during=%.2f", res.PreMRPS, res.DuringMRPS)
+	}
+	if res.RecoveredMRPS < 0.8*res.PreMRPS {
+		t.Fatalf("throughput should recover: pre=%.2f recovered=%.2f", res.PreMRPS, res.RecoveredMRPS)
+	}
+}

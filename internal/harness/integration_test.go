@@ -1,0 +1,53 @@
+package harness
+
+// End-to-end TPC-C integration over the virtual-time testbed with all
+// control loops enabled (this lives in harness rather than cluster because
+// tpcc itself depends on cluster).
+
+import (
+	"testing"
+
+	"netlock/internal/cluster"
+	"netlock/internal/core"
+	"netlock/internal/switchdp"
+	"netlock/internal/tpcc"
+)
+
+func TestNetLockTPCCEndToEnd(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Seed = 7
+	cfg.Clients = 4
+	cfg.WorkersPerClient = 8
+	tb := cluster.NewTestbed(cfg)
+	mgr := core.New(core.Config{
+		Switch: switchdp.Config{
+			MaxLocks: 16384, TotalSlots: 100_000, Priorities: 1,
+			DefaultLeaseNs: 50e6, Now: tb.Eng.Now,
+		},
+		Servers: 2,
+	})
+	svc := cluster.NewNetLockService(tb, cluster.NetLockOptions{
+		Manager:      mgr,
+		AllocEveryNs: 10e6,
+		SweepEveryNs: 20e6,
+	})
+	wl := tpcc.New(tpcc.LowContention(cfg.Clients))
+	res := tb.Run(svc, wl, 30e6, 60e6)
+	if res.Txns < 1000 {
+		t.Fatalf("TPC-C produced only %d transactions", res.Txns)
+	}
+	// The allocation loop must have moved hot locks into the switch, and
+	// the switch must be granting a substantial share.
+	st := mgr.Switch().Stats()
+	if st.GrantsImmediate+st.GrantsQueued == 0 {
+		t.Fatalf("no switch grants: placement loop ineffective: %+v", st)
+	}
+	if len(mgr.Switch().CtrlResidentLocks()) == 0 {
+		t.Fatalf("no locks resident after allocation rounds")
+	}
+	// Conservation: nothing left pending at the end of the run beyond the
+	// workers' in-flight transactions.
+	if svc.PendingAcquires() > cfg.Clients*cfg.WorkersPerClient {
+		t.Fatalf("leaked pending acquires: %d", svc.PendingAcquires())
+	}
+}

@@ -1,0 +1,238 @@
+package lockserver
+
+import (
+	"fmt"
+
+	"netlock/internal/wire"
+)
+
+// Control-plane operations: workload measurement for the memory allocator,
+// ownership transfer when locks move between switch and servers, and the
+// lease sweep.
+
+// LockLoad is one lock's measured workload over the last window.
+type LockLoad struct {
+	LockID uint32
+	// Owned reports whether this server processed the lock (vs. only
+	// buffering overflow).
+	Owned bool
+	// Requests counts acquires processed in the window (owned locks).
+	Requests uint64
+	// MaxConcurrent is the peak concurrent requests observed (c_i).
+	MaxConcurrent uint64
+	// BufferedPeak is the peak q2 depth (switch-resident locks): extra
+	// contention the switch's own gauge could not see.
+	BufferedPeak uint64
+}
+
+// CtrlMeasure reads and resets the per-lock workload counters, closing a
+// measurement window.
+func (s *Server) CtrlMeasure() []LockLoad {
+	out := make([]LockLoad, 0, len(s.locks))
+	for id, lo := range s.locks {
+		out = append(out, LockLoad{
+			LockID:        id,
+			Owned:         lo.owned,
+			Requests:      lo.reqs,
+			MaxConcurrent: lo.peak,
+			BufferedPeak:  lo.q2peak,
+		})
+		lo.reqs = 0
+		lo.peak = lo.current
+		lo.q2peak = 0
+	}
+	return out
+}
+
+// CtrlOwnedLocks returns the IDs of locks this server currently processes.
+func (s *Server) CtrlOwnedLocks() []uint32 {
+	var out []uint32
+	for id, lo := range s.locks {
+		if lo.owned {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CtrlQueueDepth returns the number of queued (waiting + granted) requests
+// for an owned lock, and the buffered q2 depth for a resident lock.
+func (s *Server) CtrlQueueDepth(lockID uint32) (owned int, buffered int) {
+	lo, ok := s.locks[lockID]
+	if !ok {
+		return 0, 0
+	}
+	for b := range lo.queues {
+		owned += len(lo.queues[b])
+		buffered += len(lo.q2[b])
+	}
+	return owned, buffered
+}
+
+// CtrlReleaseOwnership marks a lock as switch-resident. The lock must be
+// drained first (§4.3: NetLock pauses enqueuing and waits until the queue
+// is empty when moving a lock).
+func (s *Server) CtrlReleaseOwnership(lockID uint32) error {
+	lo := s.lock(lockID)
+	for b := range lo.queues {
+		if len(lo.queues[b]) != 0 {
+			return fmt.Errorf("lockserver: lock %d not drained (%d queued at priority %d)",
+				lockID, len(lo.queues[b]), b)
+		}
+	}
+	lo.owned = false
+	lo.moving = false
+	lo.current = 0
+	return nil
+}
+
+// ErrNotDrained reports that a move is pending: the lock's queues still
+// hold granted or waiting requests. Retry after releases drain them.
+var ErrNotDrained = fmt.Errorf("lockserver: lock not drained yet")
+
+// CtrlTakeForSwitch implements the paper's move protocol for a hot,
+// never-idle lock (§4.3: "NetLock pauses enqueuing new requests of this
+// lock and waits until the queue is empty"):
+//
+//   - the first call marks the lock as moving: new acquires are buffered
+//     in q2 instead of being enqueued, so the queue drains as current
+//     holders and waiters release;
+//   - once the queues are empty, a call completes the move: ownership
+//     transfers and the buffered requests are returned as OpPush headers
+//     for the caller to deliver to the switch, in arrival order.
+//
+// Until completion it returns ErrNotDrained; callers retry on the next
+// control round.
+func (s *Server) CtrlTakeForSwitch(lockID uint32) ([]wire.Header, error) {
+	lo := s.lock(lockID)
+	if !lo.owned {
+		return nil, fmt.Errorf("lockserver: lock %d not owned by this server", lockID)
+	}
+	lo.moving = true
+	for b := range lo.queues {
+		if len(lo.queues[b]) != 0 {
+			return nil, ErrNotDrained
+		}
+	}
+	lo.owned = false
+	lo.moving = false
+	lo.current = 0
+	var pushes []wire.Header
+	for b := range lo.q2 {
+		for _, e := range lo.q2[b] {
+			p := e.hdr
+			p.Op = wire.OpPush
+			pushes = append(pushes, p)
+		}
+		lo.q2[b] = nil
+		lo.buffering[b] = false
+	}
+	return pushes, nil
+}
+
+// CtrlAbortMove cancels a pending move: buffered requests are processed as
+// normal acquires again (used when the switch-side installation fails).
+func (s *Server) CtrlAbortMove(lockID uint32) []Emit {
+	s.emits = s.emits[:0]
+	lo := s.lock(lockID)
+	if !lo.moving {
+		return nil
+	}
+	lo.moving = false
+	for b := range lo.q2 {
+		pending := lo.q2[b]
+		lo.q2[b] = nil
+		lo.buffering[b] = false
+		for i := range pending {
+			h := pending[i].hdr
+			s.acquire(&h)
+		}
+	}
+	out := make([]Emit, len(s.emits))
+	copy(out, s.emits)
+	return out
+}
+
+// CtrlAdoptLock marks a lock as server-owned again (moved off the switch,
+// or reassigned after a switch failure). Any q2-buffered requests become
+// normal queued requests, processed in order; the emitted grants must be
+// delivered by the caller.
+func (s *Server) CtrlAdoptLock(lockID uint32) []Emit {
+	s.emits = s.emits[:0]
+	lo := s.lock(lockID)
+	if lo.owned {
+		return nil
+	}
+	lo.owned = true
+	for b := range lo.q2 {
+		pending := lo.q2[b]
+		lo.q2[b] = nil
+		lo.buffering[b] = false
+		for i := range pending {
+			h := pending[i].hdr
+			s.acquire(&h)
+		}
+	}
+	out := make([]Emit, len(s.emits))
+	copy(out, s.emits)
+	return out
+}
+
+// CtrlForget drops all state for a lock (used when reassigning locks to a
+// different server after a failure; clients re-resolve and resubmit).
+func (s *Server) CtrlForget(lockID uint32) {
+	delete(s.locks, lockID)
+}
+
+// CtrlScanExpired sweeps owned locks for granted requests whose lease
+// expired before now, releasing them as the failure-handling path (§4.5).
+// It returns the emitted grants produced by the forced releases.
+func (s *Server) CtrlScanExpired(now int64) []Emit {
+	s.emits = s.emits[:0]
+	for id, lo := range s.locks {
+		if !lo.owned {
+			continue
+		}
+		// Repeatedly release expired heads; a forced release can grant a
+		// next request whose lease is itself already expired.
+		for swept := true; swept; {
+			swept = false
+			if lo.held == 0 {
+				break
+			}
+			for b := range lo.queues {
+				if len(lo.queues[b]) == 0 {
+					continue
+				}
+				e := lo.queues[b][0]
+				if e.lease != 0 && e.lease < now {
+					s.stats.ExpiredReleases++
+					rel := wire.Header{
+						Op:       wire.OpRelease,
+						Mode:     e.hdr.Mode,
+						LockID:   id,
+						TxnID:    e.hdr.TxnID,
+						Priority: uint8(b),
+					}
+					s.release(&rel)
+					swept = true
+					break
+				}
+			}
+		}
+	}
+	out := make([]Emit, len(s.emits))
+	copy(out, s.emits)
+	return out
+}
+
+// RSSCore maps a lock ID to one of n receive queues, modeling the NIC's
+// Receive Side Scaling dispatch that partitions requests between cores
+// (§5). Deterministic so switch, servers and the testbed agree.
+func RSSCore(lockID uint32, cores int) int {
+	if cores <= 0 {
+		panic("lockserver: non-positive core count")
+	}
+	// Fibonacci hashing spreads adjacent lock IDs across cores.
+	return int((uint64(lockID) * 11400714819323198485) >> 32 % uint64(cores))
+}

@@ -1,0 +1,407 @@
+// Package lockserver implements the NetLock lock server (paper §3.2, §4.3,
+// §5): the server-side half of the switch-server co-design.
+//
+// A lock server plays two roles:
+//
+//  1. For locks *not* resident in the switch ("unpopular" locks), it is a
+//     full centralized lock manager: it queues, grants and releases
+//     shared/exclusive requests with the same FCFS-plus-priorities
+//     semantics as the switch data plane, so clients cannot tell where a
+//     lock lives.
+//
+//  2. For switch-resident locks whose switch queue (q1) overflowed, it
+//     buffers — without processing — the overflow-marked requests in a
+//     per-(lock, priority) queue q2, and pushes them back into q1 when the
+//     switch signals that q1 drained (OpPushNotify). Requests are granted
+//     and dequeued only by q1; requests are appended only to q2 while
+//     overflow mode lasts, preserving single-queue FIFO order (§4.3).
+//
+// The clear-overflow race: the paper does not specify what happens when a
+// marked request is in flight from the switch while the server's final push
+// (which clears the switch's overflow bit) is in flight the other way. This
+// implementation closes it: a marked request arriving while the server is
+// not buffering is bounced back to the switch as an OpPush. If the switch
+// has space, the request is enqueued (bounded order skew within the race
+// window); if the switch queue is full, the request comes back
+// overflow-marked and is buffered, and the next q1 drain will push it.
+//
+// The server is deliberately free of artificial capacity limits — servers
+// have plenty of DRAM and are CPU-bound (§4.3); the testbed models the CPU
+// with per-core service rates.
+package lockserver
+
+import (
+	"fmt"
+
+	"netlock/internal/wire"
+)
+
+// Action classifies a packet emitted by the server.
+type Action uint8
+
+const (
+	// ActGrant sends a grant notification to the client.
+	ActGrant Action = iota + 1
+	// ActFetch forwards a grant to the database server (one-RTT mode).
+	ActFetch
+	// ActPush sends a buffered request (or a clear-overflow control
+	// message) to the switch. It is also used to forward requests that
+	// arrived for a lock this server no longer owns — packets that were in
+	// flight while the lock moved into the switch — back to the switch,
+	// which now owns them.
+	ActPush
+)
+
+var actionNames = map[Action]string{ActGrant: "grant", ActFetch: "fetch", ActPush: "push"}
+
+// String returns the action name.
+func (a Action) String() string {
+	if s, ok := actionNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// Emit is one packet produced while processing an input packet.
+type Emit struct {
+	Action Action
+	Hdr    wire.Header
+}
+
+// Config parameterizes a lock server.
+type Config struct {
+	// Priorities must match the switch's priority bank count.
+	Priorities int
+	// DefaultLeaseNs stamps grants without an explicit lease request.
+	// Zero disables lease stamping.
+	DefaultLeaseNs int64
+	// Now supplies time for leases; defaults to constant zero.
+	Now func() int64
+}
+
+// entry is one queued request: the original acquire header plus its stamped
+// lease expiry.
+type entry struct {
+	hdr   wire.Header
+	lease int64
+}
+
+// lockObj is the server-side state of one lock.
+type lockObj struct {
+	// owned is true when this server processes the lock (the lock is not
+	// switch-resident); false when the server only buffers overflow.
+	owned bool
+	// moving is true while a move to the switch is draining this lock's
+	// queues (§4.3): new acquires are buffered in q2 until the move
+	// completes.
+	moving bool
+	// queues hold waiting-and-granted requests per priority; the granted
+	// requests form a prefix of each queue, exactly as in the switch.
+	queues [][]entry
+	excl   []int // exclusive entries per priority queue
+	held   int
+	heldX  bool
+	// q2 buffers overflow-marked requests per priority (switch-resident
+	// locks only).
+	q2        [][]entry
+	buffering []bool
+	// measurement
+	reqs    uint64
+	peak    uint64
+	q2peak  uint64
+	current uint64 // current concurrent requests (owned locks)
+}
+
+// Server is one NetLock lock server. It is not safe for concurrent use; the
+// testbed is single-threaded and internal/transport serializes calls.
+type Server struct {
+	cfg   Config
+	locks map[uint32]*lockObj
+	emits []Emit
+	stats Stats
+}
+
+// Stats counts server activity for the experiment breakdowns.
+type Stats struct {
+	Acquires        uint64
+	Releases        uint64
+	GrantsImmediate uint64
+	GrantsQueued    uint64
+	Queued          uint64
+	Buffered        uint64 // overflow-marked requests appended to q2
+	Bounced         uint64 // marked requests bounced back as pushes
+	Pushed          uint64 // q2 entries pushed to the switch
+	OvfClears       uint64
+	ExpiredReleases uint64
+	// ForwardedToSwitch counts requests that arrived for locks this server
+	// no longer owns (in flight across a migration) and were sent back.
+	ForwardedToSwitch uint64
+}
+
+// New creates a lock server.
+func New(cfg Config) *Server {
+	if cfg.Priorities <= 0 || cfg.Priorities > 8 {
+		panic("lockserver: Priorities must be in [1,8]")
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return 0 }
+	}
+	return &Server{cfg: cfg, locks: make(map[uint32]*lockObj)}
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Config returns the server configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+func (s *Server) lock(id uint32) *lockObj {
+	lo, ok := s.locks[id]
+	if !ok {
+		lo = &lockObj{
+			owned:     true, // new locks start server-owned (§4.3)
+			queues:    make([][]entry, s.cfg.Priorities),
+			excl:      make([]int, s.cfg.Priorities),
+			q2:        make([][]entry, s.cfg.Priorities),
+			buffering: make([]bool, s.cfg.Priorities),
+		}
+		s.locks[id] = lo
+	}
+	return lo
+}
+
+func (s *Server) bankFor(p uint8) int {
+	if int(p) >= s.cfg.Priorities {
+		return s.cfg.Priorities - 1
+	}
+	return int(p)
+}
+
+func (s *Server) emit(a Action, h wire.Header) {
+	s.emits = append(s.emits, Emit{Action: a, Hdr: h})
+}
+
+// ProcessPacket handles one NetLock packet addressed to this server and
+// returns the emitted packets. The returned slice is valid until the next
+// call.
+func (s *Server) ProcessPacket(h *wire.Header) []Emit {
+	s.emits = s.emits[:0]
+	switch h.Op {
+	case wire.OpAcquire:
+		if h.Flags&wire.FlagOverflow != 0 {
+			s.bufferOverflow(h)
+		} else {
+			s.acquire(h)
+		}
+	case wire.OpRelease:
+		s.release(h)
+	case wire.OpPushNotify:
+		s.pushNotify(h)
+	}
+	return s.emits
+}
+
+// acquire processes a request for a server-owned lock. Requests for locks
+// that moved to the switch while this packet was in flight are forwarded
+// back to the switch; exactly one party owns a lock at any instant, so the
+// forwarding converges.
+func (s *Server) acquire(h *wire.Header) {
+	s.stats.Acquires++
+	lo := s.lock(h.LockID)
+	if !lo.owned {
+		s.stats.ForwardedToSwitch++
+		s.emit(ActPush, *h)
+		return
+	}
+	if lo.moving {
+		// Move in progress: pause enqueuing (§4.3). The request is
+		// buffered and pushed to the switch when the move completes.
+		b := s.bankFor(h.Priority)
+		e := *h
+		lo.q2[b] = append(lo.q2[b], entry{hdr: e})
+		s.stats.Buffered++
+		return
+	}
+	b := s.bankFor(h.Priority)
+	lo.reqs++
+	lo.current++
+	if lo.current > lo.peak {
+		lo.peak = lo.current
+	}
+	lease := h.LeaseNs
+	if lease == 0 && s.cfg.DefaultLeaseNs != 0 {
+		lease = s.cfg.Now() + s.cfg.DefaultLeaseNs
+	} else if lease != 0 {
+		lease = s.cfg.Now() + lease
+	}
+	excl := h.Mode == wire.Exclusive
+	// Grant rule, identical to the switch data plane: grant if the lock is
+	// free, or if the request is shared and no exclusive request holds the
+	// lock or waits at the same or higher priority.
+	nexclHigher := 0
+	for hb := 0; hb <= b; hb++ {
+		nexclHigher += lo.excl[hb]
+	}
+	granted := lo.held == 0 || (!lo.heldX && !excl && nexclHigher == 0)
+	lo.queues[b] = append(lo.queues[b], entry{hdr: *h, lease: lease})
+	if excl {
+		lo.excl[b]++
+	}
+	if granted {
+		lo.held++
+		lo.heldX = excl
+		s.stats.GrantsImmediate++
+		s.emitGrant(*h, lease)
+	} else {
+		s.stats.Queued++
+	}
+}
+
+// emitGrant produces the grant (or one-RTT fetch) for a request header.
+func (s *Server) emitGrant(h wire.Header, lease int64) {
+	h.LeaseNs = lease
+	if h.Flags&wire.FlagOneRTT != 0 {
+		h.Op = wire.OpFetch
+		s.emit(ActFetch, h)
+		return
+	}
+	h.Op = wire.OpGrant
+	s.emit(ActGrant, h)
+}
+
+// release processes a release for a server-owned lock: dequeue the head of
+// the request's priority queue and grant followers, mirroring Algorithm 2.
+func (s *Server) release(h *wire.Header) {
+	s.stats.Releases++
+	lo, ok := s.locks[h.LockID]
+	if !ok {
+		return // never-seen lock: spurious release
+	}
+	if !lo.owned {
+		// In flight across a move: the switch owns the lock now.
+		s.stats.ForwardedToSwitch++
+		s.emit(ActPush, *h)
+		return
+	}
+	b := s.bankFor(h.Priority)
+	q := lo.queues[b]
+	if len(q) == 0 {
+		return
+	}
+	released := q[0]
+	lo.queues[b] = q[1:]
+	if released.hdr.Mode == wire.Exclusive {
+		lo.excl[b]--
+	}
+	if lo.held > 0 {
+		lo.held--
+	}
+	if lo.current > 0 {
+		lo.current--
+	}
+	if lo.held > 0 {
+		return // shared holders remain (Figure 6, shared -> shared)
+	}
+	lo.heldX = false
+	// Lock free: grant the head of the highest-priority non-empty queue,
+	// and the following run of shared requests if the head is shared.
+	for gb := 0; gb < s.cfg.Priorities; gb++ {
+		gq := lo.queues[gb]
+		if len(gq) == 0 {
+			continue
+		}
+		if gq[0].hdr.Mode == wire.Exclusive {
+			lo.held = 1
+			lo.heldX = true
+			s.stats.GrantsQueued++
+			s.emitGrant(gq[0].hdr, gq[0].lease)
+			return
+		}
+		for _, e := range gq {
+			if e.hdr.Mode == wire.Exclusive {
+				break
+			}
+			lo.held++
+			s.stats.GrantsQueued++
+			s.emitGrant(e.hdr, e.lease)
+		}
+		return
+	}
+}
+
+// bufferOverflow handles an overflow-marked request for a switch-resident
+// lock: buffer it in q2, or bounce it if the server believes overflow mode
+// has ended (see the package comment for the race this closes).
+func (s *Server) bufferOverflow(h *wire.Header) {
+	lo := s.lock(h.LockID)
+	b := s.bankFor(h.Priority)
+	if lo.owned {
+		// First overflow observed for a lock this server also thought it
+		// owned cannot happen (the switch owns it); treat conservatively
+		// as a move in progress and process as a normal acquire.
+		cp := *h
+		cp.Flags &^= wire.FlagOverflow | wire.FlagBounced
+		s.acquire(&cp)
+		return
+	}
+	if !lo.buffering[b] && h.Flags&wire.FlagBounced == 0 {
+		// Possible stale mark racing our clear: bounce once as a push.
+		s.stats.Bounced++
+		p := *h
+		p.Op = wire.OpPush
+		p.Flags &^= wire.FlagOverflow
+		p.Flags |= wire.FlagBounced
+		s.emit(ActPush, p)
+		return
+	}
+	lo.buffering[b] = true
+	e := *h
+	e.Flags &^= wire.FlagOverflow | wire.FlagBounced
+	e.Op = wire.OpAcquire
+	lo.q2[b] = append(lo.q2[b], entry{hdr: e})
+	s.stats.Buffered++
+	if d := uint64(len(lo.q2[b])); d > lo.q2peak {
+		lo.q2peak = d
+	}
+}
+
+// pushNotify handles the switch's "q1 drained" signal: push up to the
+// advertised free slots from q2, marking the final push when q2 drains so
+// the switch leaves overflow mode.
+func (s *Server) pushNotify(h *wire.Header) {
+	lo, ok := s.locks[h.LockID]
+	b := s.bankFor(h.Priority)
+	free := h.LeaseNs // free q1 slots, as advertised by the switch
+	if !ok || lo.owned || free <= 0 {
+		return
+	}
+	q2 := lo.q2[b]
+	n := int64(len(q2))
+	if n > free {
+		n = free
+	}
+	for i := int64(0); i < n; i++ {
+		p := q2[i].hdr
+		p.Op = wire.OpPush
+		if i == n-1 && n == int64(len(q2)) && n < free {
+			// q2 drained and q1 will not be full: leave overflow mode.
+			p.Flags |= wire.FlagOverflow
+			lo.buffering[b] = false
+			s.stats.OvfClears++
+		}
+		s.stats.Pushed++
+		s.emit(ActPush, p)
+	}
+	lo.q2[b] = q2[n:]
+	if len(lo.q2[b]) == 0 && n == 0 {
+		// Nothing buffered at all: clear overflow mode with a control
+		// message carrying no request.
+		lo.buffering[b] = false
+		s.stats.OvfClears++
+		clear := *h
+		clear.Op = wire.OpPush
+		clear.TxnID = wire.TxnNone
+		clear.Flags = wire.FlagOverflow
+		s.emit(ActPush, clear)
+	}
+}

@@ -1,0 +1,132 @@
+package lockserver
+
+import (
+	"errors"
+	"testing"
+
+	"netlock/internal/wire"
+)
+
+// Tests for the pause-and-move protocol (§4.3: "NetLock pauses enqueuing
+// new requests of this lock and waits until the queue is empty").
+
+func TestTakeForSwitchImmediateWhenDrained(t *testing.T) {
+	s := newServer()
+	do(t, s, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	do(t, s, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	pushes, err := s.CtrlTakeForSwitch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pushes) != 0 {
+		t.Fatalf("drained lock should move with no buffered pushes: %v", pushes)
+	}
+	// Ownership transferred: subsequent requests are forwarded back.
+	emits := do(t, s, req(wire.OpAcquire, 1, 2, wire.Exclusive))
+	wantActions(t, emits, ActPush)
+}
+
+func TestTakeForSwitchPausesAndDrains(t *testing.T) {
+	s := newServer()
+	do(t, s, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	do(t, s, req(wire.OpAcquire, 1, 2, wire.Exclusive)) // waits
+	// Busy lock: the first call marks it moving.
+	if _, err := s.CtrlTakeForSwitch(1); !errors.Is(err, ErrNotDrained) {
+		t.Fatalf("err = %v, want ErrNotDrained", err)
+	}
+	// New acquires are now paused into the buffer, not enqueued.
+	wantActions(t, do(t, s, req(wire.OpAcquire, 1, 3, wire.Shared)))
+	if owned, buffered := s.CtrlQueueDepth(1); owned != 2 || buffered != 1 {
+		t.Fatalf("depths = owned %d buffered %d, want 2/1", owned, buffered)
+	}
+	// Releases drain the queue; the waiting request is granted normally.
+	emits := do(t, s, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	wantActions(t, emits, ActGrant)
+	if _, err := s.CtrlTakeForSwitch(1); !errors.Is(err, ErrNotDrained) {
+		t.Fatalf("still one holder: want ErrNotDrained")
+	}
+	do(t, s, req(wire.OpRelease, 1, 2, wire.Exclusive))
+	// Drained: the move completes and buffered requests come out as
+	// pushes in arrival order.
+	pushes, err := s.CtrlTakeForSwitch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pushes) != 1 || pushes[0].Op != wire.OpPush || pushes[0].TxnID != 3 {
+		t.Fatalf("pushes = %v", pushes)
+	}
+	if pushes[0].Mode != wire.Shared {
+		t.Fatalf("push lost the request mode")
+	}
+}
+
+func TestTakeForSwitchPreservesBufferOrder(t *testing.T) {
+	s := newServer()
+	do(t, s, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	s.CtrlTakeForSwitch(1) // moving
+	for txn := uint64(10); txn < 15; txn++ {
+		do(t, s, req(wire.OpAcquire, 1, txn, wire.Exclusive))
+	}
+	do(t, s, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	pushes, err := s.CtrlTakeForSwitch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pushes) != 5 {
+		t.Fatalf("pushes = %d, want 5", len(pushes))
+	}
+	for i, p := range pushes {
+		if p.TxnID != uint64(10+i) {
+			t.Fatalf("push order violated: %v", pushes)
+		}
+	}
+}
+
+func TestTakeForSwitchNotOwned(t *testing.T) {
+	s := newServer()
+	s.CtrlReleaseOwnership(1)
+	if _, err := s.CtrlTakeForSwitch(1); err == nil {
+		t.Fatalf("taking a non-owned lock should fail")
+	}
+}
+
+func TestAbortMoveResumesProcessing(t *testing.T) {
+	s := newServer()
+	do(t, s, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	s.CtrlTakeForSwitch(1) // moving
+	do(t, s, req(wire.OpAcquire, 1, 2, wire.Exclusive))
+	do(t, s, req(wire.OpAcquire, 1, 3, wire.Exclusive))
+	// Abort: buffered requests are processed as normal acquires, in order.
+	emits := s.CtrlAbortMove(1)
+	// Lock still held by txn 1, so both buffered requests queue silently.
+	if len(emits) != 0 {
+		t.Fatalf("emits = %v", emits)
+	}
+	if owned, buffered := s.CtrlQueueDepth(1); owned != 3 || buffered != 0 {
+		t.Fatalf("depths after abort = %d/%d, want 3/0", owned, buffered)
+	}
+	// Releasing grants them FIFO.
+	e := do(t, s, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	wantActions(t, e, ActGrant)
+	if e[0].Hdr.TxnID != 2 {
+		t.Fatalf("FIFO violated after abort: %v", e[0].Hdr)
+	}
+	// Abort when not moving is a no-op.
+	if got := s.CtrlAbortMove(1); got != nil {
+		t.Fatalf("abort of non-moving lock should be nil, got %v", got)
+	}
+}
+
+func TestAbortMoveGrantsWhenFree(t *testing.T) {
+	s := newServer()
+	do(t, s, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	s.CtrlTakeForSwitch(1)
+	do(t, s, req(wire.OpAcquire, 1, 2, wire.Exclusive)) // buffered
+	do(t, s, req(wire.OpRelease, 1, 1, wire.Exclusive)) // drains
+	emits := s.CtrlAbortMove(1)
+	// The buffered request is granted immediately on abort: the lock is free.
+	wantActions(t, emits, ActGrant)
+	if emits[0].Hdr.TxnID != 2 {
+		t.Fatalf("grant = %v", emits[0].Hdr)
+	}
+}

@@ -1,0 +1,212 @@
+// Package memalloc implements NetLock's switch-server memory management
+// (paper §4.3): deciding which locks live in the switch's limited register
+// memory and how many queue slots each gets.
+//
+// The optimization problem is:
+//
+//	maximize   Σ r_i · s_i / c_i
+//	subject to Σ s_i ≤ S,  s_i ≤ c_i
+//
+// where r_i is lock i's request rate, c_i its maximum contention (peak
+// concurrent requests), s_i the slots allocated in the switch, and S the
+// switch memory size. Allocating one slot to lock i is worth r_i/c_i, so the
+// greedy order by decreasing r_i/c_i (Algorithm 3) is optimal — the problem
+// is a fractional knapsack (Theorem 1).
+//
+// The package also provides the random-split strawman the paper compares
+// against (Figures 13 and 14b) and the layout step that turns slot counts
+// into concrete regions in the shared queue's pooled slot space.
+package memalloc
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Demand is one lock's measured workload over the last window.
+type Demand struct {
+	LockID uint32
+	// Rate is the lock's request rate r_i (requests/second).
+	Rate float64
+	// Contention is the maximum contention c_i: the peak number of
+	// concurrent requests observed or predicted for the lock. Must be >= 1
+	// for the lock to be placeable.
+	Contention uint64
+}
+
+// Allocation assigns switch queue slots to one lock.
+type Allocation struct {
+	LockID uint32
+	Slots  uint64
+}
+
+// Plan is the outcome of a memory allocation decision.
+type Plan struct {
+	// Switch lists the locks placed in switch memory with their slot
+	// counts, in allocation order.
+	Switch []Allocation
+	// Server lists the locks left entirely to the lock servers.
+	Server []uint32
+	// GuaranteedRate is the objective value Σ r_i·s_i/c_i: the request rate
+	// the switch is guaranteed to absorb even under maximum contention.
+	GuaranteedRate float64
+}
+
+// SwitchSlotsUsed returns the total slots consumed by the plan.
+func (p Plan) SwitchSlotsUsed() uint64 {
+	var sum uint64
+	for _, a := range p.Switch {
+		sum += a.Slots
+	}
+	return sum
+}
+
+// Knapsack computes the optimal allocation (Algorithm 3): locks are
+// considered in decreasing r_i/c_i order and each receives
+// min(remaining, c_i) slots. Locks with zero contention or zero allocated
+// slots go to the servers. The input slice is not modified.
+func Knapsack(demands []Demand, capacity uint64) Plan {
+	ds := make([]Demand, len(demands))
+	copy(ds, demands)
+	sort.SliceStable(ds, func(i, j int) bool {
+		return value(ds[i]) > value(ds[j])
+	})
+	return assign(ds, capacity)
+}
+
+// value is the per-slot worth r_i/c_i of a demand.
+func value(d Demand) float64 {
+	if d.Contention == 0 {
+		return 0
+	}
+	return d.Rate / float64(d.Contention)
+}
+
+// Random computes the strawman allocation used as the baseline in the
+// paper's Figures 13 and 14b: locks are considered in random order and
+// otherwise allocated identically. The input slice is not modified.
+func Random(demands []Demand, capacity uint64, rng *rand.Rand) Plan {
+	ds := make([]Demand, len(demands))
+	copy(ds, demands)
+	rng.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+	return assign(ds, capacity)
+}
+
+// assign walks demands in order, granting each min(available, c_i) slots.
+func assign(ds []Demand, capacity uint64) Plan {
+	var plan Plan
+	avail := capacity
+	for _, d := range ds {
+		if d.Contention == 0 || avail == 0 {
+			plan.Server = append(plan.Server, d.LockID)
+			continue
+		}
+		s := d.Contention
+		if s > avail {
+			s = avail
+		}
+		avail -= s
+		plan.Switch = append(plan.Switch, Allocation{LockID: d.LockID, Slots: s})
+		plan.GuaranteedRate += d.Rate * float64(s) / float64(d.Contention)
+	}
+	return plan
+}
+
+// Objective evaluates Σ r_i·s_i/c_i for an arbitrary allocation against the
+// given demands; used by tests and by the control loop to compare plans.
+func Objective(demands []Demand, alloc map[uint32]uint64) float64 {
+	var sum float64
+	for _, d := range demands {
+		if d.Contention == 0 {
+			continue
+		}
+		s := alloc[d.LockID]
+		if s > d.Contention {
+			s = d.Contention
+		}
+		sum += d.Rate * float64(s) / float64(d.Contention)
+	}
+	return sum
+}
+
+// ServersNeeded returns the number of lock servers required to guarantee the
+// workload given the plan (§4.3, performance guarantee): the residual rate
+// Σr_i − GuaranteedRate divided by the per-server rate, rounded up.
+func ServersNeeded(demands []Demand, plan Plan, serverRate float64) int {
+	if serverRate <= 0 {
+		panic("memalloc: non-positive server rate")
+	}
+	var total float64
+	for _, d := range demands {
+		total += d.Rate
+	}
+	residual := total - plan.GuaranteedRate
+	if residual <= 0 {
+		return 0
+	}
+	n := int(residual / serverRate)
+	if float64(n)*serverRate < residual {
+		n++
+	}
+	return n
+}
+
+// Region is a contiguous [Left, Right) slice of a bank's slot space,
+// mirroring switchdp.Region without importing it (memalloc stays dependency
+// free of the data plane).
+type Region struct {
+	Left, Right uint64
+}
+
+// Layout packs a plan's allocations into per-bank regions. Each lock's s_i
+// slots are spread across the banks (priority queues); every placed lock
+// receives at least one slot per bank, so locks whose allocation is smaller
+// than the bank count are demoted to the servers. Lock order follows the
+// plan (most valuable first), so if the per-bank space is exhausted the
+// least valuable locks are demoted.
+//
+// It returns the regions per placed lock and the IDs demoted to servers (in
+// addition to plan.Server).
+func Layout(plan Plan, banks int, bankSlots uint64) (map[uint32][]Region, []uint32) {
+	if banks <= 0 || bankSlots == 0 {
+		panic("memalloc: invalid layout geometry")
+	}
+	regions := make(map[uint32][]Region, len(plan.Switch))
+	var demoted []uint32
+	next := make([]uint64, banks) // next free slot per bank
+	for _, a := range plan.Switch {
+		if a.Slots < uint64(banks) {
+			demoted = append(demoted, a.LockID)
+			continue
+		}
+		per := a.Slots / uint64(banks)
+		extra := a.Slots % uint64(banks)
+		// Feasibility check first so a failed lock leaves no partial regions.
+		ok := true
+		for b := 0; b < banks; b++ {
+			sz := per
+			if uint64(b) < extra {
+				sz++
+			}
+			if next[b]+sz > bankSlots {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			demoted = append(demoted, a.LockID)
+			continue
+		}
+		rs := make([]Region, banks)
+		for b := 0; b < banks; b++ {
+			sz := per
+			if uint64(b) < extra {
+				sz++
+			}
+			rs[b] = Region{Left: next[b], Right: next[b] + sz}
+			next[b] += sz
+		}
+		regions[a.LockID] = rs
+	}
+	return regions, demoted
+}

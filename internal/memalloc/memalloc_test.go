@@ -1,0 +1,344 @@
+package memalloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnapsackPaperExample(t *testing.T) {
+	// Figure 7: lock 1 has two clients at 100 req/s each (r=200, c=2);
+	// lock 2 has one client at 10 req/s (r=10, c=1). With two switch
+	// slots, the optimal allocation gives both slots to lock 1.
+	demands := []Demand{
+		{LockID: 1, Rate: 200, Contention: 2},
+		{LockID: 2, Rate: 10, Contention: 1},
+	}
+	plan := Knapsack(demands, 2)
+	if len(plan.Switch) != 1 || plan.Switch[0].LockID != 1 || plan.Switch[0].Slots != 2 {
+		t.Fatalf("plan = %+v, want lock 1 with 2 slots", plan)
+	}
+	if len(plan.Server) != 1 || plan.Server[0] != 2 {
+		t.Fatalf("lock 2 should go to the server: %+v", plan)
+	}
+	if plan.GuaranteedRate != 200 {
+		t.Fatalf("guaranteed rate = %f, want 200", plan.GuaranteedRate)
+	}
+}
+
+func TestKnapsackCapsAtContention(t *testing.T) {
+	demands := []Demand{{LockID: 1, Rate: 100, Contention: 3}}
+	plan := Knapsack(demands, 100)
+	if plan.Switch[0].Slots != 3 {
+		t.Fatalf("slots = %d, want capped at c_i=3", plan.Switch[0].Slots)
+	}
+	if plan.SwitchSlotsUsed() != 3 {
+		t.Fatalf("slots used = %d", plan.SwitchSlotsUsed())
+	}
+}
+
+func TestKnapsackPartialLastLock(t *testing.T) {
+	demands := []Demand{
+		{LockID: 1, Rate: 100, Contention: 4}, // value 25
+		{LockID: 2, Rate: 40, Contention: 4},  // value 10
+	}
+	plan := Knapsack(demands, 6)
+	if len(plan.Switch) != 2 || plan.Switch[0].Slots != 4 || plan.Switch[1].Slots != 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	want := 100.0 + 40.0*2/4
+	if math.Abs(plan.GuaranteedRate-want) > 1e-9 {
+		t.Fatalf("rate = %f, want %f", plan.GuaranteedRate, want)
+	}
+}
+
+func TestKnapsackZeroContentionGoesToServer(t *testing.T) {
+	demands := []Demand{
+		{LockID: 1, Rate: 100, Contention: 0},
+		{LockID: 2, Rate: 1, Contention: 1},
+	}
+	plan := Knapsack(demands, 10)
+	if len(plan.Switch) != 1 || plan.Switch[0].LockID != 2 {
+		t.Fatalf("zero-contention lock must not be placed: %+v", plan)
+	}
+}
+
+func TestKnapsackDoesNotMutateInput(t *testing.T) {
+	demands := []Demand{
+		{LockID: 1, Rate: 1, Contention: 1},
+		{LockID: 2, Rate: 100, Contention: 1},
+	}
+	Knapsack(demands, 10)
+	if demands[0].LockID != 1 || demands[1].LockID != 2 {
+		t.Fatalf("input mutated: %+v", demands)
+	}
+}
+
+func TestRandomSameTotalDifferentOrder(t *testing.T) {
+	var demands []Demand
+	for i := uint32(1); i <= 50; i++ {
+		demands = append(demands, Demand{LockID: i, Rate: float64(i), Contention: 2})
+	}
+	rng := rand.New(rand.NewSource(1))
+	plan := Random(demands, 20, rng)
+	if plan.SwitchSlotsUsed() != 20 {
+		t.Fatalf("random plan should fill capacity: used %d", plan.SwitchSlotsUsed())
+	}
+	// With high probability the random plan is strictly worse than optimal.
+	opt := Knapsack(demands, 20)
+	if plan.GuaranteedRate > opt.GuaranteedRate {
+		t.Fatalf("random (%f) beat optimal (%f)", plan.GuaranteedRate, opt.GuaranteedRate)
+	}
+}
+
+// Exhaustive check of optimality on small instances: the greedy plan's
+// objective must match the best over all feasible integer allocations.
+func TestKnapsackOptimalExhaustive(t *testing.T) {
+	bruteBest := func(demands []Demand, capacity uint64) float64 {
+		best := 0.0
+		var rec func(i int, remaining uint64, acc float64)
+		rec = func(i int, remaining uint64, acc float64) {
+			if i == len(demands) {
+				if acc > best {
+					best = acc
+				}
+				return
+			}
+			d := demands[i]
+			maxS := d.Contention
+			if maxS > remaining {
+				maxS = remaining
+			}
+			for s := uint64(0); s <= maxS; s++ {
+				v := 0.0
+				if d.Contention > 0 {
+					v = d.Rate * float64(s) / float64(d.Contention)
+				}
+				rec(i+1, remaining-s, acc+v)
+			}
+		}
+		rec(0, capacity, 0)
+		return best
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		demands := make([]Demand, n)
+		for i := range demands {
+			demands[i] = Demand{
+				LockID:     uint32(i + 1),
+				Rate:       float64(rng.Intn(100) + 1),
+				Contention: uint64(rng.Intn(4) + 1),
+			}
+		}
+		capacity := uint64(rng.Intn(8))
+		got := Knapsack(demands, capacity).GuaranteedRate
+		want := bruteBest(demands, capacity)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: greedy=%f brute=%f demands=%+v cap=%d",
+				trial, got, want, demands, capacity)
+		}
+	}
+}
+
+// Property: the plan never exceeds capacity, never allocates more than c_i
+// to a lock, and every lock appears exactly once across Switch and Server.
+func TestPlanFeasibilityProperty(t *testing.T) {
+	f := func(raw []struct {
+		Rate uint16
+		Cont uint8
+	}, capRaw uint16) bool {
+		demands := make([]Demand, len(raw))
+		for i, r := range raw {
+			demands[i] = Demand{LockID: uint32(i + 1), Rate: float64(r.Rate), Contention: uint64(r.Cont % 8)}
+		}
+		capacity := uint64(capRaw % 64)
+		plan := Knapsack(demands, capacity)
+		if plan.SwitchSlotsUsed() > capacity {
+			return false
+		}
+		seen := map[uint32]bool{}
+		byID := map[uint32]Demand{}
+		for _, d := range demands {
+			byID[d.LockID] = d
+		}
+		for _, a := range plan.Switch {
+			if seen[a.LockID] || a.Slots == 0 || a.Slots > byID[a.LockID].Contention {
+				return false
+			}
+			seen[a.LockID] = true
+		}
+		for _, id := range plan.Server {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return len(seen) == len(demands)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: greedy dominates random for every instance (Theorem 1).
+func TestKnapsackDominatesRandomProperty(t *testing.T) {
+	f := func(seed int64, raw []struct {
+		Rate uint16
+		Cont uint8
+	}, capRaw uint16) bool {
+		demands := make([]Demand, len(raw))
+		for i, r := range raw {
+			demands[i] = Demand{LockID: uint32(i + 1), Rate: float64(r.Rate), Contention: uint64(r.Cont%8) + 1}
+		}
+		capacity := uint64(capRaw % 64)
+		opt := Knapsack(demands, capacity).GuaranteedRate
+		rnd := Random(demands, capacity, rand.New(rand.NewSource(seed))).GuaranteedRate
+		return opt >= rnd-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjective(t *testing.T) {
+	demands := []Demand{
+		{LockID: 1, Rate: 100, Contention: 4},
+		{LockID: 2, Rate: 10, Contention: 0},
+	}
+	got := Objective(demands, map[uint32]uint64{1: 2, 2: 5})
+	if got != 50 {
+		t.Fatalf("objective = %f, want 50", got)
+	}
+	// Slots above contention are clamped.
+	if Objective(demands, map[uint32]uint64{1: 100}) != 100 {
+		t.Fatalf("objective should clamp s_i at c_i")
+	}
+}
+
+func TestServersNeeded(t *testing.T) {
+	demands := []Demand{
+		{LockID: 1, Rate: 1000, Contention: 2},
+		{LockID: 2, Rate: 500, Contention: 2},
+	}
+	// Empty plan: all 1500 req/s on servers at 400 each -> 4 servers.
+	if got := ServersNeeded(demands, Plan{}, 400); got != 4 {
+		t.Fatalf("servers = %d, want 4", got)
+	}
+	// Full absorption: zero servers.
+	full := Knapsack(demands, 100)
+	if got := ServersNeeded(demands, full, 400); got != 0 {
+		t.Fatalf("servers = %d, want 0", got)
+	}
+	// Exact division should not round up.
+	if got := ServersNeeded(demands, Plan{GuaranteedRate: 700}, 400); got != 2 {
+		t.Fatalf("servers = %d, want 2", got)
+	}
+}
+
+func TestServersNeededPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	ServersNeeded(nil, Plan{}, 0)
+}
+
+func TestLayoutBasic(t *testing.T) {
+	plan := Plan{Switch: []Allocation{
+		{LockID: 1, Slots: 4},
+		{LockID: 2, Slots: 2},
+	}}
+	regions, demoted := Layout(plan, 2, 100)
+	if len(demoted) != 0 {
+		t.Fatalf("unexpected demotions: %v", demoted)
+	}
+	r1 := regions[1]
+	if r1[0] != (Region{0, 2}) || r1[1] != (Region{0, 2}) {
+		t.Fatalf("lock 1 regions = %+v", r1)
+	}
+	r2 := regions[2]
+	if r2[0] != (Region{2, 3}) || r2[1] != (Region{2, 3}) {
+		t.Fatalf("lock 2 regions = %+v", r2)
+	}
+}
+
+func TestLayoutUnevenSplit(t *testing.T) {
+	plan := Plan{Switch: []Allocation{{LockID: 1, Slots: 5}}}
+	regions, _ := Layout(plan, 2, 100)
+	r := regions[1]
+	if r[0].Right-r[0].Left+r[1].Right-r[1].Left != 5 {
+		t.Fatalf("split loses slots: %+v", r)
+	}
+	if r[0].Right-r[0].Left != 3 || r[1].Right-r[1].Left != 2 {
+		t.Fatalf("extra slot should go to earlier bank: %+v", r)
+	}
+}
+
+func TestLayoutDemotesTooSmall(t *testing.T) {
+	plan := Plan{Switch: []Allocation{{LockID: 1, Slots: 1}}}
+	regions, demoted := Layout(plan, 2, 100)
+	if len(regions) != 0 || len(demoted) != 1 || demoted[0] != 1 {
+		t.Fatalf("lock smaller than bank count must demote: %v %v", regions, demoted)
+	}
+}
+
+func TestLayoutDemotesOnBankExhaustion(t *testing.T) {
+	plan := Plan{Switch: []Allocation{
+		{LockID: 1, Slots: 8},
+		{LockID: 2, Slots: 4},
+	}}
+	regions, demoted := Layout(plan, 1, 10)
+	if _, ok := regions[1]; !ok {
+		t.Fatalf("lock 1 should fit")
+	}
+	if len(demoted) != 1 || demoted[0] != 2 {
+		t.Fatalf("lock 2 should demote on exhaustion: %v", demoted)
+	}
+}
+
+func TestLayoutPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Layout(Plan{}, 0, 10)
+}
+
+// Property: layout regions never overlap within a bank and never exceed the
+// bank size.
+func TestLayoutNonOverlapProperty(t *testing.T) {
+	f := func(sizes []uint8, banksRaw uint8, bankSlotsRaw uint16) bool {
+		banks := int(banksRaw%4) + 1
+		bankSlots := uint64(bankSlotsRaw%256) + 1
+		var plan Plan
+		for i, s := range sizes {
+			plan.Switch = append(plan.Switch, Allocation{LockID: uint32(i + 1), Slots: uint64(s % 32)})
+		}
+		regions, _ := Layout(plan, banks, bankSlots)
+		for b := 0; b < banks; b++ {
+			type iv struct{ l, r uint64 }
+			var ivs []iv
+			for _, rs := range regions {
+				if rs[b].Right > bankSlots || rs[b].Left >= rs[b].Right {
+					return false
+				}
+				ivs = append(ivs, iv{rs[b].Left, rs[b].Right})
+			}
+			for i := range ivs {
+				for j := i + 1; j < len(ivs); j++ {
+					if ivs[i].l < ivs[j].r && ivs[j].l < ivs[i].r {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

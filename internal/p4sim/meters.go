@@ -1,0 +1,113 @@
+package p4sim
+
+// Counter is an indexed packet/byte counter block, as exposed by P4
+// counters. NetLock's control plane uses counters to measure per-lock
+// request rates (r_i) and observed contention (c_i) that feed the memory
+// allocation algorithm (§4.3).
+//
+// Counters are written by the data plane and read/cleared by the control
+// plane; hardware counters do not have the single-access-per-pass
+// restriction of registers, so Counter.Inc takes no Ctx.
+type Counter struct {
+	name string
+	vals []uint64
+}
+
+// NewCounter allocates a counter block with size cells.
+func NewCounter(name string, size int) *Counter {
+	if size <= 0 {
+		panic("p4sim: non-positive counter size")
+	}
+	return &Counter{name: name, vals: make([]uint64, size)}
+}
+
+// Name returns the counter block's name.
+func (c *Counter) Name() string { return c.name }
+
+// Size returns the number of cells.
+func (c *Counter) Size() int { return len(c.vals) }
+
+// Inc adds n to cell idx.
+func (c *Counter) Inc(idx int, n uint64) { c.vals[idx] += n }
+
+// CtrlRead returns cell idx.
+func (c *Counter) CtrlRead(idx int) uint64 { return c.vals[idx] }
+
+// CtrlClear zeroes cell idx and returns its previous value, as the control
+// plane does when closing a measurement window.
+func (c *Counter) CtrlClear(idx int) uint64 {
+	v := c.vals[idx]
+	c.vals[idx] = 0
+	return v
+}
+
+// Meter is an indexed token-bucket rate limiter, as exposed by P4 meters.
+// NetLock uses meters to enforce per-tenant quotas for the performance
+// isolation policy (§4.4).
+//
+// The meter is single-rate two-color: a packet is green (conforming) if a
+// token is available, red otherwise. Time is supplied by the caller in
+// nanoseconds so the meter works identically in virtual and real time.
+type Meter struct {
+	name string
+	// ratePerSec is tokens added per second per cell.
+	ratePerSec []float64
+	burst      []float64
+	tokens     []float64
+	lastNs     []int64
+}
+
+// NewMeter allocates a meter block with size cells. Each cell must be
+// configured with CtrlSetRate before it will pass traffic.
+func NewMeter(name string, size int) *Meter {
+	if size <= 0 {
+		panic("p4sim: non-positive meter size")
+	}
+	return &Meter{
+		name:       name,
+		ratePerSec: make([]float64, size),
+		burst:      make([]float64, size),
+		tokens:     make([]float64, size),
+		lastNs:     make([]int64, size),
+	}
+}
+
+// Name returns the meter block's name.
+func (m *Meter) Name() string { return m.name }
+
+// Size returns the number of cells.
+func (m *Meter) Size() int { return len(m.vals()) }
+
+func (m *Meter) vals() []float64 { return m.tokens }
+
+// CtrlSetRate configures cell idx with a sustained rate (packets/second) and
+// a burst allowance (packets). The bucket starts full.
+func (m *Meter) CtrlSetRate(idx int, perSec float64, burst float64) {
+	if perSec < 0 || burst <= 0 {
+		panic("p4sim: invalid meter configuration")
+	}
+	m.ratePerSec[idx] = perSec
+	m.burst[idx] = burst
+	m.tokens[idx] = burst
+}
+
+// Conforming consumes one token from cell idx at time nowNs and reports
+// whether the packet is green. An unconfigured cell always reports red.
+func (m *Meter) Conforming(idx int, nowNs int64) bool {
+	if m.ratePerSec[idx] == 0 && m.burst[idx] == 0 {
+		return false
+	}
+	elapsed := nowNs - m.lastNs[idx]
+	if elapsed > 0 {
+		m.tokens[idx] += float64(elapsed) / 1e9 * m.ratePerSec[idx]
+		if m.tokens[idx] > m.burst[idx] {
+			m.tokens[idx] = m.burst[idx]
+		}
+		m.lastNs[idx] = nowNs
+	}
+	if m.tokens[idx] >= 1 {
+		m.tokens[idx]--
+		return true
+	}
+	return false
+}

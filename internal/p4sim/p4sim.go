@@ -1,0 +1,223 @@
+// Package p4sim models the programmable switch data plane that NetLock is
+// compiled to (Barefoot Tofino class, programmed in P4).
+//
+// The model is deliberately constrained to what the hardware can do, because
+// NetLock's data-plane algorithms (paper §4.2) are shaped by exactly these
+// constraints:
+//
+//   - State lives in register arrays, each bound to one pipeline stage.
+//   - A packet traverses stages strictly in order; it may access each
+//     register array at most once per traversal, and only with a single
+//     read-modify-write (the stateful ALU executes one update function per
+//     crossing).
+//   - The only way to touch the same state again is to resubmit the packet
+//     to the start of the pipeline, carrying packet metadata across passes.
+//   - Per-stage memory is limited; arrays must fit their stage's budget.
+//
+// Violations are reported as panics: they correspond to P4 programs that
+// would not compile or load, i.e. programmer errors, not runtime conditions.
+//
+// The model is untimed; callers (internal/cluster) impose line-rate service
+// times externally. It is not safe for concurrent use — a hardware pipeline
+// processes packets one at a time per pipe, and the simulation preserves
+// that serialization.
+package p4sim
+
+import "fmt"
+
+// Config sets the resource envelope of a pipeline, mirroring a Tofino-class
+// switch: a fixed number of match-action stages and a per-stage register
+// memory budget measured in 64-bit slots.
+type Config struct {
+	// Stages is the number of match-action stages (Tofino: 12 per pipe).
+	Stages int
+	// StageSlots is the register memory budget per stage in 64-bit slots.
+	StageSlots int
+	// MaxResubmits bounds pipeline passes per packet; a resubmit loop beyond
+	// this indicates a broken program and panics.
+	MaxResubmits int
+}
+
+// DefaultConfig matches the prototype in the paper: 12 stages, enough
+// register budget per stage for the 100K-slot shared queue plus bookkeeping.
+func DefaultConfig() Config {
+	return Config{Stages: 12, StageSlots: 64 * 1024, MaxResubmits: 64}
+}
+
+// Pipeline is one switch pipe: an ordered set of stages holding register
+// arrays, processing one packet at a time with an enforced access
+// discipline.
+type Pipeline struct {
+	cfg       Config
+	arrays    []*RegisterArray
+	stageUsed []int // slots allocated per stage
+	pass      uint64
+	passes    uint64 // total passes processed (for resubmit accounting)
+	packets   uint64 // total packets processed
+}
+
+// NewPipeline creates a pipeline with the given resources.
+func NewPipeline(cfg Config) *Pipeline {
+	if cfg.Stages <= 0 || cfg.StageSlots <= 0 || cfg.MaxResubmits <= 0 {
+		panic("p4sim: invalid pipeline config")
+	}
+	return &Pipeline{cfg: cfg, stageUsed: make([]int, cfg.Stages)}
+}
+
+// Config returns the pipeline's resource envelope.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// StageFree returns the unallocated register slots in a stage.
+func (p *Pipeline) StageFree(stage int) int {
+	return p.cfg.StageSlots - p.stageUsed[stage]
+}
+
+// Packets returns the number of packets processed (excluding resubmit
+// passes).
+func (p *Pipeline) Packets() uint64 { return p.packets }
+
+// Passes returns the number of pipeline traversals, counting each resubmit.
+// Passes/Packets is the resubmit amplification factor reported in the
+// ablation benchmarks.
+func (p *Pipeline) Passes() uint64 { return p.passes }
+
+// RegisterArray is stateful per-stage memory: a fixed array of 64-bit
+// values, readable and writable once per pipeline pass via a Ctx, and freely
+// accessible from the control plane (which runs asynchronously over PCIe and
+// carries no per-pass constraint).
+type RegisterArray struct {
+	name     string
+	stage    int
+	vals     []uint64
+	lastPass uint64
+	pipe     *Pipeline
+}
+
+// AllocArray allocates a register array in a stage. It panics if the stage
+// is out of range or the stage's memory budget is exceeded — both are
+// compile/load-time errors on real hardware.
+func (p *Pipeline) AllocArray(name string, stage, size int) *RegisterArray {
+	if stage < 0 || stage >= p.cfg.Stages {
+		panic(fmt.Sprintf("p4sim: array %q: stage %d out of range [0,%d)", name, stage, p.cfg.Stages))
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("p4sim: array %q: non-positive size %d", name, size))
+	}
+	if p.stageUsed[stage]+size > p.cfg.StageSlots {
+		panic(fmt.Sprintf("p4sim: array %q: stage %d budget exceeded (%d used + %d > %d)",
+			name, stage, p.stageUsed[stage], size, p.cfg.StageSlots))
+	}
+	p.stageUsed[stage] += size
+	a := &RegisterArray{name: name, stage: stage, vals: make([]uint64, size), pipe: p}
+	p.arrays = append(p.arrays, a)
+	return a
+}
+
+// Name returns the array's name.
+func (a *RegisterArray) Name() string { return a.name }
+
+// Stage returns the stage the array is bound to.
+func (a *RegisterArray) Stage() int { return a.stage }
+
+// Size returns the number of slots.
+func (a *RegisterArray) Size() int { return len(a.vals) }
+
+// Ctx is the per-pass execution context handed to a data-plane program. It
+// enforces the access discipline and carries the resubmit request.
+//
+// Packet metadata that must survive a resubmit (the paper's meta.flag,
+// meta.mode, meta.pointer in Algorithm 2) lives in the program's own packet
+// struct; Ctx only tracks what the hardware enforces.
+type Ctx struct {
+	pipe      *Pipeline
+	stageAt   int // highest stage accessed so far this pass
+	resubmit  bool
+	passIndex int // 0 for the first pass
+}
+
+// PassIndex returns the number of resubmits that preceded this pass (0 on
+// first traversal).
+func (c *Ctx) PassIndex() int { return c.passIndex }
+
+// Resubmit requests that the packet re-enter the pipeline after this pass.
+func (c *Ctx) Resubmit() { c.resubmit = true }
+
+func (a *RegisterArray) checkAccess(c *Ctx, idx int) {
+	if c.pipe != a.pipe {
+		panic(fmt.Sprintf("p4sim: array %q accessed from foreign pipeline", a.name))
+	}
+	if idx < 0 || idx >= len(a.vals) {
+		panic(fmt.Sprintf("p4sim: array %q index %d out of range [0,%d)", a.name, idx, len(a.vals)))
+	}
+	if a.lastPass == a.pipe.pass {
+		panic(fmt.Sprintf("p4sim: array %q accessed twice in one pass (stage %d)", a.name, a.stage))
+	}
+	if a.stage < c.stageAt {
+		panic(fmt.Sprintf("p4sim: array %q in stage %d accessed after stage %d — packets traverse stages in order",
+			a.name, a.stage, c.stageAt))
+	}
+	a.lastPass = a.pipe.pass
+	c.stageAt = a.stage
+}
+
+// Read returns the value at idx. This consumes the array's single access for
+// the pass.
+func (a *RegisterArray) Read(c *Ctx, idx int) uint64 {
+	a.checkAccess(c, idx)
+	return a.vals[idx]
+}
+
+// Write stores v at idx. This consumes the array's single access for the
+// pass.
+func (a *RegisterArray) Write(c *Ctx, idx int, v uint64) {
+	a.checkAccess(c, idx)
+	a.vals[idx] = v
+}
+
+// ReadModifyWrite applies f atomically to the value at idx and returns the
+// previous value. Like the Tofino stateful ALU, this is a single crossing:
+// it consumes the array's single access for the pass.
+func (a *RegisterArray) ReadModifyWrite(c *Ctx, idx int, f func(uint64) uint64) uint64 {
+	a.checkAccess(c, idx)
+	old := a.vals[idx]
+	a.vals[idx] = f(old)
+	return old
+}
+
+// CtrlRead reads idx from the control plane, outside any pass.
+func (a *RegisterArray) CtrlRead(idx int) uint64 { return a.vals[idx] }
+
+// CtrlWrite writes idx from the control plane, outside any pass.
+func (a *RegisterArray) CtrlWrite(idx int, v uint64) { a.vals[idx] = v }
+
+// CtrlSnapshot copies the whole array, as the control plane does when
+// polling for expired leases (§4.5).
+func (a *RegisterArray) CtrlSnapshot(dst []uint64) []uint64 {
+	return append(dst[:0], a.vals...)
+}
+
+// Program is a data-plane program: one packet traversal. The packet is
+// whatever struct the program operates on; programs keep per-packet metadata
+// (PHV fields) inside it across resubmits.
+type Program func(c *Ctx)
+
+// Process runs one packet through the pipeline, honoring resubmits. It
+// returns the number of passes taken. Process panics if the program
+// resubmits more than MaxResubmits times.
+func (p *Pipeline) Process(prog Program) int {
+	p.packets++
+	passes := 0
+	for {
+		p.pass++
+		p.passes++
+		c := &Ctx{pipe: p, passIndex: passes}
+		prog(c)
+		passes++
+		if !c.resubmit {
+			return passes
+		}
+		if passes > p.cfg.MaxResubmits {
+			panic(fmt.Sprintf("p4sim: packet exceeded %d resubmits", p.cfg.MaxResubmits))
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package rdma
+
+import (
+	"testing"
+
+	"netlock/internal/eventsim"
+)
+
+func TestMemoryLocalAccess(t *testing.T) {
+	m := NewMemory(4)
+	if m.Size() != 4 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	m.Store(2, 99)
+	if m.Load(2) != 99 {
+		t.Fatalf("load = %d", m.Load(2))
+	}
+}
+
+func TestMemoryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewMemory(0)
+}
+
+func TestFetchAdd(t *testing.T) {
+	var eng eventsim.Engine
+	nic := NewNIC(&eng, Config{AtomicNs: 100, ReadWriteNs: 10})
+	mem := NewMemory(1)
+	var olds []uint64
+	nic.FetchAdd(mem, 0, 5, func(old uint64) { olds = append(olds, old) })
+	nic.FetchAdd(mem, 0, 5, func(old uint64) { olds = append(olds, old) })
+	eng.Run()
+	if len(olds) != 2 || olds[0] != 0 || olds[1] != 5 {
+		t.Fatalf("olds = %v", olds)
+	}
+	if mem.Load(0) != 10 {
+		t.Fatalf("final = %d", mem.Load(0))
+	}
+	// Atomics serialize at 100ns each.
+	if eng.Now() != 200 {
+		t.Fatalf("completion time = %d, want 200", eng.Now())
+	}
+}
+
+func TestCompareSwap(t *testing.T) {
+	var eng eventsim.Engine
+	nic := NewNIC(&eng, DefaultConfig())
+	mem := NewMemory(1)
+	var results []bool
+	nic.CompareSwap(mem, 0, 0, 42, func(_ uint64, ok bool) { results = append(results, ok) })
+	nic.CompareSwap(mem, 0, 0, 43, func(_ uint64, ok bool) { results = append(results, ok) })
+	nic.CompareSwap(mem, 0, 42, 44, func(_ uint64, ok bool) { results = append(results, ok) })
+	eng.Run()
+	if len(results) != 3 || !results[0] || results[1] || !results[2] {
+		t.Fatalf("CAS results = %v", results)
+	}
+	if mem.Load(0) != 44 {
+		t.Fatalf("final = %d", mem.Load(0))
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	var eng eventsim.Engine
+	nic := NewNIC(&eng, DefaultConfig())
+	mem := NewMemory(2)
+	var got uint64
+	nic.Write(mem, 1, 7, func() {})
+	nic.Read(mem, 1, func(v uint64) { got = v })
+	eng.Run()
+	if got != 7 {
+		t.Fatalf("read = %d", got)
+	}
+	st := nic.Stats()
+	if st.ReadWrites != 2 || st.Atomics != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAtomicAndRWIndependentStations(t *testing.T) {
+	var eng eventsim.Engine
+	nic := NewNIC(&eng, Config{AtomicNs: 1000, ReadWriteNs: 10})
+	mem := NewMemory(1)
+	var readAt, faAt int64
+	nic.FetchAdd(mem, 0, 1, func(uint64) { faAt = eng.Now() })
+	nic.Read(mem, 0, func(uint64) { readAt = eng.Now() })
+	eng.Run()
+	if readAt != 10 || faAt != 1000 {
+		t.Fatalf("read at %d (want 10), FA at %d (want 1000)", readAt, faAt)
+	}
+}
+
+func TestBacklog(t *testing.T) {
+	var eng eventsim.Engine
+	nic := NewNIC(&eng, Config{AtomicNs: 100, ReadWriteNs: 10})
+	mem := NewMemory(1)
+	for i := 0; i < 5; i++ {
+		nic.FetchAdd(mem, 0, 1, func(uint64) {})
+	}
+	if nic.Backlog() != 500 {
+		t.Fatalf("backlog = %d, want 500", nic.Backlog())
+	}
+	eng.Run()
+	if nic.Backlog() != 0 {
+		t.Fatalf("backlog after drain = %d", nic.Backlog())
+	}
+}
+
+func TestNICConfigValidation(t *testing.T) {
+	var eng eventsim.Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewNIC(&eng, Config{AtomicNs: -1})
+}

@@ -1,0 +1,335 @@
+// Package sharedqueue implements NetLock's shared queue data structure
+// (paper §4.2, Figure 5): multiple register arrays — possibly in different
+// pipeline stages — pooled into one large logical slot space, with each lock
+// owning a contiguous, runtime-adjustable region [left, right) used as a
+// circular queue of its pending requests.
+//
+// Register arrays natively support only indexed access, so the queue is
+// built from:
+//
+//   - boundary registers (left, right) per queue, adjustable by the control
+//     plane without reloading the data plane;
+//   - monotone head and tail counters per queue; a counter value ctr maps to
+//     global slot index left + (ctr mod (right-left));
+//   - an occupancy counter (conditionally incremented on enqueue, so a full
+//     queue rejects the request in-pass) and an exclusive-entry counter used
+//     by the grant rule "queue holds no exclusive requests";
+//   - three parallel slot planes (addressing metadata, transaction ID, lease)
+//     so that one logical 20-byte slot is one access to each plane per pass.
+//
+// The package provides the storage operations only; Algorithm 2 — which
+// passes do what, and when to resubmit — lives in internal/switchdp, exactly
+// as the paper splits storage (shared queue) from processing (match-action
+// tables).
+//
+// Stage-layout discipline: results of a register access can only feed the
+// predicate of an access in a strictly later stage. Callers configure the
+// metadata arrays in dependency order: bounds < count < excl < head < tail <
+// slot planes. The constructor rejects layouts violating this order.
+package sharedqueue
+
+import (
+	"fmt"
+
+	"netlock/internal/p4sim"
+)
+
+// Slot is the logical content of one queue slot: the request's mode, the
+// addressing information needed to grant the lock later, and the lease.
+type Slot struct {
+	Exclusive bool
+	// OneRTT records that the request asked for grant-to-database-server
+	// forwarding (the paper's one-RTT transaction mode, §4.1).
+	OneRTT   bool
+	Tenant   uint8
+	Priority uint8
+	ClientIP uint32
+	TxnID    uint64
+	LeaseNs  int64
+}
+
+func packMeta(s Slot) uint64 {
+	v := uint64(s.ClientIP) | uint64(s.Tenant)<<32 | uint64(s.Priority)<<40
+	if s.Exclusive {
+		v |= 1 << 48
+	}
+	if s.OneRTT {
+		v |= 1 << 49
+	}
+	return v
+}
+
+func unpackMeta(v uint64, s *Slot) {
+	s.ClientIP = uint32(v)
+	s.Tenant = uint8(v >> 32)
+	s.Priority = uint8(v >> 40)
+	s.Exclusive = v&(1<<48) != 0
+	s.OneRTT = v&(1<<49) != 0
+}
+
+// ArraySpec places one block of slot storage in a pipeline stage.
+type ArraySpec struct {
+	Stage int
+	Size  int
+}
+
+// MetaStages assigns pipeline stages to the per-queue metadata arrays, in
+// dependency order.
+type MetaStages struct {
+	Bounds int // left and right boundary arrays
+	Count  int // occupancy counter (conditional increment)
+	Excl   int // exclusive-entry counter
+	Head   int // monotone head counter
+	Tail   int // monotone tail counter
+}
+
+// Config describes one shared queue instance.
+type Config struct {
+	// Name prefixes register array names for diagnostics.
+	Name string
+	// MaxQueues is the number of lock queues the metadata arrays support,
+	// i.e. the maximum number of locks resident in the switch.
+	MaxQueues int
+	// Meta assigns stages to metadata arrays.
+	Meta MetaStages
+	// Slots lists the register arrays pooled into the slot space. All slot
+	// stages must be strictly after Meta.Tail.
+	Slots []ArraySpec
+}
+
+// Queues is a shared queue instance living in a pipeline.
+type Queues struct {
+	pipe  *p4sim.Pipeline
+	left  *p4sim.RegisterArray
+	right *p4sim.RegisterArray
+	count *p4sim.RegisterArray
+	excl  *p4sim.RegisterArray
+	head  *p4sim.RegisterArray
+	tail  *p4sim.RegisterArray
+
+	planeMeta  []*p4sim.RegisterArray
+	planeTxn   []*p4sim.RegisterArray
+	planeLease []*p4sim.RegisterArray
+	// bounds[i] is the global index of the first slot in block i;
+	// bounds[len] is the total slot count.
+	bounds []int
+}
+
+// New allocates a shared queue in the pipeline. It panics on invalid
+// configuration (a load-time error on hardware).
+func New(pipe *p4sim.Pipeline, cfg Config) *Queues {
+	if cfg.MaxQueues <= 0 {
+		panic("sharedqueue: MaxQueues must be positive")
+	}
+	if len(cfg.Slots) == 0 {
+		panic("sharedqueue: no slot arrays configured")
+	}
+	m := cfg.Meta
+	if !(m.Bounds < m.Count && m.Count < m.Excl && m.Excl < m.Head && m.Head < m.Tail) {
+		panic("sharedqueue: metadata stages must be in dependency order bounds<count<excl<head<tail")
+	}
+	q := &Queues{pipe: pipe}
+	n := cfg.MaxQueues
+	q.left = pipe.AllocArray(cfg.Name+".left", m.Bounds, n)
+	q.right = pipe.AllocArray(cfg.Name+".right", m.Bounds, n)
+	q.count = pipe.AllocArray(cfg.Name+".count", m.Count, n)
+	q.excl = pipe.AllocArray(cfg.Name+".excl", m.Excl, n)
+	q.head = pipe.AllocArray(cfg.Name+".head", m.Head, n)
+	q.tail = pipe.AllocArray(cfg.Name+".tail", m.Tail, n)
+	total := 0
+	for i, spec := range cfg.Slots {
+		if spec.Stage <= m.Tail {
+			panic(fmt.Sprintf("sharedqueue: slot block %d in stage %d must be after tail stage %d",
+				i, spec.Stage, m.Tail))
+		}
+		q.bounds = append(q.bounds, total)
+		q.planeMeta = append(q.planeMeta, pipe.AllocArray(fmt.Sprintf("%s.slot%d.meta", cfg.Name, i), spec.Stage, spec.Size))
+		q.planeTxn = append(q.planeTxn, pipe.AllocArray(fmt.Sprintf("%s.slot%d.txn", cfg.Name, i), spec.Stage, spec.Size))
+		q.planeLease = append(q.planeLease, pipe.AllocArray(fmt.Sprintf("%s.slot%d.lease", cfg.Name, i), spec.Stage, spec.Size))
+		total += spec.Size
+	}
+	q.bounds = append(q.bounds, total)
+	return q
+}
+
+// TotalSlots returns the pooled slot capacity.
+func (q *Queues) TotalSlots() int { return q.bounds[len(q.bounds)-1] }
+
+// MaxQueues returns the number of supported lock queues.
+func (q *Queues) MaxQueues() int { return q.left.Size() }
+
+// block locates the slot block containing global index g.
+func (q *Queues) block(g int) int {
+	for i := 0; i < len(q.bounds)-1; i++ {
+		if g < q.bounds[i+1] {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("sharedqueue: global slot index %d out of range [0,%d)", g, q.TotalSlots()))
+}
+
+// SlotIndex maps a queue's monotone counter value to the global slot index,
+// applying the circular wrap within [left, left+cap).
+func SlotIndex(left, capacity, ctr uint64) int {
+	if capacity == 0 {
+		panic("sharedqueue: zero-capacity region")
+	}
+	return int(left + ctr%capacity)
+}
+
+// --- Data-plane operations (one register access per array per pass) ---
+
+// Bounds reads the queue's region boundaries. One access each to the left
+// and right arrays.
+func (q *Queues) Bounds(c *p4sim.Ctx, qi int) (left, right uint64) {
+	return q.left.Read(c, qi), q.right.Read(c, qi)
+}
+
+// CondIncCount increments the occupancy counter if it is below capacity,
+// returning the previous value and whether the increment happened. This is
+// the stateful-ALU conditional update that makes enqueue-if-space a single
+// crossing.
+func (q *Queues) CondIncCount(c *p4sim.Ctx, qi int, capacity uint64) (old uint64, won bool) {
+	old = q.count.ReadModifyWrite(c, qi, func(v uint64) uint64 {
+		if v < capacity {
+			return v + 1
+		}
+		return v
+	})
+	return old, old < capacity
+}
+
+// CondDecCount decrements the occupancy counter if positive, returning the
+// previous value and whether the decrement happened.
+func (q *Queues) CondDecCount(c *p4sim.Ctx, qi int) (old uint64, ok bool) {
+	old = q.count.ReadModifyWrite(c, qi, func(v uint64) uint64 {
+		if v > 0 {
+			return v - 1
+		}
+		return v
+	})
+	return old, old > 0
+}
+
+// ReadCount reads the occupancy counter without modifying it.
+func (q *Queues) ReadCount(c *p4sim.Ctx, qi int) uint64 { return q.count.Read(c, qi) }
+
+// IncExcl increments the exclusive-entry counter and returns the previous
+// value.
+func (q *Queues) IncExcl(c *p4sim.Ctx, qi int) uint64 {
+	return q.excl.ReadModifyWrite(c, qi, func(v uint64) uint64 { return v + 1 })
+}
+
+// DecExcl decrements the exclusive-entry counter (clamped at zero) and
+// returns the previous value.
+func (q *Queues) DecExcl(c *p4sim.Ctx, qi int) uint64 {
+	return q.excl.ReadModifyWrite(c, qi, func(v uint64) uint64 {
+		if v > 0 {
+			return v - 1
+		}
+		return v
+	})
+}
+
+// ReadExcl reads the exclusive-entry counter.
+func (q *Queues) ReadExcl(c *p4sim.Ctx, qi int) uint64 { return q.excl.Read(c, qi) }
+
+// IncHead advances the head counter and returns its previous value.
+func (q *Queues) IncHead(c *p4sim.Ctx, qi int) uint64 {
+	return q.head.ReadModifyWrite(c, qi, func(v uint64) uint64 { return v + 1 })
+}
+
+// ReadHead reads the head counter.
+func (q *Queues) ReadHead(c *p4sim.Ctx, qi int) uint64 { return q.head.Read(c, qi) }
+
+// IncTail advances the tail counter and returns its previous value — the
+// counter of the slot just claimed.
+func (q *Queues) IncTail(c *p4sim.Ctx, qi int) uint64 {
+	return q.tail.ReadModifyWrite(c, qi, func(v uint64) uint64 { return v + 1 })
+}
+
+// WriteSlot stores s at global slot index g: one access to each plane.
+func (q *Queues) WriteSlot(c *p4sim.Ctx, g int, s Slot) {
+	b := q.block(g)
+	off := g - q.bounds[b]
+	q.planeMeta[b].Write(c, off, packMeta(s))
+	q.planeTxn[b].Write(c, off, s.TxnID)
+	q.planeLease[b].Write(c, off, uint64(s.LeaseNs))
+}
+
+// ReadSlot loads the slot at global index g: one access to each plane.
+func (q *Queues) ReadSlot(c *p4sim.Ctx, g int) Slot {
+	b := q.block(g)
+	off := g - q.bounds[b]
+	var s Slot
+	unpackMeta(q.planeMeta[b].Read(c, off), &s)
+	s.TxnID = q.planeTxn[b].Read(c, off)
+	s.LeaseNs = int64(q.planeLease[b].Read(c, off))
+	return s
+}
+
+// --- Control-plane operations ---
+
+// State is a control-plane snapshot of one queue's registers.
+type State struct {
+	Left, Right uint64
+	Count       uint64
+	Excl        uint64
+	Head, Tail  uint64
+}
+
+// Capacity returns the region size.
+func (s State) Capacity() uint64 { return s.Right - s.Left }
+
+// CtrlSetRegion assigns the region [left, right) to queue qi and resets its
+// counters. The control plane must have drained the queue first (§4.3,
+// "moving locks").
+func (q *Queues) CtrlSetRegion(qi int, left, right uint64) {
+	if right < left || right > uint64(q.TotalSlots()) {
+		panic(fmt.Sprintf("sharedqueue: invalid region [%d,%d) of %d slots", left, right, q.TotalSlots()))
+	}
+	q.left.CtrlWrite(qi, left)
+	q.right.CtrlWrite(qi, right)
+	q.count.CtrlWrite(qi, 0)
+	q.excl.CtrlWrite(qi, 0)
+	q.head.CtrlWrite(qi, 0)
+	q.tail.CtrlWrite(qi, 0)
+}
+
+// CtrlState reads all metadata registers of queue qi.
+func (q *Queues) CtrlState(qi int) State {
+	return State{
+		Left:  q.left.CtrlRead(qi),
+		Right: q.right.CtrlRead(qi),
+		Count: q.count.CtrlRead(qi),
+		Excl:  q.excl.CtrlRead(qi),
+		Head:  q.head.CtrlRead(qi),
+		Tail:  q.tail.CtrlRead(qi),
+	}
+}
+
+// CtrlReadSlot reads a slot from the control plane (lease polling).
+func (q *Queues) CtrlReadSlot(g int) Slot {
+	b := q.block(g)
+	off := g - q.bounds[b]
+	var s Slot
+	unpackMeta(q.planeMeta[b].CtrlRead(off), &s)
+	s.TxnID = q.planeTxn[b].CtrlRead(off)
+	s.LeaseNs = int64(q.planeLease[b].CtrlRead(off))
+	return s
+}
+
+// CtrlQueueSlots returns the occupied slots of queue qi in FIFO order,
+// head first — used when draining a queue to move a lock.
+func (q *Queues) CtrlQueueSlots(qi int) []Slot {
+	st := q.CtrlState(qi)
+	if st.Capacity() == 0 {
+		return nil
+	}
+	out := make([]Slot, 0, st.Count)
+	for k := uint64(0); k < st.Count; k++ {
+		g := SlotIndex(st.Left, st.Capacity(), st.Head+k)
+		out = append(out, q.CtrlReadSlot(g))
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package sharedqueue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netlock/internal/p4sim"
+)
+
+func testQueues(t testing.TB) (*p4sim.Pipeline, *Queues) {
+	pipe := p4sim.NewPipeline(p4sim.Config{Stages: 12, StageSlots: 4096, MaxResubmits: 64})
+	q := New(pipe, Config{
+		Name:      "lk",
+		MaxQueues: 16,
+		Meta:      MetaStages{Bounds: 0, Count: 1, Excl: 2, Head: 3, Tail: 4},
+		Slots: []ArraySpec{
+			{Stage: 5, Size: 32},
+			{Stage: 6, Size: 32},
+		},
+	})
+	return pipe, q
+}
+
+// enqueue runs one enqueue pass: bounds, conditional count increment, tail
+// advance, slot write. Returns whether the slot was claimed.
+func enqueue(pipe *p4sim.Pipeline, q *Queues, qi int, s Slot) (won bool) {
+	pipe.Process(func(c *p4sim.Ctx) {
+		l, r := q.Bounds(c, qi)
+		_, ok := q.CondIncCount(c, qi, r-l)
+		if !ok {
+			won = false
+			return
+		}
+		if s.Exclusive {
+			q.IncExcl(c, qi)
+		}
+		ctr := q.IncTail(c, qi)
+		q.WriteSlot(c, SlotIndex(l, r-l, ctr), s)
+		won = true
+	})
+	return won
+}
+
+// dequeue runs one dequeue pass and returns the released slot.
+func dequeue(pipe *p4sim.Pipeline, q *Queues, qi int) (Slot, bool) {
+	var out Slot
+	var ok bool
+	pipe.Process(func(c *p4sim.Ctx) {
+		l, r := q.Bounds(c, qi)
+		_, deq := q.CondDecCount(c, qi)
+		if !deq {
+			return
+		}
+		ctr := q.IncHead(c, qi)
+		out = q.ReadSlot(c, SlotIndex(l, r-l, ctr))
+		ok = true
+	})
+	return out, ok
+}
+
+func TestConfigValidation(t *testing.T) {
+	pipe := p4sim.NewPipeline(p4sim.Config{Stages: 12, StageSlots: 4096, MaxResubmits: 8})
+	for name, cfg := range map[string]Config{
+		"no queues":      {MaxQueues: 0, Meta: MetaStages{0, 1, 2, 3, 4}, Slots: []ArraySpec{{5, 8}}},
+		"no slots":       {MaxQueues: 4, Meta: MetaStages{0, 1, 2, 3, 4}},
+		"bad meta order": {MaxQueues: 4, Meta: MetaStages{0, 2, 1, 3, 4}, Slots: []ArraySpec{{5, 8}}},
+		"slot too early": {MaxQueues: 4, Meta: MetaStages{0, 1, 2, 3, 4}, Slots: []ArraySpec{{4, 8}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			New(pipe, cfg)
+		}()
+	}
+}
+
+func TestSlotPackingRoundTrip(t *testing.T) {
+	f := func(excl, oneRTT bool, tenant, prio uint8, ip uint32, txn uint64, lease int64) bool {
+		in := Slot{Exclusive: excl, OneRTT: oneRTT, Tenant: tenant, Priority: prio, ClientIP: ip, TxnID: txn, LeaseNs: lease}
+		var out Slot
+		unpackMeta(packMeta(in), &out)
+		out.TxnID = in.TxnID
+		out.LeaseNs = in.LeaseNs
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnqueueDequeueFIFO(t *testing.T) {
+	pipe, q := testQueues(t)
+	q.CtrlSetRegion(3, 10, 20)
+	for i := uint64(0); i < 5; i++ {
+		if !enqueue(pipe, q, 3, Slot{TxnID: 100 + i, ClientIP: uint32(i)}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	st := q.CtrlState(3)
+	if st.Count != 5 || st.Tail != 5 || st.Head != 0 {
+		t.Fatalf("state after enqueues: %+v", st)
+	}
+	for i := uint64(0); i < 5; i++ {
+		s, ok := dequeue(pipe, q, 3)
+		if !ok || s.TxnID != 100+i {
+			t.Fatalf("dequeue %d: got %+v ok=%v", i, s, ok)
+		}
+	}
+	if _, ok := dequeue(pipe, q, 3); ok {
+		t.Fatalf("dequeue from empty queue should fail")
+	}
+}
+
+func TestFullQueueRejects(t *testing.T) {
+	pipe, q := testQueues(t)
+	q.CtrlSetRegion(0, 0, 3)
+	for i := 0; i < 3; i++ {
+		if !enqueue(pipe, q, 0, Slot{TxnID: uint64(i)}) {
+			t.Fatalf("enqueue %d should succeed", i)
+		}
+	}
+	if enqueue(pipe, q, 0, Slot{TxnID: 99}) {
+		t.Fatalf("enqueue into full region should fail")
+	}
+	st := q.CtrlState(0)
+	if st.Count != 3 || st.Tail != 3 {
+		t.Fatalf("full-queue state: %+v", st)
+	}
+	// After one dequeue, one slot frees up.
+	if _, ok := dequeue(pipe, q, 0); !ok {
+		t.Fatalf("dequeue failed")
+	}
+	if !enqueue(pipe, q, 0, Slot{TxnID: 99}) {
+		t.Fatalf("enqueue after dequeue should succeed")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	pipe, q := testQueues(t)
+	q.CtrlSetRegion(1, 30, 34) // spans the block boundary at 32
+	for round := uint64(0); round < 20; round++ {
+		if !enqueue(pipe, q, 1, Slot{TxnID: round}) {
+			t.Fatalf("enqueue round %d failed", round)
+		}
+		s, ok := dequeue(pipe, q, 1)
+		if !ok || s.TxnID != round {
+			t.Fatalf("round %d: got %+v", round, s)
+		}
+	}
+	st := q.CtrlState(1)
+	if st.Head != 20 || st.Tail != 20 || st.Count != 0 {
+		t.Fatalf("counters after wrap: %+v", st)
+	}
+}
+
+func TestExclusiveCounter(t *testing.T) {
+	pipe, q := testQueues(t)
+	q.CtrlSetRegion(2, 0, 8)
+	enqueue(pipe, q, 2, Slot{Exclusive: false})
+	enqueue(pipe, q, 2, Slot{Exclusive: true})
+	enqueue(pipe, q, 2, Slot{Exclusive: true})
+	if got := q.CtrlState(2).Excl; got != 2 {
+		t.Fatalf("excl = %d, want 2", got)
+	}
+	// DecExcl clamps at zero.
+	for i := 0; i < 4; i++ {
+		pipe.Process(func(c *p4sim.Ctx) { q.DecExcl(c, 2) })
+	}
+	if got := q.CtrlState(2).Excl; got != 0 {
+		t.Fatalf("excl after clamped decrements = %d, want 0", got)
+	}
+}
+
+func TestReadOpsDoNotModify(t *testing.T) {
+	pipe, q := testQueues(t)
+	q.CtrlSetRegion(0, 0, 8)
+	enqueue(pipe, q, 0, Slot{Exclusive: true, TxnID: 7})
+	pipe.Process(func(c *p4sim.Ctx) {
+		if got := q.ReadCount(c, 0); got != 1 {
+			t.Errorf("ReadCount = %d, want 1", got)
+		}
+		if got := q.ReadExcl(c, 0); got != 1 {
+			t.Errorf("ReadExcl = %d, want 1", got)
+		}
+		if got := q.ReadHead(c, 0); got != 0 {
+			t.Errorf("ReadHead = %d, want 0", got)
+		}
+	})
+	st := q.CtrlState(0)
+	if st.Count != 1 || st.Excl != 1 || st.Head != 0 || st.Tail != 1 {
+		t.Fatalf("reads modified state: %+v", st)
+	}
+}
+
+func TestSeparateQueuesIndependent(t *testing.T) {
+	pipe, q := testQueues(t)
+	q.CtrlSetRegion(0, 0, 4)
+	q.CtrlSetRegion(1, 4, 8)
+	enqueue(pipe, q, 0, Slot{TxnID: 1})
+	enqueue(pipe, q, 1, Slot{TxnID: 2})
+	s0, _ := dequeue(pipe, q, 0)
+	s1, _ := dequeue(pipe, q, 1)
+	if s0.TxnID != 1 || s1.TxnID != 2 {
+		t.Fatalf("queues interfered: %d %d", s0.TxnID, s1.TxnID)
+	}
+}
+
+func TestCtrlSetRegionValidation(t *testing.T) {
+	_, q := testQueues(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for invalid region")
+		}
+	}()
+	q.CtrlSetRegion(0, 10, 1000)
+}
+
+func TestCtrlQueueSlots(t *testing.T) {
+	pipe, q := testQueues(t)
+	q.CtrlSetRegion(5, 8, 12)
+	for i := uint64(0); i < 3; i++ {
+		enqueue(pipe, q, 5, Slot{TxnID: i * 10})
+	}
+	dequeue(pipe, q, 5)
+	slots := q.CtrlQueueSlots(5)
+	if len(slots) != 2 || slots[0].TxnID != 10 || slots[1].TxnID != 20 {
+		t.Fatalf("drain snapshot wrong: %+v", slots)
+	}
+	// Unconfigured queue has no capacity and no slots.
+	if got := q.CtrlQueueSlots(7); got != nil {
+		t.Fatalf("unconfigured queue slots = %v, want nil", got)
+	}
+}
+
+func TestTotalSlotsAndMaxQueues(t *testing.T) {
+	_, q := testQueues(t)
+	if q.TotalSlots() != 64 {
+		t.Fatalf("total slots = %d, want 64", q.TotalSlots())
+	}
+	if q.MaxQueues() != 16 {
+		t.Fatalf("max queues = %d, want 16", q.MaxQueues())
+	}
+}
+
+func TestSlotIndexPanicsOnZeroCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	SlotIndex(0, 0, 1)
+}
+
+// Property: for any sequence of enqueue/dequeue operations, the invariant
+// count == tail - head holds, and count never exceeds capacity.
+func TestCounterInvariantProperty(t *testing.T) {
+	f := func(ops []bool, capRaw uint8) bool {
+		capacity := uint64(capRaw%10) + 1
+		pipe, q := testQueues(t)
+		q.CtrlSetRegion(0, 0, capacity)
+		for _, isEnq := range ops {
+			if isEnq {
+				enqueue(pipe, q, 0, Slot{})
+			} else {
+				dequeue(pipe, q, 0)
+			}
+			st := q.CtrlState(0)
+			if st.Count != st.Tail-st.Head || st.Count > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FIFO order is preserved across arbitrary interleavings and
+// wrap-arounds.
+func TestFIFOProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		pipe, q := testQueues(t)
+		q.CtrlSetRegion(0, 3, 8) // capacity 5, offset to exercise wrap
+		nextIn, nextOut := uint64(0), uint64(0)
+		for _, isEnq := range ops {
+			if isEnq {
+				if enqueue(pipe, q, 0, Slot{TxnID: nextIn}) {
+					nextIn++
+				}
+			} else {
+				if s, ok := dequeue(pipe, q, 0); ok {
+					if s.TxnID != nextOut {
+						return false
+					}
+					nextOut++
+				}
+			}
+		}
+		return nextOut <= nextIn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package stats provides the measurement primitives used by every NetLock
+// experiment: fixed-memory latency histograms with accurate high percentiles,
+// throughput time series, and CDF extraction.
+//
+// The histogram is HDR-style: values are bucketed into power-of-two ranges,
+// each subdivided linearly, giving a bounded relative error (~1/subBuckets)
+// at any scale. Recording is O(1) and allocation-free, which matters because
+// the discrete-event testbed records hundreds of millions of samples per run.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// subBucketBits controls histogram resolution. 64 linear sub-buckets per
+// power-of-two range bounds relative error to about 1.6%.
+const subBucketBits = 6
+
+const subBuckets = 1 << subBucketBits
+
+// Histogram records non-negative int64 values (typically latencies in
+// nanoseconds) with bounded relative error and O(1) memory.
+//
+// The zero value is ready to use. Histogram is not safe for concurrent use;
+// the testbed is single-threaded per run, and concurrent collectors should
+// record into per-worker histograms and Merge them.
+type Histogram struct {
+	counts [64 * subBuckets / 2]int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// Record adds one observation. Negative values are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	idx := index(v)
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+}
+
+// index is the canonical value->bucket mapping used by Record.
+func index(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	hb := 63 - bits.LeadingZeros64(uint64(v))
+	r := hb - subBucketBits + 1
+	sub := int(v>>uint(r)) & (subBuckets/2 - 1)
+	return subBuckets + (r-1)*(subBuckets/2) + sub
+}
+
+// RecordN adds n identical observations.
+func (h *Histogram) RecordN(v int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count += n
+	h.sum += v * n
+	idx := index(v)
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx] += n
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all recorded values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded value, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value, or 0 if empty.
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Percentile returns an upper-bound estimate of the q-th percentile
+// (q in [0,100]). For q=50 this is the median; for q=99 the tail latency
+// the paper reports. Exact min/max are returned at the extremes.
+func (h *Histogram) Percentile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 100 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i]
+		if seen >= rank {
+			ub := bucketUpperBound(i)
+			if ub > h.max {
+				ub = h.max
+			}
+			if ub < h.min {
+				ub = h.min
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// bucketUpperBound returns the largest value mapping to bucket i.
+func bucketUpperBound(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	r := (i-subBuckets)/(subBuckets/2) + 1
+	sub := (i-subBuckets)%(subBuckets/2) + subBuckets/2
+	return (int64(sub)+1)<<uint(r) - 1
+}
+
+// Merge adds all observations from other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	*h = Histogram{}
+}
+
+// CDFPoint is one point of an empirical CDF: Fraction of observations
+// were <= Value.
+type CDFPoint struct {
+	Value    int64
+	Fraction float64
+}
+
+// CDF returns up to maxPoints points of the empirical CDF, suitable for
+// plotting (Figure 13b). Points are emitted only for non-empty buckets.
+func (h *Histogram) CDF(maxPoints int) []CDFPoint {
+	if h.count == 0 || maxPoints <= 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var seen int64
+	for i := range h.counts {
+		if h.counts[i] == 0 {
+			continue
+		}
+		seen += h.counts[i]
+		ub := bucketUpperBound(i)
+		if ub > h.max {
+			ub = h.max
+		}
+		pts = append(pts, CDFPoint{Value: ub, Fraction: float64(seen) / float64(h.count)})
+	}
+	if len(pts) <= maxPoints {
+		return pts
+	}
+	// Downsample evenly, always keeping the last point.
+	out := make([]CDFPoint, 0, maxPoints)
+	step := float64(len(pts)-1) / float64(maxPoints-1)
+	for i := 0; i < maxPoints; i++ {
+		out = append(out, pts[int(float64(i)*step+0.5)])
+	}
+	out[len(out)-1] = pts[len(pts)-1]
+	return out
+}
+
+// Summary is a compact snapshot of a histogram used in experiment reports.
+type Summary struct {
+	Count  int64
+	Mean   float64
+	Median int64
+	P99    int64
+	P999   int64
+	Min    int64
+	Max    int64
+}
+
+// Summarize extracts a Summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:  h.count,
+		Mean:   h.Mean(),
+		Median: h.Percentile(50),
+		P99:    h.Percentile(99),
+		P999:   h.Percentile(99.9),
+		Min:    h.Min(),
+		Max:    h.Max(),
+	}
+}
+
+// String renders the summary in microseconds, the unit the paper plots.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d avg=%.1fus p50=%.1fus p99=%.1fus p99.9=%.1fus",
+		s.Count, s.Mean/1e3, float64(s.Median)/1e3, float64(s.P99)/1e3, float64(s.P999)/1e3)
+}
+
+// Quantiles returns the values at each of the given percentiles, sorted by
+// the order given.
+func (h *Histogram) Quantiles(qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		out[i] = h.Percentile(q)
+	}
+	return out
+}
+
+// ExactPercentile computes a percentile from a raw sample slice; used by
+// tests to validate the histogram's bounded error.
+func ExactPercentile(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]int64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(math.Ceil(q / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}

@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatalf("empty histogram should report zeros: count=%d mean=%f p50=%d",
+			h.Count(), h.Mean(), h.Percentile(50))
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram min/max should be 0")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if got := h.Percentile(50); got != 42 {
+		t.Fatalf("p50 = %d, want 42", got)
+	}
+	if got := h.Percentile(99.9); got != 42 {
+		t.Fatalf("p99.9 = %d, want 42", got)
+	}
+	if h.Min() != 42 || h.Max() != 42 {
+		t.Fatalf("min/max = %d/%d, want 42/42", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	// Values below subBuckets are stored exactly.
+	var h Histogram
+	for v := int64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	if got := h.Percentile(50); got != 31 && got != 32 {
+		t.Fatalf("p50 = %d, want 31 or 32", got)
+	}
+	if got := h.Min(); got != 0 {
+		t.Fatalf("min = %d, want 0", got)
+	}
+	if got := h.Max(); got != 63 {
+		t.Fatalf("max = %d, want 63", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative value should clamp to 0")
+	}
+}
+
+func TestHistogramPercentileBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	samples := make([]int64, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		// Log-uniform latencies from 100ns to 100ms.
+		v := int64(100 * (1 << uint(rng.Intn(20))))
+		v += rng.Int63n(v/2 + 1)
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	for _, q := range []float64{50, 90, 99, 99.9} {
+		exact := ExactPercentile(samples, q)
+		got := h.Percentile(q)
+		rel := float64(got-exact) / float64(exact)
+		if rel < -0.05 || rel > 0.05 {
+			t.Errorf("q=%v: histogram=%d exact=%d rel err=%.3f", q, got, exact, rel)
+		}
+	}
+}
+
+func TestHistogramMergeEqualsCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var a, b, both Histogram
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 30)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Sum() != both.Sum() {
+		t.Fatalf("merge count/sum mismatch")
+	}
+	for _, q := range []float64{1, 50, 99} {
+		if a.Percentile(q) != both.Percentile(q) {
+			t.Fatalf("q=%v merged=%d combined=%d", q, a.Percentile(q), both.Percentile(q))
+		}
+	}
+	if a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merge min/max mismatch")
+	}
+}
+
+func TestHistogramRecordN(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 7; i++ {
+		a.Record(1000)
+	}
+	b.RecordN(1000, 7)
+	if a.Count() != b.Count() || a.Sum() != b.Sum() || a.Percentile(50) != b.Percentile(50) {
+		t.Fatalf("RecordN(1000,7) != 7x Record(1000)")
+	}
+	b.RecordN(5, 0)
+	b.RecordN(5, -3)
+	if b.Count() != 7 {
+		t.Fatalf("RecordN with non-positive n should be a no-op")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatalf("reset did not clear histogram")
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000)
+	}
+	cdf := h.CDF(50)
+	if len(cdf) == 0 || len(cdf) > 50 {
+		t.Fatalf("CDF length = %d, want 1..50", len(cdf))
+	}
+	last := cdf[len(cdf)-1]
+	if last.Fraction != 1.0 {
+		t.Fatalf("CDF should end at fraction 1.0, got %f", last.Fraction)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Fraction < cdf[i-1].Fraction || cdf[i].Value < cdf[i-1].Value {
+			t.Fatalf("CDF not monotonic at %d", i)
+		}
+	}
+	if h.CDF(0) != nil {
+		t.Fatalf("CDF(0) should be nil")
+	}
+	var empty Histogram
+	if empty.CDF(10) != nil {
+		t.Fatalf("CDF of empty histogram should be nil")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(int64(i) * 1000)
+	}
+	s := h.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("summary count = %d", s.Count)
+	}
+	if s.Median > s.P99 || s.P99 > s.P999 {
+		t.Fatalf("percentiles not ordered: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatalf("summary string empty")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 1000; i++ {
+		h.Record(i)
+	}
+	qs := h.Quantiles(10, 50, 90)
+	if len(qs) != 3 || qs[0] > qs[1] || qs[1] > qs[2] {
+		t.Fatalf("quantiles not ordered: %v", qs)
+	}
+}
+
+// Property: percentile estimates never fall below min nor above max, and are
+// monotone in q.
+func TestHistogramPercentileProperties(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, r := range raw {
+			h.Record(int64(r))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 10, 25, 50, 75, 90, 99, 99.9, 100} {
+			p := h.Percentile(q)
+			if p < h.Min() || p > h.Max() {
+				return false
+			}
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge is commutative on all summary statistics.
+func TestHistogramMergeCommutative(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		var a1, b1, a2, b2 Histogram
+		for _, x := range xs {
+			a1.Record(int64(x))
+			a2.Record(int64(x))
+		}
+		for _, y := range ys {
+			b1.Record(int64(y))
+			b2.Record(int64(y))
+		}
+		a1.Merge(&b1) // a1 = xs+ys
+		b2.Merge(&a2) // b2 = ys+xs
+		return a1.Count() == b2.Count() && a1.Sum() == b2.Sum() &&
+			a1.Percentile(50) == b2.Percentile(50) &&
+			a1.Min() == b2.Min() && a1.Max() == b2.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactPercentile(t *testing.T) {
+	if got := ExactPercentile(nil, 50); got != 0 {
+		t.Fatalf("exact percentile of empty = %d", got)
+	}
+	s := []int64{5, 1, 3, 2, 4}
+	if got := ExactPercentile(s, 50); got != 3 {
+		t.Fatalf("exact p50 = %d, want 3", got)
+	}
+	if got := ExactPercentile(s, 100); got != 5 {
+		t.Fatalf("exact p100 = %d, want 5", got)
+	}
+	// Input must not be mutated.
+	if s[0] != 5 {
+		t.Fatalf("ExactPercentile mutated its input")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i)*7919 + 100)
+	}
+}

@@ -1,0 +1,134 @@
+package stats
+
+import "fmt"
+
+// TimeSeries accumulates event counts into fixed-width time buckets, used for
+// throughput-over-time plots (Figures 12a and 15). Times are int64
+// nanoseconds of virtual (or real) time; the series starts at time zero.
+type TimeSeries struct {
+	bucketNs int64
+	counts   []int64
+}
+
+// NewTimeSeries creates a series with the given bucket width in nanoseconds.
+func NewTimeSeries(bucketNs int64) *TimeSeries {
+	if bucketNs <= 0 {
+		panic("stats: TimeSeries bucket width must be positive")
+	}
+	return &TimeSeries{bucketNs: bucketNs}
+}
+
+// Add records n events at time t. Negative times are clamped to bucket 0.
+func (ts *TimeSeries) Add(t int64, n int64) {
+	idx := 0
+	if t > 0 {
+		idx = int(t / ts.bucketNs)
+	}
+	for idx >= len(ts.counts) {
+		ts.counts = append(ts.counts, 0)
+	}
+	ts.counts[idx] += n
+}
+
+// BucketWidth returns the bucket width in nanoseconds.
+func (ts *TimeSeries) BucketWidth() int64 { return ts.bucketNs }
+
+// Buckets returns a copy of the per-bucket event counts.
+func (ts *TimeSeries) Buckets() []int64 {
+	out := make([]int64, len(ts.counts))
+	copy(out, ts.counts)
+	return out
+}
+
+// Rates returns per-bucket event rates in events/second.
+func (ts *TimeSeries) Rates() []float64 {
+	out := make([]float64, len(ts.counts))
+	secs := float64(ts.bucketNs) / 1e9
+	for i, c := range ts.counts {
+		out[i] = float64(c) / secs
+	}
+	return out
+}
+
+// Total returns the total number of events recorded.
+func (ts *TimeSeries) Total() int64 {
+	var sum int64
+	for _, c := range ts.counts {
+		sum += c
+	}
+	return sum
+}
+
+// Point is one (time, rate) sample of a time series.
+type Point struct {
+	TimeSec float64
+	Rate    float64
+}
+
+// Points returns the series as (seconds, events/sec) pairs, bucket midpoints.
+func (ts *TimeSeries) Points() []Point {
+	rates := ts.Rates()
+	out := make([]Point, len(rates))
+	for i, r := range rates {
+		out[i] = Point{
+			TimeSec: (float64(i) + 0.5) * float64(ts.bucketNs) / 1e9,
+			Rate:    r,
+		}
+	}
+	return out
+}
+
+// String renders the series compactly for experiment logs.
+func (ts *TimeSeries) String() string {
+	return fmt.Sprintf("timeseries{buckets=%d width=%dms total=%d}",
+		len(ts.counts), ts.bucketNs/1e6, ts.Total())
+}
+
+// Counter is a monotonically increasing event counter with a helper for
+// computing rates over virtual-time windows. The switch control plane uses
+// Counters to track per-lock request rates (r_i in §4.3 of the paper).
+type Counter struct {
+	total     int64
+	windowed  int64
+	windowAt  int64
+	lastRate  float64
+	haveRate  bool
+	windowLen int64
+}
+
+// NewCounter creates a counter whose Rate is computed over windows of the
+// given nanosecond length.
+func NewCounter(windowNs int64) *Counter {
+	if windowNs <= 0 {
+		panic("stats: Counter window must be positive")
+	}
+	return &Counter{windowLen: windowNs}
+}
+
+// Inc records n events at time t, rolling the rate window as needed.
+func (c *Counter) Inc(t int64, n int64) {
+	c.total += n
+	if t-c.windowAt >= c.windowLen {
+		c.lastRate = float64(c.windowed) / (float64(t-c.windowAt) / 1e9)
+		c.haveRate = true
+		c.windowed = 0
+		c.windowAt = t
+	}
+	c.windowed += n
+}
+
+// Total returns the lifetime event count.
+func (c *Counter) Total() int64 { return c.total }
+
+// Rate returns the most recently completed window's events/second. Before a
+// window completes it estimates from the current partial window at time t.
+func (c *Counter) Rate(t int64) float64 {
+	if c.haveRate {
+		return c.lastRate
+	}
+	elapsed := t - c.windowAt
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.windowed) / (float64(elapsed) / 1e9)
+}

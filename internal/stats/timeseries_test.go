@@ -1,0 +1,108 @@
+package stats
+
+import "testing"
+
+func TestTimeSeriesBasic(t *testing.T) {
+	ts := NewTimeSeries(1e9) // 1-second buckets
+	ts.Add(0, 10)
+	ts.Add(5e8, 5)
+	ts.Add(15e8, 7)
+	buckets := ts.Buckets()
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(buckets))
+	}
+	if buckets[0] != 15 || buckets[1] != 7 {
+		t.Fatalf("buckets = %v, want [15 7]", buckets)
+	}
+	if ts.Total() != 22 {
+		t.Fatalf("total = %d, want 22", ts.Total())
+	}
+}
+
+func TestTimeSeriesRates(t *testing.T) {
+	ts := NewTimeSeries(5e8) // 0.5-second buckets
+	ts.Add(0, 100)
+	rates := ts.Rates()
+	if rates[0] != 200 {
+		t.Fatalf("rate = %f, want 200/s", rates[0])
+	}
+}
+
+func TestTimeSeriesNegativeTimeClamped(t *testing.T) {
+	ts := NewTimeSeries(1e9)
+	ts.Add(-100, 3)
+	if ts.Buckets()[0] != 3 {
+		t.Fatalf("negative time should land in bucket 0")
+	}
+}
+
+func TestTimeSeriesPoints(t *testing.T) {
+	ts := NewTimeSeries(1e9)
+	ts.Add(0, 4)
+	ts.Add(1e9, 8)
+	pts := ts.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	if pts[0].TimeSec != 0.5 || pts[1].TimeSec != 1.5 {
+		t.Fatalf("midpoints wrong: %+v", pts)
+	}
+	if pts[0].Rate != 4 || pts[1].Rate != 8 {
+		t.Fatalf("rates wrong: %+v", pts)
+	}
+}
+
+func TestTimeSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for non-positive bucket width")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestTimeSeriesString(t *testing.T) {
+	ts := NewTimeSeries(1e6)
+	ts.Add(0, 1)
+	if ts.String() == "" {
+		t.Fatalf("string should not be empty")
+	}
+	if ts.BucketWidth() != 1e6 {
+		t.Fatalf("bucket width accessor wrong")
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	c := NewCounter(1e9)
+	// Partial window estimate.
+	c.Inc(0, 100)
+	c.Inc(5e8, 100)
+	r := c.Rate(5e8)
+	if r < 300 || r > 500 {
+		t.Fatalf("partial-window rate = %f, want ~400/s", r)
+	}
+	// Completing a window locks in its rate.
+	c.Inc(1e9, 1) // rolls window: 200 events over 1s -> 200/s
+	if got := c.Rate(1e9); got < 199 || got > 201 {
+		t.Fatalf("windowed rate = %f, want 200/s", got)
+	}
+	if c.Total() != 201 {
+		t.Fatalf("total = %d, want 201", c.Total())
+	}
+}
+
+func TestCounterZeroElapsed(t *testing.T) {
+	c := NewCounter(1e9)
+	if c.Rate(0) != 0 {
+		t.Fatalf("rate before any events should be 0")
+	}
+}
+
+func TestCounterPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for non-positive window")
+		}
+	}()
+	NewCounter(-1)
+}

@@ -1,0 +1,264 @@
+package switchdp
+
+import (
+	"fmt"
+
+	"netlock/internal/sharedqueue"
+	"netlock/internal/wire"
+)
+
+// Control-plane operations (§4.3, §4.5). These run asynchronously to packet
+// processing on hardware; in the simulation the caller serializes them with
+// ProcessPacket. Errors (not panics) are returned for conditions the memory
+// manager handles at runtime: table full, lock missing, queue not drained.
+
+// Region is a [Left, Right) slice of one priority bank's slot space.
+type Region struct {
+	Left, Right uint64
+}
+
+// Size returns the number of slots in the region.
+func (r Region) Size() uint64 { return r.Right - r.Left }
+
+// CtrlInstallLock makes a lock switch-resident, assigning it one region per
+// priority bank. Every region must be non-empty: a lock resident in the
+// switch must be able to queue at least one request per priority, otherwise
+// grant decisions would split between switch and servers.
+func (sw *Switch) CtrlInstallLock(lockID uint32, regions []Region) error {
+	if _, ok := sw.lockTable.Lookup(lockID); ok {
+		return fmt.Errorf("switchdp: lock %d already installed", lockID)
+	}
+	if len(regions) != len(sw.banks) {
+		return fmt.Errorf("switchdp: got %d regions for %d priority banks", len(regions), len(sw.banks))
+	}
+	if len(sw.freeIdx) == 0 {
+		return fmt.Errorf("switchdp: lock table full (%d locks)", sw.cfg.MaxLocks)
+	}
+	for b, r := range regions {
+		if r.Right <= r.Left || r.Right > uint64(sw.banks[b].TotalSlots()) {
+			return fmt.Errorf("switchdp: bank %d region [%d,%d) invalid (bank has %d slots)",
+				b, r.Left, r.Right, sw.banks[b].TotalSlots())
+		}
+	}
+	qi := sw.freeIdx[len(sw.freeIdx)-1]
+	sw.freeIdx = sw.freeIdx[:len(sw.freeIdx)-1]
+	for b, r := range regions {
+		sw.banks[b].CtrlSetRegion(qi, r.Left, r.Right)
+		sw.ovf[b].CtrlWrite(qi, 0)
+	}
+	sw.hold.CtrlWrite(qi, 0)
+	sw.cmax.CtrlWrite(qi, 0)
+	sw.reqCounter.CtrlClear(qi)
+	if err := sw.lockTable.CtrlAdd(lockID, uint32(qi)); err != nil {
+		return err
+	}
+	sw.lockIDs[qi] = lockID
+	return nil
+}
+
+// CtrlRemoveLock removes a lock from the switch. The lock's queues must be
+// drained first (§4.3: NetLock pauses enqueuing and waits until the queue is
+// empty to ensure consistency); removal of a non-drained lock is an error.
+func (sw *Switch) CtrlRemoveLock(lockID uint32) error {
+	qiRaw, ok := sw.lockTable.Lookup(lockID)
+	if !ok {
+		return fmt.Errorf("switchdp: lock %d not installed", lockID)
+	}
+	qi := int(qiRaw)
+	for b := range sw.banks {
+		if st := sw.banks[b].CtrlState(qi); st.Count != 0 {
+			return fmt.Errorf("switchdp: lock %d bank %d not drained (%d queued)", lockID, b, st.Count)
+		}
+	}
+	if err := sw.lockTable.CtrlDel(lockID); err != nil {
+		return err
+	}
+	sw.lockIDs[qi] = 0
+	sw.freeIdx = append(sw.freeIdx, qi)
+	return nil
+}
+
+// CtrlHasLock reports whether the lock is switch-resident.
+func (sw *Switch) CtrlHasLock(lockID uint32) bool {
+	_, ok := sw.lockTable.Lookup(lockID)
+	return ok
+}
+
+// CtrlResidentLocks returns the IDs of all switch-resident locks.
+func (sw *Switch) CtrlResidentLocks() []uint32 {
+	return sw.lockTable.CtrlKeys()
+}
+
+// CtrlFreeEntries returns the number of free lock-table entries.
+func (sw *Switch) CtrlFreeEntries() int { return len(sw.freeIdx) }
+
+// LockState is a control-plane snapshot of one lock.
+type LockState struct {
+	LockID   uint32
+	Held     uint64 // currently granted requests
+	HeldExcl bool   // exclusive holder present
+	Banks    []sharedqueue.State
+	Overflow []bool // per-bank overflow mode
+}
+
+// CtrlLockState snapshots a resident lock's registers.
+func (sw *Switch) CtrlLockState(lockID uint32) (LockState, error) {
+	qiRaw, ok := sw.lockTable.Lookup(lockID)
+	if !ok {
+		return LockState{}, fmt.Errorf("switchdp: lock %d not installed", lockID)
+	}
+	qi := int(qiRaw)
+	hold := sw.hold.CtrlRead(qi)
+	st := LockState{
+		LockID:   lockID,
+		Held:     hold & holdCountMask,
+		HeldExcl: hold&holdExclBit != 0,
+	}
+	for b := range sw.banks {
+		st.Banks = append(st.Banks, sw.banks[b].CtrlState(qi))
+		st.Overflow = append(st.Overflow, sw.ovf[b].CtrlRead(qi) != 0)
+	}
+	return st, nil
+}
+
+// LockLoad is one lock's measured workload: request rate numerator and
+// observed maximum contention, feeding Algorithm 3.
+type LockLoad struct {
+	LockID   uint32
+	Requests uint64 // acquires since the last measurement window
+	MaxQueue uint64 // peak concurrent requests observed (c_i estimate)
+}
+
+// CtrlMeasure reads and resets the per-lock workload counters for all
+// resident locks, closing a measurement window.
+func (sw *Switch) CtrlMeasure() []LockLoad {
+	keys := sw.lockTable.CtrlKeys()
+	out := make([]LockLoad, 0, len(keys))
+	for _, id := range keys {
+		qiRaw, _ := sw.lockTable.Lookup(id)
+		qi := int(qiRaw)
+		out = append(out, LockLoad{
+			LockID:   id,
+			Requests: sw.reqCounter.CtrlClear(qi),
+			MaxQueue: sw.cmax.CtrlRead(qi),
+		})
+		sw.cmax.CtrlWrite(qi, 0)
+	}
+	return out
+}
+
+// CtrlSetTenantQuota configures the per-tenant meter: sustained requests per
+// second plus a burst allowance (§4.4, performance isolation).
+func (sw *Switch) CtrlSetTenantQuota(tenant uint8, perSec float64, burst float64) {
+	sw.meter.CtrlSetRate(int(tenant), perSec, burst)
+}
+
+// CtrlScanExpired implements the lease sweep (§4.5): the control plane polls
+// the head slot of every bank of every resident lock and, for entries whose
+// lease expired before now, synthesizes release packets to inject into the
+// data plane. Only locks with outstanding grants are scanned — a waiting
+// (non-granted) head only expires after its holder does, so head-of-queue
+// scanning is sufficient to reclaim stuck locks.
+func (sw *Switch) CtrlScanExpired(now int64) []wire.Header {
+	var out []wire.Header
+	for _, id := range sw.lockTable.CtrlKeys() {
+		qiRaw, _ := sw.lockTable.Lookup(id)
+		qi := int(qiRaw)
+		hold := sw.hold.CtrlRead(qi)
+		if hold&holdCountMask == 0 {
+			continue
+		}
+		for b := range sw.banks {
+			st := sw.banks[b].CtrlState(qi)
+			if st.Count == 0 || st.Capacity() == 0 {
+				continue
+			}
+			g := sharedqueue.SlotIndex(st.Left, st.Capacity(), st.Head)
+			s := sw.banks[b].CtrlReadSlot(g)
+			if s.LeaseNs != 0 && s.LeaseNs < now {
+				sw.stats.ExpiredReleases++
+				h := wire.Header{
+					Op:       wire.OpRelease,
+					LockID:   id,
+					TxnID:    s.TxnID,
+					ClientIP: ipFromU32(s.ClientIP),
+					TenantID: s.Tenant,
+					Priority: uint8(b),
+				}
+				if s.Exclusive {
+					h.Mode = wire.Exclusive
+				}
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+// CtrlScanStranded returns PushNotify headers for every resident (lock,
+// bank) that is in overflow mode with an empty switch queue. Normally the
+// release that drains q1 emits the notification, but packet reordering can
+// leave a bank stranded: a clear-overflow message crossing a marked request
+// re-arms overflow after the last release has passed. The control plane
+// polls for this state and re-issues the notification (§4.5 pattern:
+// periodic data-plane polling for stuck state).
+func (sw *Switch) CtrlScanStranded() []wire.Header {
+	var out []wire.Header
+	for _, id := range sw.lockTable.CtrlKeys() {
+		qiRaw, _ := sw.lockTable.Lookup(id)
+		qi := int(qiRaw)
+		for b := range sw.banks {
+			if sw.ovf[b].CtrlRead(qi) == 0 {
+				continue
+			}
+			st := sw.banks[b].CtrlState(qi)
+			if st.Count != 0 {
+				continue
+			}
+			sw.stats.PushNotifies++
+			out = append(out, wire.Header{
+				Op:       wire.OpPushNotify,
+				LockID:   id,
+				Priority: uint8(b),
+				LeaseNs:  int64(st.Capacity()),
+			})
+		}
+	}
+	return out
+}
+
+// CtrlQueuedSlots returns the occupied slots of a resident lock's bank in
+// FIFO order, used when draining a lock to move it to a server.
+func (sw *Switch) CtrlQueuedSlots(lockID uint32, bank int) ([]sharedqueue.Slot, error) {
+	qiRaw, ok := sw.lockTable.Lookup(lockID)
+	if !ok {
+		return nil, fmt.Errorf("switchdp: lock %d not installed", lockID)
+	}
+	return sw.banks[bank].CtrlQueueSlots(int(qiRaw)), nil
+}
+
+// CtrlReset wipes all switch state: lock table, registers, and statistics.
+// This models a switch failure/restart, after which the switch "retains none
+// of its former state or register values" (§6.5).
+func (sw *Switch) CtrlReset() {
+	sw.lockTable.CtrlClear()
+	for qi := range sw.lockIDs {
+		sw.lockIDs[qi] = 0
+	}
+	sw.freeIdx = sw.freeIdx[:0]
+	for i := sw.cfg.MaxLocks - 1; i >= 0; i-- {
+		sw.freeIdx = append(sw.freeIdx, i)
+	}
+	for b := range sw.banks {
+		for qi := 0; qi < sw.cfg.MaxLocks; qi++ {
+			sw.banks[b].CtrlSetRegion(qi, 0, 0)
+			sw.ovf[b].CtrlWrite(qi, 0)
+		}
+	}
+	for qi := 0; qi < sw.cfg.MaxLocks; qi++ {
+		sw.hold.CtrlWrite(qi, 0)
+		sw.cmax.CtrlWrite(qi, 0)
+		sw.reqCounter.CtrlClear(qi)
+	}
+	sw.stats = Stats{}
+}

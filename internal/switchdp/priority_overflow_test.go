@@ -1,0 +1,108 @@
+package switchdp
+
+import (
+	"testing"
+
+	"netlock/internal/wire"
+)
+
+// Interaction tests between the priority banks and the overflow protocol:
+// overflow mode is per (lock, bank), so one priority's congestion must not
+// disturb the others.
+
+func newPrioritySwitch(t *testing.T) *Switch {
+	t.Helper()
+	sw := New(Config{MaxLocks: 8, TotalSlots: 64, Priorities: 2})
+	// Bank 0 (high priority) gets 8 slots; bank 1 (low) only 2.
+	if err := sw.CtrlInstallLock(1, []Region{{0, 8}, {0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func prioReq(op wire.Op, txn uint64, prio uint8, mode wire.Mode) *wire.Header {
+	h := req(op, 1, txn, mode)
+	h.Priority = prio
+	return h
+}
+
+func TestOverflowIsPerBank(t *testing.T) {
+	sw := newPrioritySwitch(t)
+	// Fill the low-priority bank: 2 slots.
+	wantActions(t, do(t, sw, prioReq(wire.OpAcquire, 1, 1, wire.Exclusive)), ActGrant)
+	wantActions(t, do(t, sw, prioReq(wire.OpAcquire, 2, 1, wire.Exclusive)))
+	// Third low-priority request overflows.
+	emits := do(t, sw, prioReq(wire.OpAcquire, 3, 1, wire.Exclusive))
+	wantActions(t, emits, ActForwardOverflow)
+	st, _ := sw.CtrlLockState(1)
+	if !st.Overflow[1] || st.Overflow[0] {
+		t.Fatalf("overflow must be per bank: %+v", st.Overflow)
+	}
+	// High-priority requests are unaffected: they queue in bank 0.
+	wantActions(t, do(t, sw, prioReq(wire.OpAcquire, 4, 0, wire.Exclusive)))
+	st, _ = sw.CtrlLockState(1)
+	if st.Banks[0].Count != 1 {
+		t.Fatalf("high-priority bank should queue normally: %+v", st.Banks[0])
+	}
+}
+
+func TestPerBankPushNotify(t *testing.T) {
+	sw := newPrioritySwitch(t)
+	do(t, sw, prioReq(wire.OpAcquire, 1, 1, wire.Exclusive))
+	do(t, sw, prioReq(wire.OpAcquire, 2, 1, wire.Exclusive))
+	do(t, sw, prioReq(wire.OpAcquire, 3, 1, wire.Exclusive)) // overflow bank 1
+	// Also occupy the high-priority bank so its queue stays non-empty.
+	do(t, sw, prioReq(wire.OpAcquire, 4, 0, wire.Exclusive))
+	// Drain bank 1 completely: its push notification fires even though
+	// bank 0 still holds entries.
+	do(t, sw, prioReq(wire.OpRelease, 0, 1, wire.Exclusive)) // releases txn1, grants... bank0 head
+	emits := do(t, sw, prioReq(wire.OpRelease, 0, 1, wire.Exclusive))
+	found := false
+	for _, e := range emits {
+		if e.Action == ActPushNotify && e.Hdr.Priority == 1 {
+			found = true
+			if e.Hdr.LeaseNs != 2 {
+				t.Fatalf("notify free slots = %d, want 2", e.Hdr.LeaseNs)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("per-bank push notify missing: %v", emits)
+	}
+}
+
+func TestStrandedSweepFindsDrainedOverflowBank(t *testing.T) {
+	sw := newPrioritySwitch(t)
+	do(t, sw, prioReq(wire.OpAcquire, 1, 1, wire.Exclusive))
+	do(t, sw, prioReq(wire.OpAcquire, 2, 1, wire.Exclusive))
+	do(t, sw, prioReq(wire.OpAcquire, 3, 1, wire.Exclusive)) // overflow: ovf[1]=1
+	do(t, sw, prioReq(wire.OpRelease, 0, 1, wire.Exclusive))
+	do(t, sw, prioReq(wire.OpRelease, 0, 1, wire.Exclusive)) // bank1 drained, notify emitted
+	// Suppose that notify was lost: the control sweep re-issues it.
+	notifies := sw.CtrlScanStranded()
+	if len(notifies) != 1 || notifies[0].Priority != 1 || notifies[0].Op != wire.OpPushNotify {
+		t.Fatalf("stranded sweep = %v", notifies)
+	}
+	if notifies[0].LockID != 1 || notifies[0].LeaseNs != 2 {
+		t.Fatalf("stranded notify fields wrong: %v", notifies[0])
+	}
+	// A lock with no overflow yields nothing.
+	sw2 := newPrioritySwitch(t)
+	if got := sw2.CtrlScanStranded(); len(got) != 0 {
+		t.Fatalf("clean switch should have no stranded banks: %v", got)
+	}
+}
+
+func TestPriorityGrantSkipsOverflowedLowerBank(t *testing.T) {
+	sw := newPrioritySwitch(t)
+	// Low bank full and overflowed; high bank has a waiter.
+	do(t, sw, prioReq(wire.OpAcquire, 1, 1, wire.Exclusive)) // granted, bank1
+	do(t, sw, prioReq(wire.OpAcquire, 2, 1, wire.Exclusive)) // waits, bank1
+	do(t, sw, prioReq(wire.OpAcquire, 3, 1, wire.Exclusive)) // overflow
+	do(t, sw, prioReq(wire.OpAcquire, 4, 0, wire.Exclusive)) // waits, bank0
+	// Release the holder: the high-priority waiter wins over bank1's.
+	emits := do(t, sw, prioReq(wire.OpRelease, 0, 1, wire.Exclusive))
+	if len(emits) == 0 || emits[0].Action != ActGrant || emits[0].Hdr.TxnID != 4 {
+		t.Fatalf("high-priority waiter should win: %v", emits)
+	}
+}

@@ -1,0 +1,620 @@
+// Package switchdp implements the NetLock switch data-plane program
+// (paper §4.1–§4.4): Algorithm 1's request routing, Algorithm 2's
+// shared/exclusive grant logic with resubmit (Figure 6), priority queues for
+// service differentiation, per-tenant meters for performance isolation, the
+// overflow protocol that integrates switch queues (q1) with lock-server
+// buffers (q2), and the control-plane operations the memory manager uses to
+// install, move, and drain locks.
+//
+// The program runs on the constrained pipeline model of internal/p4sim: each
+// register array is touched at most once per pass, stages are traversed in
+// order, and multi-step operations (dequeue-then-inspect-new-head,
+// grant-a-run-of-shared-requests) use resubmit, exactly as on the Tofino.
+//
+// Stage layout (one array set per priority bank, b = bank index):
+//
+//	stage 0: ovf[b], left[b], right[b]   — overflow-mode bit, region bounds
+//	stage 1: count[b]                    — occupancy, conditional inc/dec
+//	stage 2: excl[b], cmax               — exclusive-entry count, contention gauge
+//	stage 3: hold                        — packed (grantee count, excl-holder bit)
+//	stage 4: head[b]
+//	stage 5: tail[b]
+//	stage 6+: slot planes[b]             — pooled shared-queue storage
+//
+// Priority 0 is the highest. The grant rule generalizes Algorithm 2 as §4.4
+// describes: a shared request is granted immediately iff no exclusive
+// request holds the lock or waits in a same-or-higher-priority queue; with a
+// single bank this reduces exactly to Algorithm 2.
+package switchdp
+
+import (
+	"fmt"
+	"net/netip"
+
+	"netlock/internal/p4sim"
+	"netlock/internal/sharedqueue"
+	"netlock/internal/wire"
+)
+
+// Action classifies a packet emitted by the switch.
+type Action uint8
+
+const (
+	// ActGrant sends a grant notification to the client.
+	ActGrant Action = iota + 1
+	// ActFetch forwards a grant to the database server holding the item
+	// (one-RTT transaction mode).
+	ActFetch
+	// ActForward forwards a request to its lock server: the lock is not
+	// resident in the switch (Algorithm 1, lines 8 and 12).
+	ActForward
+	// ActForwardOverflow forwards a request to the lock server marked for
+	// buffering only: the lock is switch-resident but its queue overflowed
+	// (§4.3). The wire header carries FlagOverflow.
+	ActForwardOverflow
+	// ActReject bounces a request to the client (per-tenant quota exceeded).
+	ActReject
+	// ActPushNotify asks the lock server to push buffered requests for
+	// (lock, priority) into the drained switch queue. LeaseNs carries the
+	// number of free slots.
+	ActPushNotify
+)
+
+var actionNames = map[Action]string{
+	ActGrant: "grant", ActFetch: "fetch", ActForward: "forward",
+	ActForwardOverflow: "forward-overflow", ActReject: "reject",
+	ActPushNotify: "push-notify",
+}
+
+// String returns the action name.
+func (a Action) String() string {
+	if s, ok := actionNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// Emit is one packet produced while processing an input packet. A single
+// release can produce several grant emits (exclusive → run of shared).
+type Emit struct {
+	Action Action
+	Hdr    wire.Header
+}
+
+// Config sizes the switch program.
+type Config struct {
+	// MaxLocks bounds the number of locks resident in the switch (lock
+	// table and per-lock register entries).
+	MaxLocks int
+	// TotalSlots is the pooled shared-queue capacity across all priority
+	// banks; the prototype uses 100K (§5).
+	TotalSlots int
+	// Priorities is the number of priority banks (1 = plain FCFS). The
+	// paper bounds this by the stage count; we allow up to 8.
+	Priorities int
+	// Isolation enables per-tenant quota metering (§4.4). Quotas are
+	// configured with CtrlSetTenantQuota.
+	Isolation bool
+	// DefaultLeaseNs is the lease granted when a request does not carry
+	// one (§4.5). Zero disables lease stamping.
+	DefaultLeaseNs int64
+	// Now supplies time in nanoseconds for meters and leases. Required if
+	// Isolation or DefaultLeaseNs is set; defaults to a constant zero.
+	Now func() int64
+}
+
+// DefaultConfig mirrors the prototype: 100K slots, single priority.
+func DefaultConfig() Config {
+	return Config{MaxLocks: 8192, TotalSlots: 100_000, Priorities: 1}
+}
+
+const (
+	numSlotStages  = 6 // stages 6..11 hold slot planes
+	firstSlotStage = 6
+	holdExclBit    = uint64(1) << 63
+	holdCountMask  = holdExclBit - 1
+)
+
+// Switch is one NetLock switch data plane plus its control-plane state.
+// It is not safe for concurrent use: a pipeline processes one packet at a
+// time (internal/cluster serializes; internal/transport locks).
+type Switch struct {
+	cfg   Config
+	pipe  *p4sim.Pipeline
+	banks []*sharedqueue.Queues
+	ovf   []*p4sim.RegisterArray // per bank, indexed by lock index
+	hold  *p4sim.RegisterArray
+	cmax  *p4sim.RegisterArray
+
+	reqCounter *p4sim.Counter // per-lock acquire count (r_i measurement)
+	meter      *p4sim.Meter   // per-tenant quota
+
+	lockTable *p4sim.Table // match-action: lock ID -> lock index
+	lockIDs   []uint32     // reverse map, 0 = free entry
+	freeIdx   []int
+
+	emits []Emit
+	stats Stats
+}
+
+// Stats counts processed packets by disposition, for the experiment
+// breakdowns (Figure 13a's switch-vs-server split).
+type Stats struct {
+	Acquires        uint64
+	Releases        uint64
+	Pushes          uint64
+	GrantsImmediate uint64 // granted on arrival
+	GrantsQueued    uint64 // granted later, on a release walk
+	Queued          uint64 // enqueued to wait
+	Forwards        uint64 // lock not in switch
+	Overflows       uint64 // switch queue full, buffered at server
+	Rejects         uint64 // quota exceeded
+	PushNotifies    uint64
+	ExpiredReleases uint64
+}
+
+// New builds the switch program and its pipeline. It panics on
+// configurations that could not load on the target (resource exhaustion).
+func New(cfg Config) *Switch {
+	if cfg.MaxLocks <= 0 || cfg.TotalSlots <= 0 {
+		panic("switchdp: MaxLocks and TotalSlots must be positive")
+	}
+	if cfg.Priorities <= 0 || cfg.Priorities > 8 {
+		panic("switchdp: Priorities must be in [1,8]")
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return 0 }
+	}
+	P := cfg.Priorities
+	bankSlots := cfg.TotalSlots / P
+	if bankSlots == 0 {
+		panic("switchdp: TotalSlots smaller than Priorities")
+	}
+
+	// Compute the per-stage register budget this layout needs, then build
+	// the pipeline exactly that large: the simulator's budget check then
+	// models the hardware's finite SRAM.
+	perBlock := (bankSlots + numSlotStages - 1) / numSlotStages
+	need := make([]int, 12)
+	need[0] = P * 3 * cfg.MaxLocks // left, right, ovf
+	need[1] = P * cfg.MaxLocks     // count
+	need[2] = P*cfg.MaxLocks + cfg.MaxLocks
+	need[3] = cfg.MaxLocks
+	need[4] = P * cfg.MaxLocks
+	need[5] = P * cfg.MaxLocks
+	for s := firstSlotStage; s < firstSlotStage+numSlotStages; s++ {
+		need[s] = P * perBlock * 3
+	}
+	budget := 0
+	for _, n := range need {
+		if n > budget {
+			budget = n
+		}
+	}
+	pipe := p4sim.NewPipeline(p4sim.Config{
+		Stages:     12,
+		StageSlots: budget,
+		// The longest resubmit chain grants a full region of shared
+		// requests: bound by the largest possible region plus bookkeeping.
+		MaxResubmits: bankSlots + 8,
+	})
+
+	sw := &Switch{
+		cfg:        cfg,
+		pipe:       pipe,
+		lockTable:  p4sim.NewTable("lock_table", cfg.MaxLocks),
+		lockIDs:    make([]uint32, cfg.MaxLocks),
+		hold:       pipe.AllocArray("hold", 3, cfg.MaxLocks),
+		cmax:       pipe.AllocArray("cmax", 2, cfg.MaxLocks),
+		reqCounter: p4sim.NewCounter("req", cfg.MaxLocks),
+		meter:      p4sim.NewMeter("tenant-quota", 256),
+	}
+	for b := 0; b < P; b++ {
+		var specs []sharedqueue.ArraySpec
+		rem := bankSlots
+		for s := 0; s < numSlotStages && rem > 0; s++ {
+			sz := perBlock
+			if sz > rem {
+				sz = rem
+			}
+			specs = append(specs, sharedqueue.ArraySpec{Stage: firstSlotStage + s, Size: sz})
+			rem -= sz
+		}
+		sw.banks = append(sw.banks, sharedqueue.New(pipe, sharedqueue.Config{
+			Name:      fmt.Sprintf("bank%d", b),
+			MaxQueues: cfg.MaxLocks,
+			Meta:      sharedqueue.MetaStages{Bounds: 0, Count: 1, Excl: 2, Head: 4, Tail: 5},
+			Slots:     specs,
+		}))
+		sw.ovf = append(sw.ovf, pipe.AllocArray(fmt.Sprintf("bank%d.ovf", b), 0, cfg.MaxLocks))
+	}
+	for i := cfg.MaxLocks - 1; i >= 0; i-- {
+		sw.freeIdx = append(sw.freeIdx, i)
+	}
+	return sw
+}
+
+// Config returns the switch configuration.
+func (sw *Switch) Config() Config { return sw.cfg }
+
+// Stats returns a snapshot of the processing counters.
+func (sw *Switch) Stats() Stats { return sw.stats }
+
+// Pipeline exposes the underlying pipeline for pass/packet accounting.
+func (sw *Switch) Pipeline() *p4sim.Pipeline { return sw.pipe }
+
+// BankSlots returns the slot capacity of each priority bank.
+func (sw *Switch) BankSlots() int { return sw.banks[0].TotalSlots() }
+
+// bankFor clamps a wire priority to a bank index.
+func (sw *Switch) bankFor(prio uint8) int {
+	if int(prio) >= len(sw.banks) {
+		return len(sw.banks) - 1
+	}
+	return int(prio)
+}
+
+// ProcessPacket runs one NetLock packet through the data plane and returns
+// the emitted packets plus the number of pipeline passes consumed (resubmit
+// accounting; the testbed charges switch service time per pass). The
+// returned slice is valid until the next call.
+func (sw *Switch) ProcessPacket(h *wire.Header) ([]Emit, int) {
+	sw.emits = sw.emits[:0]
+	switch h.Op {
+	case wire.OpAcquire:
+		sw.stats.Acquires++
+		// The quota meter sits at ingress: the ToR sees every request, so
+		// isolation applies whether the lock is switch- or server-resident.
+		if sw.cfg.Isolation && !sw.meter.Conforming(int(h.TenantID), sw.cfg.Now()) {
+			sw.stats.Rejects++
+			rej := *h
+			rej.Op = wire.OpReject
+			sw.emit(ActReject, rej)
+			return sw.emits, 0
+		}
+		qiRaw, ok := sw.lockTable.Lookup(h.LockID)
+		qi := int(qiRaw)
+		if !ok {
+			sw.stats.Forwards++
+			sw.emit(ActForward, *h)
+			return sw.emits, 0
+		}
+		sw.reqCounter.Inc(qi, 1)
+		passes := sw.pipe.Process(sw.acquireProg(h, qi, false))
+		return sw.emits, passes
+	case wire.OpPush:
+		sw.stats.Pushes++
+		qiRaw, ok := sw.lockTable.Lookup(h.LockID)
+		qi := int(qiRaw)
+		if !ok {
+			// The lock moved off the switch between notify and push; send
+			// it back as a plain request for the server to process.
+			sw.stats.Forwards++
+			fwd := *h
+			fwd.Op = wire.OpAcquire
+			fwd.Flags &^= wire.FlagOverflow
+			sw.emit(ActForward, fwd)
+			return sw.emits, 0
+		}
+		passes := sw.pipe.Process(sw.acquireProg(h, qi, true))
+		return sw.emits, passes
+	case wire.OpRelease:
+		sw.stats.Releases++
+		qiRaw, ok := sw.lockTable.Lookup(h.LockID)
+		qi := int(qiRaw)
+		if !ok {
+			sw.stats.Forwards++
+			sw.emit(ActForward, *h)
+			return sw.emits, 0
+		}
+		passes := sw.pipe.Process(sw.releaseProg(h, qi))
+		return sw.emits, passes
+	default:
+		// Non-request NetLock packets (grants in flight, etc.) are routed,
+		// not processed.
+		sw.emit(ActForward, *h)
+		return sw.emits, 0
+	}
+}
+
+func (sw *Switch) emit(a Action, h wire.Header) {
+	sw.emits = append(sw.emits, Emit{Action: a, Hdr: h})
+}
+
+// grantHdr builds the grant (or one-RTT fetch) emit for a queued slot.
+func (sw *Switch) grantQueuedSlot(lockID uint32, bank int, s sharedqueue.Slot) {
+	h := wire.Header{
+		Mode:     wire.Shared,
+		LockID:   lockID,
+		TxnID:    s.TxnID,
+		ClientIP: ipFromU32(s.ClientIP),
+		TenantID: s.Tenant,
+		Priority: uint8(bank),
+		LeaseNs:  s.LeaseNs,
+	}
+	if s.Exclusive {
+		h.Mode = wire.Exclusive
+	}
+	if s.OneRTT {
+		h.Op = wire.OpFetch
+		h.Flags = wire.FlagOneRTT
+		sw.stats.GrantsQueued++
+		sw.emit(ActFetch, h)
+		return
+	}
+	h.Op = wire.OpGrant
+	sw.stats.GrantsQueued++
+	sw.emit(ActGrant, h)
+}
+
+// acquireProg is the data-plane program for OpAcquire and OpPush packets.
+// Pass 0 performs the enqueue and immediate-grant decision; a second pass is
+// used only to latch the overflow-mode bit when the region is full.
+func (sw *Switch) acquireProg(h *wire.Header, qi int, isPush bool) p4sim.Program {
+	b := sw.bankFor(h.Priority)
+	q := sw.banks[b]
+	type acqMeta struct {
+		setOvf bool
+	}
+	var m acqMeta
+	finalPush := isPush && h.Flags&wire.FlagOverflow != 0
+	return func(c *p4sim.Ctx) {
+		if m.setOvf {
+			// Second pass: latch overflow mode for this (lock, bank). A
+			// full push (bounced or racing the clear) takes the same path:
+			// the request returns to the server overflow-marked and the
+			// server buffers it again.
+			sw.ovf[b].Write(c, qi, 1)
+			sw.stats.Overflows++
+			fwd := *h
+			fwd.Op = wire.OpAcquire
+			fwd.Flags |= wire.FlagOverflow
+			sw.emit(ActForwardOverflow, fwd)
+			return
+		}
+
+		// Stage 0: overflow gate and region bounds.
+		var ovf uint64
+		if finalPush {
+			// The server drained q2; this push also clears overflow mode.
+			sw.ovf[b].Write(c, qi, 0)
+			if h.TxnID == wire.TxnNone {
+				return // pure clear-overflow control message
+			}
+		} else {
+			ovf = sw.ovf[b].Read(c, qi)
+		}
+		if ovf != 0 && !isPush {
+			// Overflow mode: preserve FIFO by buffering at the server.
+			sw.stats.Overflows++
+			fwd := *h
+			fwd.Flags |= wire.FlagOverflow
+			sw.emit(ActForwardOverflow, fwd)
+			return
+		}
+		left, right := q.Bounds(c, qi)
+
+		// Stage 1: claim a slot if the region has space.
+		oldCount, won := q.CondIncCount(c, qi, right-left)
+		if !won {
+			m.setOvf = true
+			c.Resubmit()
+			return
+		}
+
+		// Stage 2: exclusive counters — RMW our bank, read higher banks —
+		// and the contention gauge.
+		excl := h.Mode == wire.Exclusive
+		var nexclSameOrHigher uint64
+		for hb := 0; hb < b; hb++ {
+			nexclSameOrHigher += sw.banks[hb].ReadExcl(c, qi)
+		}
+		if excl {
+			nexclSameOrHigher += q.IncExcl(c, qi)
+		} else {
+			nexclSameOrHigher += q.ReadExcl(c, qi)
+		}
+		sw.cmax.ReadModifyWrite(c, qi, func(old uint64) uint64 {
+			if oldCount+1 > old {
+				return oldCount + 1
+			}
+			return old
+		})
+
+		// Stage 3: grant decision on the packed hold register.
+		lease := h.LeaseNs
+		if lease == 0 && sw.cfg.DefaultLeaseNs != 0 {
+			lease = sw.cfg.Now() + sw.cfg.DefaultLeaseNs
+		} else if lease != 0 {
+			lease = sw.cfg.Now() + lease
+		}
+		granted := false
+		sw.hold.ReadModifyWrite(c, qi, func(old uint64) uint64 {
+			heldCnt := old & holdCountMask
+			heldExcl := old&holdExclBit != 0
+			switch {
+			case heldCnt == 0:
+				granted = true
+				if excl {
+					return 1 | holdExclBit
+				}
+				return 1
+			case !heldExcl && !excl && nexclSameOrHigher == 0:
+				granted = true
+				return old + 1
+			default:
+				return old
+			}
+		})
+
+		// Stages 4–5: advance tail; stages 6+: store the slot. The entry
+		// stays queued until its release even when granted immediately.
+		ctr := q.IncTail(c, qi)
+		slot := sharedqueue.Slot{
+			Exclusive: excl,
+			OneRTT:    h.Flags&wire.FlagOneRTT != 0,
+			Tenant:    h.TenantID,
+			Priority:  uint8(b),
+			ClientIP:  u32FromIP(h),
+			TxnID:     h.TxnID,
+			LeaseNs:   lease,
+		}
+		q.WriteSlot(c, sharedqueue.SlotIndex(left, right-left, ctr), slot)
+
+		if granted {
+			sw.stats.GrantsImmediate++
+			g := *h
+			g.LeaseNs = lease
+			if slot.OneRTT {
+				g.Op = wire.OpFetch
+				sw.emit(ActFetch, g)
+			} else {
+				g.Op = wire.OpGrant
+				sw.emit(ActGrant, g)
+			}
+		} else {
+			sw.stats.Queued++
+		}
+	}
+}
+
+// releaseProg is the data-plane program for OpRelease packets, covering the
+// four cases of Figure 6 via resubmit:
+//
+//	pass 0: dequeue the head of the releasing request's bank, learn its mode
+//	pass 1: update hold; if the lock became free, locate the
+//	        highest-priority non-empty bank and grant its head (start of the
+//	        shared run if the head is shared)
+//	pass 2+: continue granting the run of shared requests, one per pass
+func (sw *Switch) releaseProg(h *wire.Header, qi int) p4sim.Program {
+	p := sw.bankFor(h.Priority)
+	type relMeta struct {
+		phase        int
+		deqOK        bool
+		releasedExcl bool
+		// walk state
+		grantBank  int
+		left, cap  uint64
+		ptr, end   uint64
+		pendingInc uint64 // hold adjustment latched for the next pass
+		lastWasX   bool
+	}
+	var m relMeta
+	return func(c *p4sim.Ctx) {
+		switch m.phase {
+		case 0:
+			// Dequeue the head of bank p. The switch does not match the
+			// transaction ID: only the head can be released, and shared
+			// releases are commutative (§4.2).
+			q := sw.banks[p]
+			l, r := q.Bounds(c, qi)
+			_, ok := q.CondDecCount(c, qi)
+			if !ok {
+				// Spurious release (duplicate, or raced with a reset).
+				return
+			}
+			ctr := q.IncHead(c, qi)
+			s := q.ReadSlot(c, sharedqueue.SlotIndex(l, r-l, ctr))
+			m.deqOK = true
+			m.releasedExcl = s.Exclusive
+			m.phase = 1
+			c.Resubmit()
+		case 1:
+			// Learn the remaining queue population, adjust hold, and start
+			// the grant walk if the lock became free. All stage-0 bounds
+			// are read up front (parallel arrays, one access each).
+			ovf := sw.ovf[p].Read(c, qi)
+			var lefts, rights [8]uint64
+			for b := range sw.banks {
+				lefts[b], rights[b] = sw.banks[b].Bounds(c, qi)
+			}
+			var counts [8]uint64
+			grantBank := -1
+			for b := range sw.banks {
+				counts[b] = sw.banks[b].ReadCount(c, qi)
+				if counts[b] > 0 && grantBank < 0 {
+					grantBank = b
+				}
+			}
+			if m.releasedExcl {
+				sw.banks[p].DecExcl(c, qi)
+			}
+			var newHeld uint64
+			sw.hold.ReadModifyWrite(c, qi, func(old uint64) uint64 {
+				cnt := old & holdCountMask
+				if cnt > 0 {
+					cnt--
+				}
+				newHeld = cnt
+				if cnt == 0 {
+					return 0 // clears the exclusive-holder bit
+				}
+				return old&holdExclBit | cnt
+			})
+			if counts[p] == 0 && ovf != 0 {
+				// q1 drained for this (lock, bank): ask the server to push
+				// buffered requests (§4.3).
+				sw.stats.PushNotifies++
+				n := *h
+				n.Op = wire.OpPushNotify
+				n.Priority = uint8(p)
+				n.LeaseNs = int64(rights[p] - lefts[p]) // free slots: queue is empty
+				sw.emit(ActPushNotify, n)
+			}
+			if newHeld > 0 || grantBank < 0 {
+				return // remaining shared holders, or nothing waiting
+			}
+			// Lock is free: grant the head of the highest-priority
+			// non-empty bank.
+			gq := sw.banks[grantBank]
+			gl, gr := lefts[grantBank], rights[grantBank]
+			head := gq.ReadHead(c, qi)
+			s := gq.ReadSlot(c, sharedqueue.SlotIndex(gl, gr-gl, head))
+			m.grantBank = grantBank
+			m.left, m.cap = gl, gr-gl
+			m.ptr, m.end = head, head+counts[grantBank]
+			sw.grantQueuedSlot(h.LockID, grantBank, s)
+			if s.Exclusive {
+				m.pendingInc = 1 | holdExclBit
+				m.lastWasX = true
+			} else {
+				m.pendingInc = 1
+				m.ptr++
+			}
+			m.phase = 2
+			c.Resubmit()
+		default:
+			// Walk pass: latch the previous grant into hold, then continue
+			// the shared run if it extends.
+			inc := m.pendingInc
+			m.pendingInc = 0
+			sw.hold.ReadModifyWrite(c, qi, func(old uint64) uint64 {
+				return old + inc
+			})
+			if m.lastWasX || m.ptr >= m.end {
+				return
+			}
+			gq := sw.banks[m.grantBank]
+			s := gq.ReadSlot(c, sharedqueue.SlotIndex(m.left, m.cap, m.ptr))
+			if s.Exclusive {
+				return // run of shared requests ended
+			}
+			sw.grantQueuedSlot(h.LockID, m.grantBank, s)
+			m.pendingInc = 1
+			m.ptr++
+			c.Resubmit()
+		}
+	}
+}
+
+func ipFromU32(ip uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)})
+}
+
+func u32FromIP(h *wire.Header) uint32 {
+	if !h.ClientIP.Is4() {
+		return 0
+	}
+	a := h.ClientIP.As4()
+	return uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+}

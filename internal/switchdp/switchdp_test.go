@@ -1,0 +1,647 @@
+package switchdp
+
+import (
+	"net/netip"
+	"testing"
+
+	"netlock/internal/sharedqueue"
+	"netlock/internal/wire"
+)
+
+func newTestSwitch(t testing.TB) *Switch {
+	t.Helper()
+	return New(Config{MaxLocks: 64, TotalSlots: 256, Priorities: 1})
+}
+
+func installed(t testing.TB, sw *Switch, lockID uint32, slots uint64) {
+	t.Helper()
+	regions := make([]Region, len(sw.banks))
+	base := uint64(lockID-1) * slots // tests use distinct small lock IDs from 1
+	for b := range regions {
+		regions[b] = Region{Left: base, Right: base + slots}
+	}
+	if err := sw.CtrlInstallLock(lockID, regions); err != nil {
+		t.Fatalf("install lock %d: %v", lockID, err)
+	}
+}
+
+func req(op wire.Op, lockID uint32, txn uint64, mode wire.Mode) *wire.Header {
+	return &wire.Header{
+		Op:       op,
+		Mode:     mode,
+		LockID:   lockID,
+		TxnID:    txn,
+		ClientIP: netip.AddrFrom4([4]byte{10, 0, 0, byte(txn)}),
+	}
+}
+
+// do processes a packet and returns the emits.
+func do(t testing.TB, sw *Switch, h *wire.Header) []Emit {
+	t.Helper()
+	emits, _ := sw.ProcessPacket(h)
+	out := make([]Emit, len(emits))
+	copy(out, emits)
+	return out
+}
+
+func wantActions(t *testing.T, emits []Emit, want ...Action) {
+	t.Helper()
+	if len(emits) != len(want) {
+		t.Fatalf("emits = %v, want actions %v", emits, want)
+	}
+	for i := range want {
+		if emits[i].Action != want[i] {
+			t.Fatalf("emit %d action = %v, want %v (all: %v)", i, emits[i].Action, want[i], emits)
+		}
+	}
+}
+
+func TestForwardWhenLockNotResident(t *testing.T) {
+	sw := newTestSwitch(t)
+	emits := do(t, sw, req(wire.OpAcquire, 9, 1, wire.Exclusive))
+	wantActions(t, emits, ActForward)
+	if emits[0].Hdr.LockID != 9 {
+		t.Fatalf("forwarded header corrupted: %v", emits[0].Hdr)
+	}
+	emits = do(t, sw, req(wire.OpRelease, 9, 1, wire.Exclusive))
+	wantActions(t, emits, ActForward)
+	if sw.Stats().Forwards != 2 {
+		t.Fatalf("forwards = %d, want 2", sw.Stats().Forwards)
+	}
+}
+
+func TestExclusiveGrantAndQueue(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 4)
+	// First exclusive request is granted immediately.
+	emits := do(t, sw, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	wantActions(t, emits, ActGrant)
+	if emits[0].Hdr.Op != wire.OpGrant || emits[0].Hdr.TxnID != 1 {
+		t.Fatalf("grant header wrong: %v", emits[0].Hdr)
+	}
+	// Second exclusive request queues silently.
+	emits = do(t, sw, req(wire.OpAcquire, 1, 2, wire.Exclusive))
+	wantActions(t, emits)
+	st, err := sw.CtrlLockState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Held != 1 || !st.HeldExcl || st.Banks[0].Count != 2 {
+		t.Fatalf("lock state wrong: %+v", st)
+	}
+}
+
+// Figure 6, exclusive → exclusive: release grants the next exclusive
+// request, no extra resubmit walk.
+func TestExclusiveToExclusive(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 4)
+	do(t, sw, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	do(t, sw, req(wire.OpAcquire, 1, 2, wire.Exclusive))
+	emits := do(t, sw, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	wantActions(t, emits, ActGrant)
+	if emits[0].Hdr.TxnID != 2 || emits[0].Hdr.Mode != wire.Exclusive {
+		t.Fatalf("wrong grant: %v", emits[0].Hdr)
+	}
+	st, _ := sw.CtrlLockState(1)
+	if st.Held != 1 || !st.HeldExcl || st.Banks[0].Count != 1 {
+		t.Fatalf("state after X->X: %+v", st)
+	}
+}
+
+// Figure 6, exclusive → shared: release grants the whole run of shared
+// requests via repeated resubmit.
+func TestExclusiveToSharedRun(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 8)
+	do(t, sw, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	for txn := uint64(2); txn <= 4; txn++ {
+		wantActions(t, do(t, sw, req(wire.OpAcquire, 1, txn, wire.Shared)))
+	}
+	do(t, sw, req(wire.OpAcquire, 1, 5, wire.Exclusive))
+	emits := do(t, sw, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	wantActions(t, emits, ActGrant, ActGrant, ActGrant)
+	for i, txn := range []uint64{2, 3, 4} {
+		if emits[i].Hdr.TxnID != txn || emits[i].Hdr.Mode != wire.Shared {
+			t.Fatalf("grant %d = %v, want shared txn %d", i, emits[i].Hdr, txn)
+		}
+	}
+	st, _ := sw.CtrlLockState(1)
+	if st.Held != 3 || st.HeldExcl {
+		t.Fatalf("state after X->SSS: %+v", st)
+	}
+	// The exclusive request at the end of the run is still waiting.
+	if st.Banks[0].Count != 4 {
+		t.Fatalf("queue count = %d, want 4 (3 granted shared + 1 waiting X)", st.Banks[0].Count)
+	}
+}
+
+// Figure 6, shared → shared: releasing one of several granted shared locks
+// grants nothing new.
+func TestSharedToShared(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 8)
+	wantActions(t, do(t, sw, req(wire.OpAcquire, 1, 1, wire.Shared)), ActGrant)
+	wantActions(t, do(t, sw, req(wire.OpAcquire, 1, 2, wire.Shared)), ActGrant)
+	emits := do(t, sw, req(wire.OpRelease, 1, 1, wire.Shared))
+	wantActions(t, emits)
+	st, _ := sw.CtrlLockState(1)
+	if st.Held != 1 || st.HeldExcl || st.Banks[0].Count != 1 {
+		t.Fatalf("state after S->S release: %+v", st)
+	}
+}
+
+// Figure 6, shared → exclusive: the last shared release grants the waiting
+// exclusive request.
+func TestSharedToExclusive(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 8)
+	do(t, sw, req(wire.OpAcquire, 1, 1, wire.Shared))
+	do(t, sw, req(wire.OpAcquire, 1, 2, wire.Shared))
+	wantActions(t, do(t, sw, req(wire.OpAcquire, 1, 3, wire.Exclusive))) // queues
+	wantActions(t, do(t, sw, req(wire.OpRelease, 1, 1, wire.Shared)))    // still one shared holder
+	emits := do(t, sw, req(wire.OpRelease, 1, 2, wire.Shared))
+	wantActions(t, emits, ActGrant)
+	if emits[0].Hdr.TxnID != 3 || emits[0].Hdr.Mode != wire.Exclusive {
+		t.Fatalf("S->X grant wrong: %v", emits[0].Hdr)
+	}
+	st, _ := sw.CtrlLockState(1)
+	if st.Held != 1 || !st.HeldExcl || st.Banks[0].Count != 1 {
+		t.Fatalf("state after S->X: %+v", st)
+	}
+}
+
+// A shared request arriving while an exclusive request waits must queue
+// behind it (FCFS starvation-freedom), even though the holder is shared.
+func TestSharedQueuesBehindWaitingExclusive(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 8)
+	wantActions(t, do(t, sw, req(wire.OpAcquire, 1, 1, wire.Shared)), ActGrant)
+	wantActions(t, do(t, sw, req(wire.OpAcquire, 1, 2, wire.Exclusive))) // waits
+	wantActions(t, do(t, sw, req(wire.OpAcquire, 1, 3, wire.Shared)))    // must wait too
+	// Release the shared holder: X is granted, not the new S.
+	emits := do(t, sw, req(wire.OpRelease, 1, 1, wire.Shared))
+	wantActions(t, emits, ActGrant)
+	if emits[0].Hdr.TxnID != 2 {
+		t.Fatalf("expected X txn 2 granted, got %v", emits[0].Hdr)
+	}
+	// Release X: the queued shared request is granted.
+	emits = do(t, sw, req(wire.OpRelease, 1, 2, wire.Exclusive))
+	wantActions(t, emits, ActGrant)
+	if emits[0].Hdr.TxnID != 3 {
+		t.Fatalf("expected S txn 3 granted, got %v", emits[0].Hdr)
+	}
+}
+
+func TestSharedGrantsConcurrent(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 16)
+	for txn := uint64(1); txn <= 10; txn++ {
+		wantActions(t, do(t, sw, req(wire.OpAcquire, 1, txn, wire.Shared)), ActGrant)
+	}
+	st, _ := sw.CtrlLockState(1)
+	if st.Held != 10 || st.HeldExcl {
+		t.Fatalf("ten shared holders expected: %+v", st)
+	}
+}
+
+func TestReleaseEmptyQueueIgnored(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 4)
+	emits := do(t, sw, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	wantActions(t, emits)
+	st, _ := sw.CtrlLockState(1)
+	if st.Held != 0 || st.Banks[0].Count != 0 {
+		t.Fatalf("spurious release mutated state: %+v", st)
+	}
+}
+
+func TestOverflowForwardAndMode(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 2) // region of 2 slots
+	do(t, sw, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	do(t, sw, req(wire.OpAcquire, 1, 2, wire.Exclusive))
+	// Third request overflows: forwarded with the overflow mark, and the
+	// lock enters overflow mode.
+	emits := do(t, sw, req(wire.OpAcquire, 1, 3, wire.Exclusive))
+	wantActions(t, emits, ActForwardOverflow)
+	if emits[0].Hdr.Flags&wire.FlagOverflow == 0 {
+		t.Fatalf("overflow forward must carry FlagOverflow: %v", emits[0].Hdr)
+	}
+	st, _ := sw.CtrlLockState(1)
+	if !st.Overflow[0] {
+		t.Fatalf("lock should be in overflow mode")
+	}
+	// Even though a release frees a slot, FIFO requires new requests to
+	// keep going to the server while in overflow mode.
+	do(t, sw, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	emits = do(t, sw, req(wire.OpAcquire, 1, 4, wire.Exclusive))
+	wantActions(t, emits, ActForwardOverflow)
+}
+
+func TestOverflowPushNotifyAndPush(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 2)
+	do(t, sw, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	do(t, sw, req(wire.OpAcquire, 1, 2, wire.Exclusive))
+	do(t, sw, req(wire.OpAcquire, 1, 3, wire.Exclusive)) // overflow
+	// Drain the switch queue.
+	emits := do(t, sw, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	wantActions(t, emits, ActGrant) // txn 2
+	emits = do(t, sw, req(wire.OpRelease, 1, 2, wire.Exclusive))
+	// Queue now empty and in overflow mode: expect a push notification.
+	wantActions(t, emits, ActPushNotify)
+	if emits[0].Hdr.LeaseNs != 2 {
+		t.Fatalf("push notify free slots = %d, want 2", emits[0].Hdr.LeaseNs)
+	}
+	// Server pushes the buffered request as final (q2 drained): it is
+	// enqueued, granted, and overflow mode clears.
+	push := req(wire.OpPush, 1, 3, wire.Exclusive)
+	push.Flags = wire.FlagOverflow // final marker
+	emits = do(t, sw, push)
+	wantActions(t, emits, ActGrant)
+	if emits[0].Hdr.TxnID != 3 {
+		t.Fatalf("pushed request not granted: %v", emits[0].Hdr)
+	}
+	st, _ := sw.CtrlLockState(1)
+	if st.Overflow[0] {
+		t.Fatalf("overflow mode should have cleared")
+	}
+	// Back to normal: new requests are processed by the switch again.
+	do(t, sw, req(wire.OpRelease, 1, 3, wire.Exclusive))
+	wantActions(t, do(t, sw, req(wire.OpAcquire, 1, 5, wire.Exclusive)), ActGrant)
+}
+
+func TestPushForLockNotResident(t *testing.T) {
+	sw := newTestSwitch(t)
+	push := req(wire.OpPush, 77, 3, wire.Exclusive)
+	push.Flags = wire.FlagOverflow
+	emits := do(t, sw, push)
+	wantActions(t, emits, ActForward)
+	if emits[0].Hdr.Op != wire.OpAcquire || emits[0].Hdr.Flags&wire.FlagOverflow != 0 {
+		t.Fatalf("stale push should be bounced as a plain acquire: %v", emits[0].Hdr)
+	}
+}
+
+func TestPriorityGrantOrder(t *testing.T) {
+	sw := New(Config{MaxLocks: 8, TotalSlots: 64, Priorities: 2})
+	if err := sw.CtrlInstallLock(1, []Region{{0, 8}, {0, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	hi := func(txn uint64, mode wire.Mode) *wire.Header {
+		h := req(wire.OpAcquire, 1, txn, mode)
+		h.Priority = 0
+		return h
+	}
+	lo := func(txn uint64, mode wire.Mode) *wire.Header {
+		h := req(wire.OpAcquire, 1, txn, mode)
+		h.Priority = 1
+		return h
+	}
+	// Low-priority X holds the lock; low X and high X wait.
+	wantActions(t, do(t, sw, lo(1, wire.Exclusive)), ActGrant)
+	wantActions(t, do(t, sw, lo(2, wire.Exclusive)))
+	wantActions(t, do(t, sw, hi(3, wire.Exclusive)))
+	// On release, the high-priority request wins even though it arrived
+	// later.
+	rel := req(wire.OpRelease, 1, 1, wire.Exclusive)
+	rel.Priority = 1
+	emits := do(t, sw, rel)
+	wantActions(t, emits, ActGrant)
+	if emits[0].Hdr.TxnID != 3 {
+		t.Fatalf("high-priority request should be granted first, got %v", emits[0].Hdr)
+	}
+}
+
+func TestPrioritySharedBypassesLowerExclusive(t *testing.T) {
+	sw := New(Config{MaxLocks: 8, TotalSlots: 64, Priorities: 2})
+	if err := sw.CtrlInstallLock(1, []Region{{0, 8}, {0, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	// Shared holder at low priority, exclusive waiter at low priority.
+	h1 := req(wire.OpAcquire, 1, 1, wire.Shared)
+	h1.Priority = 1
+	wantActions(t, do(t, sw, h1), ActGrant)
+	h2 := req(wire.OpAcquire, 1, 2, wire.Exclusive)
+	h2.Priority = 1
+	wantActions(t, do(t, sw, h2))
+	// A high-priority shared request sees no same-or-higher exclusive
+	// requests, so it is granted immediately (service differentiation).
+	h3 := req(wire.OpAcquire, 1, 3, wire.Shared)
+	h3.Priority = 0
+	wantActions(t, do(t, sw, h3), ActGrant)
+	// A low-priority shared request must wait behind the exclusive one.
+	h4 := req(wire.OpAcquire, 1, 4, wire.Shared)
+	h4.Priority = 1
+	wantActions(t, do(t, sw, h4))
+}
+
+func TestTenantQuotaRejects(t *testing.T) {
+	now := int64(0)
+	sw := New(Config{MaxLocks: 8, TotalSlots: 64, Priorities: 1, Isolation: true,
+		Now: func() int64 { return now }})
+	if err := sw.CtrlInstallLock(1, []Region{{0, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	sw.CtrlSetTenantQuota(5, 1000, 2)
+	mk := func(txn uint64) *wire.Header {
+		h := req(wire.OpAcquire, 1, txn, wire.Shared)
+		h.TenantID = 5
+		return h
+	}
+	wantActions(t, do(t, sw, mk(1)), ActGrant)
+	wantActions(t, do(t, sw, mk(2)), ActGrant)
+	// Burst exhausted: reject.
+	emits := do(t, sw, mk(3))
+	wantActions(t, emits, ActReject)
+	if emits[0].Hdr.Op != wire.OpReject {
+		t.Fatalf("reject op wrong: %v", emits[0].Hdr)
+	}
+	// Unconfigured tenant is always rejected under isolation.
+	other := req(wire.OpAcquire, 1, 4, wire.Shared)
+	other.TenantID = 9
+	wantActions(t, do(t, sw, other), ActReject)
+	// After time passes, tokens refill.
+	now += 10e6 // 10ms at 1000/s -> 10 tokens (capped at burst 2)
+	wantActions(t, do(t, sw, mk(5)), ActGrant)
+}
+
+func TestOneRTTFetchEmit(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 4)
+	h := req(wire.OpAcquire, 1, 1, wire.Exclusive)
+	h.Flags = wire.FlagOneRTT
+	emits := do(t, sw, h)
+	wantActions(t, emits, ActFetch)
+	if emits[0].Hdr.Op != wire.OpFetch {
+		t.Fatalf("one-RTT grant should be OpFetch: %v", emits[0].Hdr)
+	}
+	// Queued one-RTT request also fetches when granted later.
+	h2 := req(wire.OpAcquire, 1, 2, wire.Exclusive)
+	h2.Flags = wire.FlagOneRTT
+	wantActions(t, do(t, sw, h2))
+	emits = do(t, sw, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	wantActions(t, emits, ActFetch)
+	if emits[0].Hdr.TxnID != 2 {
+		t.Fatalf("queued one-RTT fetch wrong: %v", emits[0].Hdr)
+	}
+}
+
+func TestLeaseStampingAndExpiry(t *testing.T) {
+	now := int64(1000)
+	sw := New(Config{MaxLocks: 8, TotalSlots: 64, Priorities: 1,
+		DefaultLeaseNs: 500, Now: func() int64 { return now }})
+	if err := sw.CtrlInstallLock(1, []Region{{0, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	emits := do(t, sw, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	wantActions(t, emits, ActGrant)
+	if emits[0].Hdr.LeaseNs != 1500 {
+		t.Fatalf("lease = %d, want now+500", emits[0].Hdr.LeaseNs)
+	}
+	// Not yet expired.
+	if rel := sw.CtrlScanExpired(1400); len(rel) != 0 {
+		t.Fatalf("premature expiry: %v", rel)
+	}
+	// Expired: the control plane synthesizes a release.
+	rels := sw.CtrlScanExpired(2000)
+	if len(rels) != 1 || rels[0].Op != wire.OpRelease || rels[0].TxnID != 1 {
+		t.Fatalf("expiry scan = %v", rels)
+	}
+	// Injecting the release frees the lock.
+	do(t, sw, &rels[0])
+	st, _ := sw.CtrlLockState(1)
+	if st.Held != 0 || st.Banks[0].Count != 0 {
+		t.Fatalf("state after expiry release: %+v", st)
+	}
+	if sw.Stats().ExpiredReleases != 1 {
+		t.Fatalf("expired releases = %d", sw.Stats().ExpiredReleases)
+	}
+}
+
+func TestExplicitLeaseDuration(t *testing.T) {
+	now := int64(100)
+	sw := New(Config{MaxLocks: 8, TotalSlots: 64, Priorities: 1,
+		Now: func() int64 { return now }})
+	if err := sw.CtrlInstallLock(1, []Region{{0, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	h := req(wire.OpAcquire, 1, 1, wire.Exclusive)
+	h.LeaseNs = 1000 // requested duration
+	emits := do(t, sw, h)
+	if emits[0].Hdr.LeaseNs != 1100 {
+		t.Fatalf("lease expiry = %d, want 1100", emits[0].Hdr.LeaseNs)
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 4)
+	if err := sw.CtrlInstallLock(1, []Region{{0, 4}}); err == nil {
+		t.Fatalf("duplicate install should fail")
+	}
+	if err := sw.CtrlInstallLock(2, []Region{}); err == nil {
+		t.Fatalf("wrong region count should fail")
+	}
+	if err := sw.CtrlInstallLock(2, []Region{{4, 4}}); err == nil {
+		t.Fatalf("empty region should fail")
+	}
+	if err := sw.CtrlInstallLock(2, []Region{{0, 1 << 40}}); err == nil {
+		t.Fatalf("out-of-range region should fail")
+	}
+}
+
+func TestLockTableCapacity(t *testing.T) {
+	sw := New(Config{MaxLocks: 2, TotalSlots: 16, Priorities: 1})
+	if err := sw.CtrlInstallLock(1, []Region{{0, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.CtrlInstallLock(2, []Region{{4, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.CtrlInstallLock(3, []Region{{8, 12}}); err == nil {
+		t.Fatalf("table full should fail")
+	}
+	if sw.CtrlFreeEntries() != 0 {
+		t.Fatalf("free entries = %d", sw.CtrlFreeEntries())
+	}
+	// Removing frees an entry for reuse.
+	if err := sw.CtrlRemoveLock(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.CtrlInstallLock(3, []Region{{8, 12}}); err != nil {
+		t.Fatalf("reinstall after remove: %v", err)
+	}
+}
+
+func TestRemoveRequiresDrain(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 4)
+	do(t, sw, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	if err := sw.CtrlRemoveLock(1); err == nil {
+		t.Fatalf("removing a non-drained lock should fail")
+	}
+	do(t, sw, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	if err := sw.CtrlRemoveLock(1); err != nil {
+		t.Fatalf("remove after drain: %v", err)
+	}
+	if sw.CtrlHasLock(1) {
+		t.Fatalf("lock still resident after removal")
+	}
+	if err := sw.CtrlRemoveLock(1); err == nil {
+		t.Fatalf("double remove should fail")
+	}
+}
+
+func TestCtrlMeasure(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 8)
+	for txn := uint64(1); txn <= 5; txn++ {
+		do(t, sw, req(wire.OpAcquire, 1, txn, wire.Exclusive))
+	}
+	loads := sw.CtrlMeasure()
+	if len(loads) != 1 || loads[0].Requests != 5 {
+		t.Fatalf("measured loads = %+v", loads)
+	}
+	if loads[0].MaxQueue != 5 {
+		t.Fatalf("max queue = %d, want 5", loads[0].MaxQueue)
+	}
+	// Window closed: counters reset.
+	loads = sw.CtrlMeasure()
+	if loads[0].Requests != 0 || loads[0].MaxQueue != 0 {
+		t.Fatalf("counters not reset: %+v", loads)
+	}
+}
+
+func TestCtrlReset(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 4)
+	do(t, sw, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	sw.CtrlReset()
+	if sw.CtrlHasLock(1) {
+		t.Fatalf("lock survived reset")
+	}
+	if sw.CtrlFreeEntries() != 64 {
+		t.Fatalf("free entries after reset = %d", sw.CtrlFreeEntries())
+	}
+	if sw.Stats() != (Stats{}) {
+		t.Fatalf("stats survived reset")
+	}
+	// The switch is usable after the reset.
+	installed(t, sw, 1, 4)
+	wantActions(t, do(t, sw, req(wire.OpAcquire, 1, 2, wire.Exclusive)), ActGrant)
+}
+
+func TestCtrlQueuedSlots(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 8)
+	do(t, sw, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	do(t, sw, req(wire.OpAcquire, 1, 2, wire.Shared))
+	slots, err := sw.CtrlQueuedSlots(1, 0)
+	if err != nil || len(slots) != 2 {
+		t.Fatalf("queued slots = %v err=%v", slots, err)
+	}
+	if slots[0].TxnID != 1 || !slots[0].Exclusive || slots[1].TxnID != 2 || slots[1].Exclusive {
+		t.Fatalf("slot contents wrong: %+v", slots)
+	}
+	if _, err := sw.CtrlQueuedSlots(99, 0); err == nil {
+		t.Fatalf("unknown lock should error")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 2)
+	do(t, sw, req(wire.OpAcquire, 1, 1, wire.Exclusive)) // immediate grant
+	do(t, sw, req(wire.OpAcquire, 1, 2, wire.Exclusive)) // queued
+	do(t, sw, req(wire.OpAcquire, 1, 3, wire.Exclusive)) // overflow
+	do(t, sw, req(wire.OpRelease, 1, 1, wire.Exclusive)) // grants txn 2
+	s := sw.Stats()
+	if s.Acquires != 3 || s.GrantsImmediate != 1 || s.Queued != 1 ||
+		s.Overflows != 1 || s.GrantsQueued != 1 || s.Releases != 1 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+}
+
+func TestPassAccountingChargesResubmits(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 8)
+	_, p := sw.ProcessPacket(req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	if p != 1 {
+		t.Fatalf("immediate grant passes = %d, want 1", p)
+	}
+	for txn := uint64(2); txn <= 4; txn++ {
+		sw.ProcessPacket(req(wire.OpAcquire, 1, txn, wire.Shared))
+	}
+	// X release granting 3 shared requests: pass 0 (dequeue) + pass 1
+	// (first grant) + 2 walk passes granting + 1 terminating pass.
+	_, p = sw.ProcessPacket(req(wire.OpRelease, 1, 1, wire.Exclusive))
+	if p < 4 {
+		t.Fatalf("X->SSS release passes = %d, want >= 4", p)
+	}
+}
+
+func TestConfigValidationPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero locks":     {MaxLocks: 0, TotalSlots: 16, Priorities: 1},
+		"zero slots":     {MaxLocks: 4, TotalSlots: 0, Priorities: 1},
+		"bad priorities": {MaxLocks: 4, TotalSlots: 16, Priorities: 9},
+		"slots < banks":  {MaxLocks: 4, TotalSlots: 3, Priorities: 4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for _, a := range []Action{ActGrant, ActFetch, ActForward, ActForwardOverflow, ActReject, ActPushNotify} {
+		if a.String() == "" {
+			t.Fatalf("action %d has empty name", a)
+		}
+	}
+	if Action(99).String() != "action(99)" {
+		t.Fatalf("unknown action string wrong")
+	}
+}
+
+func TestGrantEmitsCarrySlotIdentity(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 1, 8)
+	h := req(wire.OpAcquire, 1, 7, wire.Exclusive)
+	h.TenantID = 3
+	do(t, sw, h)
+	h2 := req(wire.OpAcquire, 1, 8, wire.Exclusive)
+	h2.TenantID = 4
+	h2.ClientIP = netip.AddrFrom4([4]byte{192, 168, 1, 9})
+	do(t, sw, h2)
+	emits := do(t, sw, req(wire.OpRelease, 1, 7, wire.Exclusive))
+	g := emits[0].Hdr
+	if g.TxnID != 8 || g.TenantID != 4 || g.ClientIP != netip.AddrFrom4([4]byte{192, 168, 1, 9}) {
+		t.Fatalf("queued grant lost identity: %v", g)
+	}
+}
+
+// The Slot type must round-trip through the queue with all fields intact
+// when granted from the walk (integration of switchdp with sharedqueue).
+func TestWalkSlotRoundTrip(t *testing.T) {
+	sw := newTestSwitch(t)
+	installed(t, sw, 2, 8)
+	x := req(wire.OpAcquire, 2, 1, wire.Exclusive)
+	do(t, sw, x)
+	s := req(wire.OpAcquire, 2, 2, wire.Shared)
+	s.TenantID = 9
+	s.Priority = 0
+	do(t, sw, s)
+	emits := do(t, sw, req(wire.OpRelease, 2, 1, wire.Exclusive))
+	wantActions(t, emits, ActGrant)
+	if emits[0].Hdr.TenantID != 9 || emits[0].Hdr.Mode != wire.Shared {
+		t.Fatalf("walk grant fields wrong: %v", emits[0].Hdr)
+	}
+	_ = sharedqueue.Slot{} // keep the import for documentation purposes
+}

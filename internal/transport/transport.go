@@ -1,0 +1,513 @@
+// Package transport runs NetLock over real UDP sockets: a switch node that
+// processes NetLock packets through the data-plane program
+// (internal/switchdp), lock-server nodes that own unpopular locks and
+// buffer overflow, and a client.
+//
+// The deployment mirrors the paper's: clients address the switch (it is the
+// ToR; every packet traverses it), the switch either processes a request in
+// its data plane or forwards it to the lock server responsible for the
+// lock, and grants flow back through the switch to the client. Since grant
+// notifications can be emitted long after the request packet (when a queued
+// lock is granted by someone else's release), the switch keeps a pending
+// table mapping (lock, transaction) to the requester's UDP address.
+//
+// This is the demonstration plane: correctness over sockets, not the
+// evaluation plane (internal/cluster reproduces the paper's numbers in
+// virtual time).
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"netlock/internal/lockserver"
+	"netlock/internal/switchdp"
+	"netlock/internal/wire"
+)
+
+const maxPacket = 256
+
+// Switch is a NetLock switch node on a UDP socket.
+type Switch struct {
+	conn *net.UDPConn
+	dp   *switchdp.Switch
+	now  func() int64
+
+	mu      sync.Mutex
+	servers []*net.UDPAddr
+	pending map[pendKey]*net.UDPAddr
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type pendKey struct {
+	lock uint32
+	txn  uint64
+}
+
+// SwitchConfig configures a switch node.
+type SwitchConfig struct {
+	// Listen is the UDP address to bind ("127.0.0.1:0" for ephemeral).
+	Listen string
+	// DataPlane configures the switch program.
+	DataPlane switchdp.Config
+	// Servers are the lock servers' UDP addresses; locks partition across
+	// them by lockserver.RSSCore.
+	Servers []string
+	// SweepInterval runs the control-plane sweep: expired-lease release
+	// injection and stranded-overflow re-notification. Default 10ms.
+	SweepInterval time.Duration
+}
+
+// NewSwitch binds and starts a switch node.
+func NewSwitch(cfg SwitchConfig) (*Switch, error) {
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve listen addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	if cfg.DataPlane.Now == nil {
+		start := time.Now()
+		cfg.DataPlane.Now = func() int64 { return int64(time.Since(start)) }
+	}
+	s := &Switch{
+		conn:    conn,
+		dp:      switchdp.New(cfg.DataPlane),
+		pending: make(map[pendKey]*net.UDPAddr),
+		closed:  make(chan struct{}),
+	}
+	for _, sa := range cfg.Servers {
+		ua, err := net.ResolveUDPAddr("udp", sa)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: resolve server addr %q: %w", sa, err)
+		}
+		s.servers = append(s.servers, ua)
+	}
+	if len(s.servers) == 0 {
+		conn.Close()
+		return nil, fmt.Errorf("transport: switch needs at least one lock server")
+	}
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = 10 * time.Millisecond
+	}
+	s.now = cfg.DataPlane.Now
+	s.wg.Add(1)
+	go s.readLoop()
+	s.wg.Add(1)
+	go s.sweepLoop(cfg.SweepInterval)
+	return s, nil
+}
+
+// sweepLoop is the switch control plane's periodic poll (§4.5): it injects
+// releases for expired leases and re-issues push notifications for stranded
+// overflow queues.
+func (s *Switch) sweepLoop(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	out := make([]byte, 0, wire.HeaderLen)
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			for _, h := range s.dp.CtrlScanExpired(s.now()) {
+				h := h
+				emits, _ := s.dp.ProcessPacket(&h)
+				for _, e := range emits {
+					s.routeEmit(e, &out)
+				}
+			}
+			for _, h := range s.dp.CtrlScanStranded() {
+				out = h.AppendTo(out[:0])
+				s.conn.WriteToUDP(out, s.serverFor(h.LockID))
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Addr returns the switch's bound UDP address.
+func (s *Switch) Addr() string { return s.conn.LocalAddr().String() }
+
+// DataPlane exposes the switch program for control-plane operations
+// (installing locks, quotas, stats).
+func (s *Switch) DataPlane() *switchdp.Switch { return s.dp }
+
+// Lock serializes control-plane access with packet processing; use around
+// DataPlane() calls.
+func (s *Switch) Lock() { s.mu.Lock() }
+
+// Unlock releases the control-plane lock.
+func (s *Switch) Unlock() { s.mu.Unlock() }
+
+// Close stops the node.
+func (s *Switch) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Switch) serverFor(lockID uint32) *net.UDPAddr {
+	return s.servers[lockserver.RSSCore(lockID, len(s.servers))]
+}
+
+func (s *Switch) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, maxPacket)
+	var h wire.Header
+	out := make([]byte, 0, wire.HeaderLen)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue // transient error; the ToR keeps forwarding
+			}
+		}
+		if err := h.DecodeFromBytes(buf[:n]); err != nil {
+			continue // not a NetLock packet
+		}
+		s.mu.Lock()
+		switch h.Op {
+		case wire.OpGrant, wire.OpReject, wire.OpFetch:
+			// Passthrough from a lock server toward the client.
+			s.deliverToClient(&h, &out)
+		default:
+			if h.Op == wire.OpAcquire && h.Flags&wire.FlagOverflow == 0 {
+				// Remember the requester for the eventual grant. (Pushes
+				// and overflow re-forwards keep the original entry.)
+				s.pending[pendKey{h.LockID, h.TxnID}] = from
+			}
+			emits, _ := s.dp.ProcessPacket(&h)
+			for _, e := range emits {
+				s.routeEmit(e, &out)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// routeEmit sends one switch output packet. Caller holds s.mu.
+func (s *Switch) routeEmit(e switchdp.Emit, out *[]byte) {
+	switch e.Action {
+	case switchdp.ActGrant, switchdp.ActReject, switchdp.ActFetch:
+		h := e.Hdr
+		s.deliverToClient(&h, out)
+	case switchdp.ActForward, switchdp.ActForwardOverflow, switchdp.ActPushNotify:
+		*out = e.Hdr.AppendTo((*out)[:0])
+		s.conn.WriteToUDP(*out, s.serverFor(e.Hdr.LockID))
+	}
+}
+
+// deliverToClient forwards a grant/reject to the requester recorded in the
+// pending table. Caller holds s.mu.
+func (s *Switch) deliverToClient(h *wire.Header, out *[]byte) {
+	key := pendKey{h.LockID, h.TxnID}
+	to, ok := s.pending[key]
+	if !ok {
+		return // duplicate or expired
+	}
+	delete(s.pending, key)
+	*out = h.AppendTo((*out)[:0])
+	s.conn.WriteToUDP(*out, to)
+}
+
+// Server is a NetLock lock-server node on a UDP socket.
+type Server struct {
+	conn *net.UDPConn
+	ls   *lockserver.Server
+
+	mu         sync.Mutex
+	switchAddr *net.UDPAddr
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// ServerConfig configures a lock-server node.
+type ServerConfig struct {
+	Listen string
+	Config lockserver.Config
+}
+
+// NewServer binds and starts a lock-server node. The switch address is set
+// later with SetSwitchAddr (the switch must know the servers first).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve listen addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	if cfg.Config.Priorities == 0 {
+		cfg.Config.Priorities = 1
+	}
+	if cfg.Config.Now == nil {
+		start := time.Now()
+		cfg.Config.Now = func() int64 { return int64(time.Since(start)) }
+	}
+	srv := &Server{
+		conn:   conn,
+		ls:     lockserver.New(cfg.Config),
+		closed: make(chan struct{}),
+	}
+	srv.wg.Add(1)
+	go srv.readLoop()
+	return srv, nil
+}
+
+// Addr returns the server's bound UDP address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// SetSwitchAddr points the server at its switch (for pushes and grant
+// routing).
+func (s *Server) SetSwitchAddr(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve switch addr: %w", err)
+	}
+	s.mu.Lock()
+	s.switchAddr = ua
+	s.mu.Unlock()
+	return nil
+}
+
+// LockServer exposes the underlying lock table for control operations.
+func (s *Server) LockServer() *lockserver.Server { return s.ls }
+
+// Close stops the node.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, maxPacket)
+	var h wire.Header
+	out := make([]byte, 0, wire.HeaderLen)
+	for {
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		if err := h.DecodeFromBytes(buf[:n]); err != nil {
+			continue
+		}
+		s.mu.Lock()
+		sw := s.switchAddr
+		emits := s.ls.ProcessPacket(&h)
+		for _, e := range emits {
+			// Every server output returns through the switch: grants are
+			// forwarded to the client by the switch's pending table, and
+			// pushes are processed by its data plane.
+			out = e.Hdr.AppendTo(out[:0])
+			if sw != nil {
+				s.conn.WriteToUDP(out, sw)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Client acquires and releases locks against a NetLock switch over UDP.
+// Client is safe for concurrent use.
+type Client struct {
+	conn       *net.UDPConn
+	switchAddr *net.UDPAddr
+
+	mu      sync.Mutex
+	nextTxn uint64
+	waiters map[pendKey]chan wire.Header
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	// RetryInterval resends unanswered acquires (packet loss). Default
+	// 200ms.
+	RetryInterval time.Duration
+}
+
+// NewClient creates a client socket pointed at the switch.
+func NewClient(switchAddr string) (*Client, error) {
+	ua, err := net.ResolveUDPAddr("udp", switchAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve switch addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: ua.IP})
+	if err != nil {
+		return nil, fmt.Errorf("transport: client socket: %w", err)
+	}
+	c := &Client{
+		conn:          conn,
+		switchAddr:    ua,
+		waiters:       make(map[pendKey]chan wire.Header),
+		closed:        make(chan struct{}),
+		RetryInterval: time.Second,
+	}
+	// Transaction IDs identify a request end to end: grants for queued
+	// requests are routed back by (lock, txn). Clients draw from disjoint
+	// random ranges so concurrent clients cannot collide.
+	c.nextTxn = rand.Uint64() >> 1
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Close stops the client; blocked Acquire calls fail.
+func (c *Client) Close() error {
+	select {
+	case <-c.closed:
+		return nil
+	default:
+	}
+	close(c.closed)
+	err := c.conn.Close()
+	c.wg.Wait()
+	c.mu.Lock()
+	for k, ch := range c.waiters {
+		close(ch)
+		delete(c.waiters, k)
+	}
+	c.mu.Unlock()
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, maxPacket)
+	var h wire.Header
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-c.closed:
+				return
+			default:
+				continue
+			}
+		}
+		if err := h.DecodeFromBytes(buf[:n]); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		key := pendKey{h.LockID, h.TxnID}
+		if ch, ok := c.waiters[key]; ok {
+			delete(c.waiters, key)
+			ch <- h
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Grant is a lock held through a Client.
+type Grant struct {
+	c        *Client
+	hdr      wire.Header
+	released sync.Once
+}
+
+// Release releases the lock (fire-and-forget, as in the paper).
+func (g *Grant) Release() {
+	g.released.Do(func() {
+		h := g.hdr
+		h.Op = wire.OpRelease
+		buf := h.Marshal()
+		g.c.conn.WriteToUDP(buf, g.c.switchAddr)
+	})
+}
+
+// Acquire requests a lock and blocks until granted or the timeout expires.
+// Unanswered requests are retransmitted every RetryInterval.
+func (c *Client) Acquire(lockID uint32, mode wire.Mode, timeout time.Duration) (*Grant, error) {
+	c.mu.Lock()
+	c.nextTxn++
+	txn := c.nextTxn
+	local := c.conn.LocalAddr().(*net.UDPAddr)
+	h := wire.Header{
+		Op:     wire.OpAcquire,
+		Mode:   mode,
+		LockID: lockID,
+		TxnID:  txn,
+	}
+	if ip4 := local.IP.To4(); ip4 != nil {
+		h.ClientIP, _ = netipAddrFrom4(ip4)
+	}
+	ch := make(chan wire.Header, 1)
+	key := pendKey{lockID, txn}
+	c.waiters[key] = ch
+	c.mu.Unlock()
+
+	buf := h.Marshal()
+	if _, err := c.conn.WriteToUDP(buf, c.switchAddr); err != nil {
+		c.mu.Lock()
+		delete(c.waiters, key)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: send acquire: %w", err)
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	retry := time.NewTicker(c.RetryInterval)
+	defer retry.Stop()
+	for {
+		select {
+		case g, ok := <-ch:
+			if !ok {
+				return nil, fmt.Errorf("transport: client closed")
+			}
+			if g.Op == wire.OpReject {
+				return nil, fmt.Errorf("transport: lock %d rejected (quota)", lockID)
+			}
+			return &Grant{c: c, hdr: h}, nil
+		case <-retry.C:
+			c.conn.WriteToUDP(buf, c.switchAddr)
+		case <-deadline.C:
+			c.mu.Lock()
+			delete(c.waiters, key)
+			c.mu.Unlock()
+			return nil, fmt.Errorf("transport: acquire lock %d: timeout after %v", lockID, timeout)
+		case <-c.closed:
+			return nil, fmt.Errorf("transport: client closed")
+		}
+	}
+}
+
+// netipAddrFrom4 converts a 4-byte IP into the wire address type.
+func netipAddrFrom4(ip4 []byte) (a netip.Addr, ok bool) {
+	var b [4]byte
+	copy(b[:], ip4)
+	return netip.AddrFrom4(b), true
+}

@@ -1,0 +1,250 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"netlock/internal/lockserver"
+	"netlock/internal/switchdp"
+	"netlock/internal/wire"
+)
+
+// rack starts a switch and n lock servers on loopback and wires them up.
+func rack(t *testing.T, n int, dp switchdp.Config) (*Switch, []*Server) {
+	t.Helper()
+	var servers []*Server
+	var addrs []string
+	for i := 0; i < n; i++ {
+		srv, err := NewServer(ServerConfig{Listen: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	sw, err := NewSwitch(SwitchConfig{Listen: "127.0.0.1:0", DataPlane: dp, Servers: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sw.Close() })
+	for _, srv := range servers {
+		if err := srv.SetSwitchAddr(sw.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sw, servers
+}
+
+// installLock performs the control-plane placement: install the lock in the
+// switch AND transfer ownership away from its partition server, exactly the
+// two-sided move core.Manager performs (§4.3).
+func installLock(t *testing.T, sw *Switch, servers []*Server, lockID uint32, region switchdp.Region) {
+	t.Helper()
+	sw.Lock()
+	err := sw.DataPlane().CtrlInstallLock(lockID, []switchdp.Region{region})
+	sw.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := servers[lockserver.RSSCore(lockID, len(servers))]
+	srv.mu.Lock()
+	err = srv.ls.CtrlReleaseOwnership(lockID)
+	srv.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func client(t *testing.T, sw *Switch) *Client {
+	t.Helper()
+	c, err := NewClient(sw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func dpConfig() switchdp.Config {
+	return switchdp.Config{MaxLocks: 64, TotalSlots: 256, Priorities: 1}
+}
+
+const timeout = 5 * time.Second
+
+func TestServerPathAcquireRelease(t *testing.T) {
+	sw, _ := rack(t, 2, dpConfig())
+	c := client(t, sw)
+	// No locks are switch-resident: the request flows
+	// client -> switch -> server -> switch -> client.
+	g, err := c.Acquire(1, wire.Exclusive, timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+	g2, err := c.Acquire(1, wire.Exclusive, timeout)
+	if err != nil {
+		t.Fatalf("reacquire after release: %v", err)
+	}
+	g2.Release()
+}
+
+func TestSwitchPathAcquireRelease(t *testing.T) {
+	sw, servers := rack(t, 1, dpConfig())
+	installLock(t, sw, servers, 5, switchdp.Region{Left: 0, Right: 8})
+	c := client(t, sw)
+	g, err := c.Acquire(5, wire.Exclusive, timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+	sw.Lock()
+	st := sw.DataPlane().Stats()
+	sw.Unlock()
+	if st.GrantsImmediate != 1 {
+		t.Fatalf("switch should have granted: %+v", st)
+	}
+}
+
+func TestExclusiveContentionOverUDP(t *testing.T) {
+	sw, servers := rack(t, 1, dpConfig())
+	installLock(t, sw, servers, 9, switchdp.Region{Left: 0, Right: 64})
+	const workers = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	inCrit := 0
+	maxInCrit := 0
+	for w := 0; w < workers; w++ {
+		c := client(t, sw)
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				g, err := c.Acquire(9, wire.Exclusive, timeout)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				inCrit++
+				if inCrit > maxInCrit {
+					maxInCrit = inCrit
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				inCrit--
+				mu.Unlock()
+				g.Release()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if maxInCrit != 1 {
+		t.Fatalf("mutual exclusion violated: %d concurrent holders", maxInCrit)
+	}
+}
+
+func TestSharedConcurrencyOverUDP(t *testing.T) {
+	sw, servers := rack(t, 1, dpConfig())
+	installLock(t, sw, servers, 3, switchdp.Region{Left: 64, Right: 128})
+	c := client(t, sw)
+	var grants []*Grant
+	for i := 0; i < 10; i++ {
+		g, err := c.Acquire(3, wire.Shared, timeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grants = append(grants, g)
+	}
+	for _, g := range grants {
+		g.Release()
+	}
+}
+
+func TestOverflowOverUDP(t *testing.T) {
+	// Leases clean up ghost holders left by client retransmissions; the
+	// control sweep re-arms stranded overflow queues.
+	dp := dpConfig()
+	dp.DefaultLeaseNs = int64(200 * time.Millisecond)
+	sw, servers := rack(t, 1, dp)
+	// Tiny region: contention overflows to the server and must still
+	// drain correctly through the push protocol.
+	installLock(t, sw, servers, 7, switchdp.Region{Left: 0, Right: 2})
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		c := client(t, sw)
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				g, err := c.Acquire(7, wire.Exclusive, timeout)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				g.Release()
+			}
+		}(c)
+	}
+	wg.Wait()
+	sw.Lock()
+	st := sw.DataPlane().Stats()
+	sw.Unlock()
+	if st.Overflows == 0 {
+		t.Fatalf("overflow path not exercised: %+v", st)
+	}
+}
+
+func TestAcquireTimeout(t *testing.T) {
+	sw, _ := rack(t, 1, dpConfig())
+	c1 := client(t, sw)
+	c2 := client(t, sw)
+	g, err := c1.Acquire(11, wire.Exclusive, timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Acquire(11, wire.Exclusive, 100*time.Millisecond); err == nil {
+		t.Fatalf("blocked acquire should time out")
+	}
+	g.Release()
+}
+
+func TestBadConfigs(t *testing.T) {
+	if _, err := NewSwitch(SwitchConfig{Listen: "127.0.0.1:0", DataPlane: dpConfig()}); err == nil {
+		t.Fatalf("switch with no servers should fail")
+	}
+	if _, err := NewSwitch(SwitchConfig{Listen: "bogus::addr::", DataPlane: dpConfig(), Servers: []string{"127.0.0.1:1"}}); err == nil {
+		t.Fatalf("bad listen addr should fail")
+	}
+	if _, err := NewClient("bogus::addr::"); err == nil {
+		t.Fatalf("bad switch addr should fail")
+	}
+	if _, err := NewServer(ServerConfig{Listen: "bogus::addr::"}); err == nil {
+		t.Fatalf("bad server listen should fail")
+	}
+	srv, err := NewServer(ServerConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.SetSwitchAddr("bogus::addr::"); err == nil {
+		t.Fatalf("bad switch addr should fail")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	sw, servers := rack(t, 1, dpConfig())
+	c := client(t, sw)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	sw.Close()
+	sw.Close()
+	servers[0].Close()
+	servers[0].Close()
+}

@@ -1,0 +1,28 @@
+package wire
+
+import "testing"
+
+// FuzzHeaderDecode is a native fuzz target (run with `go test -fuzz
+// FuzzHeaderDecode ./internal/wire/`); in normal `go test` runs it executes
+// the seed corpus. The invariant matches TestDecodeRandomBytesNeverPanics:
+// no panic on any input, and decode∘encode is the identity on accepted
+// inputs.
+func FuzzHeaderDecode(f *testing.F) {
+	h := sampleHeader()
+	f.Add(h.Marshal())
+	f.Add(make([]byte, HeaderLen))
+	f.Add([]byte{Version, byte(OpAcquire)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var hdr Header
+		if err := hdr.DecodeFromBytes(data); err != nil {
+			return
+		}
+		var again Header
+		if err := again.DecodeFromBytes(hdr.Marshal()); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again != hdr {
+			t.Fatalf("decode/encode not lossless")
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Randomized decode robustness: arbitrary byte buffers must never panic,
+// and every successfully decoded header must re-encode losslessly (decode
+// is a retraction of encode).
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var h Header
+	decoded := 0
+	for i := 0; i < 200_000; i++ {
+		n := rng.Intn(48)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if err := h.DecodeFromBytes(buf); err != nil {
+			continue
+		}
+		decoded++
+		var h2 Header
+		if err := h2.DecodeFromBytes(h.Marshal()); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("decode/encode not lossless:\n %v\n %v", &h, &h2)
+		}
+	}
+	if decoded == 0 {
+		t.Skip("no random buffer decoded (expected occasionally; version+op must match)")
+	}
+}
+
+// Truncation at every length must error cleanly, never panic.
+func TestDecodeAllTruncations(t *testing.T) {
+	h := sampleHeader()
+	buf := h.Marshal()
+	var out Header
+	for n := 0; n < len(buf); n++ {
+		if err := out.DecodeFromBytes(buf[:n]); err == nil {
+			t.Fatalf("truncated buffer of %d bytes decoded successfully", n)
+		}
+	}
+	if err := out.DecodeFromBytes(buf); err != nil {
+		t.Fatalf("full buffer failed: %v", err)
+	}
+}

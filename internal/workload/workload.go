@@ -1,0 +1,127 @@
+// Package workload provides the microbenchmark request generators of the
+// paper's §6.2: single-lock transactions over configurable lock sets, modes
+// and contention patterns, plus a Zipf-skewed generator for the memory
+// management experiments.
+package workload
+
+import (
+	"math/rand"
+
+	"netlock/internal/cluster"
+	"netlock/internal/wire"
+)
+
+// Micro generates single-lock transactions.
+type Micro struct {
+	// Locks is the size of the shared lock set (IDs 1..Locks).
+	Locks uint32
+	// Mode is the lock mode requested.
+	Mode wire.Mode
+	// PerClientDisjoint gives each client machine its own private ID range
+	// (no contention, Figure 8b); otherwise all clients share one set.
+	PerClientDisjoint bool
+	// ThinkNs is the hold time per transaction.
+	ThinkNs int64
+	// ZipfS enables Zipf-skewed lock choice with the given parameter s>1
+	// (0 = uniform).
+	ZipfS float64
+	// Priority and OneRTT are stamped on every request.
+	Priority uint8
+	OneRTT   bool
+
+	zipfs map[int64]*rand.Zipf
+}
+
+// NextTxn implements cluster.Workload.
+func (m *Micro) NextTxn(client int, rng *rand.Rand) cluster.TxnSpec {
+	if m.Locks == 0 {
+		panic("workload: Micro.Locks must be positive")
+	}
+	var id uint32
+	switch {
+	case m.ZipfS > 1:
+		if m.zipfs == nil {
+			m.zipfs = make(map[int64]*rand.Zipf)
+		}
+		// One Zipf source per rng identity is enough here: the testbed
+		// drives all clients from a single deterministic rng.
+		z, ok := m.zipfs[0]
+		if !ok {
+			z = rand.NewZipf(rng, m.ZipfS, 1, uint64(m.Locks-1))
+			m.zipfs[0] = z
+		}
+		id = uint32(z.Uint64()) + 1
+	default:
+		id = uint32(rng.Intn(int(m.Locks))) + 1
+	}
+	if m.PerClientDisjoint {
+		id += uint32(client) * m.Locks
+	}
+	return cluster.TxnSpec{
+		Locks: []cluster.Request{{
+			LockID:   id,
+			Mode:     m.Mode,
+			Priority: m.Priority,
+			OneRTT:   m.OneRTT,
+		}},
+		ThinkNs: m.ThinkNs,
+		Tenant:  -1,
+	}
+}
+
+// MaxLockID returns the largest lock ID the generator can produce given the
+// number of clients, for sizing baseline lock tables.
+func (m *Micro) MaxLockID(clients int) uint32 {
+	if m.PerClientDisjoint {
+		return uint32(clients+1) * m.Locks
+	}
+	return m.Locks
+}
+
+// Mixed generates single-lock transactions with a shared/exclusive mix.
+type Mixed struct {
+	Locks uint32
+	// ExclusiveFraction in [0,1] selects the exclusive share.
+	ExclusiveFraction float64
+	ThinkNs           int64
+}
+
+// NextTxn implements cluster.Workload.
+func (m *Mixed) NextTxn(client int, rng *rand.Rand) cluster.TxnSpec {
+	mode := wire.Shared
+	if rng.Float64() < m.ExclusiveFraction {
+		mode = wire.Exclusive
+	}
+	return cluster.TxnSpec{
+		Locks:   []cluster.Request{{LockID: uint32(rng.Intn(int(m.Locks))) + 1, Mode: mode}},
+		ThinkNs: m.ThinkNs,
+		Tenant:  -1,
+	}
+}
+
+// PriorityMix tags a fraction of clients' traffic with a higher priority
+// and distinct tenants, for the service differentiation experiment
+// (Figure 12a): clients below the split get priority 0 / tenant 0
+// (high), the rest priority 1 / tenant 1 (low).
+type PriorityMix struct {
+	Inner cluster.Workload
+	// HighClients is the number of client machines whose traffic is
+	// high-priority.
+	HighClients int
+}
+
+// NextTxn implements cluster.Workload.
+func (p *PriorityMix) NextTxn(client int, rng *rand.Rand) cluster.TxnSpec {
+	spec := p.Inner.NextTxn(client, rng)
+	prio := uint8(1)
+	tenant := 1
+	if client < p.HighClients {
+		prio = 0
+		tenant = 0
+	}
+	for i := range spec.Locks {
+		spec.Locks[i].Priority = prio
+	}
+	spec.Tenant = tenant
+	return spec
+}

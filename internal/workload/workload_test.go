@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"netlock/internal/wire"
+)
+
+func TestMicroUniform(t *testing.T) {
+	m := &Micro{Locks: 10, Mode: wire.Exclusive, ThinkNs: 500}
+	rng := rand.New(rand.NewSource(1))
+	seen := map[uint32]bool{}
+	for i := 0; i < 1000; i++ {
+		spec := m.NextTxn(0, rng)
+		if len(spec.Locks) != 1 {
+			t.Fatalf("micro txn must take one lock")
+		}
+		l := spec.Locks[0]
+		if l.LockID < 1 || l.LockID > 10 {
+			t.Fatalf("lock %d out of range", l.LockID)
+		}
+		if l.Mode != wire.Exclusive || spec.ThinkNs != 500 {
+			t.Fatalf("spec fields wrong: %+v", spec)
+		}
+		seen[l.LockID] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("uniform choice missed locks: %d/10", len(seen))
+	}
+}
+
+func TestMicroDisjoint(t *testing.T) {
+	m := &Micro{Locks: 10, Mode: wire.Exclusive, PerClientDisjoint: true}
+	rng := rand.New(rand.NewSource(2))
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 100; i++ {
+			id := m.NextTxn(c, rng).Locks[0].LockID
+			lo, hi := uint32(c)*10+1, uint32(c+1)*10
+			if id < lo || id > hi {
+				t.Fatalf("client %d lock %d outside [%d,%d]", c, id, lo, hi)
+			}
+		}
+	}
+	if m.MaxLockID(3) != 40 {
+		t.Fatalf("max lock id = %d", m.MaxLockID(3))
+	}
+}
+
+func TestMicroZipfSkew(t *testing.T) {
+	m := &Micro{Locks: 1000, Mode: wire.Shared, ZipfS: 1.5}
+	rng := rand.New(rand.NewSource(3))
+	hits := map[uint32]int{}
+	for i := 0; i < 10_000; i++ {
+		hits[m.NextTxn(0, rng).Locks[0].LockID]++
+	}
+	// The hottest lock should dominate badly under s=1.5.
+	maxHits := 0
+	for _, n := range hits {
+		if n > maxHits {
+			maxHits = n
+		}
+	}
+	if maxHits < 2000 {
+		t.Fatalf("zipf skew too weak: max=%d/10000", maxHits)
+	}
+}
+
+func TestMicroPanicsOnZeroLocks(t *testing.T) {
+	m := &Micro{}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	m.NextTxn(0, rand.New(rand.NewSource(0)))
+}
+
+func TestMixedFraction(t *testing.T) {
+	m := &Mixed{Locks: 100, ExclusiveFraction: 0.3}
+	rng := rand.New(rand.NewSource(4))
+	excl := 0
+	for i := 0; i < 10_000; i++ {
+		if m.NextTxn(0, rng).Locks[0].Mode == wire.Exclusive {
+			excl++
+		}
+	}
+	if excl < 2700 || excl > 3300 {
+		t.Fatalf("exclusive count = %d, want ~3000", excl)
+	}
+}
+
+func TestPriorityMix(t *testing.T) {
+	inner := &Micro{Locks: 10, Mode: wire.Exclusive}
+	p := &PriorityMix{Inner: inner, HighClients: 5}
+	rng := rand.New(rand.NewSource(5))
+	hi := p.NextTxn(2, rng)
+	lo := p.NextTxn(7, rng)
+	if hi.Locks[0].Priority != 0 || hi.Tenant != 0 {
+		t.Fatalf("high client mis-tagged: %+v", hi)
+	}
+	if lo.Locks[0].Priority != 1 || lo.Tenant != 1 {
+		t.Fatalf("low client mis-tagged: %+v", lo)
+	}
+}

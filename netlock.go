@@ -1,0 +1,489 @@
+// Package netlock is a fast, centralized lock manager modeled after
+// "NetLock: Fast, Centralized Lock Management Using Programmable Switches"
+// (SIGCOMM 2020).
+//
+// NetLock co-designs a programmable switch with a set of lock servers: the
+// switch data plane grants and queues requests for the popular locks at
+// line rate, lock servers handle the unpopular ones and buffer switch
+// overflow, and a control loop moves locks between the two using an optimal
+// knapsack allocation of the switch's limited queue memory. The design
+// supports shared/exclusive locks with FCFS starvation-freedom, priorities
+// (service differentiation), per-tenant quotas (performance isolation),
+// leases for failure handling, and one-RTT transaction integration.
+//
+// This package is the embeddable, goroutine-safe front end. The switch data
+// plane it drives is the faithful software model in internal/switchdp (the
+// hardware being unavailable); the same logic runs under the discrete-event
+// evaluation testbed (internal/cluster), over real UDP sockets
+// (internal/transport, cmd/netlockd), and in-process here.
+//
+// Basic use:
+//
+//	lm := netlock.New(netlock.Config{})
+//	defer lm.Close()
+//	g, err := lm.Acquire(ctx, 42, netlock.Exclusive)
+//	if err != nil { ... }
+//	defer g.Release()
+package netlock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"netlock/internal/core"
+	"netlock/internal/lockserver"
+	"netlock/internal/switchdp"
+	"netlock/internal/wire"
+)
+
+// Mode selects shared or exclusive locking.
+type Mode int
+
+// Lock modes.
+const (
+	// Shared locks may be held concurrently by many holders.
+	Shared Mode = iota
+	// Exclusive locks are held by exactly one holder.
+	Exclusive
+)
+
+// String returns "shared" or "exclusive".
+func (m Mode) String() string {
+	if m == Shared {
+		return "shared"
+	}
+	return "exclusive"
+}
+
+func (m Mode) wire() wire.Mode {
+	if m == Shared {
+		return wire.Shared
+	}
+	return wire.Exclusive
+}
+
+// Config assembles an embedded NetLock instance.
+type Config struct {
+	// Servers is the number of lock servers backing the switch (>= 1).
+	// Default 2, as the paper's primary evaluation setup.
+	Servers int
+	// SwitchSlots is the shared-queue capacity in the switch data plane.
+	// Default 100_000, the prototype's size (§5).
+	SwitchSlots int
+	// MaxSwitchLocks bounds the number of locks resident in the switch.
+	// Default 8192.
+	MaxSwitchLocks int
+	// Priorities enables service differentiation with this many priority
+	// levels (1..8). Default 1 (plain FCFS).
+	Priorities int
+	// DefaultLease is the lease granted to holders; expired holders are
+	// force-released by the background sweep. Zero disables leasing.
+	DefaultLease time.Duration
+	// SweepInterval is the lease-sweep period (default 10ms when leases
+	// are enabled).
+	SweepInterval time.Duration
+	// Isolation enables per-tenant quotas (configure with SetTenantQuota).
+	Isolation bool
+	// PlacementInterval runs the memory-management loop (measure demand,
+	// knapsack-allocate, migrate locks) at this period. Zero disables the
+	// automatic loop; PlacementTick can still be called manually.
+	PlacementInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Servers == 0 {
+		c.Servers = 2
+	}
+	if c.SwitchSlots == 0 {
+		c.SwitchSlots = 100_000
+	}
+	if c.MaxSwitchLocks == 0 {
+		c.MaxSwitchLocks = 8192
+	}
+	if c.Priorities == 0 {
+		c.Priorities = 1
+	}
+	if c.DefaultLease != 0 && c.SweepInterval == 0 {
+		c.SweepInterval = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Errors returned by Acquire.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("netlock: manager closed")
+	// ErrQuotaExceeded is returned when the tenant's quota rejects the
+	// request (isolation policy); callers should back off and retry.
+	ErrQuotaExceeded = errors.New("netlock: tenant quota exceeded")
+)
+
+// AcquireOption customizes one acquisition.
+type AcquireOption func(*acquireOpts)
+
+type acquireOpts struct {
+	tenant   uint8
+	priority uint8
+	lease    time.Duration
+}
+
+// WithTenant tags the request with a tenant for quota enforcement.
+func WithTenant(t uint8) AcquireOption { return func(o *acquireOpts) { o.tenant = t } }
+
+// WithPriority requests service at the given priority (0 = highest).
+func WithPriority(p uint8) AcquireOption { return func(o *acquireOpts) { o.priority = p } }
+
+// WithLease overrides the default lease duration for this acquisition.
+func WithLease(d time.Duration) AcquireOption { return func(o *acquireOpts) { o.lease = d } }
+
+// Manager is an embedded NetLock instance: the switch data-plane model, the
+// lock servers, and the control plane, fronted by a synchronous API.
+// Manager is safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	clock func() int64
+
+	mu      sync.Mutex
+	mgr     *core.Manager
+	waiters map[waiterKey]chan wire.Header
+	nextTxn uint64
+	closed  bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+type waiterKey struct {
+	lock uint32
+	txn  uint64
+}
+
+// New builds a Manager. Background loops (lease sweep, placement) start
+// immediately when configured.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	clock := func() int64 { return int64(time.Since(start)) }
+	m := &Manager{
+		cfg:     cfg,
+		clock:   clock,
+		waiters: make(map[waiterKey]chan wire.Header),
+		stopCh:  make(chan struct{}),
+	}
+	m.mgr = core.New(core.Config{
+		PauseBusyMoves: true,
+		Switch: switchdp.Config{
+			MaxLocks:       cfg.MaxSwitchLocks,
+			TotalSlots:     cfg.SwitchSlots,
+			Priorities:     cfg.Priorities,
+			Isolation:      cfg.Isolation,
+			DefaultLeaseNs: int64(cfg.DefaultLease),
+			Now:            clock,
+		},
+		Servers: cfg.Servers,
+	})
+	if cfg.SweepInterval > 0 && cfg.DefaultLease > 0 {
+		m.wg.Add(1)
+		go m.sweepLoop()
+	}
+	if cfg.PlacementInterval > 0 {
+		m.wg.Add(1)
+		go m.placementLoop()
+	}
+	return m
+}
+
+// Close stops the background loops. Outstanding Acquire calls return
+// ErrClosed.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.stopCh)
+	for k, ch := range m.waiters {
+		close(ch)
+		delete(m.waiters, k)
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// Grant is a held lock.
+type Grant struct {
+	m        *Manager
+	lockID   uint32
+	txnID    uint64
+	mode     Mode
+	priority uint8
+	// Expiry is the lease expiry instant on the manager clock (zero when
+	// leasing is disabled).
+	Expiry time.Duration
+	once   sync.Once
+}
+
+// LockID returns the granted lock's ID.
+func (g *Grant) LockID() uint32 { return g.lockID }
+
+// Mode returns the granted mode.
+func (g *Grant) Mode() Mode { return g.mode }
+
+// Release releases the lock. Safe to call more than once.
+func (g *Grant) Release() {
+	g.once.Do(func() {
+		h := wire.Header{
+			Op:       wire.OpRelease,
+			Mode:     g.mode.wire(),
+			LockID:   g.lockID,
+			TxnID:    g.txnID,
+			Priority: g.priority,
+			ClientIP: localClientIP,
+		}
+		g.m.mu.Lock()
+		defer g.m.mu.Unlock()
+		if g.m.closed {
+			return
+		}
+		g.m.inject(&h)
+	})
+}
+
+var localClientIP = netip.AddrFrom4([4]byte{127, 0, 0, 1})
+
+// Acquire blocks until the lock is granted, the context is cancelled, or
+// the manager closes. The returned Grant must be released.
+func (m *Manager) Acquire(ctx context.Context, lockID uint32, mode Mode, opts ...AcquireOption) (*Grant, error) {
+	var o acquireOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.nextTxn++
+	txn := m.nextTxn
+	h := wire.Header{
+		Op:       wire.OpAcquire,
+		Mode:     mode.wire(),
+		LockID:   lockID,
+		TxnID:    txn,
+		ClientIP: localClientIP,
+		TenantID: o.tenant,
+		Priority: o.priority,
+		LeaseNs:  int64(o.lease),
+	}
+	ch := make(chan wire.Header, 1)
+	key := waiterKey{lockID, txn}
+	m.waiters[key] = ch
+	m.inject(&h)
+	m.mu.Unlock()
+
+	select {
+	case g, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		if g.Op == wire.OpReject {
+			return nil, ErrQuotaExceeded
+		}
+		return &Grant{
+			m:        m,
+			lockID:   lockID,
+			txnID:    txn,
+			mode:     mode,
+			priority: o.priority,
+			Expiry:   time.Duration(g.LeaseNs),
+		}, nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		delete(m.waiters, key)
+		m.mu.Unlock()
+		// The request may still be queued or granted inside the data
+		// plane; the lease sweep reclaims it. A context with no deadline
+		// and no lease would leak the slot, so surface that in the error.
+		return nil, fmt.Errorf("netlock: acquire lock %d: %w", lockID, ctx.Err())
+	}
+}
+
+// inject routes a packet through the switch (and onward to servers) until
+// all resulting deliveries settle. Caller holds m.mu.
+func (m *Manager) inject(h *wire.Header) {
+	emits, _ := m.mgr.Switch().ProcessPacket(h)
+	// Copy: the emit slice is reused by the next ProcessPacket call.
+	pending := make([]switchdp.Emit, len(emits))
+	copy(pending, emits)
+	for _, e := range pending {
+		m.routeSwitchEmit(e)
+	}
+}
+
+func (m *Manager) routeSwitchEmit(e switchdp.Emit) {
+	switch e.Action {
+	case switchdp.ActGrant, switchdp.ActFetch:
+		m.deliverGrant(e.Hdr)
+	case switchdp.ActReject:
+		m.deliverGrant(e.Hdr) // waiter inspects Op
+	case switchdp.ActForward, switchdp.ActForwardOverflow, switchdp.ActPushNotify:
+		srv := m.mgr.Server(m.mgr.ServerFor(e.Hdr.LockID))
+		h := e.Hdr
+		emits := srv.ProcessPacket(&h)
+		pending := make([]lockserver.Emit, len(emits))
+		copy(pending, emits)
+		for _, se := range pending {
+			m.routeServerEmit(se)
+		}
+	}
+}
+
+func (m *Manager) routeServerEmit(e lockserver.Emit) {
+	switch e.Action {
+	case lockserver.ActGrant, lockserver.ActFetch:
+		m.deliverGrant(e.Hdr)
+	case lockserver.ActPush:
+		h := e.Hdr
+		m.inject(&h)
+	}
+}
+
+// deliverGrant completes a waiting Acquire. Caller holds m.mu.
+func (m *Manager) deliverGrant(h wire.Header) {
+	key := waiterKey{h.LockID, h.TxnID}
+	ch, ok := m.waiters[key]
+	if !ok {
+		return // cancelled or duplicate; the lease sweep reclaims the slot
+	}
+	delete(m.waiters, key)
+	ch <- h
+}
+
+// SetTenantQuota configures tenant t's request quota: a sustained rate per
+// second and a burst allowance (performance isolation, §4.4). Requires
+// Config.Isolation.
+func (m *Manager) SetTenantQuota(t uint8, perSec float64, burst float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mgr.Switch().CtrlSetTenantQuota(t, perSec, burst)
+}
+
+// PlacementTick runs one round of the memory-management loop: close the
+// measurement window, compute the optimal allocation, and migrate drained
+// locks between switch and servers. It reports how many locks moved.
+func (m *Manager) PlacementTick(window time.Duration) (installed, removed int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, 0
+	}
+	demands := m.mgr.MeasureDemands(window.Seconds())
+	rep := m.mgr.Reallocate(demands, nil)
+	for _, e := range rep.Emits {
+		m.routeServerEmit(e)
+	}
+	for i := range rep.SwitchPushes {
+		m.inject(&rep.SwitchPushes[i])
+	}
+	return len(rep.Installed), len(rep.Removed)
+}
+
+// Stats is a snapshot of processing counters across the instance.
+type Stats struct {
+	Switch  switchdp.Stats
+	Servers []lockserver.Stats
+	// SwitchResidentLocks is the number of locks currently placed in the
+	// switch.
+	SwitchResidentLocks int
+	// SwitchFreeSlots is the unallocated shared-queue capacity.
+	SwitchFreeSlots uint64
+}
+
+// Stats returns a snapshot of the instance's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Switch:              m.mgr.Switch().Stats(),
+		SwitchResidentLocks: len(m.mgr.Switch().CtrlResidentLocks()),
+		SwitchFreeSlots:     m.mgr.FreeSlots(),
+	}
+	for i := 0; i < m.mgr.NumServers(); i++ {
+		st.Servers = append(st.Servers, m.mgr.Server(i).Stats())
+	}
+	return st
+}
+
+// FailSwitch simulates a switch failure: all data-plane state is lost and
+// held locks are only reclaimed by lease expiry. Exposed for failure
+// testing (the paper's §6.5 experiment; see examples/failover).
+func (m *Manager) FailSwitch() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mgr.FailSwitch()
+}
+
+// RestartSwitch reactivates a failed switch: the control plane reinstalls
+// the lock table with empty queues.
+func (m *Manager) RestartSwitch() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mgr.RestartSwitch()
+}
+
+// SwitchFailed reports whether the switch is in the failed state.
+func (m *Manager) SwitchFailed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mgr.SwitchFailed()
+}
+
+func (m *Manager) sweepLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-t.C:
+			m.mu.Lock()
+			if !m.closed {
+				rels, emits := m.mgr.SweepLeases(m.clock())
+				for i := range rels {
+					m.inject(&rels[i])
+				}
+				for _, e := range emits {
+					m.routeServerEmit(e)
+				}
+				for _, h := range m.mgr.SweepStranded() {
+					srv := m.mgr.Server(m.mgr.ServerFor(h.LockID))
+					hh := h
+					for _, e := range srv.ProcessPacket(&hh) {
+						m.routeServerEmit(e)
+					}
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+func (m *Manager) placementLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.PlacementInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-t.C:
+			m.PlacementTick(m.cfg.PlacementInterval)
+		}
+	}
+}
