@@ -1,0 +1,269 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// System is the minimal surface a lock-spec implementation exposes to the
+// differential driver. Both methods return the transactions granted as a
+// direct consequence of the call (the acquire itself if granted on arrival;
+// the head/run promoted by a release). Adapters in each package's test
+// files map the real APIs onto it.
+type System interface {
+	// Acquire submits a request and returns the transactions granted by it.
+	Acquire(lock uint32, txn uint64, excl bool, prio uint8) []uint64
+	// Release releases the granted head of the given bank. txn is advisory
+	// (the transaction the driver believes is at the head); head-dequeue
+	// systems may ignore it.
+	Release(lock uint32, prio uint8, txn uint64) []uint64
+}
+
+// Op is one driver step. Ops are generated up front from a seed and are
+// self-contained, so any subsequence replays deterministically — the
+// property shrinking depends on. A release op does not name a transaction;
+// it resolves Pick against the model's releasable heads at execution time
+// (and is skipped when there are none), so dropping earlier ops never makes
+// a later op invalid.
+type Op struct {
+	Acquire bool
+	Lock    uint32
+	Excl    bool
+	Prio    uint8
+	// Pick selects among the currently-releasable heads for release ops.
+	Pick int
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o.Acquire {
+		mode := "S"
+		if o.Excl {
+			mode = "X"
+		}
+		return fmt.Sprintf("acquire lock=%d %s prio=%d", o.Lock, mode, o.Prio)
+	}
+	return fmt.Sprintf("release pick=%d", o.Pick)
+}
+
+// WorkloadCfg shapes the generated op stream.
+type WorkloadCfg struct {
+	// Ops is the number of operations to generate.
+	Ops int
+	// Locks is the lock ID space: IDs 1..Locks.
+	Locks int
+	// Priorities is the number of priority banks.
+	Priorities int
+	// PExclusive is the probability an acquire is exclusive.
+	PExclusive float64
+	// PRelease is the probability a step is a release rather than an
+	// acquire.
+	PRelease float64
+	// MaxOutstanding caps queued-but-unreleased requests; at the cap the
+	// driver forces releases. Keep it under the per-bank region capacity
+	// to stay out of overflow in strict runs.
+	MaxOutstanding int
+}
+
+// DefaultWorkloadCfg is a contention-heavy mix over a few locks.
+func DefaultWorkloadCfg() WorkloadCfg {
+	return WorkloadCfg{
+		Ops:            400,
+		Locks:          3,
+		Priorities:     4,
+		PExclusive:     0.4,
+		PRelease:       0.45,
+		MaxOutstanding: 60,
+	}
+}
+
+// GenOps generates a deterministic op stream from a seed. Generation does
+// not consult any system state, so the same (cfg, seed) always yields the
+// same ops.
+func GenOps(cfg WorkloadCfg, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]Op, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		if rng.Float64() < cfg.PRelease {
+			ops = append(ops, Op{Pick: rng.Intn(1 << 16)})
+			continue
+		}
+		ops = append(ops, Op{
+			Acquire: true,
+			Lock:    uint32(1 + rng.Intn(cfg.Locks)),
+			Excl:    rng.Float64() < cfg.PExclusive,
+			Prio:    uint8(rng.Intn(cfg.Priorities)),
+			Pick:    rng.Intn(1 << 16),
+		})
+	}
+	return ops
+}
+
+// Harness runs generated op streams against a system under test with a
+// strict lockstep checker, shrinks failures, and reports them with the
+// seed needed for exact replay.
+type Harness struct {
+	Cfg WorkloadCfg
+	// New builds a fresh system under test.
+	New func() System
+	// Final, if set, compares the end state of the system against the
+	// model after the op stream completes (e.g. queue depths, hold flags).
+	Final func(sys System, m *Model) error
+	// CheckPriority is passed through to the checker (default true via
+	// Run; set by RunSeed callers that need it off).
+	NoPriority bool
+}
+
+// Failure describes one failing run: the violation (or final-state
+// mismatch) and the shrunk op stream that reproduces it.
+type Failure struct {
+	Seed int64
+	Err  error
+	Ops  []Op
+}
+
+// Error implements the error interface.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("seed %d (%d ops after shrinking): %v", f.Seed, len(f.Ops), f.Err)
+}
+
+// Run executes the harness for each seed (Seeds() by default), failing the
+// test with a replay line on the first violation.
+func (h *Harness) Run(t *testing.T, seeds ...int64) {
+	t.Helper()
+	if len(seeds) == 0 {
+		seeds = Seeds()
+	}
+	for _, seed := range seeds {
+		if f := h.RunSeed(seed); f != nil {
+			t.Fatalf("%v\nreproduce with: go test -run %s %s\nshrunk ops:\n%s",
+				f, t.Name(), ReplayArgs(seed), FormatOps(f.Ops))
+		}
+	}
+}
+
+// RunSeed generates and executes one op stream, shrinking on failure.
+// It returns nil when the run passes.
+func (h *Harness) RunSeed(seed int64) *Failure {
+	ops := GenOps(h.Cfg, seed)
+	err := h.execute(ops)
+	if err == nil {
+		return nil
+	}
+	shrunk := h.shrink(ops)
+	serr := h.execute(shrunk)
+	if serr == nil {
+		// Shrinking is best-effort; never mask the original failure.
+		shrunk, serr = ops, err
+	}
+	return &Failure{Seed: seed, Err: serr, Ops: shrunk}
+}
+
+// execute replays one op stream against a fresh system with a fresh strict
+// checker, returning the first violation (or final-state mismatch).
+func (h *Harness) execute(ops []Op) error {
+	sys := h.New()
+	ck := NewStrictChecker(h.Cfg.Priorities)
+	ck.CheckPriority = !h.NoPriority
+	m := ck.Model()
+	var txn uint64
+	feed := func(kind EventKind, lock uint32, t uint64, excl bool, prio uint8, granted []uint64) *Violation {
+		if v := ck.Observe(Event{Kind: kind, Lock: lock, Txn: t, Excl: excl, Prio: prio}); v != nil {
+			return v
+		}
+		for _, g := range granted {
+			// The request's mode/priority are known to the checker; only
+			// identity matters on grant events.
+			if v := ck.Observe(Event{Kind: EvGrant, Lock: lock, Txn: g}); v != nil {
+				return v
+			}
+		}
+		return ck.EndStep()
+	}
+	for _, op := range ops {
+		if op.Acquire && m.Outstanding() < h.Cfg.MaxOutstanding {
+			txn++
+			granted := sys.Acquire(op.Lock, txn, op.Excl, op.Prio)
+			if v := feed(EvAcquire, op.Lock, txn, op.Excl, op.Prio, granted); v != nil {
+				return v
+			}
+			continue
+		}
+		heads := m.ReleasableHeads()
+		if len(heads) == 0 {
+			continue
+		}
+		lp := heads[op.Pick%len(heads)]
+		headTxn, _, headExcl, _ := m.Head(lp.Lock, lp.Prio)
+		granted := sys.Release(lp.Lock, lp.Prio, headTxn)
+		if v := feed(EvRelease, lp.Lock, headTxn, headExcl, lp.Prio, granted); v != nil {
+			return v
+		}
+	}
+	// Drain: release everything so Quiesce checks conservation.
+	for {
+		heads := m.ReleasableHeads()
+		if len(heads) == 0 {
+			break
+		}
+		lp := heads[0]
+		headTxn, _, headExcl, _ := m.Head(lp.Lock, lp.Prio)
+		granted := sys.Release(lp.Lock, lp.Prio, headTxn)
+		if v := feed(EvRelease, lp.Lock, headTxn, headExcl, lp.Prio, granted); v != nil {
+			return v
+		}
+	}
+	if v := ck.Quiesce(); v != nil {
+		return v
+	}
+	if h.Final != nil {
+		if err := h.Final(sys, m); err != nil {
+			return fmt.Errorf("final state mismatch: %w", err)
+		}
+	}
+	return nil
+}
+
+// shrink reduces a failing op stream with greedy chunk removal (ddmin
+// style): repeatedly try dropping chunks of decreasing size, keeping any
+// subsequence that still fails. Ops are self-contained, so every
+// subsequence is executable.
+func (h *Harness) shrink(ops []Op) []Op {
+	cur := ops
+	chunk := len(cur) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		removed := false
+		for start := 0; start+chunk <= len(cur); {
+			cand := make([]Op, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if h.execute(cand) != nil {
+				cur = cand
+				removed = true
+				// Do not advance: the next chunk slid into this position.
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 {
+			if !removed {
+				return cur
+			}
+			continue // a 1-op pass removed something; try another pass
+		}
+		chunk /= 2
+	}
+}
+
+// FormatOps renders an op stream one op per line for failure reports.
+func FormatOps(ops []Op) string {
+	out := ""
+	for i, op := range ops {
+		out += fmt.Sprintf("  %3d: %s\n", i, op)
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+// Package check is the model-based verification harness for the NetLock
+// lock specification (paper §4.2–§4.4): one sequential reference model of
+// the grant/release semantics, one trace-checking engine that verifies
+// safety invariants over recorded (request, action) event streams, and one
+// randomized workload driver with deterministic seeds and failing-case
+// shrinking.
+//
+// The package is deliberately dependency-free (standard library only) so
+// that every implementation of the spec — the switch data plane
+// (internal/switchdp), the lock servers (internal/lockserver), the combined
+// manager (internal/core), the virtual-time testbed (internal/cluster), and
+// the comparison baselines — can differentially test against the same model
+// from its own test files without import cycles.
+//
+// The spec, in one paragraph: locks are shared/exclusive with FCFS order
+// within each priority bank (0 = highest). A request is granted on arrival
+// iff the lock is free, or it is shared, no exclusive request holds the
+// lock, no exclusive request waits at the same or higher priority, and its
+// own bank holds no waiting entry. The last condition keeps the granted
+// requests a FIFO prefix of every bank — the alignment the head-dequeue
+// release protocol depends on; with a single bank it is implied by the
+// nexcl scan (a waiting shared always sits behind an exclusive), which is
+// why Algorithm 2 in the paper does not state it. A release dequeues the
+// head of the releaser's bank; if the lock becomes free, the head of the
+// highest-priority non-empty bank is granted — and, if that head is
+// shared, the following run of shared requests in the same bank with it.
+package check
+
+import "sort"
+
+// Mutation selects a deliberately broken variant of the model, used to
+// verify that the checker actually catches specification violations
+// (mutation testing of the harness itself). Production code must always use
+// NoMutation.
+type Mutation int
+
+const (
+	// NoMutation is the faithful model.
+	NoMutation Mutation = iota
+	// MutSharedOverWaitingExcl grants shared requests even when an
+	// exclusive request waits at the same or higher priority — the
+	// writer-starvation bug Algorithm 2's nexcl counter exists to prevent.
+	MutSharedOverWaitingExcl
+	// MutSharedOverExclHolder grants shared requests while an exclusive
+	// holder is present — a shared/exclusive co-grant.
+	MutSharedOverExclHolder
+	// MutWalkThroughExcl lets the release grant walk run past an exclusive
+	// entry, granting requests behind it — a mutual-exclusion violation.
+	MutWalkThroughExcl
+	// MutDoubleGrant re-emits the grant of the queue head on every release
+	// of a shared holder — a duplicated grant.
+	MutDoubleGrant
+	// MutIgnoreBankFifo grants shared requests behind a waiting entry in
+	// their own bank, breaking the grants-are-a-FIFO-prefix alignment the
+	// head-dequeue release protocol depends on. This reproduces a real bug
+	// this harness found in the multi-bank generalization of Algorithm 2:
+	// the holder's release then consumes the waiter's slot and a later
+	// grant walk re-grants the holder's slot (a duplicate grant to a
+	// transaction that already released).
+	MutIgnoreBankFifo
+)
+
+// modelEntry is one queued request: waiting first, then granted, until its
+// release dequeues it.
+type modelEntry struct {
+	txn     uint64
+	excl    bool
+	granted bool
+}
+
+// modelLock is the per-lock state: one FIFO queue per priority bank, the
+// granted requests forming a prefix of each queue, plus the hold state.
+type modelLock struct {
+	queues [][]modelEntry
+	held   int
+	heldX  bool
+}
+
+// Model is the sequential reference implementation of the NetLock lock
+// spec. It is unconstrained (plain Go data structures, no pipeline model)
+// and therefore obviously correct by inspection; implementations are tested
+// against it. The zero value is not usable; call NewModel.
+type Model struct {
+	prios int
+	mut   Mutation
+	locks map[uint32]*modelLock
+}
+
+// NewModel builds a model with the given number of priority banks
+// (1 = plain FCFS).
+func NewModel(prios int) *Model {
+	return NewMutatedModel(prios, NoMutation)
+}
+
+// NewMutatedModel builds a deliberately broken model variant. Only the
+// harness self-tests should use mutations other than NoMutation.
+func NewMutatedModel(prios int, mut Mutation) *Model {
+	if prios <= 0 {
+		panic("check: need at least one priority bank")
+	}
+	return &Model{prios: prios, mut: mut, locks: make(map[uint32]*modelLock)}
+}
+
+// Priorities returns the number of priority banks.
+func (m *Model) Priorities() int { return m.prios }
+
+// Bank clamps a wire priority to a bank index, exactly as the
+// implementations do.
+func (m *Model) Bank(prio uint8) int {
+	if int(prio) >= m.prios {
+		return m.prios - 1
+	}
+	return int(prio)
+}
+
+func (m *Model) lock(id uint32) *modelLock {
+	lo, ok := m.locks[id]
+	if !ok {
+		lo = &modelLock{queues: make([][]modelEntry, m.prios)}
+		m.locks[id] = lo
+	}
+	return lo
+}
+
+// Acquire enqueues a request and returns whether it is granted on arrival.
+func (m *Model) Acquire(lockID uint32, txn uint64, excl bool, prio uint8) bool {
+	lo := m.lock(lockID)
+	b := m.Bank(prio)
+	granted := false
+	switch {
+	case lo.held == 0:
+		granted = true
+	case !lo.heldX && !excl:
+		// Shared: granted unless an exclusive request waits at the same
+		// or higher priority, or its own bank has a waiting entry (grants
+		// must stay a FIFO prefix of each bank).
+		granted = true
+		if m.mut != MutSharedOverWaitingExcl {
+			for p := 0; p <= b; p++ {
+				for _, e := range lo.queues[p] {
+					if e.excl {
+						granted = false
+					}
+				}
+			}
+		}
+		if m.mut != MutIgnoreBankFifo {
+			for _, e := range lo.queues[b] {
+				if !e.granted {
+					granted = false
+				}
+			}
+		}
+	case lo.heldX && !excl && m.mut == MutSharedOverExclHolder:
+		granted = true
+	}
+	lo.queues[b] = append(lo.queues[b], modelEntry{txn: txn, excl: excl, granted: granted})
+	if granted {
+		lo.held++
+		lo.heldX = lo.heldX || excl
+	}
+	return granted
+}
+
+// Release dequeues the head of the given bank — the same
+// head-not-transaction semantics as the switch data plane (§4.2: shared
+// releases are commutative, only the head can be released) — and returns
+// the transactions granted as a result. The head must be granted; releasing
+// an empty or waiting head returns ok=false and changes nothing.
+func (m *Model) Release(lockID uint32, prio uint8) (granted []uint64, ok bool) {
+	lo, exists := m.locks[lockID]
+	if !exists {
+		return nil, false
+	}
+	b := m.Bank(prio)
+	q := lo.queues[b]
+	if len(q) == 0 || !q[0].granted {
+		return nil, false
+	}
+	released := q[0]
+	lo.queues[b] = q[1:]
+	if lo.held > 0 {
+		lo.held--
+	}
+	if m.mut == MutDoubleGrant && !released.excl && len(lo.queues[b]) > 0 && lo.queues[b][0].granted {
+		// Broken variant: re-announce the new head's grant.
+		granted = append(granted, lo.queues[b][0].txn)
+	}
+	if lo.held > 0 {
+		return granted, true
+	}
+	lo.heldX = false
+	// Lock free: grant the head of the highest-priority non-empty bank,
+	// plus the run of shared requests behind a shared head.
+	for p := 0; p < m.prios; p++ {
+		q := lo.queues[p]
+		if len(q) == 0 {
+			continue
+		}
+		if q[0].excl {
+			q[0].granted = true
+			lo.held = 1
+			lo.heldX = true
+			return append(granted, q[0].txn), true
+		}
+		for i := range q {
+			if q[i].excl {
+				if m.mut != MutWalkThroughExcl {
+					break
+				}
+				q[i].granted = true
+				lo.held++
+				lo.heldX = true
+				granted = append(granted, q[i].txn)
+				continue
+			}
+			q[i].granted = true
+			lo.held++
+			granted = append(granted, q[i].txn)
+		}
+		return granted, true
+	}
+	return granted, true
+}
+
+// Held returns the number of current holders and whether one of them is
+// exclusive.
+func (m *Model) Held(lockID uint32) (n int, excl bool) {
+	lo, ok := m.locks[lockID]
+	if !ok {
+		return 0, false
+	}
+	return lo.held, lo.heldX
+}
+
+// QueueLen returns the queued population (waiting + granted) of one bank.
+func (m *Model) QueueLen(lockID uint32, prio uint8) int {
+	lo, ok := m.locks[lockID]
+	if !ok {
+		return 0
+	}
+	return len(lo.queues[m.Bank(prio)])
+}
+
+// Head returns the head entry of one bank.
+func (m *Model) Head(lockID uint32, prio uint8) (txn uint64, granted, excl, ok bool) {
+	lo, exists := m.locks[lockID]
+	if !exists {
+		return 0, false, false, false
+	}
+	q := lo.queues[m.Bank(prio)]
+	if len(q) == 0 {
+		return 0, false, false, false
+	}
+	return q[0].txn, q[0].granted, q[0].excl, true
+}
+
+// ReleasableHeads lists every (lock, bank) whose head is granted — the set
+// of releases the spec permits — in deterministic order.
+func (m *Model) ReleasableHeads() []LockPrio {
+	var out []LockPrio
+	for id, lo := range m.locks {
+		for p := range lo.queues {
+			if len(lo.queues[p]) > 0 && lo.queues[p][0].granted {
+				out = append(out, LockPrio{Lock: id, Prio: uint8(p)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lock != out[j].Lock {
+			return out[i].Lock < out[j].Lock
+		}
+		return out[i].Prio < out[j].Prio
+	})
+	return out
+}
+
+// LockPrio identifies one priority bank of one lock.
+type LockPrio struct {
+	Lock uint32
+	Prio uint8
+}
+
+// Outstanding returns the total queued population across all locks.
+func (m *Model) Outstanding() int {
+	n := 0
+	for _, lo := range m.locks {
+		for p := range lo.queues {
+			n += len(lo.queues[p])
+		}
+	}
+	return n
+}

@@ -1,0 +1,173 @@
+package check
+
+import "testing"
+
+func TestModelSharedCoexist(t *testing.T) {
+	m := NewModel(2)
+	if !m.Acquire(1, 1, false, 0) {
+		t.Fatal("first shared must be granted")
+	}
+	if !m.Acquire(1, 2, false, 1) {
+		t.Fatal("second shared must be granted (no exclusive anywhere)")
+	}
+	if n, x := m.Held(1); n != 2 || x {
+		t.Fatalf("held = (%d, %v), want (2, false)", n, x)
+	}
+}
+
+func TestModelExclusiveBlocks(t *testing.T) {
+	m := NewModel(2)
+	if !m.Acquire(1, 1, true, 0) {
+		t.Fatal("first exclusive must be granted")
+	}
+	if m.Acquire(1, 2, false, 0) {
+		t.Fatal("shared behind exclusive holder must wait")
+	}
+	if m.Acquire(1, 3, true, 0) {
+		t.Fatal("exclusive behind exclusive holder must wait")
+	}
+	granted, ok := m.Release(1, 0)
+	if !ok {
+		t.Fatal("release of granted head must succeed")
+	}
+	// txn 2 (shared) is the new head; the walk stops at txn 3 (exclusive).
+	if len(granted) != 1 || granted[0] != 2 {
+		t.Fatalf("granted = %v, want [2]", granted)
+	}
+}
+
+func TestModelSharedBlockedByWaitingExclSameOrHigherPrio(t *testing.T) {
+	m := NewModel(4)
+	m.Acquire(1, 1, false, 2) // shared holder
+	if m.Acquire(1, 2, true, 1) {
+		t.Fatal("exclusive must wait behind shared holder")
+	}
+	// Shared at lower priority (numerically higher) than the waiting
+	// exclusive: its arrival scan covers banks 0..3, which includes the
+	// waiting exclusive in bank 1, so it must wait too.
+	if m.Acquire(1, 3, false, 3) {
+		t.Fatal("shared at lower priority than a waiting exclusive must wait")
+	}
+	// Shared at same priority as the waiting exclusive: blocked.
+	if m.Acquire(1, 4, false, 1) {
+		t.Fatal("shared at same priority as waiting exclusive must wait")
+	}
+	// Shared at strictly higher priority than the waiting exclusive: its
+	// scan covers banks 0..0 only, so the bank-1 exclusive does not block
+	// it (matches the switch's nexcl counter scan).
+	if !m.Acquire(1, 5, false, 0) {
+		t.Fatal("shared at strictly higher priority than the waiting exclusive is granted")
+	}
+}
+
+// TestModelSharedBlockedByWaitingSameBank pins the FIFO-alignment grant
+// condition: a shared request whose own bank holds a waiting entry must wait
+// too, even when no exclusive request blocks it, so that grants stay a FIFO
+// prefix of the bank and head-dequeue releases stay aligned. The scenario is
+// the shortest reproduction of a real bug this harness found (see
+// MutIgnoreBankFifo).
+func TestModelSharedBlockedByWaitingSameBank(t *testing.T) {
+	m := NewModel(4)
+	m.Acquire(1, 1, false, 2) // S2 granted
+	m.Acquire(1, 2, true, 2)  // X2 waits
+	if g, ok := m.Release(1, 2); !ok || len(g) != 1 || g[0] != 2 {
+		t.Fatalf("release: granted %v (ok=%v), want [2]", g, ok)
+	}
+	m.Acquire(1, 3, false, 0) // S0 waits behind exclusive holder
+	m.Acquire(1, 4, false, 2) // S2 waits behind exclusive holder
+	if g, ok := m.Release(1, 2); !ok || len(g) != 1 || g[0] != 3 {
+		t.Fatalf("release: granted %v (ok=%v), want [3] (bank 0 wins the walk)", g, ok)
+	}
+	// txn 4 is waiting in bank 2; a new shared to bank 2 has no exclusive
+	// anywhere to block it, but granting it would put a granted entry
+	// behind a waiting one. It must wait.
+	if m.Acquire(1, 5, false, 2) {
+		t.Fatal("shared behind a waiting entry in its own bank must wait")
+	}
+	// Draining bank 0 frees the lock; the walk grants bank 2's whole run.
+	if g, ok := m.Release(1, 0); !ok || len(g) != 2 || g[0] != 4 || g[1] != 5 {
+		t.Fatalf("release: granted %v (ok=%v), want [4 5]", g, ok)
+	}
+	// Head-dequeue releases now drain cleanly.
+	if _, ok := m.Release(1, 2); !ok {
+		t.Fatal("release of granted head failed")
+	}
+	if _, ok := m.Release(1, 2); !ok {
+		t.Fatal("release of granted head failed")
+	}
+	if m.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d, want 0", m.Outstanding())
+	}
+}
+
+func TestModelReleasePromotesHighestPriorityBank(t *testing.T) {
+	m := NewModel(4)
+	m.Acquire(1, 1, true, 3)  // granted holder in lowest-priority bank
+	m.Acquire(1, 2, true, 2)  // waits
+	m.Acquire(1, 3, true, 0)  // waits, highest priority
+	m.Acquire(1, 4, false, 0) // waits behind the exclusive
+	granted, ok := m.Release(1, 3)
+	if !ok || len(granted) != 1 || granted[0] != 3 {
+		t.Fatalf("granted = %v (ok=%v), want [3]", granted, ok)
+	}
+	if n, x := m.Held(1); n != 1 || !x {
+		t.Fatalf("held = (%d, %v), want (1, true)", n, x)
+	}
+}
+
+func TestModelSharedRunGrant(t *testing.T) {
+	m := NewModel(2)
+	m.Acquire(1, 1, true, 0)
+	m.Acquire(1, 2, false, 1)
+	m.Acquire(1, 3, false, 1)
+	m.Acquire(1, 4, true, 1)
+	m.Acquire(1, 5, false, 1)
+	granted, ok := m.Release(1, 0)
+	if !ok {
+		t.Fatal("release failed")
+	}
+	// Bank 1's head run: shared 2, 3; stops at exclusive 4.
+	if len(granted) != 2 || granted[0] != 2 || granted[1] != 3 {
+		t.Fatalf("granted = %v, want [2 3]", granted)
+	}
+}
+
+func TestModelReleaseInvalid(t *testing.T) {
+	m := NewModel(2)
+	if _, ok := m.Release(1, 0); ok {
+		t.Fatal("release on unknown lock must fail")
+	}
+	m.Acquire(1, 1, true, 0)
+	m.Acquire(1, 2, true, 1)
+	if _, ok := m.Release(1, 1); ok {
+		t.Fatal("release of a waiting (not granted) head must fail")
+	}
+}
+
+func TestModelReleasableHeadsDeterministic(t *testing.T) {
+	m := NewModel(2)
+	m.Acquire(2, 1, false, 1)
+	m.Acquire(1, 2, false, 0)
+	m.Acquire(3, 3, true, 0)
+	heads := m.ReleasableHeads()
+	want := []LockPrio{{1, 0}, {2, 1}, {3, 0}}
+	if len(heads) != len(want) {
+		t.Fatalf("heads = %v, want %v", heads, want)
+	}
+	for i := range want {
+		if heads[i] != want[i] {
+			t.Fatalf("heads = %v, want %v", heads, want)
+		}
+	}
+}
+
+func TestModelBankClamp(t *testing.T) {
+	m := NewModel(2)
+	if m.Bank(7) != 1 {
+		t.Fatalf("Bank(7) = %d, want clamp to 1", m.Bank(7))
+	}
+	m.Acquire(1, 1, true, 200) // lands in bank 1
+	if m.QueueLen(1, 1) != 1 {
+		t.Fatal("clamped acquire must land in the last bank")
+	}
+}

@@ -1,0 +1,28 @@
+package check
+
+// ModelSystem adapts a Model (faithful or mutated) to the System
+// interface. The harness's self-tests run the checker against mutated
+// models to prove the invariants actually fire; a faithful ModelSystem
+// must always pass (the model trivially conforms to itself).
+type ModelSystem struct {
+	M *Model
+}
+
+// NewModelSystem wraps a fresh model with the given mutation.
+func NewModelSystem(prios int, mut Mutation) *ModelSystem {
+	return &ModelSystem{M: NewMutatedModel(prios, mut)}
+}
+
+// Acquire implements System.
+func (s *ModelSystem) Acquire(lock uint32, txn uint64, excl bool, prio uint8) []uint64 {
+	if s.M.Acquire(lock, txn, excl, prio) {
+		return []uint64{txn}
+	}
+	return nil
+}
+
+// Release implements System.
+func (s *ModelSystem) Release(lock uint32, prio uint8, _ uint64) []uint64 {
+	granted, _ := s.M.Release(lock, prio)
+	return granted
+}

@@ -1,0 +1,86 @@
+package check
+
+import "testing"
+
+// TestMutationSanity is the harness's own sanity check (ISSUE acceptance
+// criterion): each deliberately broken model variant, run as the system
+// under test, must be caught by the checker. If a mutation survives the
+// sweep, the harness has a blind spot.
+func TestMutationSanity(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  Mutation
+		// invariants that may legitimately fire first for this bug
+		want map[string]bool
+	}{
+		{
+			name: "shared granted over waiting exclusive",
+			mut:  MutSharedOverWaitingExcl,
+			want: map[string]bool{"priority-order": true, "model-conformance": true},
+		},
+		{
+			name: "shared granted over exclusive holder",
+			mut:  MutSharedOverExclHolder,
+			want: map[string]bool{"mutual-exclusion": true, "model-conformance": true},
+		},
+		{
+			name: "release walk runs through exclusive",
+			mut:  MutWalkThroughExcl,
+			want: map[string]bool{
+				"mutual-exclusion":            true,
+				"no-shared-exclusive-cogrant": true,
+				"model-conformance":           true,
+			},
+		},
+		{
+			name: "duplicated grant on release",
+			mut:  MutDoubleGrant,
+			want: map[string]bool{"no-duplicate-grant": true, "model-conformance": true},
+		},
+		{
+			name: "shared granted behind waiting entry in own bank",
+			mut:  MutIgnoreBankFifo,
+			want: map[string]bool{"model-conformance": true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := &Harness{
+				Cfg: DefaultWorkloadCfg(),
+				New: func() System { return NewModelSystem(DefaultWorkloadCfg().Priorities, tc.mut) },
+			}
+			caught := false
+			for _, seed := range Seeds() {
+				f := h.RunSeed(seed)
+				if f == nil {
+					continue
+				}
+				caught = true
+				v, ok := f.Err.(*Violation)
+				if !ok {
+					t.Fatalf("seed %d: failure is not a Violation: %v", seed, f.Err)
+				}
+				if !tc.want[v.Invariant] {
+					t.Fatalf("seed %d: caught by unexpected invariant %q: %v", seed, v.Invariant, v)
+				}
+				if len(f.Ops) == 0 || len(f.Ops) > len(GenOps(h.Cfg, seed)) {
+					t.Fatalf("seed %d: shrunk ops length %d out of range", seed, len(f.Ops))
+				}
+			}
+			if !caught {
+				t.Fatalf("mutation %v survived every seed — the checker has a blind spot", tc.mut)
+			}
+		})
+	}
+}
+
+// TestFaithfulModelPasses pins the other direction: the unmutated model,
+// run as the system under test, conforms to itself on every seed. Any
+// failure here is a bug in the harness, not in an implementation.
+func TestFaithfulModelPasses(t *testing.T) {
+	h := &Harness{
+		Cfg: DefaultWorkloadCfg(),
+		New: func() System { return NewModelSystem(DefaultWorkloadCfg().Priorities, NoMutation) },
+	}
+	h.Run(t)
+}

@@ -1,0 +1,57 @@
+package check
+
+import (
+	"flag"
+	"os"
+	"strconv"
+)
+
+// seedFlag is the shared replay knob for every randomized test in the
+// repository: `go test -netlock.seed=N` (or NETLOCK_SEED=N in the
+// environment) pins the run to exactly one seed, reproducing a failure
+// from the seed printed in its report. Unset, tests run their default
+// seed sweep.
+var seedFlag = flag.Int64("netlock.seed", 0, "replay randomized tests with exactly this seed (0 = default sweep; NETLOCK_SEED env var also accepted)")
+
+// defaultSeeds is the sweep used when no replay seed is pinned. Fixed, not
+// time-derived: runs are deterministic and failures always name their seed.
+var defaultSeeds = []int64{1, 2, 3, 7, 42, 1234, 99991}
+
+// ReplaySeed returns the pinned seed, if any: the -netlock.seed flag wins,
+// then the NETLOCK_SEED environment variable.
+func ReplaySeed() (int64, bool) {
+	if *seedFlag != 0 {
+		return *seedFlag, true
+	}
+	if v := os.Getenv("NETLOCK_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n != 0 {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// Seeds returns the seeds a randomized test should run: the single pinned
+// replay seed when one is set, else the default sweep.
+func Seeds() []int64 {
+	if s, ok := ReplaySeed(); ok {
+		return []int64{s}
+	}
+	return append([]int64(nil), defaultSeeds...)
+}
+
+// SeedsN is Seeds truncated to at most n, for expensive tests that only
+// want a couple of sweeps.
+func SeedsN(n int) []int64 {
+	s := Seeds()
+	if len(s) > n {
+		s = s[:n]
+	}
+	return s
+}
+
+// ReplayArgs renders the command-line fragment that replays a given seed,
+// for inclusion in failure messages.
+func ReplayArgs(seed int64) string {
+	return "-netlock.seed=" + strconv.FormatInt(seed, 10)
+}

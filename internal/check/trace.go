@@ -1,0 +1,327 @@
+package check
+
+import "fmt"
+
+// EventKind classifies one trace event. Acquire/Release are requests sent
+// to the system under test; Grant/Reject are its observed actions.
+type EventKind int
+
+const (
+	// EvAcquire records a lock request entering the system.
+	EvAcquire EventKind = iota
+	// EvGrant records the system granting a request.
+	EvGrant
+	// EvReject records the system rejecting a request outright.
+	EvReject
+	// EvRelease records a holder giving the lock back.
+	EvRelease
+	// EvLost marks a request as destroyed by a failure (switch wipe,
+	// server loss). A lost request must never be granted afterwards.
+	EvLost
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvAcquire:
+		return "acquire"
+	case EvGrant:
+		return "grant"
+	case EvReject:
+		return "reject"
+	case EvRelease:
+		return "release"
+	case EvLost:
+		return "lost"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one entry of a (request, action) trace.
+type Event struct {
+	Kind EventKind
+	Lock uint32
+	Txn  uint64
+	Excl bool
+	Prio uint8
+	// Seq is filled in by the checker: the event's position in the trace,
+	// used in violation reports.
+	Seq int
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	mode := "S"
+	if e.Excl {
+		mode = "X"
+	}
+	return fmt.Sprintf("#%d %s lock=%d txn=%d %s prio=%d", e.Seq, e.Kind, e.Lock, e.Txn, mode, e.Prio)
+}
+
+// Violation describes one safety-invariant breach, with the trace position
+// where it was detected.
+type Violation struct {
+	Invariant string
+	Event     Event
+	Detail    string
+}
+
+// Error implements the error interface so violations flow through
+// error-shaped plumbing.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("invariant %q violated at %s: %s", v.Invariant, v.Event, v.Detail)
+}
+
+// traceReq is the checker's record of one in-flight request.
+type traceReq struct {
+	excl    bool
+	prio    uint8
+	arrival int // Seq of the EvAcquire
+	granted bool
+	lost    bool
+}
+
+// traceLock is the checker's per-lock view built purely from observed
+// events — independent of the Model, so safety checking works on traces
+// (overflow deferral, failover) where lockstep conformance does not hold.
+type traceLock struct {
+	waiting map[uint64]*traceReq
+	granted map[uint64]*traceReq
+}
+
+// Checker consumes a trace and verifies the NetLock safety invariants:
+//
+//   - mutual exclusion: at most one exclusive holder, and no shared holder
+//     coexists with it
+//   - no phantom grants: every grant answers a pending acquire
+//   - no duplicated grants: a request is granted at most once
+//   - priority ordering: a grant never bypasses an exclusive request that
+//     arrived earlier at the same or higher priority (shared grants), and
+//     never bypasses any earlier conflicting request at a strictly higher
+//     priority
+//   - no grants after rejection or loss
+//   - releases only from holders
+//
+// In Strict mode the checker additionally runs the reference Model in
+// lockstep: every acquire computes the model's expected decision, every
+// grant must be expected by the model, and EndStep reports grants the
+// model issued that the system never delivered (lost grants). Strict mode
+// is for single-threaded differential runs with no overflow buffering; for
+// concurrent or failure-injected traces use safety-only mode, where
+// liveness is checked separately by quiescence (Quiesce).
+type Checker struct {
+	// Strict enables lockstep conformance against Model.
+	Strict bool
+	// CheckPriority enables the priority-ordering invariant. It holds only
+	// while every request is queued at one place: overflow buffering moves
+	// exclusive requests out of the switch's nexcl counters (q2 at the
+	// server), so a later shared request can be legally granted past them.
+	// Traces that exercise the q1/q2 handoff disable it.
+	CheckPriority bool
+	model         *Model
+
+	locks map[uint32]*traceLock
+	reqs  map[reqKey]*traceReq
+	seq   int
+
+	// expect holds, in Strict mode, the grants the model says are due but
+	// the system has not delivered yet within the current step.
+	expect map[reqKey]bool
+
+	grants   int
+	rejects  int
+	releases int
+}
+
+type reqKey struct {
+	lock uint32
+	txn  uint64
+}
+
+// NewChecker builds a safety-only checker.
+func NewChecker() *Checker {
+	return &Checker{
+		CheckPriority: true,
+		locks:         make(map[uint32]*traceLock),
+		reqs:          make(map[reqKey]*traceReq),
+	}
+}
+
+// NewStrictChecker builds a lockstep checker against a fresh model with the
+// given number of priority banks.
+func NewStrictChecker(prios int) *Checker {
+	c := NewChecker()
+	c.Strict = true
+	c.model = NewModel(prios)
+	c.expect = make(map[reqKey]bool)
+	return c
+}
+
+// Model exposes the lockstep model (nil in safety-only mode); drivers use
+// it to choose releasable heads.
+func (c *Checker) Model() *Model { return c.model }
+
+func (c *Checker) lock(id uint32) *traceLock {
+	lo, ok := c.locks[id]
+	if !ok {
+		lo = &traceLock{waiting: make(map[uint64]*traceReq), granted: make(map[uint64]*traceReq)}
+		c.locks[id] = lo
+	}
+	return lo
+}
+
+func (c *Checker) violate(inv string, e Event, format string, args ...any) *Violation {
+	return &Violation{Invariant: inv, Event: e, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Observe feeds one event to the checker and returns the first violation it
+// causes, or nil. Once a violation is returned the checker state is
+// undefined; callers stop at the first violation.
+func (c *Checker) Observe(e Event) *Violation {
+	e.Seq = c.seq
+	c.seq++
+	lo := c.lock(e.Lock)
+	k := reqKey{e.Lock, e.Txn}
+	switch e.Kind {
+	case EvAcquire:
+		if _, dup := c.reqs[k]; dup {
+			return c.violate("unique-txn", e, "transaction %d already has a pending or granted request on lock %d", e.Txn, e.Lock)
+		}
+		r := &traceReq{excl: e.Excl, prio: e.Prio, arrival: e.Seq}
+		c.reqs[k] = r
+		lo.waiting[e.Txn] = r
+		if c.Strict {
+			if c.model.Acquire(e.Lock, e.Txn, e.Excl, e.Prio) {
+				c.expect[k] = true
+			}
+		}
+	case EvGrant:
+		r, ok := c.reqs[k]
+		if !ok {
+			return c.violate("no-phantom-grant", e, "grant for a transaction with no pending acquire")
+		}
+		if r.granted {
+			return c.violate("no-duplicate-grant", e, "transaction granted twice")
+		}
+		if r.lost {
+			return c.violate("no-grant-after-loss", e, "transaction was lost to a failure at #%d", r.arrival)
+		}
+		if _, waits := lo.waiting[e.Txn]; !waits {
+			return c.violate("no-grant-after-reject", e, "transaction is not waiting (rejected or released)")
+		}
+		// Mutual exclusion against current holders.
+		for txn, h := range lo.granted {
+			if h.excl {
+				return c.violate("mutual-exclusion", e, "lock %d already held exclusively by txn %d", e.Lock, txn)
+			}
+			if r.excl {
+				return c.violate("no-shared-exclusive-cogrant", e, "exclusive grant while txn %d holds shared", txn)
+			}
+		}
+		// Priority ordering: the grant must not bypass an earlier
+		// conflicting request.
+		for txn, w := range lo.waiting {
+			if !c.CheckPriority {
+				break
+			}
+			if txn == e.Txn || w.arrival >= r.arrival {
+				continue
+			}
+			conflict := w.excl || r.excl
+			if !conflict {
+				continue
+			}
+			if w.prio < r.prio || (w.prio == r.prio && w.excl) {
+				return c.violate("priority-order", e, "bypasses earlier conflicting txn %d (prio %d, excl=%v, arrived #%d)", txn, w.prio, w.excl, w.arrival)
+			}
+		}
+		if c.Strict && !c.expect[k] {
+			return c.violate("model-conformance", e, "model did not grant this request")
+		}
+		delete(c.expect, k)
+		r.granted = true
+		delete(lo.waiting, e.Txn)
+		lo.granted[e.Txn] = r
+		c.grants++
+	case EvReject:
+		r, ok := c.reqs[k]
+		if !ok {
+			return c.violate("no-phantom-reject", e, "reject for a transaction with no pending acquire")
+		}
+		if r.granted {
+			return c.violate("no-reject-after-grant", e, "transaction already granted")
+		}
+		delete(lo.waiting, e.Txn)
+		delete(c.reqs, k)
+		delete(c.expect, k)
+		c.rejects++
+	case EvRelease:
+		r, ok := c.reqs[k]
+		if !ok || !r.granted {
+			return c.violate("release-holders-only", e, "release from a transaction that does not hold the lock")
+		}
+		delete(lo.granted, e.Txn)
+		delete(c.reqs, k)
+		c.releases++
+		if c.Strict {
+			granted, modelOK := c.model.Release(e.Lock, e.Prio)
+			if !modelOK {
+				return c.violate("model-conformance", e, "model has no granted head in bank %d of lock %d", c.model.Bank(e.Prio), e.Lock)
+			}
+			for _, txn := range granted {
+				c.expect[reqKey{e.Lock, txn}] = true
+			}
+		}
+	case EvLost:
+		if r, ok := c.reqs[k]; ok {
+			r.lost = true
+			delete(lo.waiting, e.Txn)
+			delete(lo.granted, e.Txn)
+		}
+	default:
+		return c.violate("known-event", e, "unknown event kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// EndStep verifies, in Strict mode, that every grant the model issued in
+// the step just finished was delivered by the system — catching lost
+// grants, which pure safety checking cannot see. Call it after the system
+// settles between operations.
+func (c *Checker) EndStep() *Violation {
+	if !c.Strict {
+		return nil
+	}
+	for k := range c.expect {
+		e := Event{Kind: EvGrant, Lock: k.lock, Txn: k.txn, Seq: c.seq}
+		if r, ok := c.reqs[k]; ok {
+			e.Excl, e.Prio = r.excl, r.prio
+		}
+		return c.violate("no-lost-grant", e, "model granted this request but the system never did")
+	}
+	return nil
+}
+
+// Quiesce verifies conservation once all traffic has drained: every
+// request ever admitted ended granted-then-released, rejected, or lost —
+// nothing is stuck waiting and no grant went unreleased. Call it only
+// after the driver has released all holders and the system is idle.
+func (c *Checker) Quiesce() *Violation {
+	for k, r := range c.reqs {
+		if r.lost {
+			continue
+		}
+		e := Event{Kind: EvAcquire, Lock: k.lock, Txn: k.txn, Excl: r.excl, Prio: r.prio, Seq: c.seq}
+		if r.granted {
+			return c.violate("conservation", e, "transaction still holds the lock at quiescence")
+		}
+		return c.violate("conservation", e, "transaction still waiting at quiescence (lost request)")
+	}
+	return nil
+}
+
+// Stats reports how much the trace exercised the checker — tests use it to
+// assert the run was not vacuous.
+func (c *Checker) Stats() (grants, rejects, releases int) {
+	return c.grants, c.rejects, c.releases
+}

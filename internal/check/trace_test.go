@@ -1,0 +1,194 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// feed pushes events until one violates; returns the violation.
+func feed(t *testing.T, c *Checker, events ...Event) *Violation {
+	t.Helper()
+	for _, e := range events {
+		if v := c.Observe(e); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func wantViolation(t *testing.T, v *Violation, invariant string) {
+	t.Helper()
+	if v == nil {
+		t.Fatalf("expected %q violation, trace accepted", invariant)
+	}
+	if v.Invariant != invariant {
+		t.Fatalf("violation = %v, want invariant %q", v, invariant)
+	}
+	if !strings.Contains(v.Error(), invariant) {
+		t.Fatalf("Error() = %q does not name the invariant", v.Error())
+	}
+}
+
+func TestCheckerCleanTrace(t *testing.T) {
+	c := NewChecker()
+	v := feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: true},
+		Event{Kind: EvGrant, Lock: 1, Txn: 1},
+		Event{Kind: EvAcquire, Lock: 1, Txn: 2, Excl: false},
+		Event{Kind: EvRelease, Lock: 1, Txn: 1},
+		Event{Kind: EvGrant, Lock: 1, Txn: 2},
+		Event{Kind: EvRelease, Lock: 1, Txn: 2},
+	)
+	if v != nil {
+		t.Fatalf("clean trace rejected: %v", v)
+	}
+	if v := c.Quiesce(); v != nil {
+		t.Fatalf("quiesce on drained trace: %v", v)
+	}
+	g, r, rel := c.Stats()
+	if g != 2 || r != 0 || rel != 2 {
+		t.Fatalf("stats = (%d, %d, %d), want (2, 0, 2)", g, r, rel)
+	}
+}
+
+func TestCheckerMutualExclusion(t *testing.T) {
+	c := NewChecker()
+	v := feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: true},
+		Event{Kind: EvGrant, Lock: 1, Txn: 1},
+		Event{Kind: EvAcquire, Lock: 1, Txn: 2, Excl: true},
+		Event{Kind: EvGrant, Lock: 1, Txn: 2},
+	)
+	wantViolation(t, v, "mutual-exclusion")
+}
+
+func TestCheckerSharedExclusiveCoGrant(t *testing.T) {
+	c := NewChecker()
+	v := feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: false},
+		Event{Kind: EvGrant, Lock: 1, Txn: 1},
+		Event{Kind: EvAcquire, Lock: 1, Txn: 2, Excl: true},
+		Event{Kind: EvGrant, Lock: 1, Txn: 2},
+	)
+	wantViolation(t, v, "no-shared-exclusive-cogrant")
+}
+
+func TestCheckerPhantomAndDuplicateGrant(t *testing.T) {
+	c := NewChecker()
+	wantViolation(t, feed(t, c, Event{Kind: EvGrant, Lock: 1, Txn: 9}), "no-phantom-grant")
+
+	c = NewChecker()
+	v := feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: false},
+		Event{Kind: EvGrant, Lock: 1, Txn: 1},
+		Event{Kind: EvGrant, Lock: 1, Txn: 1},
+	)
+	wantViolation(t, v, "no-duplicate-grant")
+}
+
+func TestCheckerPriorityOrder(t *testing.T) {
+	c := NewChecker()
+	v := feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: false, Prio: 1},
+		Event{Kind: EvGrant, Lock: 1, Txn: 1},
+		// Exclusive waits at priority 0...
+		Event{Kind: EvAcquire, Lock: 1, Txn: 2, Excl: true, Prio: 0},
+		// ...and a later shared at priority 1 is granted past it.
+		Event{Kind: EvAcquire, Lock: 1, Txn: 3, Excl: false, Prio: 1},
+		Event{Kind: EvGrant, Lock: 1, Txn: 3},
+	)
+	wantViolation(t, v, "priority-order")
+
+	// The same trace is accepted when priority checking is off (overflow
+	// traces legitimately reorder across the q1/q2 handoff).
+	c = NewChecker()
+	c.CheckPriority = false
+	v = feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: false, Prio: 1},
+		Event{Kind: EvGrant, Lock: 1, Txn: 1},
+		Event{Kind: EvAcquire, Lock: 1, Txn: 2, Excl: true, Prio: 0},
+		Event{Kind: EvAcquire, Lock: 1, Txn: 3, Excl: false, Prio: 1},
+		Event{Kind: EvGrant, Lock: 1, Txn: 3},
+	)
+	if v != nil {
+		t.Fatalf("priority check fired while disabled: %v", v)
+	}
+}
+
+func TestCheckerGrantAfterRejectAndLoss(t *testing.T) {
+	c := NewChecker()
+	v := feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: true},
+		Event{Kind: EvReject, Lock: 1, Txn: 1},
+		Event{Kind: EvGrant, Lock: 1, Txn: 1},
+	)
+	// A rejected request is forgotten entirely, so the grant is a phantom.
+	wantViolation(t, v, "no-phantom-grant")
+
+	c = NewChecker()
+	v = feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: true},
+		Event{Kind: EvLost, Lock: 1, Txn: 1},
+		Event{Kind: EvGrant, Lock: 1, Txn: 1},
+	)
+	wantViolation(t, v, "no-grant-after-loss")
+}
+
+func TestCheckerReleaseHoldersOnly(t *testing.T) {
+	c := NewChecker()
+	v := feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: true},
+		Event{Kind: EvRelease, Lock: 1, Txn: 1},
+	)
+	wantViolation(t, v, "release-holders-only")
+}
+
+func TestCheckerQuiesceConservation(t *testing.T) {
+	c := NewChecker()
+	if v := feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: true},
+		Event{Kind: EvGrant, Lock: 1, Txn: 1},
+	); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	wantViolation(t, c.Quiesce(), "conservation")
+
+	// A lost request is excused from conservation.
+	c = NewChecker()
+	if v := feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: true},
+		Event{Kind: EvLost, Lock: 1, Txn: 1},
+	); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	if v := c.Quiesce(); v != nil {
+		t.Fatalf("lost request must not violate conservation: %v", v)
+	}
+}
+
+func TestCheckerStrictLostGrant(t *testing.T) {
+	c := NewStrictChecker(2)
+	if v := feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: true, Prio: 0},
+		// The model grants txn 1 immediately; the system stays silent.
+	); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	wantViolation(t, c.EndStep(), "no-lost-grant")
+}
+
+func TestCheckerStrictUnexpectedGrant(t *testing.T) {
+	c := NewStrictChecker(2)
+	v := feed(t, c,
+		Event{Kind: EvAcquire, Lock: 1, Txn: 1, Excl: true, Prio: 0},
+		Event{Kind: EvGrant, Lock: 1, Txn: 1},
+		Event{Kind: EvAcquire, Lock: 1, Txn: 2, Excl: true, Prio: 0},
+		Event{Kind: EvGrant, Lock: 1, Txn: 2},
+	)
+	// The model keeps txn 2 waiting; strict mode flags the grant. (The
+	// generic mutual-exclusion invariant fires first here, which is fine —
+	// order is documented as first-violation-wins.)
+	if v == nil {
+		t.Fatal("strict checker accepted a grant the model did not issue")
+	}
+}

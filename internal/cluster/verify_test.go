@@ -1,0 +1,193 @@
+package cluster
+
+// Differential safety verification: drive NetLock and the DSLR and NetChain
+// baselines with identical pre-scripted per-client schedules (deterministic
+// from the seed), auditing every acquire/grant/release through the
+// internal/check safety checker. All three systems must complete every
+// scripted transaction exactly once with zero safety violations and a clean
+// conservation check at quiescence — the same lock-service contract,
+// checked by the same oracle, across three very different architectures.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netlock/internal/check"
+	"netlock/internal/wire"
+)
+
+// auditedService wraps a LockService and feeds every observable event to a
+// check.Checker. One transaction may acquire several locks under the same
+// wire TxnID, while the checker models one request per transaction, so the
+// auditor assigns a synthetic audit ID per (txn, lock) acquisition.
+type auditedService struct {
+	t     *testing.T
+	seed  int64
+	inner LockService
+	ck    *check.Checker
+	ids   map[auditKey]uint64
+	next  uint64
+}
+
+type auditKey struct {
+	txn  uint64
+	lock uint32
+}
+
+func newAudited(t *testing.T, seed int64, inner LockService) *auditedService {
+	ck := check.NewChecker()
+	ck.CheckPriority = false // baselines are not priority-aware
+	return &auditedService{t: t, seed: seed, inner: inner, ck: ck, ids: make(map[auditKey]uint64)}
+}
+
+func (a *auditedService) observe(e check.Event) {
+	a.t.Helper()
+	if v := a.ck.Observe(e); v != nil {
+		a.t.Fatalf("%s: %v\nreproduce with: go test -run %s -netlock.seed=%d",
+			a.inner.Name(), v, a.t.Name(), a.seed)
+	}
+}
+
+func (a *auditedService) Name() string { return a.inner.Name() }
+
+// OrderKey sorts multi-lock transactions into a global acquisition order —
+// the deadlock-freedom discipline every client of a queue-based lock
+// service must follow — delegating to the inner service's own key when it
+// has one (NetChain's granularity-folded table).
+func (a *auditedService) OrderKey(lockID uint32) uint64 {
+	if ord, ok := a.inner.(LockOrderer); ok {
+		return ord.OrderKey(lockID)
+	}
+	return uint64(lockID)
+}
+
+func (a *auditedService) Acquire(req Request, granted func()) {
+	id := a.next
+	a.next++
+	a.ids[auditKey{req.TxnID, req.LockID}] = id
+	a.observe(check.Event{
+		Kind: check.EvAcquire, Lock: req.LockID, Txn: id,
+		Excl: req.Mode == wire.Exclusive, Prio: req.Priority,
+	})
+	a.inner.Acquire(req, func() {
+		a.observe(check.Event{Kind: check.EvGrant, Lock: req.LockID, Txn: id})
+		granted()
+	})
+}
+
+func (a *auditedService) Release(req Request) {
+	k := auditKey{req.TxnID, req.LockID}
+	id, ok := a.ids[k]
+	if !ok {
+		a.t.Fatalf("%s: release of unknown (txn=%d, lock=%d)", a.inner.Name(), req.TxnID, req.LockID)
+	}
+	delete(a.ids, k)
+	a.observe(check.Event{
+		Kind: check.EvRelease, Lock: req.LockID, Txn: id,
+		Excl: req.Mode == wire.Exclusive, Prio: req.Priority,
+	})
+	a.inner.Release(req)
+}
+
+// genSchedules builds each client's fixed transaction script from the seed:
+// 1–2 distinct locks over a small hot set, two-thirds shared, short think
+// times. Identical across the systems under test.
+func genSchedules(seed int64, clients, txnsPerClient int) [][]TxnSpec {
+	rng := rand.New(rand.NewSource(seed))
+	const locks = 6
+	out := make([][]TxnSpec, clients)
+	for c := range out {
+		for k := 0; k < txnsPerClient; k++ {
+			n := 1 + rng.Intn(2)
+			picked := rng.Perm(locks)[:n]
+			spec := TxnSpec{ThinkNs: 1000 + rng.Int63n(2000), Tenant: -1}
+			for _, p := range picked {
+				mode := wire.Shared
+				if rng.Intn(3) == 0 {
+					mode = wire.Exclusive
+				}
+				spec.Locks = append(spec.Locks, Request{LockID: uint32(p) + 1, Mode: mode})
+			}
+			out[c] = append(out[c], spec)
+		}
+	}
+	return out
+}
+
+// runScripted plays every client's schedule sequentially on the testbed and
+// returns the number of transactions that completed. The engine runs to
+// quiescence, so in-flight work cannot hide an incomplete transaction.
+func runScripted(tb *Testbed, svc LockService, schedules [][]TxnSpec) int {
+	completed := 0
+	for c := range schedules {
+		c := c
+		var step func(k int)
+		step = func(k int) {
+			if k == len(schedules[c]) {
+				return
+			}
+			tb.execute(c, svc, schedules[c][k], func() {
+				completed++
+				step(k + 1)
+			})
+		}
+		tb.Eng.At(int64(c+1)*1000, func() { step(0) })
+	}
+	tb.Eng.Run()
+	return completed
+}
+
+// TestDifferentialSafety checks NetLock against the DSLR and NetChain
+// baselines on identical scripted workloads: every transaction completes
+// exactly once, every grant/release stream satisfies the lock-safety
+// invariants, and nothing is left held or waiting at quiescence.
+func TestDifferentialSafety(t *testing.T) {
+	for _, seed := range check.SeedsN(2) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Clients = 4
+			schedules := genSchedules(seed, cfg.Clients, 50)
+			want := 0
+			wantLocks := 0
+			for _, s := range schedules {
+				want += len(s)
+				for _, spec := range s {
+					wantLocks += len(spec.Locks)
+				}
+			}
+			systems := []struct {
+				name string
+				make func(tb *Testbed) LockService
+			}{
+				{"NetLock", func(tb *Testbed) LockService {
+					return newNetLock(tb, 2, hotDemands(4, 16))
+				}},
+				{"DSLR", func(tb *Testbed) LockService {
+					return NewDSLRService(tb, DefaultDSLROptions(2, 8))
+				}},
+				{"NetChain", func(tb *Testbed) LockService {
+					return NewNetChainService(tb, DefaultNetChainOptions(8))
+				}},
+			}
+			for _, sys := range systems {
+				t.Run(sys.name, func(t *testing.T) {
+					tb := NewTestbed(cfg)
+					aud := newAudited(t, seed, sys.make(tb))
+					got := runScripted(tb, aud, schedules)
+					if got != want {
+						t.Fatalf("%s: %d of %d scripted transactions completed", sys.name, got, want)
+					}
+					if v := aud.ck.Quiesce(); v != nil {
+						t.Fatalf("%s: %v", sys.name, v)
+					}
+					grants, _, releases := aud.ck.Stats()
+					if grants != wantLocks || releases != wantLocks {
+						t.Fatalf("%s: grants=%d releases=%d, want %d each",
+							sys.name, grants, releases, wantLocks)
+					}
+				})
+			}
+		})
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"netlock/internal/check"
 )
 
 func TestRegionAllocFirstFit(t *testing.T) {
@@ -140,7 +142,10 @@ func TestRegionAllocatorInvariantProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
-		t.Fatal(err)
+	for _, seed := range check.SeedsN(3) {
+		cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(seed))}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatalf("%v\nreproduce with: go test -run %s %s", err, t.Name(), check.ReplayArgs(seed))
+		}
 	}
 }

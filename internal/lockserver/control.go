@@ -205,7 +205,10 @@ func (s *Server) CtrlScanExpired(now int64) []Emit {
 					continue
 				}
 				e := lo.queues[b][0]
-				if e.lease != 0 && e.lease < now {
+				// Only granted heads may be force-released: a waiting
+				// head's lease was stamped on enqueue, and releasing it
+				// would consume a live holder's hold count.
+				if e.granted && e.lease != 0 && e.lease < now {
 					s.stats.ExpiredReleases++
 					rel := wire.Header{
 						Op:       wire.OpRelease,
@@ -214,6 +217,7 @@ func (s *Server) CtrlScanExpired(now int64) []Emit {
 						TxnID:    e.hdr.TxnID,
 						Priority: uint8(b),
 					}
+					s.emit(ActExpired, rel)
 					s.release(&rel)
 					swept = true
 					break
@@ -223,6 +227,26 @@ func (s *Server) CtrlScanExpired(now int64) []Emit {
 	}
 	out := make([]Emit, len(s.emits))
 	copy(out, s.emits)
+	return out
+}
+
+// CtrlPending snapshots the header of every request currently queued at
+// this server: owned-queue entries (waiting and granted) and
+// overflow-buffered q2 entries, across all locks. Verification harnesses
+// use it to account precisely for the requests destroyed when a server
+// fails — everything in this snapshot dies with the server.
+func (s *Server) CtrlPending() []wire.Header {
+	var out []wire.Header
+	for _, lo := range s.locks {
+		for b := range lo.queues {
+			for _, e := range lo.queues[b] {
+				out = append(out, e.hdr)
+			}
+			for _, e := range lo.q2[b] {
+				out = append(out, e.hdr)
+			}
+		}
+	}
 	return out
 }
 

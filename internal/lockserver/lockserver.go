@@ -44,6 +44,10 @@ const (
 	ActGrant Action = iota + 1
 	// ActFetch forwards a grant to the database server (one-RTT mode).
 	ActFetch
+	// ActExpired reports a holder force-released by the lease sweep
+	// (CtrlScanExpired). Routers ignore it; verification harnesses consume
+	// it to keep their holder accounting aligned with the server's.
+	ActExpired
 	// ActPush sends a buffered request (or a clear-overflow control
 	// message) to the switch. It is also used to forward requests that
 	// arrived for a lock this server no longer owns — packets that were in
@@ -52,7 +56,7 @@ const (
 	ActPush
 )
 
-var actionNames = map[Action]string{ActGrant: "grant", ActFetch: "fetch", ActPush: "push"}
+var actionNames = map[Action]string{ActGrant: "grant", ActFetch: "fetch", ActExpired: "expired", ActPush: "push"}
 
 // String returns the action name.
 func (a Action) String() string {
@@ -80,10 +84,11 @@ type Config struct {
 }
 
 // entry is one queued request: the original acquire header plus its stamped
-// lease expiry.
+// lease expiry and whether it has been granted.
 type entry struct {
-	hdr   wire.Header
-	lease int64
+	hdr     wire.Header
+	lease   int64
+	granted bool
 }
 
 // lockObj is the server-side state of one lock.
@@ -99,6 +104,7 @@ type lockObj struct {
 	// requests form a prefix of each queue, exactly as in the switch.
 	queues [][]entry
 	excl   []int // exclusive entries per priority queue
+	wait   []int // waiting (never-granted) entries per priority queue
 	held   int
 	heldX  bool
 	// q2 buffers overflow-marked requests per priority (switch-resident
@@ -162,6 +168,7 @@ func (s *Server) lock(id uint32) *lockObj {
 			owned:     true, // new locks start server-owned (§4.3)
 			queues:    make([][]entry, s.cfg.Priorities),
 			excl:      make([]int, s.cfg.Priorities),
+			wait:      make([]int, s.cfg.Priorities),
 			q2:        make([][]entry, s.cfg.Priorities),
 			buffering: make([]bool, s.cfg.Priorities),
 		}
@@ -236,14 +243,16 @@ func (s *Server) acquire(h *wire.Header) {
 	}
 	excl := h.Mode == wire.Exclusive
 	// Grant rule, identical to the switch data plane: grant if the lock is
-	// free, or if the request is shared and no exclusive request holds the
-	// lock or waits at the same or higher priority.
+	// free, or if the request is shared, no exclusive request holds the
+	// lock or waits at the same or higher priority, and its own queue holds
+	// no waiting entry (grants stay a FIFO prefix of each queue, so the
+	// head-dequeue release protocol stays aligned with the granted set).
 	nexclHigher := 0
 	for hb := 0; hb <= b; hb++ {
 		nexclHigher += lo.excl[hb]
 	}
-	granted := lo.held == 0 || (!lo.heldX && !excl && nexclHigher == 0)
-	lo.queues[b] = append(lo.queues[b], entry{hdr: *h, lease: lease})
+	granted := lo.held == 0 || (!lo.heldX && !excl && nexclHigher == 0 && lo.wait[b] == 0)
+	lo.queues[b] = append(lo.queues[b], entry{hdr: *h, lease: lease, granted: granted})
 	if excl {
 		lo.excl[b]++
 	}
@@ -253,6 +262,7 @@ func (s *Server) acquire(h *wire.Header) {
 		s.stats.GrantsImmediate++
 		s.emitGrant(*h, lease)
 	} else {
+		lo.wait[b]++
 		s.stats.Queued++
 	}
 }
@@ -293,6 +303,12 @@ func (s *Server) release(h *wire.Header) {
 	if released.hdr.Mode == wire.Exclusive {
 		lo.excl[b]--
 	}
+	if !released.granted {
+		// Should be unreachable: grants form a FIFO prefix of each queue,
+		// so a release always dequeues a granted head. Keep the counter
+		// consistent regardless.
+		lo.wait[b]--
+	}
 	if lo.held > 0 {
 		lo.held--
 	}
@@ -313,17 +329,21 @@ func (s *Server) release(h *wire.Header) {
 		if gq[0].hdr.Mode == wire.Exclusive {
 			lo.held = 1
 			lo.heldX = true
+			gq[0].granted = true
+			lo.wait[gb]--
 			s.stats.GrantsQueued++
 			s.emitGrant(gq[0].hdr, gq[0].lease)
 			return
 		}
-		for _, e := range gq {
-			if e.hdr.Mode == wire.Exclusive {
+		for i := range gq {
+			if gq[i].hdr.Mode == wire.Exclusive {
 				break
 			}
+			gq[i].granted = true
+			lo.wait[gb]--
 			lo.held++
 			s.stats.GrantsQueued++
-			s.emitGrant(e.hdr, e.lease)
+			s.emitGrant(gq[i].hdr, gq[i].lease)
 		}
 		return
 	}
@@ -333,12 +353,21 @@ func (s *Server) release(h *wire.Header) {
 // lock: buffer it in q2, or bounce it if the server believes overflow mode
 // has ended (see the package comment for the race this closes).
 func (s *Server) bufferOverflow(h *wire.Header) {
-	lo := s.lock(h.LockID)
+	lo, existed := s.locks[h.LockID]
+	if !existed {
+		// First contact via an overflow mark: the mark is authoritative
+		// evidence the switch owns this lock, so the fresh lockObj must
+		// not default to server-owned. (A replacement server after a
+		// failover sees exactly this; defaulting to owned would split
+		// ownership with the switch and double-grant.)
+		lo = s.lock(h.LockID)
+		lo.owned = false
+	}
 	b := s.bankFor(h.Priority)
 	if lo.owned {
-		// First overflow observed for a lock this server also thought it
-		// owned cannot happen (the switch owns it); treat conservatively
-		// as a move in progress and process as a normal acquire.
+		// Stale overflow mark: the packet raced a switch-to-server move
+		// and this server owns the lock again; process as a normal
+		// acquire.
 		cp := *h
 		cp.Flags &^= wire.FlagOverflow | wire.FlagBounced
 		s.acquire(&cp)

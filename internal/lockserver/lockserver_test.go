@@ -235,13 +235,21 @@ func TestPushNotifyForOwnedLockIgnored(t *testing.T) {
 }
 
 func TestMarkedRequestForOwnedLockProcessed(t *testing.T) {
-	// A marked request arriving for a lock the server owns (move in
-	// progress) is processed as a normal acquire rather than stranded.
+	// A stale overflow mark on a request for a lock this server owns again
+	// (the packet raced a switch-to-server move) is processed as a normal
+	// acquire rather than stranded. The server must already know the lock:
+	// on first contact the mark is trusted instead (see
+	// TestOverflowFirstContactDoesNotAdoptOwnership).
 	s := newServer()
-	m := req(wire.OpAcquire, 1, 1, wire.Exclusive)
+	do(t, s, req(wire.OpAcquire, 1, 1, wire.Exclusive))
+	do(t, s, req(wire.OpRelease, 1, 1, wire.Exclusive))
+	m := req(wire.OpAcquire, 1, 2, wire.Exclusive)
 	m.Flags = wire.FlagOverflow
 	emits := do(t, s, m)
 	wantActions(t, emits, ActGrant)
+	if emits[0].Hdr.TxnID != 2 {
+		t.Fatalf("granted %v, want txn 2", emits[0].Hdr)
+	}
 }
 
 func TestCtrlReleaseOwnershipRequiresDrain(t *testing.T) {
@@ -305,9 +313,11 @@ func TestCtrlScanExpired(t *testing.T) {
 	do(t, s, req(wire.OpAcquire, 1, 2, wire.Exclusive))
 	// Holder's lease expires; the waiter is granted by the sweep — and its
 	// own lease (stamped at acquire time 0, expiring at 100) is already
-	// past at t=150, so the same sweep chains and releases it too.
+	// past at t=150, so the same sweep chains and releases it too. Each
+	// forced release is announced with an ActExpired emit.
 	emits := s.CtrlScanExpired(150)
-	if len(emits) != 1 || emits[0].Action != ActGrant || emits[0].Hdr.TxnID != 2 {
+	wantActions(t, emits, ActExpired, ActGrant, ActExpired)
+	if emits[0].Hdr.TxnID != 1 || emits[1].Hdr.TxnID != 2 || emits[2].Hdr.TxnID != 2 {
 		t.Fatalf("sweep emits = %v", emits)
 	}
 	if s.Stats().ExpiredReleases != 2 {
@@ -414,14 +424,19 @@ func TestScanExpiredSharedRun(t *testing.T) {
 	do(t, s, req(wire.OpAcquire, 1, 2, wire.Shared))
 	do(t, s, req(wire.OpAcquire, 1, 3, wire.Exclusive)) // waits
 	// At t=120, only txn 1's lease (expiring at 100) is past; txn 2
-	// (expiring at 150) still holds, so the exclusive must keep waiting.
+	// (expiring at 150) still holds, so the exclusive must keep waiting:
+	// the sweep announces the forced release and grants nothing.
 	emits := s.CtrlScanExpired(120)
-	if len(emits) != 0 {
-		t.Fatalf("only one shared released; no grant yet: %v", emits)
+	wantActions(t, emits, ActExpired)
+	if emits[0].Hdr.TxnID != 1 {
+		t.Fatalf("expired the wrong holder: %v", emits)
 	}
-	// At t=200, txn 2 expires too and the exclusive is granted.
+	// At t=200, txn 2 expires too and the exclusive is granted — and the
+	// exclusive's own lease (stamped at its t=50 arrival, expiring at 150)
+	// is already past, so the sweep chains and releases it as well.
 	emits = s.CtrlScanExpired(200)
-	if len(emits) != 1 || emits[0].Hdr.TxnID != 3 {
+	wantActions(t, emits, ActExpired, ActGrant, ActExpired)
+	if emits[0].Hdr.TxnID != 2 || emits[1].Hdr.TxnID != 3 || emits[2].Hdr.TxnID != 3 {
 		t.Fatalf("exclusive not granted after full expiry: %v", emits)
 	}
 }
@@ -436,5 +451,33 @@ func TestMeasurementSkipsMovedLocks(t *testing.T) {
 		if l.LockID == 1 && l.Owned {
 			t.Fatalf("moved lock still reported owned")
 		}
+	}
+}
+
+// TestOverflowFirstContactDoesNotAdoptOwnership is the regression test for a
+// failover split-brain the internal/check chaos harness found: a replacement
+// server whose first packet for a lock is overflow-marked used to auto-create
+// the lock as server-owned and grant it — while the switch still held granted
+// requests for it in q1 (duplicate grants, shared/exclusive co-grants). An
+// overflow mark is authoritative evidence the switch owns the lock, so first
+// contact must leave the lock un-owned: bounce once, then buffer.
+func TestOverflowFirstContactDoesNotAdoptOwnership(t *testing.T) {
+	s := newServer()
+	h := req(wire.OpAcquire, 9, 1, wire.Exclusive)
+	h.Flags = wire.FlagOverflow
+	emits := do(t, s, h)
+	wantActions(t, emits, ActPush) // bounced, never granted
+	if emits[0].Hdr.Op != wire.OpPush || emits[0].Hdr.Flags&wire.FlagBounced == 0 {
+		t.Fatalf("bounce emit = %+v, want OpPush with FlagBounced", emits[0].Hdr)
+	}
+	if got := s.CtrlOwnedLocks(); len(got) != 0 {
+		t.Fatalf("server adopted ownership of %v from an overflow packet", got)
+	}
+	// The bounced copy comes back still overflow-marked: buffer it in q2.
+	h2 := req(wire.OpAcquire, 9, 1, wire.Exclusive)
+	h2.Flags = wire.FlagOverflow | wire.FlagBounced
+	wantActions(t, do(t, s, h2)) // no emits: buffered
+	if owned, buffered := s.CtrlQueueDepth(9); owned != 0 || buffered != 1 {
+		t.Fatalf("queue depth = (owned=%d, buffered=%d), want (0, 1)", owned, buffered)
 	}
 }

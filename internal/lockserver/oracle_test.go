@@ -1,0 +1,81 @@
+package lockserver
+
+// Model-checking test: drive one lock server with seeded random operation
+// streams and check every grant decision, in lockstep, against the shared
+// reference model in internal/check. The server implements the same grant
+// rules as the switch data plane in plain Go; this pins the two to the one
+// spec.
+
+import (
+	"fmt"
+	"testing"
+
+	"netlock/internal/check"
+	"netlock/internal/wire"
+)
+
+// srvSystem adapts one Server to the check.System surface.
+type srvSystem struct {
+	s *Server
+}
+
+func (a *srvSystem) grants(emits []Emit) []uint64 {
+	var out []uint64
+	for _, e := range emits {
+		if e.Action == ActGrant {
+			out = append(out, e.Hdr.TxnID)
+		}
+	}
+	return out
+}
+
+func (a *srvSystem) Acquire(lock uint32, txn uint64, excl bool, prio uint8) []uint64 {
+	mode := wire.Shared
+	if excl {
+		mode = wire.Exclusive
+	}
+	h := &wire.Header{Op: wire.OpAcquire, Mode: mode, LockID: lock, TxnID: txn, Priority: prio}
+	return a.grants(a.s.ProcessPacket(h))
+}
+
+func (a *srvSystem) Release(lock uint32, prio uint8, txn uint64) []uint64 {
+	// Like the switch, the server releases by queue head: txn is advisory.
+	h := &wire.Header{Op: wire.OpRelease, Mode: wire.Shared, LockID: lock, TxnID: txn, Priority: prio}
+	return a.grants(a.s.ProcessPacket(h))
+}
+
+// finalState compares the server's queue depths against the model's.
+func (a *srvSystem) finalState(m *check.Model, locks int) error {
+	for l := 1; l <= locks; l++ {
+		want := 0
+		for p := 0; p < m.Priorities(); p++ {
+			want += m.QueueLen(uint32(l), uint8(p))
+		}
+		owned, buffered := a.s.CtrlQueueDepth(uint32(l))
+		if owned != want || buffered != 0 {
+			return fmt.Errorf("lock %d queue depth: server (owned=%d, buffered=%d), model %d",
+				l, owned, buffered, want)
+		}
+	}
+	return nil
+}
+
+func TestOracleServer(t *testing.T) {
+	for _, prios := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("prios=%d", prios), func(t *testing.T) {
+			cfg := check.DefaultWorkloadCfg()
+			cfg.Ops = 2000
+			cfg.Priorities = prios
+			h := &check.Harness{
+				Cfg: cfg,
+				New: func() check.System {
+					return &srvSystem{s: New(Config{Priorities: prios})}
+				},
+				Final: func(sys check.System, m *check.Model) error {
+					return sys.(*srvSystem).finalState(m, cfg.Locks)
+				},
+			}
+			h.Run(t)
+		})
+	}
+}

@@ -40,13 +40,20 @@ type Slot struct {
 	Exclusive bool
 	// OneRTT records that the request asked for grant-to-database-server
 	// forwarding (the paper's one-RTT transaction mode, §4.1).
-	OneRTT   bool
+	OneRTT bool
+	// Granted marks a slot whose request has been granted (immediately on
+	// enqueue, or later by a release walk). The lease sweep uses it to
+	// distinguish holders from waiters: only a granted slot's expiry means
+	// a stuck holder.
+	Granted  bool
 	Tenant   uint8
 	Priority uint8
 	ClientIP uint32
 	TxnID    uint64
 	LeaseNs  int64
 }
+
+const metaGrantedBit = uint64(1) << 50
 
 func packMeta(s Slot) uint64 {
 	v := uint64(s.ClientIP) | uint64(s.Tenant)<<32 | uint64(s.Priority)<<40
@@ -55,6 +62,9 @@ func packMeta(s Slot) uint64 {
 	}
 	if s.OneRTT {
 		v |= 1 << 49
+	}
+	if s.Granted {
+		v |= metaGrantedBit
 	}
 	return v
 }
@@ -65,6 +75,7 @@ func unpackMeta(v uint64, s *Slot) {
 	s.Priority = uint8(v >> 40)
 	s.Exclusive = v&(1<<48) != 0
 	s.OneRTT = v&(1<<49) != 0
+	s.Granted = v&metaGrantedBit != 0
 }
 
 // ArraySpec places one block of slot storage in a pipeline stage.
@@ -79,6 +90,7 @@ type MetaStages struct {
 	Bounds int // left and right boundary arrays
 	Count  int // occupancy counter (conditional increment)
 	Excl   int // exclusive-entry counter
+	Wait   int // waiting (never-granted) entry counter; may share Excl's stage
 	Head   int // monotone head counter
 	Tail   int // monotone tail counter
 }
@@ -104,6 +116,7 @@ type Queues struct {
 	right *p4sim.RegisterArray
 	count *p4sim.RegisterArray
 	excl  *p4sim.RegisterArray
+	wait  *p4sim.RegisterArray
 	head  *p4sim.RegisterArray
 	tail  *p4sim.RegisterArray
 
@@ -128,12 +141,16 @@ func New(pipe *p4sim.Pipeline, cfg Config) *Queues {
 	if !(m.Bounds < m.Count && m.Count < m.Excl && m.Excl < m.Head && m.Head < m.Tail) {
 		panic("sharedqueue: metadata stages must be in dependency order bounds<count<excl<head<tail")
 	}
+	if !(m.Count < m.Wait && m.Wait < m.Head) {
+		panic("sharedqueue: wait-counter stage must be in (count, head)")
+	}
 	q := &Queues{pipe: pipe}
 	n := cfg.MaxQueues
 	q.left = pipe.AllocArray(cfg.Name+".left", m.Bounds, n)
 	q.right = pipe.AllocArray(cfg.Name+".right", m.Bounds, n)
 	q.count = pipe.AllocArray(cfg.Name+".count", m.Count, n)
 	q.excl = pipe.AllocArray(cfg.Name+".excl", m.Excl, n)
+	q.wait = pipe.AllocArray(cfg.Name+".wait", m.Wait, n)
 	q.head = pipe.AllocArray(cfg.Name+".head", m.Head, n)
 	q.tail = pipe.AllocArray(cfg.Name+".tail", m.Tail, n)
 	total := 0
@@ -234,6 +251,29 @@ func (q *Queues) DecExcl(c *p4sim.Ctx, qi int) uint64 {
 // ReadExcl reads the exclusive-entry counter.
 func (q *Queues) ReadExcl(c *p4sim.Ctx, qi int) uint64 { return q.excl.Read(c, qi) }
 
+// IncWait increments the waiting-entry counter and returns the previous
+// value. Called on the extra pass an enqueue-without-grant resubmits for.
+func (q *Queues) IncWait(c *p4sim.Ctx, qi int) uint64 {
+	return q.wait.ReadModifyWrite(c, qi, func(v uint64) uint64 { return v + 1 })
+}
+
+// DecWait decrements the waiting-entry counter (clamped at zero) and
+// returns the previous value. Called once per slot a release walk grants.
+func (q *Queues) DecWait(c *p4sim.Ctx, qi int) uint64 {
+	return q.wait.ReadModifyWrite(c, qi, func(v uint64) uint64 {
+		if v > 0 {
+			return v - 1
+		}
+		return v
+	})
+}
+
+// ReadWait reads the waiting-entry counter. The grant rule uses it to keep
+// grants a FIFO prefix of each bank: a shared request must not be granted
+// past a waiting entry in its own bank, or head-dequeue releases desynchronize
+// from the granted set (a duplicate grant plus a lost request).
+func (q *Queues) ReadWait(c *p4sim.Ctx, qi int) uint64 { return q.wait.Read(c, qi) }
+
 // IncHead advances the head counter and returns its previous value.
 func (q *Queues) IncHead(c *p4sim.Ctx, qi int) uint64 {
 	return q.head.ReadModifyWrite(c, qi, func(v uint64) uint64 { return v + 1 })
@@ -268,6 +308,27 @@ func (q *Queues) ReadSlot(c *p4sim.Ctx, g int) Slot {
 	return s
 }
 
+// ReadSlotMarkGranted loads the slot at global index g and sets its granted
+// bit in the same stateful-ALU crossing of the meta plane (still one access
+// per plane). With sharedOnly, exclusive slots are read without marking —
+// the release walk uses this to probe whether a shared run continues.
+// The returned Slot reflects the pre-mark state.
+func (q *Queues) ReadSlotMarkGranted(c *p4sim.Ctx, g int, sharedOnly bool) Slot {
+	b := q.block(g)
+	off := g - q.bounds[b]
+	var s Slot
+	old := q.planeMeta[b].ReadModifyWrite(c, off, func(v uint64) uint64 {
+		if sharedOnly && v&(1<<48) != 0 {
+			return v
+		}
+		return v | metaGrantedBit
+	})
+	unpackMeta(old, &s)
+	s.TxnID = q.planeTxn[b].Read(c, off)
+	s.LeaseNs = int64(q.planeLease[b].Read(c, off))
+	return s
+}
+
 // --- Control-plane operations ---
 
 // State is a control-plane snapshot of one queue's registers.
@@ -275,6 +336,7 @@ type State struct {
 	Left, Right uint64
 	Count       uint64
 	Excl        uint64
+	Wait        uint64
 	Head, Tail  uint64
 }
 
@@ -292,6 +354,7 @@ func (q *Queues) CtrlSetRegion(qi int, left, right uint64) {
 	q.right.CtrlWrite(qi, right)
 	q.count.CtrlWrite(qi, 0)
 	q.excl.CtrlWrite(qi, 0)
+	q.wait.CtrlWrite(qi, 0)
 	q.head.CtrlWrite(qi, 0)
 	q.tail.CtrlWrite(qi, 0)
 }
@@ -303,6 +366,7 @@ func (q *Queues) CtrlState(qi int) State {
 		Right: q.right.CtrlRead(qi),
 		Count: q.count.CtrlRead(qi),
 		Excl:  q.excl.CtrlRead(qi),
+		Wait:  q.wait.CtrlRead(qi),
 		Head:  q.head.CtrlRead(qi),
 		Tail:  q.tail.CtrlRead(qi),
 	}

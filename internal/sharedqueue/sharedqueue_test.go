@@ -12,7 +12,7 @@ func testQueues(t testing.TB) (*p4sim.Pipeline, *Queues) {
 	q := New(pipe, Config{
 		Name:      "lk",
 		MaxQueues: 16,
-		Meta:      MetaStages{Bounds: 0, Count: 1, Excl: 2, Head: 3, Tail: 4},
+		Meta:      MetaStages{Bounds: 0, Count: 1, Excl: 2, Wait: 2, Head: 3, Tail: 4},
 		Slots: []ArraySpec{
 			{Stage: 5, Size: 32},
 			{Stage: 6, Size: 32},
@@ -61,10 +61,10 @@ func dequeue(pipe *p4sim.Pipeline, q *Queues, qi int) (Slot, bool) {
 func TestConfigValidation(t *testing.T) {
 	pipe := p4sim.NewPipeline(p4sim.Config{Stages: 12, StageSlots: 4096, MaxResubmits: 8})
 	for name, cfg := range map[string]Config{
-		"no queues":      {MaxQueues: 0, Meta: MetaStages{0, 1, 2, 3, 4}, Slots: []ArraySpec{{5, 8}}},
-		"no slots":       {MaxQueues: 4, Meta: MetaStages{0, 1, 2, 3, 4}},
-		"bad meta order": {MaxQueues: 4, Meta: MetaStages{0, 2, 1, 3, 4}, Slots: []ArraySpec{{5, 8}}},
-		"slot too early": {MaxQueues: 4, Meta: MetaStages{0, 1, 2, 3, 4}, Slots: []ArraySpec{{4, 8}}},
+		"no queues":      {MaxQueues: 0, Meta: MetaStages{0, 1, 2, 2, 3, 4}, Slots: []ArraySpec{{5, 8}}},
+		"no slots":       {MaxQueues: 4, Meta: MetaStages{0, 1, 2, 2, 3, 4}},
+		"bad meta order": {MaxQueues: 4, Meta: MetaStages{0, 2, 1, 2, 3, 4}, Slots: []ArraySpec{{5, 8}}},
+		"slot too early": {MaxQueues: 4, Meta: MetaStages{0, 1, 2, 2, 3, 4}, Slots: []ArraySpec{{4, 8}}},
 	} {
 		func() {
 			defer func() {

@@ -1,0 +1,140 @@
+// Package smoke compiles every binary in cmd/ and examples/ and runs the
+// fast ones end to end: each example must exit cleanly, and the
+// netlockd/lockclient pair must complete a short real-UDP benchmark with
+// at least one grant. This keeps the binaries from bit-rotting without
+// being exercised by the library test suites.
+package smoke
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mains lists every main package in the repository.
+var mains = []string{
+	"cmd/benchrunner",
+	"cmd/lockclient",
+	"cmd/netlockd",
+	"examples/failover",
+	"examples/multitenant",
+	"examples/quickstart",
+	"examples/tpcc",
+	"examples/udprack",
+}
+
+// examples are the mains that run standalone to completion in seconds.
+var examples = []string{
+	"examples/failover",
+	"examples/multitenant",
+	"examples/quickstart",
+	"examples/tpcc",
+	"examples/udprack",
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// buildAll compiles every main package into dir and returns the binary
+// paths keyed by package path.
+func buildAll(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	root := repoRoot(t)
+	args := append([]string{"build", "-o", dir + string(filepath.Separator)},
+		func() []string {
+			var pkgs []string
+			for _, m := range mains {
+				pkgs = append(pkgs, "./"+m)
+			}
+			return pkgs
+		}()...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	bins := make(map[string]string)
+	for _, m := range mains {
+		bins[m] = filepath.Join(dir, filepath.Base(m))
+	}
+	return bins
+}
+
+func TestExamplesRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildAll(t, t.TempDir())
+	for _, ex := range examples {
+		ex := ex
+		t.Run(filepath.Base(ex), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, bins[ex]).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", ex, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s: no output", ex)
+			}
+		})
+	}
+}
+
+func TestNetlockdLockclientEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildAll(t, t.TempDir())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	daemon := exec.CommandContext(ctx, bins["cmd/netlockd"],
+		"-listen", "127.0.0.1:0", "-servers", "2", "-preinstall", "32")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	// The daemon announces "netlockd: switch on <addr>" once it is up.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if _, err := fmt.Sscanf(sc.Text(), "netlockd: switch on %s", &addr); err == nil {
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("netlockd never announced its switch address")
+	}
+
+	out, err := exec.CommandContext(ctx, bins["cmd/lockclient"],
+		"-switch", addr, "-locks", "32", "-concurrency", "4",
+		"-duration", "500ms", "-timeout", "5s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("lockclient: %v\n%s", err, out)
+	}
+	m := regexp.MustCompile(`grants: (\d+)`).FindSubmatch(out)
+	if m == nil || string(m[1]) == "0" {
+		t.Fatalf("lockclient completed without grants:\n%s", out)
+	}
+}

@@ -154,11 +154,14 @@ func (sw *Switch) CtrlSetTenantQuota(tenant uint8, perSec float64, burst float64
 }
 
 // CtrlScanExpired implements the lease sweep (§4.5): the control plane polls
-// the head slot of every bank of every resident lock and, for entries whose
-// lease expired before now, synthesizes release packets to inject into the
-// data plane. Only locks with outstanding grants are scanned — a waiting
-// (non-granted) head only expires after its holder does, so head-of-queue
-// scanning is sufficient to reclaim stuck locks.
+// the head slot of every bank of every resident lock and, for granted
+// entries whose lease expired before now, synthesizes release packets to
+// inject into the data plane. Only granted heads are released: a waiting
+// head's lease was stamped on enqueue, and force-releasing it would consume
+// a live holder's hold count and dequeue a request that was never granted.
+// Granted requests are always their bank's head run (the wait-counter grant
+// rule keeps grants a FIFO prefix), so head-of-queue scanning sees every
+// holder.
 func (sw *Switch) CtrlScanExpired(now int64) []wire.Header {
 	var out []wire.Header
 	for _, id := range sw.lockTable.CtrlKeys() {
@@ -175,7 +178,7 @@ func (sw *Switch) CtrlScanExpired(now int64) []wire.Header {
 			}
 			g := sharedqueue.SlotIndex(st.Left, st.Capacity(), st.Head)
 			s := sw.banks[b].CtrlReadSlot(g)
-			if s.LeaseNs != 0 && s.LeaseNs < now {
+			if s.Granted && s.LeaseNs != 0 && s.LeaseNs < now {
 				sw.stats.ExpiredReleases++
 				h := wire.Header{
 					Op:       wire.OpRelease,

@@ -1,0 +1,78 @@
+package switchdp
+
+import (
+	"reflect"
+	"testing"
+
+	"netlock/internal/wire"
+)
+
+// TestGrantsStayFifoPrefixOfBank is the regression test for a real bug the
+// internal/check harness found in the multi-bank generalization of
+// Algorithm 2 (see check.MutIgnoreBankFifo): a shared request used to be
+// granted while a waiting entry sat ahead of it in its own bank. The
+// head-dequeue release protocol then desynchronized from the granted set —
+// the holder's release consumed the waiter's slot (request silently lost)
+// and a later grant walk re-granted the holder's slot (duplicate grant to a
+// transaction that had already released), leaving a phantom holder. The
+// wait-counter grant condition keeps grants a FIFO prefix of every bank, so
+// the shortest reproduction now queues at step 7 and drains cleanly.
+func TestGrantsStayFifoPrefixOfBank(t *testing.T) {
+	sw := New(Config{MaxLocks: 4, TotalSlots: 256 * 4, Priorities: 4})
+	regions := make([]Region, 4)
+	for b := range regions {
+		regions[b] = Region{Left: 0, Right: 256}
+	}
+	if err := sw.CtrlInstallLock(1, regions); err != nil {
+		t.Fatal(err)
+	}
+	step := func(op wire.Op, txn uint64, mode wire.Mode, prio uint8) []uint64 {
+		h := req(op, 1, txn, mode)
+		h.Priority = prio
+		emits, _ := sw.ProcessPacket(h)
+		var grants []uint64
+		for _, e := range emits {
+			if e.Action == ActGrant {
+				grants = append(grants, e.Hdr.TxnID)
+			}
+		}
+		return grants
+	}
+	steps := []struct {
+		op   wire.Op
+		txn  uint64
+		mode wire.Mode
+		prio uint8
+		want []uint64
+	}{
+		{wire.OpAcquire, 1, wire.Shared, 2, []uint64{1}},    // S2 granted
+		{wire.OpAcquire, 2, wire.Exclusive, 2, nil},         // X2 waits
+		{wire.OpRelease, 0, wire.Shared, 2, []uint64{2}},    // txn1 out, X2 granted
+		{wire.OpAcquire, 3, wire.Shared, 0, nil},            // S0 waits behind X holder
+		{wire.OpAcquire, 4, wire.Shared, 2, nil},            // S2 waits behind X holder
+		{wire.OpRelease, 0, wire.Shared, 2, []uint64{3}},    // txn2 out; walk grants bank 0 only
+		{wire.OpAcquire, 5, wire.Shared, 2, nil},            // must wait: txn4 waits ahead in bank 2
+		{wire.OpRelease, 0, wire.Shared, 0, []uint64{4, 5}}, // txn3 out; bank 2's run granted together
+		{wire.OpRelease, 0, wire.Shared, 2, nil},            // txn4 out, txn5 still holds
+		{wire.OpRelease, 0, wire.Shared, 2, nil},            // txn5 out, lock free
+	}
+	for i, s := range steps {
+		got := step(s.op, s.txn, s.mode, s.prio)
+		if !reflect.DeepEqual(got, s.want) {
+			t.Fatalf("step %d (%v txn=%d prio=%d): grants = %v, want %v",
+				i+1, s.op, s.txn, s.prio, got, s.want)
+		}
+	}
+	st, err := sw.CtrlLockState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Held != 0 || st.HeldExcl {
+		t.Fatalf("final hold state = (%d, %v), want (0, false)", st.Held, st.HeldExcl)
+	}
+	for b, bank := range st.Banks {
+		if bank.Count != 0 || bank.Wait != 0 {
+			t.Fatalf("bank %d not drained: count=%d wait=%d", b, bank.Count, bank.Wait)
+		}
+	}
+}

@@ -1,230 +1,120 @@
 package switchdp
 
-// Model-checking test: drive the switch data plane with random operation
-// sequences and compare every grant decision against an independent
-// reference implementation of the locking semantics (FCFS within priority,
-// shared concurrency, exclusive isolation, priority preemption on grant).
-// This exercises Algorithm 2's resubmit walk, the hold/exclusive-counter
-// registers, and the priority banks far beyond the hand-written cases.
+// Model-checking test: drive the switch data plane with seeded random
+// operation streams and check every grant decision, in lockstep, against
+// the shared reference model in internal/check. This exercises Algorithm
+// 2's resubmit walk, the hold/exclusive/wait-counter registers, and the
+// priority banks far beyond the hand-written cases, and shrinks any
+// failing stream to a minimal reproduction.
 
 import (
-	"math/rand"
+	"fmt"
 	"testing"
 
+	"netlock/internal/check"
 	"netlock/internal/wire"
 )
 
-// refManager is the oracle: a direct, unconstrained implementation of the
-// grant rules.
-type refManager struct {
-	prios   int
-	queues  [][]refEntry // waiting + granted, FIFO per priority
-	held    int
-	heldX   bool
-	granted map[uint64]bool
+// oracleRegionSlots is each lock's per-bank region capacity. It exceeds the
+// workload's MaxOutstanding, so strict runs never enter overflow mode (the
+// overflow path is covered by priority_overflow_test.go and the core/cluster
+// harnesses, where the checker runs in safety-only mode).
+const oracleRegionSlots = 64
+
+// swSystem adapts one Switch to the check.System surface.
+type swSystem struct {
+	sw *Switch
 }
 
-type refEntry struct {
-	txn     uint64
-	excl    bool
-	prio    int
-	granted bool
-}
-
-func newRef(prios int) *refManager {
-	return &refManager{prios: prios, queues: make([][]refEntry, prios), granted: map[uint64]bool{}}
-}
-
-// acquire returns whether the request is granted immediately.
-func (r *refManager) acquire(txn uint64, excl bool, prio int) bool {
-	grant := false
-	if r.held == 0 {
-		grant = true
-	} else if !r.heldX && !excl {
-		// Shared: no exclusive waiting at same or higher priority.
-		grant = true
-		for p := 0; p <= prio; p++ {
-			for _, e := range r.queues[p] {
-				if e.excl {
-					grant = false
-				}
-			}
+func newSwSystem(tb testing.TB, prios, locks int) *swSystem {
+	tb.Helper()
+	sw := New(Config{
+		MaxLocks:   locks,
+		TotalSlots: oracleRegionSlots * locks * prios,
+		Priorities: prios,
+	})
+	for l := 1; l <= locks; l++ {
+		regions := make([]Region, prios)
+		for b := range regions {
+			left := uint64(l-1) * oracleRegionSlots
+			regions[b] = Region{Left: left, Right: left + oracleRegionSlots}
+		}
+		if err := sw.CtrlInstallLock(uint32(l), regions); err != nil {
+			tb.Fatal(err)
 		}
 	}
-	r.queues[prio] = append(r.queues[prio], refEntry{txn: txn, excl: excl, prio: prio, granted: grant})
-	if grant {
-		r.held++
-		r.heldX = excl
-		r.granted[txn] = true
-	}
-	return grant
+	return &swSystem{sw: sw}
 }
 
-// release removes the oldest granted entry in the given priority queue and
-// returns the txns granted as a result.
-func (r *refManager) release(prio int) []uint64 {
-	q := r.queues[prio]
-	if len(q) == 0 {
-		return nil
-	}
-	// The switch dequeues the head without matching transaction IDs.
-	released := q[0]
-	r.queues[prio] = q[1:]
-	delete(r.granted, released.txn)
-	if r.held > 0 {
-		r.held--
-	}
-	if r.held > 0 {
-		return nil
-	}
-	r.heldX = false
-	// Grant the head of the highest-priority non-empty queue; if shared,
-	// the following run of shared entries in that queue too.
+func (s *swSystem) grants(emits []Emit) []uint64 {
 	var out []uint64
-	for p := 0; p < r.prios; p++ {
-		q := r.queues[p]
-		if len(q) == 0 {
-			continue
+	for _, e := range emits {
+		if e.Action == ActGrant {
+			out = append(out, e.Hdr.TxnID)
 		}
-		if q[0].excl {
-			q[0].granted = true
-			r.held = 1
-			r.heldX = true
-			r.granted[q[0].txn] = true
-			return []uint64{q[0].txn}
+	}
+	return out
+}
+
+func (s *swSystem) Acquire(lock uint32, txn uint64, excl bool, prio uint8) []uint64 {
+	mode := wire.Shared
+	if excl {
+		mode = wire.Exclusive
+	}
+	h := req(wire.OpAcquire, lock, txn, mode)
+	h.Priority = prio
+	emits, _ := s.sw.ProcessPacket(h)
+	return s.grants(emits)
+}
+
+func (s *swSystem) Release(lock uint32, prio uint8, txn uint64) []uint64 {
+	// The switch releases by queue head, not by transaction: txn is advisory.
+	h := req(wire.OpRelease, lock, txn, wire.Shared)
+	h.Priority = prio
+	emits, _ := s.sw.ProcessPacket(h)
+	return s.grants(emits)
+}
+
+// finalState compares every lock's register snapshot against the model:
+// hold count, exclusive flag, and per-bank queue population.
+func (s *swSystem) finalState(m *check.Model, locks int) error {
+	for l := 1; l <= locks; l++ {
+		st, err := s.sw.CtrlLockState(uint32(l))
+		if err != nil {
+			return err
 		}
-		for i := range q {
-			if q[i].excl {
-				break
+		held, heldX := m.Held(uint32(l))
+		if int(st.Held) != held || st.HeldExcl != heldX {
+			return fmt.Errorf("lock %d hold state: switch (%d,%v) model (%d,%v)",
+				l, st.Held, st.HeldExcl, held, heldX)
+		}
+		for p := range st.Banks {
+			if int(st.Banks[p].Count) != m.QueueLen(uint32(l), uint8(p)) {
+				return fmt.Errorf("lock %d bank %d count: switch %d model %d",
+					l, p, st.Banks[p].Count, m.QueueLen(uint32(l), uint8(p)))
 			}
-			q[i].granted = true
-			r.held++
-			r.granted[q[i].txn] = true
-			out = append(out, q[i].txn)
 		}
-		return out
 	}
 	return nil
 }
 
-// grantedHead returns the oldest granted entry's priority, for choosing a
-// valid release (the switch can only release queue heads).
-func (r *refManager) oldestGrantedPrio(rng *rand.Rand) (int, bool) {
-	var prios []int
-	for p := 0; p < r.prios; p++ {
-		if len(r.queues[p]) > 0 && r.queues[p][0].granted {
-			prios = append(prios, p)
-		}
-	}
-	if len(prios) == 0 {
-		return 0, false
-	}
-	return prios[rng.Intn(len(prios))], true
-}
-
-func runOracle(t *testing.T, prios int, seed int64, ops int) {
+func runOracle(t *testing.T, prios int) {
 	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
-	sw := New(Config{MaxLocks: 4, TotalSlots: 256 * prios, Priorities: prios})
-	regions := make([]Region, prios)
-	for b := range regions {
-		regions[b] = Region{Left: 0, Right: 256}
+	cfg := check.DefaultWorkloadCfg()
+	cfg.Ops = 2000
+	cfg.Priorities = prios
+	h := &check.Harness{
+		Cfg: cfg,
+		New: func() check.System { return newSwSystem(t, prios, cfg.Locks) },
+		Final: func(sys check.System, m *check.Model) error {
+			return sys.(*swSystem).finalState(m, cfg.Locks)
+		},
 	}
-	if err := sw.CtrlInstallLock(1, regions); err != nil {
-		t.Fatal(err)
-	}
-	ref := newRef(prios)
-	nextTxn := uint64(1)
-	outstanding := 0
-
-	grantsOf := func(emits []Emit) map[uint64]bool {
-		out := map[uint64]bool{}
-		for _, e := range emits {
-			if e.Action == ActGrant {
-				out[e.Hdr.TxnID] = true
-			}
-		}
-		return out
-	}
-
-	for i := 0; i < ops; i++ {
-		if outstanding < 200 && (outstanding == 0 || rng.Intn(2) == 0) {
-			// Acquire.
-			txn := nextTxn
-			nextTxn++
-			excl := rng.Intn(2) == 0
-			prio := rng.Intn(prios)
-			h := req(wire.OpAcquire, 1, txn, wire.Shared)
-			if excl {
-				h.Mode = wire.Exclusive
-			}
-			h.Priority = uint8(prio)
-			emits, _ := sw.ProcessPacket(h)
-			got := grantsOf(emits)
-			want := ref.acquire(txn, excl, prio)
-			if got[txn] != want {
-				t.Fatalf("op %d (seed %d): acquire txn %d excl=%v prio=%d: switch granted=%v oracle=%v",
-					i, seed, txn, excl, prio, got[txn], want)
-			}
-			outstanding++
-		} else {
-			// Release a queue head that the oracle says is granted.
-			prio, ok := ref.oldestGrantedPrio(rng)
-			if !ok {
-				continue
-			}
-			h := req(wire.OpRelease, 1, 0, wire.Shared)
-			h.Priority = uint8(prio)
-			emits, _ := sw.ProcessPacket(h)
-			got := grantsOf(emits)
-			want := map[uint64]bool{}
-			for _, txn := range ref.release(prio) {
-				want[txn] = true
-			}
-			if len(got) != len(want) {
-				t.Fatalf("op %d (seed %d): release prio %d: switch granted %v, oracle %v",
-					i, seed, prio, got, want)
-			}
-			for txn := range want {
-				if !got[txn] {
-					t.Fatalf("op %d (seed %d): release prio %d: switch granted %v, oracle %v",
-						i, seed, prio, got, want)
-				}
-			}
-			outstanding--
-		}
-	}
-	// Final state agreement.
-	st, err := sw.CtrlLockState(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if int(st.Held) != ref.held || st.HeldExcl != ref.heldX {
-		t.Fatalf("seed %d: final hold state: switch (%d,%v) oracle (%d,%v)",
-			seed, st.Held, st.HeldExcl, ref.held, ref.heldX)
-	}
-	for p := 0; p < prios; p++ {
-		if int(st.Banks[p].Count) != len(ref.queues[p]) {
-			t.Fatalf("seed %d: bank %d count: switch %d oracle %d",
-				seed, p, st.Banks[p].Count, len(ref.queues[p]))
-		}
-	}
+	h.Run(t)
 }
 
-func TestOracleSinglePriority(t *testing.T) {
-	for seed := int64(0); seed < 30; seed++ {
-		runOracle(t, 1, seed, 2000)
-	}
-}
+func TestOracleSinglePriority(t *testing.T) { runOracle(t, 1) }
 
-func TestOracleTwoPriorities(t *testing.T) {
-	for seed := int64(100); seed < 130; seed++ {
-		runOracle(t, 2, seed, 2000)
-	}
-}
+func TestOracleTwoPriorities(t *testing.T) { runOracle(t, 2) }
 
-func TestOracleFourPriorities(t *testing.T) {
-	for seed := int64(200); seed < 220; seed++ {
-		runOracle(t, 4, seed, 2000)
-	}
-}
+func TestOracleFourPriorities(t *testing.T) { runOracle(t, 4) }

@@ -15,7 +15,7 @@
 //
 //	stage 0: ovf[b], left[b], right[b]   — overflow-mode bit, region bounds
 //	stage 1: count[b]                    — occupancy, conditional inc/dec
-//	stage 2: excl[b], cmax               — exclusive-entry count, contention gauge
+//	stage 2: excl[b], wait[b], cmax      — exclusive/waiting counts, contention gauge
 //	stage 3: hold                        — packed (grantee count, excl-holder bit)
 //	stage 4: head[b]
 //	stage 5: tail[b]
@@ -23,8 +23,15 @@
 //
 // Priority 0 is the highest. The grant rule generalizes Algorithm 2 as §4.4
 // describes: a shared request is granted immediately iff no exclusive
-// request holds the lock or waits in a same-or-higher-priority queue; with a
-// single bank this reduces exactly to Algorithm 2.
+// request holds the lock or waits in a same-or-higher-priority queue, AND
+// its own bank holds no waiting (never-granted) entry. The second condition
+// is implied in Algorithm 2's single queue (a waiting shared always sits
+// behind an exclusive there) but not with priority banks: without it a
+// shared request can be granted behind a waiter in its own bank, and the
+// head-dequeue release protocol then desynchronizes from the granted set —
+// the waiter's slot is consumed by the holder's release (the waiter is lost)
+// and the walk re-grants the holder's slot (a duplicate grant). The wait[b]
+// counter keeps grants a FIFO prefix of every bank.
 package switchdp
 
 import (
@@ -178,7 +185,7 @@ func New(cfg Config) *Switch {
 	need := make([]int, 12)
 	need[0] = P * 3 * cfg.MaxLocks // left, right, ovf
 	need[1] = P * cfg.MaxLocks     // count
-	need[2] = P*cfg.MaxLocks + cfg.MaxLocks
+	need[2] = 2*P*cfg.MaxLocks + cfg.MaxLocks // excl, wait, cmax
 	need[3] = cfg.MaxLocks
 	need[4] = P * cfg.MaxLocks
 	need[5] = P * cfg.MaxLocks
@@ -223,7 +230,7 @@ func New(cfg Config) *Switch {
 		sw.banks = append(sw.banks, sharedqueue.New(pipe, sharedqueue.Config{
 			Name:      fmt.Sprintf("bank%d", b),
 			MaxQueues: cfg.MaxLocks,
-			Meta:      sharedqueue.MetaStages{Bounds: 0, Count: 1, Excl: 2, Head: 4, Tail: 5},
+			Meta:      sharedqueue.MetaStages{Bounds: 0, Count: 1, Excl: 2, Wait: 2, Head: 4, Tail: 5},
 			Slots:     specs,
 		}))
 		sw.ovf = append(sw.ovf, pipe.AllocArray(fmt.Sprintf("bank%d.ovf", b), 0, cfg.MaxLocks))
@@ -348,17 +355,26 @@ func (sw *Switch) grantQueuedSlot(lockID uint32, bank int, s sharedqueue.Slot) {
 }
 
 // acquireProg is the data-plane program for OpAcquire and OpPush packets.
-// Pass 0 performs the enqueue and immediate-grant decision; a second pass is
-// used only to latch the overflow-mode bit when the region is full.
+// Pass 0 performs the enqueue and immediate-grant decision; a second pass
+// latches the overflow-mode bit when the region is full, or increments the
+// bank's waiting counter when the request was enqueued without a grant (the
+// wait register was already read this pass to feed the grant decision, so
+// the increment needs its own crossing).
 func (sw *Switch) acquireProg(h *wire.Header, qi int, isPush bool) p4sim.Program {
 	b := sw.bankFor(h.Priority)
 	q := sw.banks[b]
 	type acqMeta struct {
-		setOvf bool
+		setOvf  bool
+		incWait bool
 	}
 	var m acqMeta
 	finalPush := isPush && h.Flags&wire.FlagOverflow != 0
 	return func(c *p4sim.Ctx) {
+		if m.incWait {
+			// Second pass: the request is queued waiting.
+			q.IncWait(c, qi)
+			return
+		}
 		if m.setOvf {
 			// Second pass: latch overflow mode for this (lock, bank). A
 			// full push (bounced or racing the clear) takes the same path:
@@ -414,6 +430,7 @@ func (sw *Switch) acquireProg(h *wire.Header, qi int, isPush bool) p4sim.Program
 		} else {
 			nexclSameOrHigher += q.ReadExcl(c, qi)
 		}
+		nwait := q.ReadWait(c, qi)
 		sw.cmax.ReadModifyWrite(c, qi, func(old uint64) uint64 {
 			if oldCount+1 > old {
 				return oldCount + 1
@@ -439,7 +456,7 @@ func (sw *Switch) acquireProg(h *wire.Header, qi int, isPush bool) p4sim.Program
 					return 1 | holdExclBit
 				}
 				return 1
-			case !heldExcl && !excl && nexclSameOrHigher == 0:
+			case !heldExcl && !excl && nexclSameOrHigher == 0 && nwait == 0:
 				granted = true
 				return old + 1
 			default:
@@ -453,6 +470,7 @@ func (sw *Switch) acquireProg(h *wire.Header, qi int, isPush bool) p4sim.Program
 		slot := sharedqueue.Slot{
 			Exclusive: excl,
 			OneRTT:    h.Flags&wire.FlagOneRTT != 0,
+			Granted:   granted,
 			Tenant:    h.TenantID,
 			Priority:  uint8(b),
 			ClientIP:  u32FromIP(h),
@@ -474,6 +492,8 @@ func (sw *Switch) acquireProg(h *wire.Header, qi int, isPush bool) p4sim.Program
 			}
 		} else {
 			sw.stats.Queued++
+			m.incWait = true
+			c.Resubmit()
 		}
 	}
 }
@@ -569,7 +589,7 @@ func (sw *Switch) releaseProg(h *wire.Header, qi int) p4sim.Program {
 			gq := sw.banks[grantBank]
 			gl, gr := lefts[grantBank], rights[grantBank]
 			head := gq.ReadHead(c, qi)
-			s := gq.ReadSlot(c, sharedqueue.SlotIndex(gl, gr-gl, head))
+			s := gq.ReadSlotMarkGranted(c, sharedqueue.SlotIndex(gl, gr-gl, head), false)
 			m.grantBank = grantBank
 			m.left, m.cap = gl, gr-gl
 			m.ptr, m.end = head, head+counts[grantBank]
@@ -584,18 +604,22 @@ func (sw *Switch) releaseProg(h *wire.Header, qi int) p4sim.Program {
 			m.phase = 2
 			c.Resubmit()
 		default:
-			// Walk pass: latch the previous grant into hold, then continue
-			// the shared run if it extends.
+			// Walk pass: account the previous pass's grant (waiting counter
+			// at stage 2, hold at stage 3), then continue the shared run if
+			// it extends.
 			inc := m.pendingInc
 			m.pendingInc = 0
+			gq := sw.banks[m.grantBank]
+			if inc != 0 {
+				gq.DecWait(c, qi)
+			}
 			sw.hold.ReadModifyWrite(c, qi, func(old uint64) uint64 {
 				return old + inc
 			})
 			if m.lastWasX || m.ptr >= m.end {
 				return
 			}
-			gq := sw.banks[m.grantBank]
-			s := gq.ReadSlot(c, sharedqueue.SlotIndex(m.left, m.cap, m.ptr))
+			s := gq.ReadSlotMarkGranted(c, sharedqueue.SlotIndex(m.left, m.cap, m.ptr), true)
 			if s.Exclusive {
 				return // run of shared requests ended
 			}

@@ -3,13 +3,19 @@ package wire
 import (
 	"math/rand"
 	"testing"
+
+	"netlock/internal/check"
 )
 
 // Randomized decode robustness: arbitrary byte buffers must never panic,
 // and every successfully decoded header must re-encode losslessly (decode
-// is a retraction of encode).
+// is a retraction of encode). Replay a failure with -netlock.seed=N.
 func TestDecodeRandomBytesNeverPanics(t *testing.T) {
-	rng := rand.New(rand.NewSource(99))
+	seed := int64(99)
+	if s, ok := check.ReplaySeed(); ok {
+		seed = s
+	}
+	rng := rand.New(rand.NewSource(seed))
 	var h Header
 	decoded := 0
 	for i := 0; i < 200_000; i++ {
@@ -22,10 +28,10 @@ func TestDecodeRandomBytesNeverPanics(t *testing.T) {
 		decoded++
 		var h2 Header
 		if err := h2.DecodeFromBytes(h.Marshal()); err != nil {
-			t.Fatalf("re-decode failed: %v", err)
+			t.Fatalf("re-decode failed: %v (reproduce with %s)", err, check.ReplayArgs(seed))
 		}
 		if h2 != h {
-			t.Fatalf("decode/encode not lossless:\n %v\n %v", &h, &h2)
+			t.Fatalf("decode/encode not lossless:\n %v\n %v\n(reproduce with %s)", &h, &h2, check.ReplayArgs(seed))
 		}
 	}
 	if decoded == 0 {

@@ -1,0 +1,82 @@
+//go:build ignore
+
+// Generates the seed corpus for FuzzHeaderDecode under
+// testdata/fuzz/FuzzHeaderDecode: one well-formed header per opcode, edge
+// values (TxnNone, max IDs, all flags), and malformed variants (bad
+// version, bad op, truncations). Run via `go generate ./internal/wire`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"netlock/internal/wire"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzHeaderDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	base := wire.Header{
+		Mode:     wire.Exclusive,
+		LockID:   0xDEADBEEF,
+		TxnID:    0x0123456789ABCDEF,
+		ClientIP: netip.AddrFrom4([4]byte{10, 0, 1, 42}),
+		TenantID: 7,
+		Priority: 3,
+		LeaseNs:  123456789,
+	}
+	entries := map[string][]byte{}
+	for _, op := range []wire.Op{
+		wire.OpAcquire, wire.OpRelease, wire.OpGrant, wire.OpReject,
+		wire.OpPushNotify, wire.OpPush, wire.OpFetch,
+	} {
+		h := base
+		h.Op = op
+		entries["op-"+op.String()] = h.Marshal()
+	}
+	ctrl := base
+	ctrl.Op = wire.OpPush
+	ctrl.TxnID = wire.TxnNone
+	ctrl.Flags = wire.FlagOverflow
+	entries["push-control-clear"] = ctrl.Marshal()
+
+	flagged := base
+	flagged.Op = wire.OpAcquire
+	flagged.Flags = wire.FlagOverflow | wire.FlagOneRTT | wire.FlagResubmit | wire.FlagBounced
+	entries["all-flags"] = flagged.Marshal()
+
+	maxed := base
+	maxed.Op = wire.OpAcquire
+	maxed.LockID = ^uint32(0)
+	maxed.TxnID = ^uint64(0)
+	maxed.Priority = 255
+	maxed.LeaseNs = 1<<63 - 1
+	entries["max-values"] = maxed.Marshal()
+
+	badVersion := base
+	badVersion.Op = wire.OpAcquire
+	b := badVersion.Marshal()
+	b[0] = 0xFF
+	entries["bad-version"] = b
+
+	badOp := append([]byte(nil), entries["op-acquire"]...)
+	badOp[1] = 0xEE
+	entries["bad-op"] = badOp
+
+	entries["truncated"] = entries["op-acquire"][:wire.HeaderLen/2]
+	entries["empty"] = nil
+
+	for name, buf := range entries {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(buf)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d corpus entries to %s\n", len(entries), dir)
+}

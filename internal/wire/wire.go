@@ -19,6 +19,8 @@ import (
 	"net/netip"
 )
 
+//go:generate go run gen_corpus.go
+
 // Port is the UDP destination port reserved for NetLock traffic. The
 // switch's match-action parser classifies packets by this port; everything
 // else is routed untouched (§3.2).
