@@ -1,0 +1,59 @@
+package netlock
+
+import (
+	"context"
+	"testing"
+)
+
+// The embedded hot path must be allocation-free at steady state: once a
+// lock is switch-resident and the pools are warm, an uncontended
+// acquire+release pair performs zero heap allocations. This is the
+// regression gate for the pooled grants, pooled waiter channels, reusable
+// emit stacks, and the closure-free data-plane programs underneath.
+func TestSteadyStateAcquireReleaseAllocFree(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(map[int]string{1: "1shard", 4: "4shard"}[shards], func(t *testing.T) {
+			lm := New(Config{Servers: 1, Shards: shards})
+			defer lm.Close()
+			ctx := context.Background()
+
+			// Warm: make lock 1 hot so placement installs it in the
+			// switch, then cycle enough to fill every pool and grow the
+			// emit scratch stacks to their steady size.
+			for i := 0; i < 100; i++ {
+				g, err := lm.Acquire(ctx, 1, Exclusive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g.Release()
+			}
+			lm.PlacementTick(1)
+			if st := lm.Stats(); st.SwitchResidentLocks == 0 {
+				t.Fatal("warmup did not make the lock switch-resident")
+			}
+			for i := 0; i < 100; i++ {
+				g, err := lm.Acquire(ctx, 1, Exclusive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g.Release()
+			}
+
+			var acqErr error
+			allocs := testing.AllocsPerRun(500, func() {
+				g, err := lm.Acquire(ctx, 1, Exclusive)
+				if err != nil {
+					acqErr = err
+					return
+				}
+				g.Release()
+			})
+			if acqErr != nil {
+				t.Fatal(acqErr)
+			}
+			if allocs != 0 {
+				t.Fatalf("steady-state acquire+release allocates %v allocs/op, want 0", allocs)
+			}
+		})
+	}
+}

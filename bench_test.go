@@ -14,6 +14,7 @@ package netlock
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 
 	"netlock/internal/harness"
@@ -179,6 +180,7 @@ func BenchmarkEmbeddedAcquireRelease(b *testing.B) {
 		g.Release()
 	}
 	lm.PlacementTick(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g, err := lm.Acquire(ctx, 1, Exclusive)
@@ -187,4 +189,68 @@ func BenchmarkEmbeddedAcquireRelease(b *testing.B) {
 		}
 		g.Release()
 	}
+}
+
+// BenchmarkEmbeddedAcquireReleaseParallel measures the sharded hot path
+// under b.RunParallel. "disjoint" gives each worker its own lock (locks
+// land on different shards, so the sharded variants should scale with
+// cores); "contended" funnels every worker through one exclusive lock.
+// The 1shard variants pin Config.Shards to 1 and are the single-mutex
+// baseline the sharded numbers are compared against (see scripts/bench.sh
+// and BENCH_embedded.json).
+func BenchmarkEmbeddedAcquireReleaseParallel(b *testing.B) {
+	b.Run("disjoint/1shard", func(b *testing.B) { benchEmbeddedParallel(b, 1, true) })
+	b.Run("disjoint/sharded", func(b *testing.B) { benchEmbeddedParallel(b, 0, true) })
+	b.Run("contended/1shard", func(b *testing.B) { benchEmbeddedParallel(b, 1, false) })
+	b.Run("contended/sharded", func(b *testing.B) { benchEmbeddedParallel(b, 0, false) })
+}
+
+// benchEmbeddedParallel runs acquire/release pairs from GOMAXPROCS workers.
+// shards == 0 uses the Config default (GOMAXPROCS shards).
+func benchEmbeddedParallel(b *testing.B, shards int, disjoint bool) {
+	cfg := Config{Servers: 1}
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	lm := New(cfg)
+	defer lm.Close()
+	ctx := context.Background()
+
+	// One lock per potential worker for the disjoint case; workers pick
+	// distinct locks, which the manager spreads round-robin over shards.
+	nLocks := 1
+	if disjoint {
+		nLocks = 2 * lm.Shards()
+		if nLocks < 8 {
+			nLocks = 8
+		}
+	}
+	for l := 1; l <= nLocks; l++ {
+		for i := 0; i < 100; i++ {
+			g, err := lm.Acquire(ctx, uint32(l), Exclusive)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Release()
+		}
+	}
+	lm.PlacementTick(1)
+
+	var next atomic.Uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		lock := uint32(1)
+		if disjoint {
+			lock = (next.Add(1)-1)%uint32(nLocks) + 1
+		}
+		for pb.Next() {
+			g, err := lm.Acquire(ctx, lock, Exclusive)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			g.Release()
+		}
+	})
 }

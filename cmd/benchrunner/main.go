@@ -5,6 +5,7 @@
 //	benchrunner            # full-scale run of every figure
 //	benchrunner -quick     # CI-scale run
 //	benchrunner -fig 10    # a single figure
+//	benchrunner -embedded  # embedded hot-path benches -> BENCH_embedded.json
 package main
 
 import (
@@ -21,7 +22,17 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced windows and sweep densities")
 	fig := flag.String("fig", "all", "figure to run: 8a,8b,8cd,9,10,11,12a,12b,13a,13b,14a,14b,15,calib or all")
 	seed := flag.Int64("seed", 1, "testbed seed")
+	embedded := flag.Bool("embedded", false, "benchmark the embedded hot path and emit a JSON report instead of running figures")
+	out := flag.String("out", "BENCH_embedded.json", "output path for -embedded ('-' for stdout)")
 	flag.Parse()
+
+	if *embedded {
+		if err := runEmbedded(*out, *quick, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	o := harness.Options{Quick: *quick, Out: os.Stdout, Seed: *seed}
 	figs := map[string]func(){

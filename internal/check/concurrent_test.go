@@ -1,0 +1,64 @@
+package check
+
+import (
+	"sync"
+	"testing"
+)
+
+// rwSystem is a trivially correct lock manager: one RWMutex per lock.
+type rwSystem struct {
+	mu    sync.Mutex
+	locks map[uint32]*sync.RWMutex
+}
+
+func (s *rwSystem) get(lock uint32) *sync.RWMutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.locks == nil {
+		s.locks = make(map[uint32]*sync.RWMutex)
+	}
+	l, ok := s.locks[lock]
+	if !ok {
+		l = new(sync.RWMutex)
+		s.locks[lock] = l
+	}
+	return l
+}
+
+func (s *rwSystem) Acquire(lock uint32, excl bool, _ uint8) (func(), error) {
+	l := s.get(lock)
+	if excl {
+		l.Lock()
+		return l.Unlock, nil
+	}
+	l.RLock()
+	return l.RUnlock, nil
+}
+
+// brokenSystem grants every request immediately: no mutual exclusion at all.
+type brokenSystem struct{}
+
+func (brokenSystem) Acquire(uint32, bool, uint8) (func(), error) { return func() {}, nil }
+
+// A correct implementation must come out clean.
+func TestConcurrentDriverPassesCorrectSystem(t *testing.T) {
+	for _, seed := range SeedsN(3) {
+		RunConcurrent(t, &rwSystem{}, DefaultConcurrentCfg(), seed)
+	}
+}
+
+// The driver must actually detect violations: a system with no locking at
+// all has to produce overlapping exclusive holds under contention.
+func TestConcurrentDriverCatchesBrokenSystem(t *testing.T) {
+	total := 0
+	for _, seed := range SeedsN(3) {
+		violations, err := ConcurrentViolations(brokenSystem{}, DefaultConcurrentCfg(), seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		total += len(violations)
+	}
+	if total == 0 {
+		t.Fatal("no-op lock system produced zero mutual-exclusion violations; the concurrent driver is blind")
+	}
+}

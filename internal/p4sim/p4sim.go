@@ -54,6 +54,10 @@ type Pipeline struct {
 	pass      uint64
 	passes    uint64 // total passes processed (for resubmit accounting)
 	packets   uint64 // total packets processed
+	// ctx is the reusable per-pass context: a pipeline processes one packet
+	// at a time, so Process can recycle a single Ctx instead of allocating
+	// one per pass (the data-plane hot path must not allocate).
+	ctx Ctx
 }
 
 // NewPipeline creates a pipeline with the given resources.
@@ -210,10 +214,10 @@ func (p *Pipeline) Process(prog Program) int {
 	for {
 		p.pass++
 		p.passes++
-		c := &Ctx{pipe: p, passIndex: passes}
-		prog(c)
+		p.ctx = Ctx{pipe: p, passIndex: passes}
+		prog(&p.ctx)
 		passes++
-		if !c.resubmit {
+		if !p.ctx.resubmit {
 			return passes
 		}
 		if passes > p.cfg.MaxResubmits {

@@ -142,6 +142,42 @@ type Switch struct {
 
 	emits []Emit
 	stats Stats
+
+	// Per-packet program state, reused across packets so the hot path never
+	// allocates: the pipeline processes one packet at a time, and the
+	// programs are bound once as method values in New (a per-packet closure
+	// would heap-allocate its captures on every request).
+	acq     acqPacket
+	rel     relPacket
+	acqProg p4sim.Program
+	relProg p4sim.Program
+}
+
+// acqPacket is the PHV metadata of an OpAcquire/OpPush traversal, carried
+// across resubmit passes.
+type acqPacket struct {
+	hdr       wire.Header
+	qi        int
+	bank      int
+	isPush    bool
+	finalPush bool
+	setOvf    bool
+	incWait   bool
+}
+
+// relPacket is the PHV metadata of an OpRelease traversal.
+type relPacket struct {
+	hdr          wire.Header
+	qi           int
+	bank         int
+	phase        int
+	releasedExcl bool
+	// walk state
+	grantBank  int
+	left, cap  uint64
+	ptr, end   uint64
+	pendingInc uint64 // hold adjustment latched for the next pass
+	lastWasX   bool
 }
 
 // Stats counts processed packets by disposition, for the experiment
@@ -238,6 +274,8 @@ func New(cfg Config) *Switch {
 	for i := cfg.MaxLocks - 1; i >= 0; i-- {
 		sw.freeIdx = append(sw.freeIdx, i)
 	}
+	sw.acqProg = sw.acqPass
+	sw.relProg = sw.relPass
 	return sw
 }
 
@@ -287,7 +325,8 @@ func (sw *Switch) ProcessPacket(h *wire.Header) ([]Emit, int) {
 			return sw.emits, 0
 		}
 		sw.reqCounter.Inc(qi, 1)
-		passes := sw.pipe.Process(sw.acquireProg(h, qi, false))
+		sw.acq = acqPacket{hdr: *h, qi: qi, bank: sw.bankFor(h.Priority)}
+		passes := sw.pipe.Process(sw.acqProg)
 		return sw.emits, passes
 	case wire.OpPush:
 		sw.stats.Pushes++
@@ -303,7 +342,12 @@ func (sw *Switch) ProcessPacket(h *wire.Header) ([]Emit, int) {
 			sw.emit(ActForward, fwd)
 			return sw.emits, 0
 		}
-		passes := sw.pipe.Process(sw.acquireProg(h, qi, true))
+		sw.acq = acqPacket{
+			hdr: *h, qi: qi, bank: sw.bankFor(h.Priority),
+			isPush:    true,
+			finalPush: h.Flags&wire.FlagOverflow != 0,
+		}
+		passes := sw.pipe.Process(sw.acqProg)
 		return sw.emits, passes
 	case wire.OpRelease:
 		sw.stats.Releases++
@@ -314,7 +358,8 @@ func (sw *Switch) ProcessPacket(h *wire.Header) ([]Emit, int) {
 			sw.emit(ActForward, *h)
 			return sw.emits, 0
 		}
-		passes := sw.pipe.Process(sw.releaseProg(h, qi))
+		sw.rel = relPacket{hdr: *h, qi: qi, bank: sw.bankFor(h.Priority)}
+		passes := sw.pipe.Process(sw.relProg)
 		return sw.emits, passes
 	default:
 		// Non-request NetLock packets (grants in flight, etc.) are routed,
@@ -354,280 +399,263 @@ func (sw *Switch) grantQueuedSlot(lockID uint32, bank int, s sharedqueue.Slot) {
 	sw.emit(ActGrant, h)
 }
 
-// acquireProg is the data-plane program for OpAcquire and OpPush packets.
-// Pass 0 performs the enqueue and immediate-grant decision; a second pass
-// latches the overflow-mode bit when the region is full, or increments the
-// bank's waiting counter when the request was enqueued without a grant (the
-// wait register was already read this pass to feed the grant decision, so
-// the increment needs its own crossing).
-func (sw *Switch) acquireProg(h *wire.Header, qi int, isPush bool) p4sim.Program {
-	b := sw.bankFor(h.Priority)
+// acqPass is the data-plane program for OpAcquire and OpPush packets,
+// operating on the sw.acq state set up by ProcessPacket. Pass 0 performs the
+// enqueue and immediate-grant decision; a second pass latches the
+// overflow-mode bit when the region is full, or increments the bank's
+// waiting counter when the request was enqueued without a grant (the wait
+// register was already read this pass to feed the grant decision, so the
+// increment needs its own crossing).
+func (sw *Switch) acqPass(c *p4sim.Ctx) {
+	m := &sw.acq
+	h := &m.hdr
+	qi, b := m.qi, m.bank
 	q := sw.banks[b]
-	type acqMeta struct {
-		setOvf  bool
-		incWait bool
+	if m.incWait {
+		// Second pass: the request is queued waiting.
+		q.IncWait(c, qi)
+		return
 	}
-	var m acqMeta
-	finalPush := isPush && h.Flags&wire.FlagOverflow != 0
-	return func(c *p4sim.Ctx) {
-		if m.incWait {
-			// Second pass: the request is queued waiting.
-			q.IncWait(c, qi)
-			return
-		}
-		if m.setOvf {
-			// Second pass: latch overflow mode for this (lock, bank). A
-			// full push (bounced or racing the clear) takes the same path:
-			// the request returns to the server overflow-marked and the
-			// server buffers it again.
-			sw.ovf[b].Write(c, qi, 1)
-			sw.stats.Overflows++
-			fwd := *h
-			fwd.Op = wire.OpAcquire
-			fwd.Flags |= wire.FlagOverflow
-			sw.emit(ActForwardOverflow, fwd)
-			return
-		}
+	if m.setOvf {
+		// Second pass: latch overflow mode for this (lock, bank). A
+		// full push (bounced or racing the clear) takes the same path:
+		// the request returns to the server overflow-marked and the
+		// server buffers it again.
+		sw.ovf[b].Write(c, qi, 1)
+		sw.stats.Overflows++
+		fwd := *h
+		fwd.Op = wire.OpAcquire
+		fwd.Flags |= wire.FlagOverflow
+		sw.emit(ActForwardOverflow, fwd)
+		return
+	}
 
-		// Stage 0: overflow gate and region bounds.
-		var ovf uint64
-		if finalPush {
-			// The server drained q2; this push also clears overflow mode.
-			sw.ovf[b].Write(c, qi, 0)
-			if h.TxnID == wire.TxnNone {
-				return // pure clear-overflow control message
+	// Stage 0: overflow gate and region bounds.
+	var ovf uint64
+	if m.finalPush {
+		// The server drained q2; this push also clears overflow mode.
+		sw.ovf[b].Write(c, qi, 0)
+		if h.TxnID == wire.TxnNone {
+			return // pure clear-overflow control message
+		}
+	} else {
+		ovf = sw.ovf[b].Read(c, qi)
+	}
+	if ovf != 0 && !m.isPush {
+		// Overflow mode: preserve FIFO by buffering at the server.
+		sw.stats.Overflows++
+		fwd := *h
+		fwd.Flags |= wire.FlagOverflow
+		sw.emit(ActForwardOverflow, fwd)
+		return
+	}
+	left, right := q.Bounds(c, qi)
+
+	// Stage 1: claim a slot if the region has space.
+	oldCount, won := q.CondIncCount(c, qi, right-left)
+	if !won {
+		m.setOvf = true
+		c.Resubmit()
+		return
+	}
+
+	// Stage 2: exclusive counters — RMW our bank, read higher banks —
+	// and the contention gauge.
+	excl := h.Mode == wire.Exclusive
+	var nexclSameOrHigher uint64
+	for hb := 0; hb < b; hb++ {
+		nexclSameOrHigher += sw.banks[hb].ReadExcl(c, qi)
+	}
+	if excl {
+		nexclSameOrHigher += q.IncExcl(c, qi)
+	} else {
+		nexclSameOrHigher += q.ReadExcl(c, qi)
+	}
+	nwait := q.ReadWait(c, qi)
+	sw.cmax.ReadModifyWrite(c, qi, func(old uint64) uint64 {
+		if oldCount+1 > old {
+			return oldCount + 1
+		}
+		return old
+	})
+
+	// Stage 3: grant decision on the packed hold register.
+	lease := h.LeaseNs
+	if lease == 0 && sw.cfg.DefaultLeaseNs != 0 {
+		lease = sw.cfg.Now() + sw.cfg.DefaultLeaseNs
+	} else if lease != 0 {
+		lease = sw.cfg.Now() + lease
+	}
+	granted := false
+	sw.hold.ReadModifyWrite(c, qi, func(old uint64) uint64 {
+		heldCnt := old & holdCountMask
+		heldExcl := old&holdExclBit != 0
+		switch {
+		case heldCnt == 0:
+			granted = true
+			if excl {
+				return 1 | holdExclBit
 			}
-		} else {
-			ovf = sw.ovf[b].Read(c, qi)
-		}
-		if ovf != 0 && !isPush {
-			// Overflow mode: preserve FIFO by buffering at the server.
-			sw.stats.Overflows++
-			fwd := *h
-			fwd.Flags |= wire.FlagOverflow
-			sw.emit(ActForwardOverflow, fwd)
-			return
-		}
-		left, right := q.Bounds(c, qi)
-
-		// Stage 1: claim a slot if the region has space.
-		oldCount, won := q.CondIncCount(c, qi, right-left)
-		if !won {
-			m.setOvf = true
-			c.Resubmit()
-			return
-		}
-
-		// Stage 2: exclusive counters — RMW our bank, read higher banks —
-		// and the contention gauge.
-		excl := h.Mode == wire.Exclusive
-		var nexclSameOrHigher uint64
-		for hb := 0; hb < b; hb++ {
-			nexclSameOrHigher += sw.banks[hb].ReadExcl(c, qi)
-		}
-		if excl {
-			nexclSameOrHigher += q.IncExcl(c, qi)
-		} else {
-			nexclSameOrHigher += q.ReadExcl(c, qi)
-		}
-		nwait := q.ReadWait(c, qi)
-		sw.cmax.ReadModifyWrite(c, qi, func(old uint64) uint64 {
-			if oldCount+1 > old {
-				return oldCount + 1
-			}
+			return 1
+		case !heldExcl && !excl && nexclSameOrHigher == 0 && nwait == 0:
+			granted = true
+			return old + 1
+		default:
 			return old
-		})
-
-		// Stage 3: grant decision on the packed hold register.
-		lease := h.LeaseNs
-		if lease == 0 && sw.cfg.DefaultLeaseNs != 0 {
-			lease = sw.cfg.Now() + sw.cfg.DefaultLeaseNs
-		} else if lease != 0 {
-			lease = sw.cfg.Now() + lease
 		}
-		granted := false
-		sw.hold.ReadModifyWrite(c, qi, func(old uint64) uint64 {
-			heldCnt := old & holdCountMask
-			heldExcl := old&holdExclBit != 0
-			switch {
-			case heldCnt == 0:
-				granted = true
-				if excl {
-					return 1 | holdExclBit
-				}
-				return 1
-			case !heldExcl && !excl && nexclSameOrHigher == 0 && nwait == 0:
-				granted = true
-				return old + 1
-			default:
-				return old
-			}
-		})
+	})
 
-		// Stages 4–5: advance tail; stages 6+: store the slot. The entry
-		// stays queued until its release even when granted immediately.
-		ctr := q.IncTail(c, qi)
-		slot := sharedqueue.Slot{
-			Exclusive: excl,
-			OneRTT:    h.Flags&wire.FlagOneRTT != 0,
-			Granted:   granted,
-			Tenant:    h.TenantID,
-			Priority:  uint8(b),
-			ClientIP:  u32FromIP(h),
-			TxnID:     h.TxnID,
-			LeaseNs:   lease,
-		}
-		q.WriteSlot(c, sharedqueue.SlotIndex(left, right-left, ctr), slot)
+	// Stages 4–5: advance tail; stages 6+: store the slot. The entry
+	// stays queued until its release even when granted immediately.
+	ctr := q.IncTail(c, qi)
+	slot := sharedqueue.Slot{
+		Exclusive: excl,
+		OneRTT:    h.Flags&wire.FlagOneRTT != 0,
+		Granted:   granted,
+		Tenant:    h.TenantID,
+		Priority:  uint8(b),
+		ClientIP:  u32FromIP(h),
+		TxnID:     h.TxnID,
+		LeaseNs:   lease,
+	}
+	q.WriteSlot(c, sharedqueue.SlotIndex(left, right-left, ctr), slot)
 
-		if granted {
-			sw.stats.GrantsImmediate++
-			g := *h
-			g.LeaseNs = lease
-			if slot.OneRTT {
-				g.Op = wire.OpFetch
-				sw.emit(ActFetch, g)
-			} else {
-				g.Op = wire.OpGrant
-				sw.emit(ActGrant, g)
-			}
+	if granted {
+		sw.stats.GrantsImmediate++
+		g := *h
+		g.LeaseNs = lease
+		if slot.OneRTT {
+			g.Op = wire.OpFetch
+			sw.emit(ActFetch, g)
 		} else {
-			sw.stats.Queued++
-			m.incWait = true
-			c.Resubmit()
+			g.Op = wire.OpGrant
+			sw.emit(ActGrant, g)
 		}
+	} else {
+		sw.stats.Queued++
+		m.incWait = true
+		c.Resubmit()
 	}
 }
 
-// releaseProg is the data-plane program for OpRelease packets, covering the
-// four cases of Figure 6 via resubmit:
+// relPass is the data-plane program for OpRelease packets, operating on the
+// sw.rel state set up by ProcessPacket and covering the four cases of
+// Figure 6 via resubmit:
 //
 //	pass 0: dequeue the head of the releasing request's bank, learn its mode
 //	pass 1: update hold; if the lock became free, locate the
 //	        highest-priority non-empty bank and grant its head (start of the
 //	        shared run if the head is shared)
 //	pass 2+: continue granting the run of shared requests, one per pass
-func (sw *Switch) releaseProg(h *wire.Header, qi int) p4sim.Program {
-	p := sw.bankFor(h.Priority)
-	type relMeta struct {
-		phase        int
-		deqOK        bool
-		releasedExcl bool
-		// walk state
-		grantBank  int
-		left, cap  uint64
-		ptr, end   uint64
-		pendingInc uint64 // hold adjustment latched for the next pass
-		lastWasX   bool
-	}
-	var m relMeta
-	return func(c *p4sim.Ctx) {
-		switch m.phase {
-		case 0:
-			// Dequeue the head of bank p. The switch does not match the
-			// transaction ID: only the head can be released, and shared
-			// releases are commutative (§4.2).
-			q := sw.banks[p]
-			l, r := q.Bounds(c, qi)
-			_, ok := q.CondDecCount(c, qi)
-			if !ok {
-				// Spurious release (duplicate, or raced with a reset).
-				return
+func (sw *Switch) relPass(c *p4sim.Ctx) {
+	m := &sw.rel
+	h := &m.hdr
+	qi, p := m.qi, m.bank
+	switch m.phase {
+	case 0:
+		// Dequeue the head of bank p. The switch does not match the
+		// transaction ID: only the head can be released, and shared
+		// releases are commutative (§4.2).
+		q := sw.banks[p]
+		l, r := q.Bounds(c, qi)
+		_, ok := q.CondDecCount(c, qi)
+		if !ok {
+			// Spurious release (duplicate, or raced with a reset).
+			return
+		}
+		ctr := q.IncHead(c, qi)
+		s := q.ReadSlot(c, sharedqueue.SlotIndex(l, r-l, ctr))
+		m.releasedExcl = s.Exclusive
+		m.phase = 1
+		c.Resubmit()
+	case 1:
+		// Learn the remaining queue population, adjust hold, and start
+		// the grant walk if the lock became free. All stage-0 bounds
+		// are read up front (parallel arrays, one access each).
+		ovf := sw.ovf[p].Read(c, qi)
+		var lefts, rights [8]uint64
+		for b := range sw.banks {
+			lefts[b], rights[b] = sw.banks[b].Bounds(c, qi)
+		}
+		var counts [8]uint64
+		grantBank := -1
+		for b := range sw.banks {
+			counts[b] = sw.banks[b].ReadCount(c, qi)
+			if counts[b] > 0 && grantBank < 0 {
+				grantBank = b
 			}
-			ctr := q.IncHead(c, qi)
-			s := q.ReadSlot(c, sharedqueue.SlotIndex(l, r-l, ctr))
-			m.deqOK = true
-			m.releasedExcl = s.Exclusive
-			m.phase = 1
-			c.Resubmit()
-		case 1:
-			// Learn the remaining queue population, adjust hold, and start
-			// the grant walk if the lock became free. All stage-0 bounds
-			// are read up front (parallel arrays, one access each).
-			ovf := sw.ovf[p].Read(c, qi)
-			var lefts, rights [8]uint64
-			for b := range sw.banks {
-				lefts[b], rights[b] = sw.banks[b].Bounds(c, qi)
+		}
+		if m.releasedExcl {
+			sw.banks[p].DecExcl(c, qi)
+		}
+		var newHeld uint64
+		sw.hold.ReadModifyWrite(c, qi, func(old uint64) uint64 {
+			cnt := old & holdCountMask
+			if cnt > 0 {
+				cnt--
 			}
-			var counts [8]uint64
-			grantBank := -1
-			for b := range sw.banks {
-				counts[b] = sw.banks[b].ReadCount(c, qi)
-				if counts[b] > 0 && grantBank < 0 {
-					grantBank = b
-				}
+			newHeld = cnt
+			if cnt == 0 {
+				return 0 // clears the exclusive-holder bit
 			}
-			if m.releasedExcl {
-				sw.banks[p].DecExcl(c, qi)
-			}
-			var newHeld uint64
-			sw.hold.ReadModifyWrite(c, qi, func(old uint64) uint64 {
-				cnt := old & holdCountMask
-				if cnt > 0 {
-					cnt--
-				}
-				newHeld = cnt
-				if cnt == 0 {
-					return 0 // clears the exclusive-holder bit
-				}
-				return old&holdExclBit | cnt
-			})
-			if counts[p] == 0 && ovf != 0 {
-				// q1 drained for this (lock, bank): ask the server to push
-				// buffered requests (§4.3).
-				sw.stats.PushNotifies++
-				n := *h
-				n.Op = wire.OpPushNotify
-				n.Priority = uint8(p)
-				n.LeaseNs = int64(rights[p] - lefts[p]) // free slots: queue is empty
-				sw.emit(ActPushNotify, n)
-			}
-			if newHeld > 0 || grantBank < 0 {
-				return // remaining shared holders, or nothing waiting
-			}
-			// Lock is free: grant the head of the highest-priority
-			// non-empty bank.
-			gq := sw.banks[grantBank]
-			gl, gr := lefts[grantBank], rights[grantBank]
-			head := gq.ReadHead(c, qi)
-			s := gq.ReadSlotMarkGranted(c, sharedqueue.SlotIndex(gl, gr-gl, head), false)
-			m.grantBank = grantBank
-			m.left, m.cap = gl, gr-gl
-			m.ptr, m.end = head, head+counts[grantBank]
-			sw.grantQueuedSlot(h.LockID, grantBank, s)
-			if s.Exclusive {
-				m.pendingInc = 1 | holdExclBit
-				m.lastWasX = true
-			} else {
-				m.pendingInc = 1
-				m.ptr++
-			}
-			m.phase = 2
-			c.Resubmit()
-		default:
-			// Walk pass: account the previous pass's grant (waiting counter
-			// at stage 2, hold at stage 3), then continue the shared run if
-			// it extends.
-			inc := m.pendingInc
-			m.pendingInc = 0
-			gq := sw.banks[m.grantBank]
-			if inc != 0 {
-				gq.DecWait(c, qi)
-			}
-			sw.hold.ReadModifyWrite(c, qi, func(old uint64) uint64 {
-				return old + inc
-			})
-			if m.lastWasX || m.ptr >= m.end {
-				return
-			}
-			s := gq.ReadSlotMarkGranted(c, sharedqueue.SlotIndex(m.left, m.cap, m.ptr), true)
-			if s.Exclusive {
-				return // run of shared requests ended
-			}
-			sw.grantQueuedSlot(h.LockID, m.grantBank, s)
+			return old&holdExclBit | cnt
+		})
+		if counts[p] == 0 && ovf != 0 {
+			// q1 drained for this (lock, bank): ask the server to push
+			// buffered requests (§4.3).
+			sw.stats.PushNotifies++
+			n := *h
+			n.Op = wire.OpPushNotify
+			n.Priority = uint8(p)
+			n.LeaseNs = int64(rights[p] - lefts[p]) // free slots: queue is empty
+			sw.emit(ActPushNotify, n)
+		}
+		if newHeld > 0 || grantBank < 0 {
+			return // remaining shared holders, or nothing waiting
+		}
+		// Lock is free: grant the head of the highest-priority
+		// non-empty bank.
+		gq := sw.banks[grantBank]
+		gl, gr := lefts[grantBank], rights[grantBank]
+		head := gq.ReadHead(c, qi)
+		s := gq.ReadSlotMarkGranted(c, sharedqueue.SlotIndex(gl, gr-gl, head), false)
+		m.grantBank = grantBank
+		m.left, m.cap = gl, gr-gl
+		m.ptr, m.end = head, head+counts[grantBank]
+		sw.grantQueuedSlot(h.LockID, grantBank, s)
+		if s.Exclusive {
+			m.pendingInc = 1 | holdExclBit
+			m.lastWasX = true
+		} else {
 			m.pendingInc = 1
 			m.ptr++
-			c.Resubmit()
 		}
+		m.phase = 2
+		c.Resubmit()
+	default:
+		// Walk pass: account the previous pass's grant (waiting counter
+		// at stage 2, hold at stage 3), then continue the shared run if
+		// it extends.
+		inc := m.pendingInc
+		m.pendingInc = 0
+		gq := sw.banks[m.grantBank]
+		if inc != 0 {
+			gq.DecWait(c, qi)
+		}
+		sw.hold.ReadModifyWrite(c, qi, func(old uint64) uint64 {
+			return old + inc
+		})
+		if m.lastWasX || m.ptr >= m.end {
+			return
+		}
+		s := gq.ReadSlotMarkGranted(c, sharedqueue.SlotIndex(m.left, m.cap, m.ptr), true)
+		if s.Exclusive {
+			return // run of shared requests ended
+		}
+		sw.grantQueuedSlot(h.LockID, m.grantBank, s)
+		m.pendingInc = 1
+		m.ptr++
+		c.Resubmit()
 	}
 }
 

@@ -445,8 +445,8 @@ func (g *Grant) Release() {
 	g.released.Do(func() {
 		h := g.hdr
 		h.Op = wire.OpRelease
-		buf := h.Marshal()
-		g.c.conn.WriteToUDP(buf, g.c.switchAddr)
+		var buf [wire.HeaderLen]byte
+		g.c.conn.WriteToUDP(h.AppendTo(buf[:0]), g.c.switchAddr)
 	})
 }
 
@@ -471,7 +471,8 @@ func (c *Client) Acquire(lockID uint32, mode wire.Mode, timeout time.Duration) (
 	c.waiters[key] = ch
 	c.mu.Unlock()
 
-	buf := h.Marshal()
+	var bufArr [wire.HeaderLen]byte
+	buf := h.AppendTo(bufArr[:0])
 	if _, err := c.conn.WriteToUDP(buf, c.switchAddr); err != nil {
 		c.mu.Lock()
 		delete(c.waiters, key)

@@ -1,0 +1,43 @@
+package wire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// The header codec sits on every hot path (client send, switch/server
+// receive loops, the embedded shard settle loop), so encode and decode must
+// stay allocation-free at steady state: AppendTo into a buffer with
+// capacity, DecodeFromBytes into a reused Header.
+func TestHeaderCodecAllocFree(t *testing.T) {
+	h := Header{
+		Op:       OpAcquire,
+		Mode:     Exclusive,
+		Flags:    FlagOneRTT,
+		LockID:   0xdeadbeef,
+		TxnID:    1<<40 + 7,
+		ClientIP: netip.AddrFrom4([4]byte{10, 0, 0, 42}),
+		TenantID: 3,
+		Priority: 2,
+		LeaseNs:  5_000_000,
+	}
+	buf := make([]byte, 0, HeaderLen)
+	var dec Header
+	var decErr error
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = h.AppendTo(buf[:0])
+		if err := dec.DecodeFromBytes(buf); err != nil {
+			decErr = err
+		}
+	})
+	if decErr != nil {
+		t.Fatalf("decode: %v", decErr)
+	}
+	if dec != h {
+		t.Fatalf("round trip mismatch: got %+v want %+v", dec, h)
+	}
+	if allocs != 0 {
+		t.Fatalf("header encode+decode allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -17,6 +17,13 @@
 // evaluation testbed (internal/cluster), over real UDP sockets
 // (internal/transport, cmd/netlockd), and in-process here.
 //
+// Mirroring the paper's parallel switch pipelines, the embedded front end
+// is sharded: lock IDs partition across independent shards, each owning its
+// own data-plane model, lock servers, and mutex, so acquires and releases
+// of different locks never contend. The steady-state acquire/release path
+// is allocation-free (pooled grants, pooled waiter channels, reusable
+// emit buffers).
+//
 // Basic use:
 //
 //	lm := netlock.New(netlock.Config{})
@@ -31,11 +38,14 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netlock/internal/core"
 	"netlock/internal/lockserver"
+	"netlock/internal/p4sim"
 	"netlock/internal/switchdp"
 	"netlock/internal/wire"
 )
@@ -68,14 +78,23 @@ func (m Mode) wire() wire.Mode {
 
 // Config assembles an embedded NetLock instance.
 type Config struct {
-	// Servers is the number of lock servers backing the switch (>= 1).
+	// Shards partitions the lock ID space across this many independent
+	// shards — the software analogue of the switch's parallel pipelines.
+	// Each shard owns a disjoint slice of the switch register space, its
+	// own lock servers, and its own mutex, so requests for locks in
+	// different shards proceed in parallel. Default: GOMAXPROCS, clamped
+	// to [1, 64]. Cross-shard operations (Close, Stats, FailSwitch)
+	// briefly stop all shards.
+	Shards int
+	// Servers is the number of lock servers backing each shard (>= 1).
 	// Default 2, as the paper's primary evaluation setup.
 	Servers int
-	// SwitchSlots is the shared-queue capacity in the switch data plane.
-	// Default 100_000, the prototype's size (§5).
+	// SwitchSlots is the shared-queue capacity in the switch data plane,
+	// divided evenly across shards. Default 100_000, the prototype's size
+	// (§5).
 	SwitchSlots int
-	// MaxSwitchLocks bounds the number of locks resident in the switch.
-	// Default 8192.
+	// MaxSwitchLocks bounds the number of locks resident in the switch,
+	// divided evenly across shards. Default 8192.
 	MaxSwitchLocks int
 	// Priorities enables service differentiation with this many priority
 	// levels (1..8). Default 1 (plain FCFS).
@@ -87,6 +106,9 @@ type Config struct {
 	// are enabled).
 	SweepInterval time.Duration
 	// Isolation enables per-tenant quotas (configure with SetTenantQuota).
+	// The quota meter sits at ingress, before shard dispatch, exactly as
+	// the ToR sees every request once regardless of which pipeline
+	// processes it.
 	Isolation bool
 	// PlacementInterval runs the memory-management loop (measure demand,
 	// knapsack-allocate, migrate locks) at this period. Zero disables the
@@ -95,6 +117,15 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Shards > 64 {
+		c.Shards = 64
+	}
 	if c.Servers == 0 {
 		c.Servers = 2
 	}
@@ -122,8 +153,10 @@ var (
 	ErrQuotaExceeded = errors.New("netlock: tenant quota exceeded")
 )
 
-// AcquireOption customizes one acquisition.
-type AcquireOption func(*acquireOpts)
+// AcquireOption customizes one acquisition. Options pass the parameter
+// struct by value so applying them never forces a heap allocation on the
+// request path.
+type AcquireOption func(acquireOpts) acquireOpts
 
 type acquireOpts struct {
 	tenant   uint8
@@ -132,29 +165,61 @@ type acquireOpts struct {
 }
 
 // WithTenant tags the request with a tenant for quota enforcement.
-func WithTenant(t uint8) AcquireOption { return func(o *acquireOpts) { o.tenant = t } }
+func WithTenant(t uint8) AcquireOption {
+	return func(o acquireOpts) acquireOpts { o.tenant = t; return o }
+}
 
 // WithPriority requests service at the given priority (0 = highest).
-func WithPriority(p uint8) AcquireOption { return func(o *acquireOpts) { o.priority = p } }
+func WithPriority(p uint8) AcquireOption {
+	return func(o acquireOpts) acquireOpts { o.priority = p; return o }
+}
 
 // WithLease overrides the default lease duration for this acquisition.
-func WithLease(d time.Duration) AcquireOption { return func(o *acquireOpts) { o.lease = d } }
+func WithLease(d time.Duration) AcquireOption {
+	return func(o acquireOpts) acquireOpts { o.lease = d; return o }
+}
 
 // Manager is an embedded NetLock instance: the switch data-plane model, the
 // lock servers, and the control plane, fronted by a synchronous API.
-// Manager is safe for concurrent use.
+// Manager is safe for concurrent use. Internally the lock ID space is
+// partitioned across independent shards (see Config.Shards); requests for
+// locks in different shards never contend.
 type Manager struct {
-	cfg   Config
-	clock func() int64
+	cfg    Config
+	clock  func() int64
+	shards []*shard
 
-	mu      sync.Mutex
-	mgr     *core.Manager
-	waiters map[waiterKey]chan wire.Header
-	nextTxn uint64
-	closed  bool
+	closed  atomic.Bool
+	nextTxn atomic.Uint64
+
+	// Ingress quota metering (§4.4): a single meter before shard dispatch,
+	// as the ToR sees every request once. Guarded by isoMu; only touched
+	// when Isolation is on.
+	isoMu   sync.Mutex
+	meter   *p4sim.Meter
+	rejects atomic.Uint64
+
+	grantPool sync.Pool // *Grant
+	chanPool  sync.Pool // chan wire.Header, capacity 1
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
+}
+
+// shard is one partition of the embedded instance: a full switch-pipeline
+// model plus lock servers for a disjoint slice of the lock ID space, under
+// its own mutex. All fields are guarded by mu.
+type shard struct {
+	mu      sync.Mutex
+	mgr     *core.Manager
+	waiters map[waiterKey]chan wire.Header
+	closed  bool
+
+	// Reusable emit stacks for the settle loop. ProcessPacket reuses its
+	// emit slice, so emits must be copied out before recursing; the stacks
+	// grow once and are then reused, keeping the hot path allocation-free.
+	swEmits  []switchdp.Emit
+	srvEmits []lockserver.Emit
 }
 
 type waiterKey struct {
@@ -169,23 +234,40 @@ func New(cfg Config) *Manager {
 	start := time.Now()
 	clock := func() int64 { return int64(time.Since(start)) }
 	m := &Manager{
-		cfg:     cfg,
-		clock:   clock,
-		waiters: make(map[waiterKey]chan wire.Header),
-		stopCh:  make(chan struct{}),
+		cfg:    cfg,
+		clock:  clock,
+		stopCh: make(chan struct{}),
 	}
-	m.mgr = core.New(core.Config{
-		PauseBusyMoves: true,
-		Switch: switchdp.Config{
-			MaxLocks:       cfg.MaxSwitchLocks,
-			TotalSlots:     cfg.SwitchSlots,
-			Priorities:     cfg.Priorities,
-			Isolation:      cfg.Isolation,
-			DefaultLeaseNs: int64(cfg.DefaultLease),
-			Now:            clock,
-		},
-		Servers: cfg.Servers,
-	})
+	m.grantPool.New = func() any { return new(Grant) }
+	m.chanPool.New = func() any { return make(chan wire.Header, 1) }
+	if cfg.Isolation {
+		m.meter = p4sim.NewMeter("ingress-tenant-quota", 256)
+	}
+	// Partition the switch resources evenly: each shard models one
+	// pipeline with its slice of the register space and lock table.
+	perSlots := cfg.SwitchSlots / cfg.Shards
+	if perSlots < cfg.Priorities {
+		perSlots = cfg.Priorities
+	}
+	perLocks := cfg.MaxSwitchLocks / cfg.Shards
+	if perLocks < 1 {
+		perLocks = 1
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{waiters: make(map[waiterKey]chan wire.Header)}
+		sh.mgr = core.New(core.Config{
+			PauseBusyMoves: true,
+			Switch: switchdp.Config{
+				MaxLocks:       perLocks,
+				TotalSlots:     perSlots,
+				Priorities:     cfg.Priorities,
+				DefaultLeaseNs: int64(cfg.DefaultLease),
+				Now:            clock,
+			},
+			Servers: cfg.Servers,
+		})
+		m.shards = append(m.shards, sh)
+	}
 	if cfg.SweepInterval > 0 && cfg.DefaultLease > 0 {
 		m.wg.Add(1)
 		go m.sweepLoop()
@@ -197,23 +279,53 @@ func New(cfg Config) *Manager {
 	return m
 }
 
+// Shards returns the number of shards the lock ID space is partitioned
+// into.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+func (m *Manager) shardFor(lockID uint32) *shard {
+	return m.shards[int(lockID%uint32(len(m.shards)))]
+}
+
+// lockAll is the stop-the-shards barrier: it acquires every shard mutex in
+// shard order, giving cross-shard operations (Close, Stats, failure
+// injection) a consistent cut of the whole instance's state.
+func (m *Manager) lockAll() {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (m *Manager) unlockAll() {
+	for _, sh := range m.shards {
+		sh.mu.Unlock()
+	}
+}
+
 // Close stops the background loops. Outstanding Acquire calls return
 // ErrClosed.
 func (m *Manager) Close() {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Swap(true) {
 		return
 	}
-	m.closed = true
 	close(m.stopCh)
-	for k, ch := range m.waiters {
-		close(ch)
-		delete(m.waiters, k)
+	m.lockAll()
+	for _, sh := range m.shards {
+		sh.closed = true
+		for k, ch := range sh.waiters {
+			close(ch)
+			delete(sh.waiters, k)
+		}
 	}
-	m.mu.Unlock()
+	m.unlockAll()
 	m.wg.Wait()
 }
+
+// Grant states. A Grant cycles held -> released -> (pooled) -> held.
+const (
+	grantReleased uint32 = iota
+	grantHeld
+)
 
 // Grant is a held lock.
 type Grant struct {
@@ -225,7 +337,7 @@ type Grant struct {
 	// Expiry is the lease expiry instant on the manager clock (zero when
 	// leasing is disabled).
 	Expiry time.Duration
-	once   sync.Once
+	state  atomic.Uint32
 }
 
 // LockID returns the granted lock's ID.
@@ -234,24 +346,29 @@ func (g *Grant) LockID() uint32 { return g.lockID }
 // Mode returns the granted mode.
 func (g *Grant) Mode() Mode { return g.mode }
 
-// Release releases the lock. Safe to call more than once.
+// Release releases the lock. The first call wins; subsequent calls on the
+// same Grant are no-ops. After Release returns, the Grant's storage is
+// recycled for future acquisitions and must not be retained or inspected.
 func (g *Grant) Release() {
-	g.once.Do(func() {
-		h := wire.Header{
-			Op:       wire.OpRelease,
-			Mode:     g.mode.wire(),
-			LockID:   g.lockID,
-			TxnID:    g.txnID,
-			Priority: g.priority,
-			ClientIP: localClientIP,
-		}
-		g.m.mu.Lock()
-		defer g.m.mu.Unlock()
-		if g.m.closed {
-			return
-		}
-		g.m.inject(&h)
-	})
+	if !g.state.CompareAndSwap(grantHeld, grantReleased) {
+		return
+	}
+	m := g.m
+	h := wire.Header{
+		Op:       wire.OpRelease,
+		Mode:     g.mode.wire(),
+		LockID:   g.lockID,
+		TxnID:    g.txnID,
+		Priority: g.priority,
+		ClientIP: localClientIP,
+	}
+	sh := m.shardFor(g.lockID)
+	sh.mu.Lock()
+	if !sh.closed {
+		sh.inject(&h)
+	}
+	sh.mu.Unlock()
+	m.grantPool.Put(g)
 }
 
 var localClientIP = netip.AddrFrom4([4]byte{127, 0, 0, 1})
@@ -261,15 +378,21 @@ var localClientIP = netip.AddrFrom4([4]byte{127, 0, 0, 1})
 func (m *Manager) Acquire(ctx context.Context, lockID uint32, mode Mode, opts ...AcquireOption) (*Grant, error) {
 	var o acquireOpts
 	for _, f := range opts {
-		f(&o)
+		o = f(o)
 	}
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Load() {
 		return nil, ErrClosed
 	}
-	m.nextTxn++
-	txn := m.nextTxn
+	if m.cfg.Isolation {
+		m.isoMu.Lock()
+		ok := m.meter.Conforming(int(o.tenant), m.clock())
+		m.isoMu.Unlock()
+		if !ok {
+			m.rejects.Add(1)
+			return nil, ErrQuotaExceeded
+		}
+	}
+	txn := m.nextTxn.Add(1)
 	h := wire.Header{
 		Op:       wire.OpAcquire,
 		Mode:     mode.wire(),
@@ -280,32 +403,57 @@ func (m *Manager) Acquire(ctx context.Context, lockID uint32, mode Mode, opts ..
 		Priority: o.priority,
 		LeaseNs:  int64(o.lease),
 	}
-	ch := make(chan wire.Header, 1)
+	ch := m.chanPool.Get().(chan wire.Header)
 	key := waiterKey{lockID, txn}
-	m.waiters[key] = ch
-	m.inject(&h)
-	m.mu.Unlock()
+	sh := m.shardFor(lockID)
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		m.chanPool.Put(ch)
+		return nil, ErrClosed
+	}
+	sh.waiters[key] = ch
+	sh.inject(&h)
+	sh.mu.Unlock()
 
 	select {
 	case g, ok := <-ch:
 		if !ok {
+			// Close closed the channel; it must not be pooled.
 			return nil, ErrClosed
 		}
+		m.chanPool.Put(ch)
 		if g.Op == wire.OpReject {
 			return nil, ErrQuotaExceeded
 		}
-		return &Grant{
-			m:        m,
-			lockID:   lockID,
-			txnID:    txn,
-			mode:     mode,
-			priority: o.priority,
-			Expiry:   time.Duration(g.LeaseNs),
-		}, nil
+		gr := m.grantPool.Get().(*Grant)
+		gr.m = m
+		gr.lockID = lockID
+		gr.txnID = txn
+		gr.mode = mode
+		gr.priority = o.priority
+		gr.Expiry = time.Duration(g.LeaseNs)
+		gr.state.Store(grantHeld)
+		return gr, nil
 	case <-ctx.Done():
-		m.mu.Lock()
-		delete(m.waiters, key)
-		m.mu.Unlock()
+		sh.mu.Lock()
+		_, present := sh.waiters[key]
+		delete(sh.waiters, key)
+		sh.mu.Unlock()
+		if present {
+			// Nobody can send on ch anymore; it is empty and reusable.
+			m.chanPool.Put(ch)
+		} else {
+			// The grant raced in (buffered) or Close closed the channel.
+			select {
+			case _, ok := <-ch:
+				if ok {
+					m.chanPool.Put(ch)
+				}
+			default:
+				m.chanPool.Put(ch)
+			}
+		}
 		// The request may still be queued or granted inside the data
 		// plane; the lease sweep reclaims it. A context with no deadline
 		// and no lease would leak the slot, so surface that in the error.
@@ -313,54 +461,62 @@ func (m *Manager) Acquire(ctx context.Context, lockID uint32, mode Mode, opts ..
 	}
 }
 
-// inject routes a packet through the switch (and onward to servers) until
-// all resulting deliveries settle. Caller holds m.mu.
-func (m *Manager) inject(h *wire.Header) {
-	emits, _ := m.mgr.Switch().ProcessPacket(h)
-	// Copy: the emit slice is reused by the next ProcessPacket call.
-	pending := make([]switchdp.Emit, len(emits))
-	copy(pending, emits)
-	for _, e := range pending {
-		m.routeSwitchEmit(e)
+// inject routes a packet through the shard's switch (and onward to servers)
+// until all resulting deliveries settle. Caller holds sh.mu. The emit stack
+// is reused across calls; recursion (server pushes re-entering the switch)
+// appends above the caller's frame and truncates back.
+func (sh *shard) inject(h *wire.Header) {
+	emits, _ := sh.mgr.Switch().ProcessPacket(h)
+	base := len(sh.swEmits)
+	sh.swEmits = append(sh.swEmits, emits...)
+	for i := 0; i < len(emits); i++ {
+		sh.routeSwitchEmit(sh.swEmits[base+i])
 	}
+	sh.swEmits = sh.swEmits[:base]
 }
 
-func (m *Manager) routeSwitchEmit(e switchdp.Emit) {
+func (sh *shard) routeSwitchEmit(e switchdp.Emit) {
 	switch e.Action {
 	case switchdp.ActGrant, switchdp.ActFetch:
-		m.deliverGrant(e.Hdr)
+		sh.deliverGrant(e.Hdr)
 	case switchdp.ActReject:
-		m.deliverGrant(e.Hdr) // waiter inspects Op
+		sh.deliverGrant(e.Hdr) // waiter inspects Op
 	case switchdp.ActForward, switchdp.ActForwardOverflow, switchdp.ActPushNotify:
-		srv := m.mgr.Server(m.mgr.ServerFor(e.Hdr.LockID))
+		srv := sh.mgr.Server(sh.mgr.ServerFor(e.Hdr.LockID))
 		h := e.Hdr
-		emits := srv.ProcessPacket(&h)
-		pending := make([]lockserver.Emit, len(emits))
-		copy(pending, emits)
-		for _, se := range pending {
-			m.routeServerEmit(se)
-		}
+		sh.routeServerEmits(srv.ProcessPacket(&h))
 	}
 }
 
-func (m *Manager) routeServerEmit(e lockserver.Emit) {
+// routeServerEmits copies the server's reusable emit slice onto the shard's
+// stack and routes each entry. Caller holds sh.mu.
+func (sh *shard) routeServerEmits(emits []lockserver.Emit) {
+	base := len(sh.srvEmits)
+	sh.srvEmits = append(sh.srvEmits, emits...)
+	for i := 0; i < len(emits); i++ {
+		sh.routeServerEmit(sh.srvEmits[base+i])
+	}
+	sh.srvEmits = sh.srvEmits[:base]
+}
+
+func (sh *shard) routeServerEmit(e lockserver.Emit) {
 	switch e.Action {
 	case lockserver.ActGrant, lockserver.ActFetch:
-		m.deliverGrant(e.Hdr)
+		sh.deliverGrant(e.Hdr)
 	case lockserver.ActPush:
 		h := e.Hdr
-		m.inject(&h)
+		sh.inject(&h)
 	}
 }
 
-// deliverGrant completes a waiting Acquire. Caller holds m.mu.
-func (m *Manager) deliverGrant(h wire.Header) {
+// deliverGrant completes a waiting Acquire. Caller holds sh.mu.
+func (sh *shard) deliverGrant(h wire.Header) {
 	key := waiterKey{h.LockID, h.TxnID}
-	ch, ok := m.waiters[key]
+	ch, ok := sh.waiters[key]
 	if !ok {
 		return // cancelled or duplicate; the lease sweep reclaims the slot
 	}
-	delete(m.waiters, key)
+	delete(sh.waiters, key)
 	ch <- h
 }
 
@@ -368,79 +524,135 @@ func (m *Manager) deliverGrant(h wire.Header) {
 // second and a burst allowance (performance isolation, §4.4). Requires
 // Config.Isolation.
 func (m *Manager) SetTenantQuota(t uint8, perSec float64, burst float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.mgr.Switch().CtrlSetTenantQuota(t, perSec, burst)
+	if m.meter == nil {
+		return
+	}
+	m.isoMu.Lock()
+	defer m.isoMu.Unlock()
+	m.meter.CtrlSetRate(int(t), perSec, burst)
 }
 
-// PlacementTick runs one round of the memory-management loop: close the
-// measurement window, compute the optimal allocation, and migrate drained
-// locks between switch and servers. It reports how many locks moved.
+// PlacementTick runs one round of the memory-management loop on every
+// shard: close the measurement window, compute the optimal allocation over
+// the shard's slice of switch memory, and migrate drained locks between
+// switch and servers. It reports how many locks moved in total. Shards tick
+// independently — switch capacity is statically partitioned, so there is no
+// cross-shard allocation decision to coordinate.
 func (m *Manager) PlacementTick(window time.Duration) (installed, removed int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed.Load() {
 		return 0, 0
 	}
-	demands := m.mgr.MeasureDemands(window.Seconds())
-	rep := m.mgr.Reallocate(demands, nil)
-	for _, e := range rep.Emits {
-		m.routeServerEmit(e)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			break
+		}
+		demands := sh.mgr.MeasureDemands(window.Seconds())
+		rep := sh.mgr.Reallocate(demands, nil)
+		for _, e := range rep.Emits {
+			sh.routeServerEmit(e)
+		}
+		for i := range rep.SwitchPushes {
+			sh.inject(&rep.SwitchPushes[i])
+		}
+		installed += len(rep.Installed)
+		removed += len(rep.Removed)
+		sh.mu.Unlock()
 	}
-	for i := range rep.SwitchPushes {
-		m.inject(&rep.SwitchPushes[i])
-	}
-	return len(rep.Installed), len(rep.Removed)
+	return installed, removed
 }
 
 // Stats is a snapshot of processing counters across the instance.
 type Stats struct {
-	Switch  switchdp.Stats
+	// Switch aggregates the data-plane counters across all shard
+	// pipelines (ingress quota rejects included).
+	Switch switchdp.Stats
+	// Servers aggregates per logical server index: Servers[i] sums the
+	// counters of server i across all shards.
 	Servers []lockserver.Stats
 	// SwitchResidentLocks is the number of locks currently placed in the
-	// switch.
+	// switch (all shards).
 	SwitchResidentLocks int
-	// SwitchFreeSlots is the unallocated shared-queue capacity.
+	// SwitchFreeSlots is the unallocated shared-queue capacity (all
+	// shards).
 	SwitchFreeSlots uint64
 }
 
-// Stats returns a snapshot of the instance's counters.
+func addSwitchStats(dst *switchdp.Stats, s switchdp.Stats) {
+	dst.Acquires += s.Acquires
+	dst.Releases += s.Releases
+	dst.Pushes += s.Pushes
+	dst.GrantsImmediate += s.GrantsImmediate
+	dst.GrantsQueued += s.GrantsQueued
+	dst.Queued += s.Queued
+	dst.Forwards += s.Forwards
+	dst.Overflows += s.Overflows
+	dst.Rejects += s.Rejects
+	dst.PushNotifies += s.PushNotifies
+	dst.ExpiredReleases += s.ExpiredReleases
+}
+
+func addServerStats(dst *lockserver.Stats, s lockserver.Stats) {
+	dst.Acquires += s.Acquires
+	dst.Releases += s.Releases
+	dst.GrantsImmediate += s.GrantsImmediate
+	dst.GrantsQueued += s.GrantsQueued
+	dst.Queued += s.Queued
+	dst.Buffered += s.Buffered
+	dst.Bounced += s.Bounced
+	dst.Pushed += s.Pushed
+	dst.OvfClears += s.OvfClears
+	dst.ExpiredReleases += s.ExpiredReleases
+	dst.ForwardedToSwitch += s.ForwardedToSwitch
+}
+
+// Stats returns a snapshot of the instance's counters, aggregated across
+// shards under the stop-the-shards barrier (a consistent cut).
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := Stats{
-		Switch:              m.mgr.Switch().Stats(),
-		SwitchResidentLocks: len(m.mgr.Switch().CtrlResidentLocks()),
-		SwitchFreeSlots:     m.mgr.FreeSlots(),
+	st := Stats{Servers: make([]lockserver.Stats, m.cfg.Servers)}
+	m.lockAll()
+	for _, sh := range m.shards {
+		addSwitchStats(&st.Switch, sh.mgr.Switch().Stats())
+		st.SwitchResidentLocks += len(sh.mgr.Switch().CtrlResidentLocks())
+		st.SwitchFreeSlots += sh.mgr.FreeSlots()
+		for i := 0; i < sh.mgr.NumServers(); i++ {
+			addServerStats(&st.Servers[i], sh.mgr.Server(i).Stats())
+		}
 	}
-	for i := 0; i < m.mgr.NumServers(); i++ {
-		st.Servers = append(st.Servers, m.mgr.Server(i).Stats())
-	}
+	m.unlockAll()
+	st.Switch.Rejects += m.rejects.Load()
 	return st
 }
 
 // FailSwitch simulates a switch failure: all data-plane state is lost and
-// held locks are only reclaimed by lease expiry. Exposed for failure
-// testing (the paper's §6.5 experiment; see examples/failover).
+// held locks are only reclaimed by lease expiry. Every shard pipeline fails
+// together — the ToR is a single box. Exposed for failure testing (the
+// paper's §6.5 experiment; see examples/failover).
 func (m *Manager) FailSwitch() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.mgr.FailSwitch()
+	m.lockAll()
+	for _, sh := range m.shards {
+		sh.mgr.FailSwitch()
+	}
+	m.unlockAll()
 }
 
 // RestartSwitch reactivates a failed switch: the control plane reinstalls
-// the lock table with empty queues.
+// the lock table with empty queues on every shard.
 func (m *Manager) RestartSwitch() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.mgr.RestartSwitch()
+	m.lockAll()
+	for _, sh := range m.shards {
+		sh.mgr.RestartSwitch()
+	}
+	m.unlockAll()
 }
 
 // SwitchFailed reports whether the switch is in the failed state.
 func (m *Manager) SwitchFailed() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.mgr.SwitchFailed()
+	m.lockAll()
+	failed := m.shards[0].mgr.SwitchFailed()
+	m.unlockAll()
+	return failed
 }
 
 func (m *Manager) sweepLoop() {
@@ -452,24 +664,22 @@ func (m *Manager) sweepLoop() {
 		case <-m.stopCh:
 			return
 		case <-t.C:
-			m.mu.Lock()
-			if !m.closed {
-				rels, emits := m.mgr.SweepLeases(m.clock())
-				for i := range rels {
-					m.inject(&rels[i])
-				}
-				for _, e := range emits {
-					m.routeServerEmit(e)
-				}
-				for _, h := range m.mgr.SweepStranded() {
-					srv := m.mgr.Server(m.mgr.ServerFor(h.LockID))
-					hh := h
-					for _, e := range srv.ProcessPacket(&hh) {
-						m.routeServerEmit(e)
+			for _, sh := range m.shards {
+				sh.mu.Lock()
+				if !sh.closed {
+					rels, emits := sh.mgr.SweepLeases(m.clock())
+					for i := range rels {
+						sh.inject(&rels[i])
+					}
+					sh.routeServerEmits(emits)
+					for _, h := range sh.mgr.SweepStranded() {
+						srv := sh.mgr.Server(sh.mgr.ServerFor(h.LockID))
+						hh := h
+						sh.routeServerEmits(srv.ProcessPacket(&hh))
 					}
 				}
+				sh.mu.Unlock()
 			}
-			m.mu.Unlock()
 		}
 	}
 }

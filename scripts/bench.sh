@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_embedded.json: the embedded hot-path benchmarks
+# (serial, parallel disjoint/contended, sharded vs single-mutex baseline)
+# plus the simulated Fig 8a / Fig 9 throughput numbers.
+#
+#   scripts/bench.sh                 # quick run, writes BENCH_embedded.json
+#   scripts/bench.sh -out - | less   # print the JSON instead
+#
+# To compare the raw benchmarks between two commits, use benchstat:
+#
+#   go test -run '^$' -bench EmbeddedAcquireRelease -benchmem -count 10 . > /tmp/old.txt
+#   git checkout <new> && go test -run '^$' -bench EmbeddedAcquireRelease -benchmem -count 10 . > /tmp/new.txt
+#   benchstat /tmp/old.txt /tmp/new.txt
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchrunner -embedded -quick "$@"
