@@ -72,6 +72,12 @@ func warmManager(shards, nLocks int) (*netlock.Manager, error) {
 	if shards > 0 {
 		cfg.Shards = shards
 	}
+	return warmManagerCfg(cfg, nLocks)
+}
+
+// warmManagerCfg is warmManager with full config control (the -obs mode
+// toggles Config.Metrics).
+func warmManagerCfg(cfg netlock.Config, nLocks int) (*netlock.Manager, error) {
 	lm := netlock.New(cfg)
 	ctx := context.Background()
 	for l := 1; l <= nLocks; l++ {

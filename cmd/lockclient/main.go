@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -13,9 +15,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netlock"
 	"netlock/internal/stats"
 	"netlock/internal/transport"
-	"netlock/internal/wire"
 )
 
 func main() {
@@ -26,15 +28,16 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "run duration")
 	think := flag.Duration("think", 0, "hold time per lock")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-acquire timeout")
+	tenant := flag.Uint("tenant", 0, "tenant ID stamped on every acquire")
 	flag.Parse()
 
-	mode := wire.Exclusive
+	mode := netlock.Exclusive
 	if *modeStr == "shared" {
-		mode = wire.Shared
+		mode = netlock.Shared
 	}
 
 	var wg sync.WaitGroup
-	var grants, timeouts atomic.Int64
+	var grants, timeouts, rejects atomic.Int64
 	var mu sync.Mutex
 	var lat stats.Histogram
 	stop := time.Now().Add(*duration)
@@ -53,9 +56,17 @@ func main() {
 				id = id*1664525 + 1013904223 // LCG walk over the lock space
 				lock := id%uint32(*locks) + 1
 				t0 := time.Now()
-				g, err := c.Acquire(lock, mode, *timeout)
+				ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+				g, err := c.Acquire(ctx, lock, mode, netlock.WithTenant(uint8(*tenant)))
+				cancel()
 				if err != nil {
-					timeouts.Add(1)
+					switch {
+					case errors.Is(err, netlock.ErrQueueOverflow),
+						errors.Is(err, netlock.ErrQuotaExceeded):
+						rejects.Add(1)
+					default:
+						timeouts.Add(1)
+					}
 					continue
 				}
 				d := time.Since(t0)
@@ -76,7 +87,7 @@ func main() {
 	mu.Lock()
 	sum := lat.Summarize()
 	mu.Unlock()
-	fmt.Printf("grants: %d (%.0f locks/s), timeouts: %d\n",
-		grants.Load(), float64(grants.Load())/secs, timeouts.Load())
+	fmt.Printf("grants: %d (%.0f locks/s), timeouts: %d, rejects: %d\n",
+		grants.Load(), float64(grants.Load())/secs, timeouts.Load(), rejects.Load())
 	fmt.Printf("latency: %v\n", sum)
 }

@@ -6,18 +6,35 @@
 //
 // The switch address is printed on startup; point cmd/lockclient (or any
 // internal/transport.Client) at it.
+//
+// Unless -metrics is empty, an HTTP endpoint serves the rack's
+// observability surface:
+//
+//	/metrics      Prometheus text: per-stage latency histograms
+//	              (netlock_switch_pass_ns, netlock_server_queue_wait_ns,
+//	              netlock_acquire_e2e_ns), paper-aligned counters
+//	              (grants, resubmits, overflows, rejects, lease expiries,
+//	              per-tenant grants) and occupancy gauges (slots in use,
+//	              resident locks, free entries).
+//	/debug/vars   expvar JSON
+//	/debug/pprof  runtime profiles
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"netlock/internal/lockserver"
+	"netlock/internal/obs"
 	"netlock/internal/switchdp"
 	"netlock/internal/transport"
 )
@@ -31,14 +48,23 @@ func main() {
 	preinstall := flag.Uint("preinstall", 0, "preinstall locks 1..N in the switch")
 	slotsPerLock := flag.Uint64("slots-per-lock", 16, "queue slots per preinstalled lock")
 	lease := flag.Duration("lease", 500*time.Millisecond, "default lock lease (0 disables)")
+	metrics := flag.String("metrics", "127.0.0.1:0", "metrics/pprof HTTP listen address (empty disables)")
 	flag.Parse()
+
+	// One obs stripe for the switch plus one per lock server: each node
+	// writes its own stripe lock-free; scrapes merge them into a snapshot.
+	reg := obs.New(obs.Config{Stripes: 1 + *servers})
 
 	var srvs []*transport.Server
 	var addrs []string
 	for i := 0; i < *servers; i++ {
 		srv, err := transport.NewServer(transport.ServerConfig{
 			Listen: "127.0.0.1:0",
-			Config: lockserver.Config{Priorities: *priorities, DefaultLeaseNs: int64(*lease)},
+			Config: lockserver.Config{
+				Priorities:     *priorities,
+				DefaultLeaseNs: int64(*lease),
+				Obs:            reg.Stripe(1 + i),
+			},
 		})
 		if err != nil {
 			log.Fatalf("start lock server %d: %v", i, err)
@@ -54,6 +80,7 @@ func main() {
 			TotalSlots:     *slots,
 			Priorities:     *priorities,
 			DefaultLeaseNs: int64(*lease),
+			Obs:            reg.Stripe(0),
 		},
 		Servers: addrs,
 	})
@@ -71,15 +98,24 @@ func main() {
 	// switch and release ownership at the partition servers.
 	installed := 0
 	for id := uint32(1); id <= uint32(*preinstall); id++ {
-		sw.Lock()
-		err := sw.DataPlane().CtrlInstallLock(id, uniformRegions(*priorities, id, *slotsPerLock))
-		sw.Unlock()
+		var err error
+		sw.WithDataPlane(func(dp *switchdp.Switch) {
+			err = dp.CtrlInstallLock(id, uniformRegions(*priorities, id, *slotsPerLock))
+		})
 		if err != nil {
 			log.Printf("preinstall stopped at lock %d: %v", id, err)
 			break
 		}
 		srvs[lockserver.RSSCore(id, len(srvs))].LockServer().CtrlReleaseOwnership(id)
 		installed++
+	}
+
+	if *metrics != "" {
+		maddr, err := serveMetrics(*metrics, reg, sw)
+		if err != nil {
+			log.Fatalf("metrics endpoint: %v", err)
+		}
+		fmt.Printf("netlockd: metrics on http://%s/metrics\n", maddr)
 	}
 
 	fmt.Printf("netlockd: switch on %s\n", sw.Addr())
@@ -93,6 +129,41 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("netlockd: shutting down")
+}
+
+// serveMetrics starts the observability HTTP listener and returns its bound
+// address. The default mux already carries /debug/pprof (net/http/pprof) and
+// /debug/vars (expvar); /metrics renders a merged snapshot of every node's
+// stripe plus the switch occupancy gauges as Prometheus text.
+func serveMetrics(addr string, reg *obs.Registry, sw *transport.Switch) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	expvar.Publish("netlock", expvar.Func(func() any {
+		return snapshotRack(reg, sw).String()
+	}))
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		sn := snapshotRack(reg, sw)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := sn.WriteProm(w); err != nil {
+			log.Printf("metrics: write: %v", err)
+		}
+	})
+	go http.Serve(ln, nil)
+	return ln.Addr().String(), nil
+}
+
+// snapshotRack merges the counter/histogram stripes and attaches the
+// switch's occupancy gauges.
+func snapshotRack(reg *obs.Registry, sw *transport.Switch) *obs.Snapshot {
+	sn := reg.Snapshot()
+	s := sw.Snapshot()
+	sn.AddGauge("switch_slots_in_use", "Occupied switch shared-queue slots.", float64(s.SlotsInUse))
+	sn.AddGauge("switch_resident_locks", "Locks resident in the switch data plane.", float64(s.ResidentLocks))
+	sn.AddGauge("switch_free_entries", "Free switch lock-table entries.", float64(s.FreeEntries))
+	sn.AddGauge("switch_pending_acquires", "Acquires whose grant has not yet reached a client.", float64(s.PendingAcquires))
+	return sn
 }
 
 // uniformRegions assigns lock id a contiguous region of n slots per bank.

@@ -1,0 +1,117 @@
+package netlock
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Every front end returns the same sentinel values; these tests pin the
+// embedded Manager's side of that contract. internal/transport's tests pin
+// the UDP client's side against the identical sentinels.
+
+func TestErrClosedSentinel(t *testing.T) {
+	lm := New(Config{Servers: 1, Shards: 1})
+	lm.Close()
+	if _, err := lm.Acquire(context.Background(), 1, Exclusive); !errors.Is(err, ErrClosed) {
+		t.Fatalf("acquire after close: want ErrClosed, got %v", err)
+	}
+	if err := lm.Preinstall(1, 8); !errors.Is(err, ErrClosed) {
+		t.Fatalf("preinstall after close: want ErrClosed, got %v", err)
+	}
+}
+
+func TestErrTimeoutSentinel(t *testing.T) {
+	lm := New(Config{Servers: 1, Shards: 1})
+	defer lm.Close()
+	g, err := lm.Acquire(context.Background(), 7, Exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = lm.Acquire(ctx, 7, Exclusive)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded in chain, got %v", err)
+	}
+}
+
+func TestErrCanceledNotTimeout(t *testing.T) {
+	lm := New(Config{Servers: 1, Shards: 1})
+	defer lm.Close()
+	g, err := lm.Acquire(context.Background(), 7, Exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := lm.Acquire(ctx, 7, Exclusive)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	err = <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("explicit cancellation must not read as a timeout: %v", err)
+	}
+}
+
+func TestErrQueueOverflowSentinel(t *testing.T) {
+	// A one-entry server buffer: the holder occupies the queue slot, so the
+	// next acquire bounces off the bounded buffer with ErrQueueOverflow.
+	lm := New(Config{Servers: 1, Shards: 1, ServerOverflowLimit: 1})
+	defer lm.Close()
+	g, err := lm.Acquire(context.Background(), 3, Exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	_, err = lm.Acquire(context.Background(), 3, Exclusive)
+	if !errors.Is(err, ErrQueueOverflow) {
+		t.Fatalf("want ErrQueueOverflow, got %v", err)
+	}
+	if errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("overflow must not read as a quota reject: %v", err)
+	}
+}
+
+func TestErrQuotaExceededSentinel(t *testing.T) {
+	lm := New(Config{Servers: 1, Shards: 1, Isolation: true})
+	defer lm.Close()
+	lm.SetTenantQuota(1, 0, 1) // one-request burst, no refill
+	g, err := lm.Acquire(context.Background(), 5, Exclusive, WithTenant(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	_, err = lm.Acquire(context.Background(), 9, Exclusive, WithTenant(1))
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("want ErrQuotaExceeded, got %v", err)
+	}
+}
+
+func TestErrNoCapacitySentinel(t *testing.T) {
+	lm := New(Config{Servers: 1, Shards: 1, SwitchSlots: 8, MaxSwitchLocks: 1})
+	defer lm.Close()
+	if err := lm.Preinstall(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	// The single lock-table entry is taken: installing another lock fails.
+	if err := lm.Preinstall(2, 4); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("want ErrNoCapacity, got %v", err)
+	}
+	// Re-preinstalling a resident lock is a no-op.
+	if err := lm.Preinstall(1, 4); err != nil {
+		t.Fatalf("re-preinstall should be a no-op, got %v", err)
+	}
+}

@@ -8,16 +8,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"netlock"
 	"netlock/internal/lockserver"
 	"netlock/internal/switchdp"
 	"netlock/internal/transport"
-	"netlock/internal/wire"
 )
 
 func main() {
@@ -55,9 +56,9 @@ func main() {
 
 	// Control plane: lock 1 is hot — install it in the switch (and release
 	// ownership at its partition server, the §4.3 move).
-	sw.Lock()
-	err = sw.DataPlane().CtrlInstallLock(1, []switchdp.Region{{Left: 0, Right: 64}})
-	sw.Unlock()
+	sw.WithDataPlane(func(dp *switchdp.Switch) {
+		err = dp.CtrlInstallLock(1, []switchdp.Region{{Left: 0, Right: 64}})
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +68,8 @@ func main() {
 	}
 
 	// Clients hammer the hot lock (switch path) and a cold lock (server
-	// path) concurrently.
+	// path) concurrently. Each acquire carries a per-call deadline through
+	// its context.
 	var wg sync.WaitGroup
 	var hot, cold atomic.Int64
 	deadline := time.Now().Add(time.Second)
@@ -81,13 +83,17 @@ func main() {
 		go func(c *transport.Client, w int) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				g, err := c.Acquire(1, wire.Exclusive, 2*time.Second)
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				g, err := c.Acquire(ctx, 1, netlock.Exclusive)
+				cancel()
 				if err != nil {
 					log.Fatal(err)
 				}
 				hot.Add(1)
 				g.Release()
-				g2, err := c.Acquire(uint32(100+w), wire.Shared, 2*time.Second)
+				ctx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
+				g2, err := c.Acquire(ctx, uint32(100+w), netlock.Shared)
+				cancel()
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -98,9 +104,8 @@ func main() {
 	}
 	wg.Wait()
 
-	sw.Lock()
-	st := sw.DataPlane().Stats()
-	sw.Unlock()
+	snap := sw.Snapshot()
+	st := snap.Stats
 	fmt.Printf("hot lock (switch path): %d acquisitions, %d switch grants\n",
 		hot.Load(), st.GrantsImmediate+st.GrantsQueued)
 	fmt.Printf("cold locks (server path): %d acquisitions, %d forwards\n",

@@ -4,6 +4,7 @@ import (
 	"netlock/internal/core"
 	"netlock/internal/eventsim"
 	"netlock/internal/lockserver"
+	"netlock/internal/obs"
 	"netlock/internal/switchdp"
 	"netlock/internal/wire"
 )
@@ -18,6 +19,10 @@ type NetLockOptions struct {
 	AllocEveryNs int64
 	// Allocator overrides the placement policy (nil: optimal knapsack).
 	Allocator core.Allocator
+	// Obs, when non-nil, records end-to-end acquire latency in virtual
+	// testbed time (the switch and servers record their own stages through
+	// core.Config.Obs).
+	Obs *obs.Stripe
 }
 
 // NetLockService drives a core.Manager on the testbed: it moves packets
@@ -40,6 +45,9 @@ type pendKey struct {
 type pendingAcq struct {
 	req     Request
 	granted func()
+	// sentNs is the virtual-time submission instant, for the end-to-end
+	// acquire latency stage (recorded only when Obs is enabled).
+	sentNs int64
 }
 
 // NewNetLockService wires a manager into the testbed.
@@ -82,7 +90,11 @@ func (s *NetLockService) PendingAcquires() int { return len(s.pending) }
 // Acquire implements LockService.
 func (s *NetLockService) Acquire(req Request, granted func()) {
 	key := pendKey{req.LockID, req.TxnID}
-	s.pending[key] = &pendingAcq{req: req, granted: granted}
+	p := &pendingAcq{req: req, granted: granted}
+	if s.opts.Obs.Enabled() {
+		p.sentNs = s.tb.Eng.Now()
+	}
+	s.pending[key] = p
 	s.sendAcquire(req)
 	if s.tb.Cfg.RetryTimeoutNs > 0 {
 		s.armRetry(key)
@@ -207,6 +219,24 @@ func (s *NetLockService) routeServerEmit(e lockserver.Emit) {
 		s.tb.Eng.After(s.tb.Cfg.HopNs, s.dbFrom(h))
 	case lockserver.ActPush:
 		s.tb.Eng.After(s.tb.Cfg.HopNs, func() { s.switchArrive(h) })
+	case lockserver.ActReject:
+		// Bounded server buffer full: back off and retry, like a quota
+		// reject from the switch.
+		s.tb.Eng.After(s.tb.Cfg.HopNs, func() {
+			s.toClient(h, func() {
+				key := pendKey{h.LockID, h.TxnID}
+				p, ok := s.pending[key]
+				if !ok {
+					return
+				}
+				backoff := int64(20_000) + s.tb.Rng.Int63n(20_000)
+				s.tb.Eng.After(backoff, func() {
+					if _, still := s.pending[key]; still {
+						s.sendAcquire(p.req)
+					}
+				})
+			})
+		})
 	}
 }
 
@@ -223,6 +253,9 @@ func (s *NetLockService) resolve(h wire.Header) {
 		return
 	}
 	delete(s.pending, key)
+	if o := s.opts.Obs; o.Enabled() && p.sentNs != 0 {
+		o.Observe(obs.StageAcquireE2E, s.tb.Eng.Now()-p.sentNs)
+	}
 	p.granted()
 }
 

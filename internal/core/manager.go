@@ -29,9 +29,14 @@ import (
 
 	"netlock/internal/lockserver"
 	"netlock/internal/memalloc"
+	"netlock/internal/obs"
 	"netlock/internal/switchdp"
 	"netlock/internal/wire"
 )
+
+// ErrNoCapacity reports that the switch cannot host a lock: the lock table
+// or the shared queue memory is exhausted.
+var ErrNoCapacity = errors.New("no switch capacity")
 
 // Config assembles a NetLock instance.
 type Config struct {
@@ -50,6 +55,11 @@ type Config struct {
 	// ServerConfig configures each lock server; Priorities is forced to
 	// match the switch.
 	ServerConfig lockserver.Config
+	// Obs, when non-nil, instruments this instance's switch and servers. A
+	// core.Manager is single-threaded, so one stripe serves the whole
+	// instance; concurrent instances (the embedded shards) each get their
+	// own stripe.
+	Obs *obs.Stripe
 }
 
 // Manager is one NetLock instance: a switch plus lock servers and the
@@ -92,6 +102,14 @@ func New(cfg Config) *Manager {
 	}
 	if cfg.ServerConfig.DefaultLeaseNs == 0 {
 		cfg.ServerConfig.DefaultLeaseNs = cfg.Switch.DefaultLeaseNs
+	}
+	if cfg.Obs != nil {
+		if cfg.Switch.Obs == nil {
+			cfg.Switch.Obs = cfg.Obs
+		}
+		if cfg.ServerConfig.Obs == nil {
+			cfg.ServerConfig.Obs = cfg.Obs
+		}
 	}
 	sw := switchdp.New(cfg.Switch)
 	m := &Manager{
@@ -312,6 +330,43 @@ func (m *Manager) Reallocate(demands []memalloc.Demand, alloc Allocator) Report 
 	return report
 }
 
+// PreinstallLock makes a lock switch-resident ahead of traffic (warmup): it
+// reserves the requested slot count (rounded up to one slot per priority
+// bank) and installs the lock without waiting for a measurement window.
+// When the lock table or queue memory cannot fit it, the error wraps
+// ErrNoCapacity; a lock that is busy draining at its server returns a plain
+// error and can be retried. A lock already resident is a no-op. The returned
+// report carries any emits and switch pushes the caller must deliver (only
+// possible for locks that were mid-move; a cold lock produces none).
+func (m *Manager) PreinstallLock(id uint32, slots uint64) (Report, error) {
+	var report Report
+	if m.sw.CtrlHasLock(id) {
+		return report, nil
+	}
+	banks := uint64(len(m.allocators))
+	if slots < banks {
+		slots = banks
+	}
+	if m.sw.CtrlFreeEntries() == 0 {
+		return report, fmt.Errorf("core: %w: lock table full (%d locks)",
+			ErrNoCapacity, m.cfg.Switch.MaxLocks)
+	}
+	if slots > m.FreeSlots() {
+		return report, fmt.Errorf("core: %w: %d slots requested, %d free",
+			ErrNoCapacity, slots, m.FreeSlots())
+	}
+	m.moveAbortEmits = nil
+	if !m.installLock(id, slots, &report) {
+		report.Emits = append(report.Emits, m.moveAbortEmits...)
+		m.moveAbortEmits = nil
+		return report, fmt.Errorf("core: lock %d not installed (busy at its server, or queue memory fragmented)", id)
+	}
+	report.Emits = append(report.Emits, m.moveAbortEmits...)
+	m.moveAbortEmits = nil
+	report.Installed = append(report.Installed, id)
+	return report, nil
+}
+
 // removeResident drains a lock off the switch and hands it to its server,
 // returning false if the lock's queues are not empty.
 func (m *Manager) removeResident(id uint32, report *Report) bool {
@@ -519,6 +574,17 @@ func (m *Manager) FreeSlots() uint64 {
 func (m *Manager) FailSwitch() {
 	m.swFailed = true
 	m.sw.CtrlReset()
+	m.noteFailover(obs.FailoverSwitchDown)
+}
+
+// noteFailover records one failure-handling transition.
+func (m *Manager) noteFailover(code int64) {
+	if o := m.cfg.Obs; o != nil {
+		o.Inc(obs.CtrFailovers)
+		if o.Tracing() {
+			o.Trace(obs.TraceEvent{Event: obs.EvFailover, Arg: code})
+		}
+	}
 }
 
 // RestartSwitch reactivates the switch: the control plane (this manager)
@@ -546,6 +612,7 @@ func (m *Manager) RestartSwitch() {
 		}
 	}
 	m.swFailed = false
+	m.noteFailover(obs.FailoverSwitchUp)
 }
 
 // FailServer reassigns all locks owned by a failed server to another server
@@ -568,6 +635,7 @@ func (m *Manager) FailServer(failed, replacement int) {
 		dst.CtrlAdoptLock(id)
 	}
 	m.serverRedirect[failed] = replacement
+	m.noteFailover(obs.FailoverServer)
 }
 
 // ServerForIndex resolves redirects starting from a raw partition index.

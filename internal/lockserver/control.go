@@ -3,6 +3,7 @@ package lockserver
 import (
 	"fmt"
 
+	"netlock/internal/obs"
 	"netlock/internal/wire"
 )
 
@@ -210,6 +211,13 @@ func (s *Server) CtrlScanExpired(now int64) []Emit {
 				// would consume a live holder's hold count.
 				if e.granted && e.lease != 0 && e.lease < now {
 					s.stats.ExpiredReleases++
+					if o := s.cfg.Obs; o != nil {
+						o.Inc(obs.CtrLeaseExpiries)
+						if o.Tracing() {
+							o.Trace(obs.TraceEvent{Event: obs.EvLeaseExpiry,
+								LockID: id, TxnID: e.hdr.TxnID, Tenant: e.hdr.TenantID})
+						}
+					}
 					rel := wire.Header{
 						Op:       wire.OpRelease,
 						Mode:     e.hdr.Mode,

@@ -33,6 +33,7 @@ package lockserver
 import (
 	"fmt"
 
+	"netlock/internal/obs"
 	"netlock/internal/wire"
 )
 
@@ -54,9 +55,16 @@ const (
 	// flight while the lock moved into the switch — back to the switch,
 	// which now owns them.
 	ActPush
+	// ActReject bounces a request to the client: the server's bounded
+	// buffer (Config.MaxBuffer) is full. The wire header carries OpReject
+	// with FlagOverflow to distinguish it from a quota reject.
+	ActReject
 )
 
-var actionNames = map[Action]string{ActGrant: "grant", ActFetch: "fetch", ActExpired: "expired", ActPush: "push"}
+var actionNames = map[Action]string{
+	ActGrant: "grant", ActFetch: "fetch", ActExpired: "expired",
+	ActPush: "push", ActReject: "reject",
+}
 
 // String returns the action name.
 func (a Action) String() string {
@@ -81,13 +89,23 @@ type Config struct {
 	DefaultLeaseNs int64
 	// Now supplies time for leases; defaults to constant zero.
 	Now func() int64
+	// MaxBuffer, when positive, bounds each per-(lock, priority) queue and
+	// overflow buffer (q2). A request arriving at a full buffer is rejected
+	// back to the client (ActReject, OpReject+FlagOverflow) instead of
+	// queued. Zero keeps the paper's DRAM-is-plentiful default: unbounded.
+	MaxBuffer int
+	// Obs, when non-nil, receives the server's grant counters and
+	// queue-wait latency samples.
+	Obs *obs.Stripe
 }
 
 // entry is one queued request: the original acquire header plus its stamped
-// lease expiry and whether it has been granted.
+// lease expiry, whether it has been granted, and its arrival time (for the
+// queue-wait measurement; stamped only when Obs is enabled).
 type entry struct {
 	hdr     wire.Header
 	lease   int64
+	arrived int64
 	granted bool
 }
 
@@ -139,6 +157,7 @@ type Stats struct {
 	Pushed          uint64 // q2 entries pushed to the switch
 	OvfClears       uint64
 	ExpiredReleases uint64
+	Rejected        uint64 // requests bounced off a full bounded buffer
 	// ForwardedToSwitch counts requests that arrived for locks this server
 	// no longer owns (in flight across a migration) and were sent back.
 	ForwardedToSwitch uint64
@@ -188,6 +207,18 @@ func (s *Server) emit(a Action, h wire.Header) {
 	s.emits = append(s.emits, Emit{Action: a, Hdr: h})
 }
 
+// reject bounces a request off a full bounded buffer (Config.MaxBuffer).
+func (s *Server) reject(h *wire.Header) {
+	s.stats.Rejected++
+	if o := s.cfg.Obs; o != nil {
+		o.Inc(obs.CtrRejects)
+	}
+	r := *h
+	r.Op = wire.OpReject
+	r.Flags |= wire.FlagOverflow
+	s.emit(ActReject, r)
+}
+
 // ProcessPacket handles one NetLock packet addressed to this server and
 // returns the emitted packets. The returned slice is valid until the next
 // call.
@@ -224,12 +255,20 @@ func (s *Server) acquire(h *wire.Header) {
 		// Move in progress: pause enqueuing (§4.3). The request is
 		// buffered and pushed to the switch when the move completes.
 		b := s.bankFor(h.Priority)
+		if s.cfg.MaxBuffer > 0 && len(lo.q2[b]) >= s.cfg.MaxBuffer {
+			s.reject(h)
+			return
+		}
 		e := *h
 		lo.q2[b] = append(lo.q2[b], entry{hdr: e})
 		s.stats.Buffered++
 		return
 	}
 	b := s.bankFor(h.Priority)
+	if s.cfg.MaxBuffer > 0 && len(lo.queues[b]) >= s.cfg.MaxBuffer {
+		s.reject(h)
+		return
+	}
 	lo.reqs++
 	lo.current++
 	if lo.current > lo.peak {
@@ -252,7 +291,11 @@ func (s *Server) acquire(h *wire.Header) {
 		nexclHigher += lo.excl[hb]
 	}
 	granted := lo.held == 0 || (!lo.heldX && !excl && nexclHigher == 0 && lo.wait[b] == 0)
-	lo.queues[b] = append(lo.queues[b], entry{hdr: *h, lease: lease, granted: granted})
+	ent := entry{hdr: *h, lease: lease, granted: granted}
+	if !granted && s.cfg.Obs.Enabled() {
+		ent.arrived = s.cfg.Now()
+	}
+	lo.queues[b] = append(lo.queues[b], ent)
 	if excl {
 		lo.excl[b]++
 	}
@@ -269,6 +312,14 @@ func (s *Server) acquire(h *wire.Header) {
 
 // emitGrant produces the grant (or one-RTT fetch) for a request header.
 func (s *Server) emitGrant(h wire.Header, lease int64) {
+	if o := s.cfg.Obs; o != nil {
+		o.Inc(obs.CtrGrants)
+		o.TenantGrant(h.TenantID)
+		if o.Tracing() {
+			o.Trace(obs.TraceEvent{Event: obs.EvGrant, LockID: h.LockID,
+				TxnID: h.TxnID, Tenant: h.TenantID})
+		}
+	}
 	h.LeaseNs = lease
 	if h.Flags&wire.FlagOneRTT != 0 {
 		h.Op = wire.OpFetch
@@ -332,6 +383,7 @@ func (s *Server) release(h *wire.Header) {
 			gq[0].granted = true
 			lo.wait[gb]--
 			s.stats.GrantsQueued++
+			s.observeQueueWait(&gq[0])
 			s.emitGrant(gq[0].hdr, gq[0].lease)
 			return
 		}
@@ -343,10 +395,21 @@ func (s *Server) release(h *wire.Header) {
 			lo.wait[gb]--
 			lo.held++
 			s.stats.GrantsQueued++
+			s.observeQueueWait(&gq[i])
 			s.emitGrant(gq[i].hdr, gq[i].lease)
 		}
 		return
 	}
+}
+
+// observeQueueWait records how long a queued entry waited before its grant
+// (the paper's server queueing delay). Entries granted on arrival never
+// record: e.arrived is stamped only for requests that actually waited.
+func (s *Server) observeQueueWait(e *entry) {
+	if e.arrived == 0 {
+		return
+	}
+	s.cfg.Obs.Observe(obs.StageServerQueue, s.cfg.Now()-e.arrived)
 }
 
 // bufferOverflow handles an overflow-marked request for a switch-resident
@@ -381,6 +444,10 @@ func (s *Server) bufferOverflow(h *wire.Header) {
 		p.Flags &^= wire.FlagOverflow
 		p.Flags |= wire.FlagBounced
 		s.emit(ActPush, p)
+		return
+	}
+	if s.cfg.MaxBuffer > 0 && len(lo.q2[b]) >= s.cfg.MaxBuffer {
+		s.reject(h)
 		return
 	}
 	lo.buffering[b] = true

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sync/atomic"
+
+	"netlock/internal/stats"
+)
+
+// NumTenants is the tenant ID space tracked by the per-tenant grant
+// counters, matching the 8-bit TenantID of the wire header and the paper's
+// per-tenant meter table.
+const NumTenants = 256
+
+// Config sizes a Registry.
+type Config struct {
+	// Stripes is the number of independent write stripes, typically the
+	// shard count of the instrumented instance (>= 1). Default 1.
+	Stripes int
+	// Tracer, when non-nil, receives trace events from every stripe.
+	Tracer Tracer
+}
+
+// Registry is the metrics store: Stripes() hand out lock-free write handles
+// and Snapshot() merges them. A nil *Registry is a valid disabled registry:
+// it hands out nil stripes and empty snapshots.
+type Registry struct {
+	stripes []*Stripe
+}
+
+// New builds a registry with the given striping.
+func New(cfg Config) *Registry {
+	if cfg.Stripes < 1 {
+		cfg.Stripes = 1
+	}
+	r := &Registry{}
+	for i := 0; i < cfg.Stripes; i++ {
+		r.stripes = append(r.stripes, &Stripe{tracer: cfg.Tracer})
+	}
+	return r
+}
+
+// Stripe returns write handle i (mod the stripe count), nil for a nil
+// registry. Components hold the *Stripe directly so the disabled check is a
+// single nil comparison in their hot path.
+func (r *Registry) Stripe(i int) *Stripe {
+	if r == nil {
+		return nil
+	}
+	return r.stripes[i%len(r.stripes)]
+}
+
+// NumStripes returns the stripe count (0 for a nil registry).
+func (r *Registry) NumStripes() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.stripes)
+}
+
+// Snapshot merges every stripe into one consistent-enough view. It never
+// blocks writers; each atomic is loaded exactly once.
+func (r *Registry) Snapshot() *Snapshot {
+	sn := NewSnapshot()
+	if r == nil {
+		return sn
+	}
+	for _, s := range r.stripes {
+		for c := 0; c < int(NumCounters); c++ {
+			sn.Counters[c] += s.counters[c].Load()
+		}
+		for t := 0; t < NumTenants; t++ {
+			sn.TenantGrants[t] += s.tenants[t].Load()
+		}
+		for st := 0; st < int(NumStages); st++ {
+			s.hists[st].AddTo(&sn.Stages[st])
+		}
+	}
+	return sn
+}
+
+// Stripe is one lock-free write handle. All methods are safe for concurrent
+// use and are nil-receiver safe: a nil stripe is the disabled registry, and
+// every method degenerates to a single branch.
+type Stripe struct {
+	counters [NumCounters]atomic.Uint64
+	tenants  [NumTenants]atomic.Uint64
+	hists    [NumStages]AtomicHist
+	tracer   Tracer
+}
+
+// Inc adds one to counter c.
+func (s *Stripe) Inc(c Counter) {
+	if s == nil {
+		return
+	}
+	s.counters[c].Add(1)
+}
+
+// Add adds n to counter c.
+func (s *Stripe) Add(c Counter, n uint64) {
+	if s == nil {
+		return
+	}
+	s.counters[c].Add(n)
+}
+
+// TenantGrant counts one grant for tenant t (per-tenant throughput,
+// Figure 12's series).
+func (s *Stripe) TenantGrant(t uint8) {
+	if s == nil {
+		return
+	}
+	s.tenants[t].Add(1)
+}
+
+// Observe records a latency sample (nanoseconds) into stage st.
+func (s *Stripe) Observe(st Stage, ns int64) {
+	if s == nil {
+		return
+	}
+	s.hists[st].Record(ns)
+}
+
+// Trace emits a trace event to the registry's tracer, if any.
+func (s *Stripe) Trace(ev TraceEvent) {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.tracer.Trace(ev)
+}
+
+// Tracing reports whether a tracer is attached; components use it to skip
+// building TraceEvent values nobody will see.
+func (s *Stripe) Tracing() bool { return s != nil && s.tracer != nil }
+
+// Enabled reports whether the stripe records anything (false only for nil).
+func (s *Stripe) Enabled() bool { return s != nil }
+
+// AtomicHist is a lock-free histogram sharing stats.Histogram's HDR bucket
+// geometry: recording is one atomic add, and AddTo converts to a
+// stats.Histogram by replaying each bucket at its upper bound, which lands
+// in the same bucket and so stays within the histogram's usual bounded
+// relative error.
+type AtomicHist struct {
+	counts [stats.NumBuckets]atomic.Uint64
+}
+
+// Record adds one observation.
+func (h *AtomicHist) Record(v int64) {
+	h.counts[stats.BucketIndex(v)].Add(1)
+}
+
+// AddTo merges the histogram's counts into dst.
+func (h *AtomicHist) AddTo(dst *stats.Histogram) {
+	for i := range h.counts {
+		if n := h.counts[i].Load(); n > 0 {
+			dst.RecordN(stats.BucketBound(i), int64(n))
+		}
+	}
+}

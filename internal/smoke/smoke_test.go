@@ -8,13 +8,19 @@ package smoke
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
 	"time"
+
+	"netlock"
+	"netlock/internal/transport"
 )
 
 // mains lists every main package in the repository.
@@ -115,16 +121,21 @@ func TestNetlockdLockclientEndToEnd(t *testing.T) {
 		daemon.Wait()
 	}()
 
-	// The daemon announces "netlockd: switch on <addr>" once it is up.
-	var addr string
+	// The daemon announces its metrics endpoint and then
+	// "netlockd: switch on <addr>" once it is up.
+	var addr, metricsURL string
 	sc := bufio.NewScanner(stdout)
 	for sc.Scan() {
+		fmt.Sscanf(sc.Text(), "netlockd: metrics on %s", &metricsURL)
 		if _, err := fmt.Sscanf(sc.Text(), "netlockd: switch on %s", &addr); err == nil {
 			break
 		}
 	}
 	if addr == "" {
 		t.Fatalf("netlockd never announced its switch address")
+	}
+	if metricsURL == "" {
+		t.Fatalf("netlockd never announced its metrics endpoint")
 	}
 
 	out, err := exec.CommandContext(ctx, bins["cmd/lockclient"],
@@ -136,5 +147,78 @@ func TestNetlockdLockclientEndToEnd(t *testing.T) {
 	m := regexp.MustCompile(`grants: (\d+)`).FindSubmatch(out)
 	if m == nil || string(m[1]) == "0" {
 		t.Fatalf("lockclient completed without grants:\n%s", out)
+	}
+
+	// Context cancellation mid-acquire against the live daemon: hold a lock
+	// with one client, cancel a second client's blocked acquire, and expect
+	// a prompt context.Canceled — not a hang or a timeout.
+	c1, err := transport.NewClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := transport.NewClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	hctx, hcancel := context.WithTimeout(ctx, 5*time.Second)
+	hold, err := c1.Acquire(hctx, 999, netlock.Exclusive)
+	hcancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, ccancel := context.WithCancel(context.Background())
+	acqDone := make(chan error, 1)
+	go func() {
+		_, err := c2.Acquire(cctx, 999, netlock.Exclusive)
+		acqDone <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	ccancel()
+	select {
+	case err := <-acqDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled acquire: want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled acquire never returned")
+	}
+	hold.Release()
+
+	// The metrics endpoint serves Prometheus text with the per-stage
+	// histograms, paper-aligned counters and occupancy gauges.
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		t.Fatalf("scrape metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"netlock_switch_pass_ns_bucket",
+		"netlock_server_queue_wait_ns_count",
+		"netlock_acquire_e2e_ns_sum",
+		"netlock_acquires_total",
+		"netlock_grants_total",
+		"netlock_resubmits_total",
+		"netlock_overflows_total",
+		"netlock_tenant_grants_total",
+		"netlock_switch_slots_in_use",
+		"netlock_switch_resident_locks",
+		"netlock_switch_free_entries",
+		"netlock_switch_pending_acquires",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics scrape missing %q", want)
+		}
+	}
+	// The benchmark traffic must have shown up as non-zero grant counters.
+	gm := regexp.MustCompile(`netlock_grants_total (\d+)`).FindStringSubmatch(text)
+	if gm == nil || gm[1] == "0" {
+		t.Errorf("metrics scrape shows no grants:\n%s", text)
 	}
 }

@@ -55,6 +55,30 @@ func (h *Histogram) Record(v int64) {
 	h.counts[idx]++
 }
 
+// NumBuckets is the number of buckets in a Histogram. Exported so external
+// collectors (internal/obs) can mirror the bucket geometry with atomic
+// counters and convert back losslessly via RecordN(BucketBound(i), n).
+const NumBuckets = 64 * subBuckets / 2
+
+// BucketIndex returns the bucket index Record uses for value v, clamped to
+// the histogram's range exactly as Record clamps it.
+func BucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	idx := index(v)
+	if idx >= NumBuckets {
+		idx = NumBuckets - 1
+	}
+	return idx
+}
+
+// BucketBound returns the largest value mapping to bucket i, i.e. the
+// bucket's inclusive upper bound. Feeding BucketBound(i) back into Record
+// lands in bucket i again, which is what keeps AtomicHist -> Histogram
+// conversion within the histogram's usual relative error.
+func BucketBound(i int) int64 { return bucketUpperBound(i) }
+
 // index is the canonical value->bucket mapping used by Record.
 func index(v int64) int {
 	if v < subBuckets {

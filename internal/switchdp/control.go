@@ -3,6 +3,7 @@ package switchdp
 import (
 	"fmt"
 
+	"netlock/internal/obs"
 	"netlock/internal/sharedqueue"
 	"netlock/internal/wire"
 )
@@ -92,6 +93,21 @@ func (sw *Switch) CtrlResidentLocks() []uint32 {
 // CtrlFreeEntries returns the number of free lock-table entries.
 func (sw *Switch) CtrlFreeEntries() int { return len(sw.freeIdx) }
 
+// CtrlSlotsInUse returns the number of queue slots currently occupied across
+// all resident locks and priority banks — the "slots in use" gauge the
+// paper's memory manager sizes regions against.
+func (sw *Switch) CtrlSlotsInUse() uint64 {
+	var total uint64
+	for _, id := range sw.lockTable.CtrlKeys() {
+		qiRaw, _ := sw.lockTable.Lookup(id)
+		qi := int(qiRaw)
+		for b := range sw.banks {
+			total += sw.banks[b].CtrlState(qi).Count
+		}
+	}
+	return total
+}
+
 // LockState is a control-plane snapshot of one lock.
 type LockState struct {
 	LockID   uint32
@@ -180,6 +196,13 @@ func (sw *Switch) CtrlScanExpired(now int64) []wire.Header {
 			s := sw.banks[b].CtrlReadSlot(g)
 			if s.Granted && s.LeaseNs != 0 && s.LeaseNs < now {
 				sw.stats.ExpiredReleases++
+				if o := sw.cfg.Obs; o != nil {
+					o.Inc(obs.CtrLeaseExpiries)
+					if o.Tracing() {
+						o.Trace(obs.TraceEvent{Event: obs.EvLeaseExpiry,
+							LockID: id, TxnID: s.TxnID, Tenant: s.Tenant})
+					}
+				}
 				h := wire.Header{
 					Op:       wire.OpRelease,
 					LockID:   id,

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"netlock/internal/obs"
 	"netlock/internal/p4sim"
 	"netlock/internal/sharedqueue"
 	"netlock/internal/wire"
@@ -108,6 +109,11 @@ type Config struct {
 	// Now supplies time in nanoseconds for meters and leases. Required if
 	// Isolation or DefaultLeaseNs is set; defaults to a constant zero.
 	Now func() int64
+	// Obs, when non-nil, receives the switch's counters, per-pass latency
+	// samples, and trace events. The switch owns the request/disposition
+	// counters (acquires, releases, resubmits, overflows, rejects): the ToR
+	// sees every request exactly once.
+	Obs *obs.Stripe
 }
 
 // DefaultConfig mirrors the prototype: 100K slots, single priority.
@@ -219,8 +225,8 @@ func New(cfg Config) *Switch {
 	// models the hardware's finite SRAM.
 	perBlock := (bankSlots + numSlotStages - 1) / numSlotStages
 	need := make([]int, 12)
-	need[0] = P * 3 * cfg.MaxLocks // left, right, ovf
-	need[1] = P * cfg.MaxLocks     // count
+	need[0] = P * 3 * cfg.MaxLocks            // left, right, ovf
+	need[1] = P * cfg.MaxLocks                // count
 	need[2] = 2*P*cfg.MaxLocks + cfg.MaxLocks // excl, wait, cmax
 	need[3] = cfg.MaxLocks
 	need[4] = P * cfg.MaxLocks
@@ -304,6 +310,44 @@ func (sw *Switch) bankFor(prio uint8) int {
 // accounting; the testbed charges switch service time per pass). The
 // returned slice is valid until the next call.
 func (sw *Switch) ProcessPacket(h *wire.Header) ([]Emit, int) {
+	o := sw.cfg.Obs
+	if o == nil {
+		return sw.processPacket(h)
+	}
+	if o.Tracing() {
+		o.Trace(obs.TraceEvent{Event: obs.EvPacketIn, LockID: h.LockID,
+			TxnID: h.TxnID, Tenant: h.TenantID, Arg: int64(h.Op)})
+	}
+	start := obs.Now()
+	emits, passes := sw.processPacket(h)
+	ns := obs.Since(start)
+	o.Observe(obs.StageSwitchPass, ns)
+	switch h.Op {
+	case wire.OpAcquire:
+		o.Inc(obs.CtrAcquires)
+	case wire.OpRelease:
+		o.Inc(obs.CtrReleases)
+	}
+	if passes > 1 {
+		o.Add(obs.CtrResubmits, uint64(passes-1))
+	}
+	if o.Tracing() {
+		o.Trace(obs.TraceEvent{Event: obs.EvSwitchPass, LockID: h.LockID,
+			TxnID: h.TxnID, Tenant: h.TenantID, Arg: ns})
+		if passes > 1 {
+			o.Trace(obs.TraceEvent{Event: obs.EvResubmit, LockID: h.LockID,
+				TxnID: h.TxnID, Tenant: h.TenantID, Arg: int64(passes - 1)})
+		}
+		if h.Op == wire.OpRelease {
+			o.Trace(obs.TraceEvent{Event: obs.EvRelease, LockID: h.LockID,
+				TxnID: h.TxnID, Tenant: h.TenantID})
+		}
+	}
+	return emits, passes
+}
+
+// processPacket is the uninstrumented data-plane dispatch.
+func (sw *Switch) processPacket(h *wire.Header) ([]Emit, int) {
 	sw.emits = sw.emits[:0]
 	switch h.Op {
 	case wire.OpAcquire:
@@ -370,6 +414,25 @@ func (sw *Switch) ProcessPacket(h *wire.Header) ([]Emit, int) {
 }
 
 func (sw *Switch) emit(a Action, h wire.Header) {
+	if o := sw.cfg.Obs; o != nil {
+		switch a {
+		case ActGrant, ActFetch:
+			o.Inc(obs.CtrGrants)
+			o.TenantGrant(h.TenantID)
+			if o.Tracing() {
+				o.Trace(obs.TraceEvent{Event: obs.EvGrant, LockID: h.LockID,
+					TxnID: h.TxnID, Tenant: h.TenantID})
+			}
+		case ActForwardOverflow:
+			o.Inc(obs.CtrOverflows)
+			if o.Tracing() {
+				o.Trace(obs.TraceEvent{Event: obs.EvOverflow, LockID: h.LockID,
+					TxnID: h.TxnID, Tenant: h.TenantID})
+			}
+		case ActReject:
+			o.Inc(obs.CtrRejects)
+		}
+	}
 	sw.emits = append(sw.emits, Emit{Action: a, Hdr: h})
 }
 

@@ -17,6 +17,8 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -24,7 +26,9 @@ import (
 	"sync"
 	"time"
 
+	"netlock"
 	"netlock/internal/lockserver"
+	"netlock/internal/obs"
 	"netlock/internal/switchdp"
 	"netlock/internal/wire"
 )
@@ -36,10 +40,11 @@ type Switch struct {
 	conn *net.UDPConn
 	dp   *switchdp.Switch
 	now  func() int64
+	o    *obs.Stripe
 
 	mu      sync.Mutex
 	servers []*net.UDPAddr
-	pending map[pendKey]*net.UDPAddr
+	pending map[pendKey]pendingReq
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -48,6 +53,14 @@ type Switch struct {
 type pendKey struct {
 	lock uint32
 	txn  uint64
+}
+
+// pendingReq remembers an acquire awaiting its grant: the requester's UDP
+// address and, when observability is on, the arrival instant — the switch's
+// view of end-to-end acquire latency runs from here to grant delivery.
+type pendingReq struct {
+	addr   *net.UDPAddr
+	sentNs int64
 }
 
 // SwitchConfig configures a switch node.
@@ -81,7 +94,8 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 	s := &Switch{
 		conn:    conn,
 		dp:      switchdp.New(cfg.DataPlane),
-		pending: make(map[pendKey]*net.UDPAddr),
+		o:       cfg.DataPlane.Obs,
+		pending: make(map[pendKey]pendingReq),
 		closed:  make(chan struct{}),
 	}
 	for _, sa := range cfg.Servers {
@@ -140,16 +154,45 @@ func (s *Switch) sweepLoop(interval time.Duration) {
 // Addr returns the switch's bound UDP address.
 func (s *Switch) Addr() string { return s.conn.LocalAddr().String() }
 
-// DataPlane exposes the switch program for control-plane operations
-// (installing locks, quotas, stats).
-func (s *Switch) DataPlane() *switchdp.Switch { return s.dp }
+// WithDataPlane runs fn with exclusive access to the switch program,
+// serialized against packet processing and the control-plane sweep. This is
+// the only way to reach the data plane: control operations (installing
+// locks, quotas) race with the read loop otherwise.
+func (s *Switch) WithDataPlane(fn func(dp *switchdp.Switch)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.dp)
+}
 
-// Lock serializes control-plane access with packet processing; use around
-// DataPlane() calls.
-func (s *Switch) Lock() { s.mu.Lock() }
+// SwitchSnapshot is a consistent point-in-time view of a switch node.
+type SwitchSnapshot struct {
+	// Stats are the data-plane processing counters.
+	Stats switchdp.Stats
+	// ResidentLocks is the number of switch-resident locks.
+	ResidentLocks int
+	// SlotsInUse is the number of occupied shared-queue slots.
+	SlotsInUse uint64
+	// FreeEntries is the number of free lock-table entries.
+	FreeEntries int
+	// PendingAcquires is the number of acquires whose grant has not yet
+	// been delivered to a client.
+	PendingAcquires int
+}
 
-// Unlock releases the control-plane lock.
-func (s *Switch) Unlock() { s.mu.Unlock() }
+// Snapshot captures the switch's counters and occupancy gauges under the
+// same serialization WithDataPlane uses; the observability exporter
+// (cmd/netlockd) builds its gauge set from this.
+func (s *Switch) Snapshot() SwitchSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SwitchSnapshot{
+		Stats:           s.dp.Stats(),
+		ResidentLocks:   len(s.dp.CtrlResidentLocks()),
+		SlotsInUse:      s.dp.CtrlSlotsInUse(),
+		FreeEntries:     s.dp.CtrlFreeEntries(),
+		PendingAcquires: len(s.pending),
+	}
+}
 
 // Close stops the node.
 func (s *Switch) Close() error {
@@ -195,7 +238,15 @@ func (s *Switch) readLoop() {
 			if h.Op == wire.OpAcquire && h.Flags&wire.FlagOverflow == 0 {
 				// Remember the requester for the eventual grant. (Pushes
 				// and overflow re-forwards keep the original entry.)
-				s.pending[pendKey{h.LockID, h.TxnID}] = from
+				p := pendingReq{addr: from}
+				if s.o.Enabled() {
+					p.sentNs = s.now()
+				}
+				// A retransmit must not reset the latency clock.
+				if old, ok := s.pending[pendKey{h.LockID, h.TxnID}]; ok && old.sentNs != 0 {
+					p.sentNs = old.sentNs
+				}
+				s.pending[pendKey{h.LockID, h.TxnID}] = p
 			}
 			emits, _ := s.dp.ProcessPacket(&h)
 			for _, e := range emits {
@@ -227,8 +278,11 @@ func (s *Switch) deliverToClient(h *wire.Header, out *[]byte) {
 		return // duplicate or expired
 	}
 	delete(s.pending, key)
+	if to.sentNs != 0 && h.Op != wire.OpReject {
+		s.o.Observe(obs.StageAcquireE2E, s.now()-to.sentNs)
+	}
 	*out = h.AppendTo((*out)[:0])
-	s.conn.WriteToUDP(*out, to)
+	s.conn.WriteToUDP(*out, to.addr)
 }
 
 // Server is a NetLock lock-server node on a UDP socket.
@@ -450,18 +504,31 @@ func (g *Grant) Release() {
 	})
 }
 
-// Acquire requests a lock and blocks until granted or the timeout expires.
-// Unanswered requests are retransmitted every RetryInterval.
-func (c *Client) Acquire(lockID uint32, mode wire.Mode, timeout time.Duration) (*Grant, error) {
+// Acquire requests a lock and blocks until granted, the context is
+// cancelled, or the client closes. Unanswered requests are retransmitted
+// every RetryInterval. The option set (tenant, priority, lease) is shared
+// with the embedded netlock.Manager, as are the failure sentinels: errors
+// match netlock.ErrClosed, netlock.ErrQuotaExceeded,
+// netlock.ErrQueueOverflow, and — when the context's deadline expired —
+// netlock.ErrTimeout alongside context.DeadlineExceeded.
+func (c *Client) Acquire(ctx context.Context, lockID uint32, mode netlock.Mode, opts ...netlock.AcquireOption) (*Grant, error) {
+	o := netlock.ResolveAcquireOptions(opts...)
+	wm := wire.Shared
+	if mode == netlock.Exclusive {
+		wm = wire.Exclusive
+	}
 	c.mu.Lock()
 	c.nextTxn++
 	txn := c.nextTxn
 	local := c.conn.LocalAddr().(*net.UDPAddr)
 	h := wire.Header{
-		Op:     wire.OpAcquire,
-		Mode:   mode,
-		LockID: lockID,
-		TxnID:  txn,
+		Op:       wire.OpAcquire,
+		Mode:     wm,
+		LockID:   lockID,
+		TxnID:    txn,
+		TenantID: o.Tenant,
+		Priority: o.Priority,
+		LeaseNs:  int64(o.Lease),
 	}
 	if ip4 := local.IP.To4(); ip4 != nil {
 		h.ClientIP, _ = netipAddrFrom4(ip4)
@@ -477,33 +544,56 @@ func (c *Client) Acquire(lockID uint32, mode wire.Mode, timeout time.Duration) (
 		c.mu.Lock()
 		delete(c.waiters, key)
 		c.mu.Unlock()
+		select {
+		case <-c.closed:
+			return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrClosed)
+		default:
+		}
 		return nil, fmt.Errorf("transport: send acquire: %w", err)
 	}
-	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
 	retry := time.NewTicker(c.RetryInterval)
 	defer retry.Stop()
 	for {
 		select {
 		case g, ok := <-ch:
 			if !ok {
-				return nil, fmt.Errorf("transport: client closed")
+				return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrClosed)
 			}
 			if g.Op == wire.OpReject {
-				return nil, fmt.Errorf("transport: lock %d rejected (quota)", lockID)
+				if g.Flags&wire.FlagOverflow != 0 {
+					return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrQueueOverflow)
+				}
+				return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrQuotaExceeded)
 			}
 			return &Grant{c: c, hdr: h}, nil
 		case <-retry.C:
 			c.conn.WriteToUDP(buf, c.switchAddr)
-		case <-deadline.C:
+		case <-ctx.Done():
 			c.mu.Lock()
 			delete(c.waiters, key)
 			c.mu.Unlock()
-			return nil, fmt.Errorf("transport: acquire lock %d: timeout after %v", lockID, timeout)
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return nil, fmt.Errorf("transport: acquire lock %d: %w (%w)", lockID, netlock.ErrTimeout, ctx.Err())
+			}
+			return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, ctx.Err())
 		case <-c.closed:
-			return nil, fmt.Errorf("transport: client closed")
+			return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrClosed)
 		}
 	}
+}
+
+// AcquireTimeout requests a lock with a plain timeout.
+//
+// Deprecated: use Acquire with a context and the shared netlock option set;
+// this shim will be removed after one release.
+func (c *Client) AcquireTimeout(lockID uint32, mode wire.Mode, timeout time.Duration) (*Grant, error) {
+	nm := netlock.Shared
+	if mode == wire.Exclusive {
+		nm = netlock.Exclusive
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.Acquire(ctx, lockID, nm)
 }
 
 // netipAddrFrom4 converts a 4-byte IP into the wire address type.

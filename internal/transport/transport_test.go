@@ -1,10 +1,13 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
+	"netlock"
 	"netlock/internal/lockserver"
 	"netlock/internal/switchdp"
 	"netlock/internal/wire"
@@ -42,9 +45,10 @@ func rack(t *testing.T, n int, dp switchdp.Config) (*Switch, []*Server) {
 // two-sided move core.Manager performs (§4.3).
 func installLock(t *testing.T, sw *Switch, servers []*Server, lockID uint32, region switchdp.Region) {
 	t.Helper()
-	sw.Lock()
-	err := sw.DataPlane().CtrlInstallLock(lockID, []switchdp.Region{region})
-	sw.Unlock()
+	var err error
+	sw.WithDataPlane(func(dp *switchdp.Switch) {
+		err = dp.CtrlInstallLock(lockID, []switchdp.Region{region})
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,17 +77,25 @@ func dpConfig() switchdp.Config {
 
 const timeout = 5 * time.Second
 
+// acquire is the test-side shorthand for a context-first acquire with a
+// deadline.
+func acquire(c *Client, lockID uint32, mode netlock.Mode, d time.Duration) (*Grant, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return c.Acquire(ctx, lockID, mode)
+}
+
 func TestServerPathAcquireRelease(t *testing.T) {
 	sw, _ := rack(t, 2, dpConfig())
 	c := client(t, sw)
 	// No locks are switch-resident: the request flows
 	// client -> switch -> server -> switch -> client.
-	g, err := c.Acquire(1, wire.Exclusive, timeout)
+	g, err := acquire(c, 1, netlock.Exclusive, timeout)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g.Release()
-	g2, err := c.Acquire(1, wire.Exclusive, timeout)
+	g2, err := acquire(c, 1, netlock.Exclusive, timeout)
 	if err != nil {
 		t.Fatalf("reacquire after release: %v", err)
 	}
@@ -94,16 +106,17 @@ func TestSwitchPathAcquireRelease(t *testing.T) {
 	sw, servers := rack(t, 1, dpConfig())
 	installLock(t, sw, servers, 5, switchdp.Region{Left: 0, Right: 8})
 	c := client(t, sw)
-	g, err := c.Acquire(5, wire.Exclusive, timeout)
+	g, err := acquire(c, 5, netlock.Exclusive, timeout)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g.Release()
-	sw.Lock()
-	st := sw.DataPlane().Stats()
-	sw.Unlock()
-	if st.GrantsImmediate != 1 {
-		t.Fatalf("switch should have granted: %+v", st)
+	st := sw.Snapshot()
+	if st.Stats.GrantsImmediate != 1 {
+		t.Fatalf("switch should have granted: %+v", st.Stats)
+	}
+	if st.ResidentLocks != 1 {
+		t.Fatalf("want 1 resident lock, got %d", st.ResidentLocks)
 	}
 }
 
@@ -122,7 +135,7 @@ func TestExclusiveContentionOverUDP(t *testing.T) {
 		go func(c *Client) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
-				g, err := c.Acquire(9, wire.Exclusive, timeout)
+				g, err := acquire(c, 9, netlock.Exclusive, timeout)
 				if err != nil {
 					t.Error(err)
 					return
@@ -153,7 +166,7 @@ func TestSharedConcurrencyOverUDP(t *testing.T) {
 	c := client(t, sw)
 	var grants []*Grant
 	for i := 0; i < 10; i++ {
-		g, err := c.Acquire(3, wire.Shared, timeout)
+		g, err := acquire(c, 3, netlock.Shared, timeout)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +194,7 @@ func TestOverflowOverUDP(t *testing.T) {
 		go func(c *Client) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				g, err := c.Acquire(7, wire.Exclusive, timeout)
+				g, err := acquire(c, 7, netlock.Exclusive, timeout)
 				if err != nil {
 					t.Error(err)
 					return
@@ -191,11 +204,9 @@ func TestOverflowOverUDP(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
-	sw.Lock()
-	st := sw.DataPlane().Stats()
-	sw.Unlock()
-	if st.Overflows == 0 {
-		t.Fatalf("overflow path not exercised: %+v", st)
+	st := sw.Snapshot()
+	if st.Stats.Overflows == 0 {
+		t.Fatalf("overflow path not exercised: %+v", st.Stats)
 	}
 }
 
@@ -203,12 +214,60 @@ func TestAcquireTimeout(t *testing.T) {
 	sw, _ := rack(t, 1, dpConfig())
 	c1 := client(t, sw)
 	c2 := client(t, sw)
-	g, err := c1.Acquire(11, wire.Exclusive, timeout)
+	g, err := acquire(c1, 11, netlock.Exclusive, timeout)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c2.Acquire(11, wire.Exclusive, 100*time.Millisecond); err == nil {
+	_, err = acquire(c2, 11, netlock.Exclusive, 100*time.Millisecond)
+	if err == nil {
 		t.Fatalf("blocked acquire should time out")
+	}
+	if !errors.Is(err, netlock.ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded in chain, got %v", err)
+	}
+	g.Release()
+}
+
+// TestAcquireCancel covers explicit context cancellation mid-acquire: the
+// call must return promptly with a ctx error, not wait for a timeout.
+func TestAcquireCancel(t *testing.T) {
+	sw, _ := rack(t, 1, dpConfig())
+	c1 := client(t, sw)
+	c2 := client(t, sw)
+	g, err := acquire(c1, 13, netlock.Exclusive, timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c2.Acquire(ctx, 13, netlock.Exclusive)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled acquire did not return")
+	}
+}
+
+// TestAcquireTimeoutShim exercises the deprecated duration-based entry
+// point, which must keep working for one release.
+func TestAcquireTimeoutShim(t *testing.T) {
+	sw, _ := rack(t, 1, dpConfig())
+	c := client(t, sw)
+	g, err := c.AcquireTimeout(15, wire.Exclusive, timeout)
+	if err != nil {
+		t.Fatal(err)
 	}
 	g.Release()
 }
@@ -247,4 +306,18 @@ func TestCloseIdempotent(t *testing.T) {
 	sw.Close()
 	servers[0].Close()
 	servers[0].Close()
+}
+
+// TestClosedClientSentinel: acquiring on a closed client returns ErrClosed.
+func TestClosedClientSentinel(t *testing.T) {
+	sw, _ := rack(t, 1, dpConfig())
+	c, err := NewClient(sw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	_, err = acquire(c, 1, netlock.Exclusive, time.Second)
+	if !errors.Is(err, netlock.ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
 }

@@ -45,6 +45,7 @@ import (
 
 	"netlock/internal/core"
 	"netlock/internal/lockserver"
+	"netlock/internal/obs"
 	"netlock/internal/p4sim"
 	"netlock/internal/switchdp"
 	"netlock/internal/wire"
@@ -114,6 +115,23 @@ type Config struct {
 	// knapsack-allocate, migrate locks) at this period. Zero disables the
 	// automatic loop; PlacementTick can still be called manually.
 	PlacementInterval time.Duration
+	// Metrics enables the observability layer: per-stage latency
+	// histograms (switch pass, server queue wait, end-to-end acquire) and
+	// paper-aligned counters, striped per shard and read via
+	// Manager.Metrics(). Off by default; disabled, the hot path pays one
+	// predictable branch per layer. Enabled, the steady-state
+	// acquire/release path stays allocation-free.
+	Metrics bool
+	// Tracer, when non-nil, receives per-event callbacks (packet-in,
+	// switch pass, resubmit, overflow, grant, release, lease expiry,
+	// failover) from every layer. Setting a Tracer implies Metrics.
+	// Callbacks run inline on the hot path and must not block.
+	Tracer obs.Tracer
+	// ServerOverflowLimit, when positive, bounds each lock server's
+	// per-(lock, priority) queue and overflow buffer; requests arriving at
+	// a full buffer fail with ErrQueueOverflow. Zero keeps the paper's
+	// default: server DRAM is plentiful, buffers are unbounded.
+	ServerOverflowLimit int
 }
 
 func (c Config) withDefaults() Config {
@@ -144,39 +162,66 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Errors returned by Acquire.
+// Sentinel errors shared by every NetLock front end: the embedded Manager
+// and the UDP transport.Client return the same values, so callers match with
+// errors.Is regardless of which plane they run on.
 var (
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("netlock: manager closed")
 	// ErrQuotaExceeded is returned when the tenant's quota rejects the
 	// request (isolation policy); callers should back off and retry.
 	ErrQuotaExceeded = errors.New("netlock: tenant quota exceeded")
+	// ErrTimeout is returned when an acquire's context deadline expires
+	// before the grant arrives.
+	ErrTimeout = errors.New("netlock: acquire timed out")
+	// ErrQueueOverflow is returned when a bounded server buffer
+	// (Config.ServerOverflowLimit) rejects the request; callers should
+	// back off and retry.
+	ErrQueueOverflow = errors.New("netlock: server queue overflow")
+	// ErrNoCapacity is returned by Preinstall when the switch cannot host
+	// the lock (lock table or queue memory exhausted).
+	ErrNoCapacity = errors.New("netlock: no switch capacity")
 )
 
-// AcquireOption customizes one acquisition. Options pass the parameter
-// struct by value so applying them never forces a heap allocation on the
-// request path.
-type AcquireOption func(acquireOpts) acquireOpts
+// AcquireOptions are the per-acquisition parameters. Options pass the struct
+// by value so applying them never forces a heap allocation on the request
+// path. The struct is exported so other front ends (internal/transport)
+// share the same option set; most callers use the With* options instead.
+type AcquireOptions struct {
+	// Tenant tags the request for quota enforcement (§4.4).
+	Tenant uint8
+	// Priority requests service at this priority (0 = highest).
+	Priority uint8
+	// Lease overrides the default lease duration (§4.5).
+	Lease time.Duration
+}
 
-type acquireOpts struct {
-	tenant   uint8
-	priority uint8
-	lease    time.Duration
+// AcquireOption customizes one acquisition.
+type AcquireOption func(AcquireOptions) AcquireOptions
+
+// ResolveAcquireOptions folds a list of options into the final parameter
+// struct, shared by every front end.
+func ResolveAcquireOptions(opts ...AcquireOption) AcquireOptions {
+	var o AcquireOptions
+	for _, f := range opts {
+		o = f(o)
+	}
+	return o
 }
 
 // WithTenant tags the request with a tenant for quota enforcement.
 func WithTenant(t uint8) AcquireOption {
-	return func(o acquireOpts) acquireOpts { o.tenant = t; return o }
+	return func(o AcquireOptions) AcquireOptions { o.Tenant = t; return o }
 }
 
 // WithPriority requests service at the given priority (0 = highest).
 func WithPriority(p uint8) AcquireOption {
-	return func(o acquireOpts) acquireOpts { o.priority = p; return o }
+	return func(o AcquireOptions) AcquireOptions { o.Priority = p; return o }
 }
 
 // WithLease overrides the default lease duration for this acquisition.
 func WithLease(d time.Duration) AcquireOption {
-	return func(o acquireOpts) acquireOpts { o.lease = d; return o }
+	return func(o AcquireOptions) AcquireOptions { o.Lease = d; return o }
 }
 
 // Manager is an embedded NetLock instance: the switch data-plane model, the
@@ -188,6 +233,9 @@ type Manager struct {
 	cfg    Config
 	clock  func() int64
 	shards []*shard
+	// obs is the metrics registry, one stripe per shard; nil when
+	// Config.Metrics is off and no Tracer is set.
+	obs *obs.Registry
 
 	closed  atomic.Bool
 	nextTxn atomic.Uint64
@@ -214,6 +262,10 @@ type shard struct {
 	mgr     *core.Manager
 	waiters map[waiterKey]chan wire.Header
 	closed  bool
+	// o is this shard's metrics stripe (nil when observability is off);
+	// the front end records the end-to-end acquire stage on it, the
+	// shard's switch and servers record theirs through core.Config.Obs.
+	o *obs.Stripe
 
 	// Reusable emit stacks for the settle loop. ProcessPacket reuses its
 	// emit slice, so emits must be copied out before recursing; the stacks
@@ -243,6 +295,9 @@ func New(cfg Config) *Manager {
 	if cfg.Isolation {
 		m.meter = p4sim.NewMeter("ingress-tenant-quota", 256)
 	}
+	if cfg.Metrics || cfg.Tracer != nil {
+		m.obs = obs.New(obs.Config{Stripes: cfg.Shards, Tracer: cfg.Tracer})
+	}
 	// Partition the switch resources evenly: each shard models one
 	// pipeline with its slice of the register space and lock table.
 	perSlots := cfg.SwitchSlots / cfg.Shards
@@ -254,7 +309,7 @@ func New(cfg Config) *Manager {
 		perLocks = 1
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh := &shard{waiters: make(map[waiterKey]chan wire.Header)}
+		sh := &shard{waiters: make(map[waiterKey]chan wire.Header), o: m.obs.Stripe(i)}
 		sh.mgr = core.New(core.Config{
 			PauseBusyMoves: true,
 			Switch: switchdp.Config{
@@ -265,6 +320,10 @@ func New(cfg Config) *Manager {
 				Now:            clock,
 			},
 			Servers: cfg.Servers,
+			ServerConfig: lockserver.Config{
+				MaxBuffer: cfg.ServerOverflowLimit,
+			},
+			Obs: sh.o,
 		})
 		m.shards = append(m.shards, sh)
 	}
@@ -375,17 +434,18 @@ var localClientIP = netip.AddrFrom4([4]byte{127, 0, 0, 1})
 
 // Acquire blocks until the lock is granted, the context is cancelled, or
 // the manager closes. The returned Grant must be released.
+//
+// Failures match the shared sentinels with errors.Is: ErrClosed,
+// ErrQuotaExceeded, ErrQueueOverflow, and — when the context's deadline
+// expired — ErrTimeout (alongside context.DeadlineExceeded).
 func (m *Manager) Acquire(ctx context.Context, lockID uint32, mode Mode, opts ...AcquireOption) (*Grant, error) {
-	var o acquireOpts
-	for _, f := range opts {
-		o = f(o)
-	}
+	o := ResolveAcquireOptions(opts...)
 	if m.closed.Load() {
 		return nil, ErrClosed
 	}
 	if m.cfg.Isolation {
 		m.isoMu.Lock()
-		ok := m.meter.Conforming(int(o.tenant), m.clock())
+		ok := m.meter.Conforming(int(o.Tenant), m.clock())
 		m.isoMu.Unlock()
 		if !ok {
 			m.rejects.Add(1)
@@ -399,13 +459,17 @@ func (m *Manager) Acquire(ctx context.Context, lockID uint32, mode Mode, opts ..
 		LockID:   lockID,
 		TxnID:    txn,
 		ClientIP: localClientIP,
-		TenantID: o.tenant,
-		Priority: o.priority,
-		LeaseNs:  int64(o.lease),
+		TenantID: o.Tenant,
+		Priority: o.Priority,
+		LeaseNs:  int64(o.Lease),
 	}
 	ch := m.chanPool.Get().(chan wire.Header)
 	key := waiterKey{lockID, txn}
 	sh := m.shardFor(lockID)
+	var start time.Time
+	if sh.o.Enabled() {
+		start = obs.Now()
+	}
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
@@ -424,14 +488,20 @@ func (m *Manager) Acquire(ctx context.Context, lockID uint32, mode Mode, opts ..
 		}
 		m.chanPool.Put(ch)
 		if g.Op == wire.OpReject {
+			if g.Flags&wire.FlagOverflow != 0 {
+				return nil, ErrQueueOverflow
+			}
 			return nil, ErrQuotaExceeded
+		}
+		if sh.o.Enabled() {
+			sh.o.Observe(obs.StageAcquireE2E, obs.Since(start))
 		}
 		gr := m.grantPool.Get().(*Grant)
 		gr.m = m
 		gr.lockID = lockID
 		gr.txnID = txn
 		gr.mode = mode
-		gr.priority = o.priority
+		gr.priority = o.Priority
 		gr.Expiry = time.Duration(g.LeaseNs)
 		gr.state.Store(grantHeld)
 		return gr, nil
@@ -457,8 +527,45 @@ func (m *Manager) Acquire(ctx context.Context, lockID uint32, mode Mode, opts ..
 		// The request may still be queued or granted inside the data
 		// plane; the lease sweep reclaims it. A context with no deadline
 		// and no lease would leak the slot, so surface that in the error.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, fmt.Errorf("netlock: acquire lock %d: %w (%w)", lockID, ErrTimeout, ctx.Err())
+		}
 		return nil, fmt.Errorf("netlock: acquire lock %d: %w", lockID, ctx.Err())
 	}
+}
+
+// Preinstall makes a lock switch-resident ahead of traffic (warmup), with
+// the given shared-queue slot count (rounded up to one slot per priority
+// bank). It fails with ErrNoCapacity when the switch's lock table or queue
+// memory cannot host the lock. Already-resident locks are a no-op. The
+// placement loop may later evict preinstalled locks that see no traffic.
+func (m *Manager) Preinstall(lockID uint32, slots int) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	if slots < 0 {
+		return fmt.Errorf("netlock: preinstall lock %d: negative slot count", lockID)
+	}
+	sh := m.shardFor(lockID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return ErrClosed
+	}
+	rep, err := sh.mgr.PreinstallLock(lockID, uint64(slots))
+	// A preinstalled lock can have been mid-move: deliver whatever the
+	// install produced before reporting the outcome.
+	sh.routeServerEmits(rep.Emits)
+	for i := range rep.SwitchPushes {
+		sh.inject(&rep.SwitchPushes[i])
+	}
+	if err != nil {
+		if errors.Is(err, core.ErrNoCapacity) {
+			return fmt.Errorf("netlock: preinstall lock %d: %w", lockID, ErrNoCapacity)
+		}
+		return fmt.Errorf("netlock: preinstall lock %d: %w", lockID, err)
+	}
+	return nil
 }
 
 // inject routes a packet through the shard's switch (and onward to servers)
@@ -503,6 +610,8 @@ func (sh *shard) routeServerEmit(e lockserver.Emit) {
 	switch e.Action {
 	case lockserver.ActGrant, lockserver.ActFetch:
 		sh.deliverGrant(e.Hdr)
+	case lockserver.ActReject:
+		sh.deliverGrant(e.Hdr) // waiter inspects Op and FlagOverflow
 	case lockserver.ActPush:
 		h := e.Hdr
 		sh.inject(&h)
@@ -604,6 +713,7 @@ func addServerStats(dst *lockserver.Stats, s lockserver.Stats) {
 	dst.Pushed += s.Pushed
 	dst.OvfClears += s.OvfClears
 	dst.ExpiredReleases += s.ExpiredReleases
+	dst.Rejected += s.Rejected
 	dst.ForwardedToSwitch += s.ForwardedToSwitch
 }
 
@@ -623,6 +733,33 @@ func (m *Manager) Stats() Stats {
 	m.unlockAll()
 	st.Switch.Rejects += m.rejects.Load()
 	return st
+}
+
+// Metrics returns a merged snapshot of the observability layer: per-stage
+// latency histograms, paper-aligned counters, per-tenant grant counts, and
+// control-plane gauges (slots in use, resident locks, free capacity).
+// Unlike Stats, reading metrics never stops the shards — counters and
+// histograms are collected lock-free; only the gauges briefly take each
+// shard's mutex in turn. With Config.Metrics off, the snapshot contains the
+// gauges and zeros elsewhere.
+func (m *Manager) Metrics() *obs.Snapshot {
+	sn := m.obs.Snapshot()
+	var slotsInUse, freeSlots uint64
+	var resident int
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		if !sh.closed {
+			slotsInUse += sh.mgr.Switch().CtrlSlotsInUse()
+			resident += len(sh.mgr.Switch().CtrlResidentLocks())
+			freeSlots += sh.mgr.FreeSlots()
+		}
+		sh.mu.Unlock()
+	}
+	sn.Counters[obs.CtrRejects] += m.rejects.Load() // ingress quota rejects
+	sn.AddGauge("switch_slots_in_use", "Shared-queue slots currently occupied across all shards.", float64(slotsInUse))
+	sn.AddGauge("switch_resident_locks", "Locks currently resident in the switch data plane.", float64(resident))
+	sn.AddGauge("switch_free_slots", "Unallocated shared-queue capacity.", float64(freeSlots))
+	return sn
 }
 
 // FailSwitch simulates a switch failure: all data-plane state is lost and
