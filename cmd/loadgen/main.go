@@ -1,0 +1,462 @@
+// Command loadgen drives a NetLock rack with acquire/release load through
+// the batched, multiplexed UDP transport and reports throughput and
+// end-to-end acquire latency live.
+//
+// By default it self-hosts a rack in-process (one switch, -servers lock
+// servers, locks 1..-locks switch-resident) and runs a closed loop of
+// -clients x -workers workers, each holding one acquire in flight:
+//
+//	loadgen -duration 10s -workers 128 -locks 64
+//
+// Point it at an external rack (cmd/netlockd) with -switch, or switch to an
+// open loop with -rate, which submits at a fixed aggregate ops/sec
+// independent of completions:
+//
+//	loadgen -switch 127.0.0.1:9000 -rate 500000 -duration 30s
+//
+// -batch 1 disables client-side batching (one datagram per op), which is
+// the baseline the batched transport is measured against:
+//
+//	loadgen -compare            # batched vs unbatched -> BENCH_transport.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netlock"
+	"netlock/internal/lockserver"
+	"netlock/internal/obs"
+	"netlock/internal/switchdp"
+	"netlock/internal/transport"
+)
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.switchAddr, "switch", "", "external switch address (empty: self-host a rack in-process)")
+	flag.IntVar(&cfg.servers, "servers", 2, "self-hosted rack: number of lock servers")
+	flag.IntVar(&cfg.locks, "locks", 64, "lock ID space; self-hosted racks preinstall them in the switch")
+	flag.Uint64Var(&cfg.slotsPerLock, "slots-per-lock", 64, "self-hosted rack: queue slots per preinstalled lock")
+	flag.IntVar(&cfg.clients, "clients", 1, "client sockets; workers are spread across them")
+	flag.IntVar(&cfg.workers, "workers", 128, "closed-loop workers (in-flight acquires) per client")
+	flag.StringVar(&cfg.mode, "mode", "shared", "lock mode: shared, exclusive, or mixed (50/50)")
+	flag.Float64Var(&cfg.rate, "rate", 0, "open-loop aggregate ops/sec (0: closed loop)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measurement duration")
+	flag.IntVar(&cfg.batch, "batch", 0, "client MaxBatch: 0 = full frames, 1 = unbatched baseline")
+	flag.DurationVar(&cfg.flush, "flush", 0, "client flush interval (0: transport default)")
+	report := flag.Duration("report", time.Second, "live readout interval (0 disables)")
+	compare := flag.Bool("compare", false, "run batched vs unbatched back to back and emit a JSON report")
+	out := flag.String("out", "", "JSON output path for -compare ('-' for stdout; default BENCH_transport.json)")
+	quick := flag.Bool("quick", false, "shorter -compare run")
+	flag.Parse()
+
+	if *compare {
+		path := *out
+		if path == "" {
+			path = "BENCH_transport.json"
+		}
+		if err := runCompare(cfg, path, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	res, err := runLoad(cfg, *report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loadgen: %s\n", res)
+}
+
+type loadConfig struct {
+	switchAddr   string
+	servers      int
+	locks        int
+	slotsPerLock uint64
+	clients      int
+	workers      int
+	mode         string
+	rate         float64
+	duration     time.Duration
+	batch        int
+	flush        time.Duration
+}
+
+// result is one measured run.
+type result struct {
+	Ops       uint64  `json:"ops"`
+	Errors    uint64  `json:"errors"`
+	Seconds   float64 `json:"seconds"`
+	MRPS      float64 `json:"mrps"`
+	P50Us     float64 `json:"acquire_p50_us"`
+	P99Us     float64 `json:"acquire_p99_us"`
+	FramesOut uint64  `json:"client_frames_out"`
+	AvgBatch  float64 `json:"client_avg_batch_ops"`
+}
+
+func (r result) String() string {
+	return fmt.Sprintf("%.3f Mops/s (%d ops, %d errs, %.1fs) p50=%.0fus p99=%.0fus avg batch %.1f ops/frame",
+		r.MRPS, r.Ops, r.Errors, r.Seconds, r.P50Us, r.P99Us, r.AvgBatch)
+}
+
+// selfHost brings up an in-process rack and returns the switch address and
+// a shutdown function.
+func selfHost(cfg loadConfig) (string, func(), error) {
+	var srvs []*transport.Server
+	var addrs []string
+	shutdown := func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+	for i := 0; i < cfg.servers; i++ {
+		srv, err := transport.NewServer(transport.ServerConfig{Listen: "127.0.0.1:0"})
+		if err != nil {
+			shutdown()
+			return "", nil, fmt.Errorf("lock server %d: %w", i, err)
+		}
+		srvs = append(srvs, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	sw, err := transport.NewSwitch(transport.SwitchConfig{
+		Listen: "127.0.0.1:0",
+		DataPlane: switchdp.Config{
+			MaxLocks:   nextPow2(cfg.locks + 1),
+			TotalSlots: int(cfg.slotsPerLock) * (cfg.locks + 1),
+			Priorities: 1,
+		},
+		Servers: addrs,
+	})
+	if err != nil {
+		shutdown()
+		return "", nil, fmt.Errorf("switch: %w", err)
+	}
+	all := shutdown
+	shutdown = func() { sw.Close(); all() }
+	for _, srv := range srvs {
+		if err := srv.SetSwitchAddr(sw.Addr()); err != nil {
+			shutdown()
+			return "", nil, err
+		}
+	}
+	for id := uint32(1); id <= uint32(cfg.locks); id++ {
+		var err error
+		sw.WithDataPlane(func(dp *switchdp.Switch) {
+			err = dp.CtrlInstallLock(id, []switchdp.Region{{
+				Left:  uint64(id-1) * cfg.slotsPerLock,
+				Right: uint64(id) * cfg.slotsPerLock,
+			}})
+		})
+		if err != nil {
+			shutdown()
+			return "", nil, fmt.Errorf("preinstall lock %d: %w", id, err)
+		}
+		srvs[lockserver.RSSCore(id, len(srvs))].LockServer().CtrlReleaseOwnership(id)
+	}
+	return sw.Addr(), shutdown, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// runLoad executes one measured run against cfg's rack (self-hosted when
+// switchAddr is empty) and returns the aggregate result.
+func runLoad(cfg loadConfig, report time.Duration) (result, error) {
+	switchAddr := cfg.switchAddr
+	if switchAddr == "" {
+		addr, shutdown, err := selfHost(cfg)
+		if err != nil {
+			return result{}, err
+		}
+		defer shutdown()
+		switchAddr = addr
+	}
+
+	// One stripe per client socket for egress frame/batch counters; the
+	// loadgen-side acquire latency histogram lives in stripe 0.
+	reg := obs.New(obs.Config{Stripes: 1 + cfg.clients})
+	o := reg.Stripe(0)
+
+	var clients []*transport.Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < cfg.clients; i++ {
+		c, err := transport.NewClientConfig(transport.ClientConfig{
+			Switch:        switchAddr,
+			MaxBatch:      cfg.batch,
+			FlushInterval: cfg.flush,
+			Obs:           reg.Stripe(1 + i),
+		})
+		if err != nil {
+			return result{}, fmt.Errorf("client %d: %w", i, err)
+		}
+		clients = append(clients, c)
+	}
+
+	var done, errs atomic.Uint64
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+
+	stop := make(chan struct{})
+	if report > 0 {
+		go readout(reg, &done, report, stop)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	if cfg.rate > 0 {
+		for i, c := range clients {
+			wg.Add(1)
+			go func(c *transport.Client, seed int64) {
+				defer wg.Done()
+				openLoop(ctx, c, cfg, cfg.rate/float64(len(clients)), o, &done, &errs, seed)
+			}(c, int64(i))
+		}
+	} else {
+		for ci, c := range clients {
+			for w := 0; w < cfg.workers; w++ {
+				wg.Add(1)
+				go func(c *transport.Client, seed int64) {
+					defer wg.Done()
+					closedLoop(ctx, c, cfg, o, &done, &errs, seed)
+				}(c, int64(ci*cfg.workers+w))
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+
+	sn := reg.Snapshot()
+	e2e := sn.Stage(obs.StageAcquireE2E)
+	batchHist := sn.Stage(obs.StageEgressBatch)
+	res := result{
+		Ops:       done.Load(),
+		Errors:    errs.Load(),
+		Seconds:   elapsed,
+		MRPS:      float64(done.Load()) / elapsed / 1e6,
+		P50Us:     float64(e2e.Percentile(0.50)) / 1e3,
+		P99Us:     float64(e2e.Percentile(0.99)) / 1e3,
+		FramesOut: sn.Counter(obs.CtrFramesOut),
+		AvgBatch:  batchHist.Mean(),
+	}
+	if res.Ops == 0 {
+		return res, fmt.Errorf("no operations completed (%d errors)", res.Errors)
+	}
+	return res, nil
+}
+
+// pickMode resolves the per-op lock mode for worker rng.
+func pickMode(mode string, rng *rand.Rand) netlock.Mode {
+	switch mode {
+	case "exclusive":
+		return netlock.Exclusive
+	case "mixed":
+		if rng.Intn(2) == 0 {
+			return netlock.Exclusive
+		}
+		return netlock.Shared
+	default:
+		return netlock.Shared
+	}
+}
+
+// closedLoop keeps exactly one acquire in flight: acquire, record, release,
+// repeat until ctx expires.
+func closedLoop(ctx context.Context, c *transport.Client, cfg loadConfig, o *obs.Stripe, done, errs *atomic.Uint64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for ctx.Err() == nil {
+		lock := uint32(rng.Intn(cfg.locks)) + 1
+		start := time.Now()
+		g, err := c.Acquire(ctx, lock, pickMode(cfg.mode, rng))
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			errs.Add(1)
+			continue
+		}
+		o.Observe(obs.StageAcquireE2E, time.Since(start).Nanoseconds())
+		done.Add(1)
+		g.Release()
+	}
+}
+
+// openLoop submits acquires at a fixed rate regardless of completions,
+// releasing each grant from its completion callback. Submission happens in
+// 1ms slices so high rates do not need a per-op timer; when the transport
+// cannot keep up, the loop sheds load beyond maxInflight and counts the
+// shed ops as errors (an open-loop generator must not silently turn into a
+// closed loop by blocking).
+func openLoop(ctx context.Context, c *transport.Client, cfg loadConfig, rate float64, o *obs.Stripe, done, errs *atomic.Uint64, seed int64) {
+	const maxInflight = 65536
+	var inflight atomic.Int64
+	rng := rand.New(rand.NewSource(seed))
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	started := time.Now()
+	submitted := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		// Pace against wall clock, not tick count: the ticker drops ticks
+		// under load, and a tick-counting pacer would silently undershoot.
+		n := int(rate*time.Since(started).Seconds()) - submitted
+		submitted += n
+		for i := 0; i < n; i++ {
+			if inflight.Load() >= maxInflight {
+				errs.Add(1)
+				continue
+			}
+			lock := uint32(rng.Intn(cfg.locks)) + 1
+			start := time.Now()
+			inflight.Add(1)
+			err := c.AcquireFunc(ctx, lock, pickMode(cfg.mode, rng), func(g *transport.Grant, err error) {
+				inflight.Add(-1)
+				if err != nil {
+					if ctx.Err() == nil {
+						errs.Add(1)
+					}
+					return
+				}
+				o.Observe(obs.StageAcquireE2E, time.Since(start).Nanoseconds())
+				done.Add(1)
+				g.Release()
+			})
+			if err != nil {
+				inflight.Add(-1)
+				if ctx.Err() != nil {
+					return
+				}
+				errs.Add(1)
+			}
+		}
+	}
+}
+
+// readout prints one live line per interval: instantaneous throughput plus
+// cumulative latency percentiles and egress batch factor.
+func readout(reg *obs.Registry, done *atomic.Uint64, every time.Duration, stop chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	last := uint64(0)
+	started := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		cur := done.Load()
+		sn := reg.Snapshot()
+		e2e := sn.Stage(obs.StageAcquireE2E)
+		fmt.Printf("t=%4.0fs %8.3f Mops/s  total=%d  p50=%.0fus p99=%.0fus  batch=%.1f ops/frame\n",
+			time.Since(started).Seconds(),
+			float64(cur-last)/every.Seconds()/1e6,
+			cur,
+			float64(e2e.Percentile(0.50))/1e3,
+			float64(e2e.Percentile(0.99))/1e3,
+			sn.Stage(obs.StageEgressBatch).Mean())
+		last = cur
+	}
+}
+
+// compareReport is the BENCH_transport.json document.
+type compareReport struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_maxprocs"`
+
+	DurationS float64 `json:"duration_s"`
+	Clients   int     `json:"clients"`
+	Workers   int     `json:"workers"`
+	Locks     int     `json:"locks"`
+	Mode      string  `json:"mode"`
+
+	Unbatched result `json:"unbatched"`
+	Batched   result `json:"batched"`
+
+	// SpeedupBatched is batched MRPS over unbatched MRPS on the same
+	// closed-loop workload — the syscall-amortization win of batch frames.
+	SpeedupBatched float64 `json:"speedup_batched_vs_unbatched"`
+}
+
+// runCompare measures the same closed-loop workload unbatched (MaxBatch 1)
+// and batched (full frames) on fresh self-hosted racks and writes the
+// comparison as JSON.
+func runCompare(cfg loadConfig, path string, quick bool) error {
+	cfg.switchAddr = "" // comparison is only meaningful on identical racks
+	cfg.rate = 0
+	cfg.duration = 5 * time.Second
+	if quick {
+		cfg.duration = 2 * time.Second
+	}
+
+	legs := []struct {
+		name  string
+		batch int
+		res   *result
+	}{{"unbatched", 1, nil}, {"batched", 0, nil}}
+	rep := compareReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		DurationS:  cfg.duration.Seconds(),
+		Clients:    cfg.clients,
+		Workers:    cfg.workers,
+		Locks:      cfg.locks,
+		Mode:       cfg.mode,
+	}
+	for i := range legs {
+		c := cfg
+		c.batch = legs[i].batch
+		fmt.Fprintf(os.Stderr, "loadgen: measuring %s (%v)...\n", legs[i].name, c.duration)
+		res, err := runLoad(c, 0)
+		if err != nil {
+			return fmt.Errorf("%s leg: %w", legs[i].name, err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: %s: %s\n", legs[i].name, res)
+		legs[i].res = &res
+	}
+	rep.Unbatched, rep.Batched = *legs[0].res, *legs[1].res
+	if rep.Unbatched.MRPS > 0 {
+		rep.SpeedupBatched = rep.Batched.MRPS / rep.Unbatched.MRPS
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s (batched %.2fx unbatched)\n", path, rep.SpeedupBatched)
+	return nil
+}

@@ -29,6 +29,8 @@ func main() {
 	think := flag.Duration("think", 0, "hold time per lock")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-acquire timeout")
 	tenant := flag.Uint("tenant", 0, "tenant ID stamped on every acquire")
+	batch := flag.Int("batch", 0, "client MaxBatch: 0 = full batch frames, 1 = one datagram per op")
+	flush := flag.Duration("flush", 0, "client batch flush interval (0: transport default)")
 	flag.Parse()
 
 	mode := netlock.Exclusive
@@ -43,7 +45,11 @@ func main() {
 	stop := time.Now().Add(*duration)
 
 	for w := 0; w < *concurrency; w++ {
-		c, err := transport.NewClient(*swAddr)
+		c, err := transport.NewClientConfig(transport.ClientConfig{
+			Switch:        *swAddr,
+			MaxBatch:      *batch,
+			FlushInterval: *flush,
+		})
 		if err != nil {
 			log.Fatalf("client: %v", err)
 		}

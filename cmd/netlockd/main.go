@@ -48,6 +48,7 @@ func main() {
 	preinstall := flag.Uint("preinstall", 0, "preinstall locks 1..N in the switch")
 	slotsPerLock := flag.Uint64("slots-per-lock", 16, "queue slots per preinstalled lock")
 	lease := flag.Duration("lease", 500*time.Millisecond, "default lock lease (0 disables)")
+	egressFlush := flag.Duration("egress-flush", 0, "hold switch egress batches open and flush on this timer (0: flush per ingress datagram)")
 	metrics := flag.String("metrics", "127.0.0.1:0", "metrics/pprof HTTP listen address (empty disables)")
 	flag.Parse()
 
@@ -82,7 +83,8 @@ func main() {
 			DefaultLeaseNs: int64(*lease),
 			Obs:            reg.Stripe(0),
 		},
-		Servers: addrs,
+		Servers:     addrs,
+		EgressFlush: *egressFlush,
 	})
 	if err != nil {
 		log.Fatalf("start switch: %v", err)

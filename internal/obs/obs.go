@@ -129,11 +129,19 @@ const (
 	// StageAcquireE2E is the end-to-end acquire latency observed by a
 	// front end: request submission to grant delivery.
 	StageAcquireE2E
+	// StageEgressBatch is the size distribution of egress batch frames in
+	// ops per datagram — the amortization factor the batched transport
+	// buys per syscall. Unlike the other stages, samples are op counts,
+	// not nanoseconds.
+	StageEgressBatch
 	// NumStages is the number of defined stages.
 	NumStages
 )
 
-var stageNames = [NumStages]string{"switch_pass", "server_queue_wait", "acquire_e2e"}
+// Stage metric names carry their unit suffix: latency stages end in "_ns",
+// size stages in "_ops" (Snapshot.String and the Prometheus exporter render
+// them accordingly).
+var stageNames = [NumStages]string{"switch_pass_ns", "server_queue_wait_ns", "acquire_e2e_ns", "egress_batch_ops"}
 
 // String returns the stage's metric-name fragment.
 func (s Stage) String() string {
@@ -171,6 +179,14 @@ const (
 	CtrLeaseExpiries
 	// CtrFailovers counts failure-handling transitions.
 	CtrFailovers
+	// CtrFramesIn counts NetLock datagrams received (batch frames and bare
+	// headers alike); CtrOpsIn / CtrFramesIn is the realized ingress batch
+	// factor.
+	CtrFramesIn
+	// CtrFramesOut counts NetLock datagrams sent.
+	CtrFramesOut
+	// CtrOpsIn counts operations decoded from ingress datagrams.
+	CtrOpsIn
 	// NumCounters is the number of defined counters.
 	NumCounters
 )
@@ -178,6 +194,7 @@ const (
 var counterNames = [NumCounters]string{
 	"acquires", "releases", "grants", "resubmits",
 	"overflows", "rejects", "lease_expiries", "failovers",
+	"frames_in", "frames_out", "ops_in",
 }
 
 // String returns the counter's metric-name fragment.

@@ -183,7 +183,7 @@ func TestSnapshotDeltaAndString(t *testing.T) {
 		t.Fatalf("delta-from-nil acquires = %d, want 15", d0[CtrAcquires])
 	}
 	str := cur.String()
-	if !strings.Contains(str, "acquires=15") || !strings.Contains(str, "acquire_e2e{") {
+	if !strings.Contains(str, "acquires=15") || !strings.Contains(str, "acquire_e2e_ns{") {
 		t.Fatalf("String() = %q", str)
 	}
 }
@@ -213,7 +213,7 @@ func TestWritePromEmitsAllFamilies(t *testing.T) {
 	}
 	// Every stage family must appear even when empty.
 	for st := Stage(0); st < NumStages; st++ {
-		name := "netlock_" + st.String() + "_ns"
+		name := "netlock_" + st.String()
 		for _, suffix := range []string{"_bucket{le=\"+Inf\"}", "_sum", "_count"} {
 			if !strings.Contains(out, name+suffix) {
 				t.Fatalf("missing %s%s in:\n%s", name, suffix, out)

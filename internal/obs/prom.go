@@ -15,6 +15,7 @@ var stageHelp = [NumStages]string{
 	"Wall-clock time of one switch data-plane pass (resubmits included), nanoseconds.",
 	"Time a request waited in a lock-server queue before its grant, nanoseconds.",
 	"End-to-end acquire latency from request submission to grant delivery, nanoseconds.",
+	"Operations per egress batch frame (ops per datagram).",
 }
 
 var counterHelp = [NumCounters]string{
@@ -26,6 +27,9 @@ var counterHelp = [NumCounters]string{
 	"Requests rejected back to the client (quota or bounded-buffer overflow).",
 	"Lock holders force-released by the lease sweep.",
 	"Failure-handling transitions (switch down/up, server failover).",
+	"NetLock datagrams received (batch frames and bare headers).",
+	"NetLock datagrams sent.",
+	"Operations decoded from ingress datagrams.",
 }
 
 // WriteProm renders the snapshot in Prometheus text exposition format.
@@ -64,7 +68,8 @@ func (sn *Snapshot) WriteProm(w io.Writer) error {
 	}
 
 	for st := Stage(0); st < NumStages; st++ {
-		if err := promHistogram(w, "netlock_"+st.String()+"_ns", stageHelp[st], &sn.Stages[st]); err != nil {
+		// Stage names carry their own unit suffix ("_ns" or "_ops").
+		if err := promHistogram(w, "netlock_"+st.String(), stageHelp[st], &sn.Stages[st]); err != nil {
 			return err
 		}
 	}

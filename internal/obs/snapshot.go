@@ -91,8 +91,13 @@ func (sn *Snapshot) String() string {
 		if h.Count() == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "%s{p50=%.1fus p99=%.1fus n=%d} ",
-			st, float64(h.Percentile(50))/1e3, float64(h.Percentile(99))/1e3, h.Count())
+		if strings.HasSuffix(st.String(), "_ns") {
+			fmt.Fprintf(&b, "%s{p50=%.1fus p99=%.1fus n=%d} ",
+				st, float64(h.Percentile(50))/1e3, float64(h.Percentile(99))/1e3, h.Count())
+		} else {
+			fmt.Fprintf(&b, "%s{p50=%d p99=%d n=%d} ",
+				st, h.Percentile(50), h.Percentile(99), h.Count())
+		}
 	}
 	return strings.TrimSpace(b.String())
 }

@@ -26,6 +26,7 @@ import (
 // mains lists every main package in the repository.
 var mains = []string{
 	"cmd/benchrunner",
+	"cmd/loadgen",
 	"cmd/lockclient",
 	"cmd/netlockd",
 	"examples/failover",
@@ -96,6 +97,25 @@ func TestExamplesRunClean(t *testing.T) {
 				t.Fatalf("%s: no output", ex)
 			}
 		})
+	}
+}
+
+func TestLoadgenSelfHosted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildAll(t, t.TempDir())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, bins["cmd/loadgen"],
+		"-duration", "500ms", "-workers", "8", "-locks", "8",
+		"-report", "0").CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out)
+	}
+	m := regexp.MustCompile(`\((\d+) ops`).FindSubmatch(out)
+	if m == nil || string(m[1]) == "0" {
+		t.Fatalf("loadgen completed without ops:\n%s", out)
 	}
 }
 

@@ -1,0 +1,702 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netlock"
+	"netlock/internal/obs"
+	"netlock/internal/wire"
+)
+
+// Client acquires and releases locks against a NetLock switch over UDP,
+// multiplexing any number of in-flight operations over one socket. Client
+// is safe for concurrent use.
+//
+// Outgoing ops accumulate into batch frames (up to MaxBatch per datagram)
+// and flush adaptively: immediately once every outstanding op is buffered
+// (a lone synchronous caller never waits on the batcher), when the frame
+// fills, and on the FlushInterval timer as a backstop. Completions arrive
+// on the shared read loop, which matches them to in-flight ops by
+// (lock, txn).
+//
+// Loss handling is end to end: unanswered acquires and un-acked releases
+// are retransmitted every RetryInterval (the switch deduplicates), ctx
+// deadlines are enforced by the same sweep, and grants that arrive for an
+// op the caller abandoned are released automatically so the lock is not
+// stranded until lease expiry.
+type Client struct {
+	conn     PacketConn
+	switchAP netip.AddrPort
+	localIP  netip.Addr
+	o        *obs.Stripe
+
+	maxBatch   int
+	flushEvery time.Duration
+	retryEvery time.Duration
+
+	mu       sync.Mutex
+	nextTxn  uint64
+	acquires map[pendKey]*AsyncAcquire
+	releases map[pendKey]*Grant
+	// grants holds delivered, unreleased grants so a duplicated grant
+	// datagram is distinguishable from a grant for an abandoned op.
+	grants map[pendKey]*Grant
+	bw     wire.BatchWriter
+	bstore []byte
+	// scratch encodes bare headers when MaxBatch == 1.
+	scratch [wire.HeaderLen]byte
+
+	acqPool   sync.Pool
+	grantPool sync.Pool
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// Switch is the switch's UDP address.
+	Switch string
+	// Net is the socket factory; nil means real UDP.
+	Net Network
+	// MaxBatch caps ops per egress datagram. 0 means wire.MaxBatchOps;
+	// 1 sends one bare header per datagram (the unbatched baseline).
+	MaxBatch int
+	// FlushInterval is the backstop flush timer for buffered ops.
+	// Default 500µs. Most flushes happen adaptively before it fires.
+	FlushInterval time.Duration
+	// RetryInterval is the resend cadence for unanswered acquires and
+	// un-acked releases. Default 200ms.
+	RetryInterval time.Duration
+	// Obs records frame/op counters and the egress batch-size histogram.
+	Obs *obs.Stripe
+}
+
+// NewClient creates a client socket pointed at the switch, with default
+// batching. See NewClientConfig to tune.
+func NewClient(switchAddr string) (*Client, error) {
+	return NewClientConfig(ClientConfig{Switch: switchAddr})
+}
+
+// NewClientConfig creates a client from an explicit configuration.
+func NewClientConfig(cfg ClientConfig) (*Client, error) {
+	ap, err := resolveAddrPort(cfg.Switch)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve switch addr: %w", err)
+	}
+	nw := cfg.Net
+	if nw == nil {
+		nw = UDP
+	}
+	conn, err := nw.Listen(net.JoinHostPort(ap.Addr().String(), "0"))
+	if err != nil {
+		return nil, fmt.Errorf("transport: client socket: %w", err)
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 || maxBatch > wire.MaxBatchOps {
+		maxBatch = wire.MaxBatchOps
+	}
+	if cfg.MaxBatch == 1 {
+		maxBatch = 1
+	}
+	flush := cfg.FlushInterval
+	if flush <= 0 {
+		flush = 500 * time.Microsecond
+	}
+	retry := cfg.RetryInterval
+	if retry <= 0 {
+		retry = 200 * time.Millisecond
+	}
+	c := &Client{
+		conn:       conn,
+		switchAP:   ap,
+		o:          cfg.Obs,
+		maxBatch:   maxBatch,
+		flushEvery: flush,
+		retryEvery: retry,
+		acquires:   make(map[pendKey]*AsyncAcquire),
+		releases:   make(map[pendKey]*Grant),
+		grants:     make(map[pendKey]*Grant),
+		closed:     make(chan struct{}),
+	}
+	c.acqPool.New = func() any { return &AsyncAcquire{ch: make(chan struct{}, 1)} }
+	c.grantPool.New = func() any { return &Grant{ackCh: make(chan struct{}, 1)} }
+	c.bw.Reset(nil)
+	if ua, ok := conn.LocalAddr().(*net.UDPAddr); ok {
+		if a, ok2 := netip.AddrFromSlice(ua.IP); ok2 {
+			c.localIP = a.Unmap()
+		}
+	}
+	// Transaction IDs identify a request end to end: grants for queued
+	// requests are routed back by (lock, txn). Clients draw from disjoint
+	// random ranges so concurrent clients cannot collide.
+	c.nextTxn = rand.Uint64() >> 1
+	c.wg.Add(1)
+	go c.readLoop()
+	c.wg.Add(1)
+	go c.sweepLoop()
+	if c.maxBatch > 1 {
+		c.wg.Add(1)
+		go c.flushLoop()
+	}
+	return c, nil
+}
+
+// Close stops the client; blocked Acquire and Wait calls fail with
+// netlock.ErrClosed.
+func (c *Client) Close() error {
+	select {
+	case <-c.closed:
+		return nil
+	default:
+	}
+	close(c.closed)
+	err := c.conn.Close()
+	c.wg.Wait()
+	c.mu.Lock()
+	var done []*AsyncAcquire
+	for k, a := range c.acquires {
+		delete(c.acquires, k)
+		a.g = nil
+		a.err = fmt.Errorf("transport: acquire lock %d: %w", k.lock, netlock.ErrClosed)
+		done = append(done, a)
+	}
+	for k := range c.releases {
+		delete(c.releases, k)
+	}
+	for k := range c.grants {
+		delete(c.grants, k)
+	}
+	c.mu.Unlock()
+	for _, a := range done {
+		c.finishAcquire(a)
+	}
+	return err
+}
+
+// AsyncAcquire is one in-flight acquire. Exactly one completion consumer
+// exists per handle: either the callback passed to AcquireFunc, or one
+// Wait call. After Wait returns (or the callback fires) the handle is
+// recycled and must not be touched again.
+type AsyncAcquire struct {
+	c        *Client
+	key      pendKey
+	hdr      wire.Header
+	ch       chan struct{}
+	cb       func(*Grant, error)
+	g        *Grant
+	err      error
+	deadline time.Time // zero = none; enforced by the sweep
+	lastSend time.Time // guarded by c.mu
+}
+
+// Txn returns the transaction ID identifying this acquire on the wire.
+// Valid until the handle completes.
+func (a *AsyncAcquire) Txn() uint64 { return a.key.txn }
+
+// LockID returns the lock this acquire addresses.
+func (a *AsyncAcquire) LockID() uint32 { return a.key.lock }
+
+// Wait blocks until the acquire completes, ctx is done, or the client
+// closes. It must be called exactly once per handle obtained from
+// AcquireAsync. Abandoning a granted acquire (ctx won the race) releases
+// the grant automatically.
+func (a *AsyncAcquire) Wait(ctx context.Context) (*Grant, error) {
+	c := a.c
+	select {
+	case <-a.ch:
+		g, err := a.g, a.err
+		c.recycleAcquire(a)
+		return g, err
+	case <-ctx.Done():
+		return c.abandon(a, ctx.Err())
+	case <-c.closed:
+		return c.abandon(a, nil)
+	}
+}
+
+// abandon resolves a Wait that lost the race to ctx or Close. cause is the
+// ctx error, or nil for client close.
+func (c *Client) abandon(a *AsyncAcquire, cause error) (*Grant, error) {
+	lockID := a.key.lock
+	c.mu.Lock()
+	_, pending := c.acquires[a.key]
+	if pending {
+		delete(c.acquires, a.key)
+	}
+	c.mu.Unlock()
+	if !pending {
+		// Completed concurrently: the completion token is in flight.
+		// Take it; if the op was granted, give the lock back.
+		<-a.ch
+		if a.g != nil {
+			a.g.Release()
+		}
+	}
+	c.recycleAcquire(a)
+	switch {
+	case cause == nil:
+		return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrClosed)
+	case errors.Is(cause, context.DeadlineExceeded):
+		return nil, fmt.Errorf("transport: acquire lock %d: %w (%w)", lockID, netlock.ErrTimeout, cause)
+	default:
+		return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, cause)
+	}
+}
+
+// AcquireAsync submits an acquire and returns immediately with a handle;
+// call Wait (exactly once) for the result. ctx's deadline, if any, bounds
+// the acquire even if Wait is called later with a different context.
+func (c *Client) AcquireAsync(ctx context.Context, lockID uint32, mode netlock.Mode, opts ...netlock.AcquireOption) (*AsyncAcquire, error) {
+	return c.submit(ctx, lockID, mode, nil, opts)
+}
+
+// AcquireFunc submits an acquire whose completion invokes cb (from the
+// client's internal goroutines — cb must not block) with the grant or
+// error. Only ctx's deadline is honored for callback completions.
+func (c *Client) AcquireFunc(ctx context.Context, lockID uint32, mode netlock.Mode, cb func(*Grant, error), opts ...netlock.AcquireOption) error {
+	if cb == nil {
+		return errors.New("transport: AcquireFunc requires a callback")
+	}
+	_, err := c.submit(ctx, lockID, mode, cb, opts)
+	return err
+}
+
+// Acquire requests a lock and blocks until granted, the context is
+// cancelled, or the client closes. Unanswered requests are retransmitted
+// every RetryInterval. The option set (tenant, priority, lease) is shared
+// with the embedded netlock.Manager, as are the failure sentinels: errors
+// match netlock.ErrClosed, netlock.ErrQuotaExceeded,
+// netlock.ErrQueueOverflow, and — when the context's deadline expired —
+// netlock.ErrTimeout alongside context.DeadlineExceeded.
+func (c *Client) Acquire(ctx context.Context, lockID uint32, mode netlock.Mode, opts ...netlock.AcquireOption) (*Grant, error) {
+	a, err := c.AcquireAsync(ctx, lockID, mode, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return a.Wait(ctx)
+}
+
+// AcquireTimeout requests a lock with a plain timeout.
+//
+// Deprecated: use Acquire with a context and the shared netlock option set;
+// this shim will be removed after one release.
+func (c *Client) AcquireTimeout(lockID uint32, mode wire.Mode, timeout time.Duration) (*Grant, error) {
+	nm := netlock.Shared
+	if mode == wire.Exclusive {
+		nm = netlock.Exclusive
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.Acquire(ctx, lockID, nm)
+}
+
+func (c *Client) submit(ctx context.Context, lockID uint32, mode netlock.Mode, cb func(*Grant, error), opts []netlock.AcquireOption) (*AsyncAcquire, error) {
+	o := netlock.ResolveAcquireOptions(opts...)
+	wm := wire.Shared
+	if mode == netlock.Exclusive {
+		wm = wire.Exclusive
+	}
+	a := c.acqPool.Get().(*AsyncAcquire)
+	a.c = c
+	a.cb = cb
+	a.g = nil
+	a.err = nil
+	a.deadline, _ = ctx.Deadline()
+	a.lastSend = time.Now()
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+		// Checked under c.mu so this submit cannot slip past Close's
+		// drain of the acquire table.
+		c.mu.Unlock()
+		c.recycleAcquire(a)
+		return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrClosed)
+	default:
+	}
+	c.nextTxn++
+	a.key = pendKey{lockID, c.nextTxn}
+	a.hdr = wire.Header{
+		Op:       wire.OpAcquire,
+		Mode:     wm,
+		LockID:   lockID,
+		TxnID:    a.key.txn,
+		ClientIP: c.localIP,
+		TenantID: o.Tenant,
+		Priority: o.Priority,
+		LeaseNs:  int64(o.Lease),
+	}
+	c.acquires[a.key] = a
+	c.enqueueOp(&a.hdr)
+	c.maybeFlushLocked()
+	c.mu.Unlock()
+	return a, nil
+}
+
+// Grant states. A Grant is single-use: once Release or ReleaseWait has
+// been called, the handle must not be touched again (it is recycled when
+// the end-to-end ack lands).
+const (
+	grantFree uint32 = iota
+	grantHeld
+	grantReleasing // fire-and-forget; the read loop recycles on ack
+	grantWaited    // a ReleaseWait consumer takes the ack
+)
+
+// Grant is a lock held through a Client.
+type Grant struct {
+	c        *Client
+	key      pendKey
+	hdr      wire.Header // acquire header; release/ack echo its fields
+	state    atomic.Uint32
+	ackCh    chan struct{}
+	lastSend time.Time // guarded by c.mu
+}
+
+// LockID returns the granted lock.
+func (g *Grant) LockID() uint32 { return g.key.lock }
+
+// Txn returns the transaction ID the grant was issued under.
+func (g *Grant) Txn() uint64 { return g.key.txn }
+
+// Release releases the lock. It returns immediately; the client keeps
+// retransmitting the release until the switch (or the owning lock server)
+// acknowledges it, so the lock is not leaked if the first datagram drops.
+func (g *Grant) Release() {
+	if !g.state.CompareAndSwap(grantHeld, grantReleasing) {
+		return
+	}
+	g.c.startRelease(g)
+}
+
+// ReleaseWait releases the lock and blocks until the release is
+// acknowledged end to end, ctx is done, or the client closes. If ctx wins,
+// the release keeps retransmitting in the background.
+func (g *Grant) ReleaseWait(ctx context.Context) error {
+	if !g.state.CompareAndSwap(grantHeld, grantWaited) {
+		return nil // already released
+	}
+	c := g.c
+	c.startRelease(g)
+	select {
+	case <-g.ackCh:
+		c.recycleGrant(g)
+		return nil
+	case <-ctx.Done():
+		// Hand ack consumption back to the read loop. If the ack raced
+		// us and the token is already here, we still own the recycle.
+		g.state.CompareAndSwap(grantWaited, grantReleasing)
+		select {
+		case <-g.ackCh:
+			c.recycleGrant(g)
+		default:
+		}
+		return ctx.Err()
+	case <-c.closed:
+		return fmt.Errorf("transport: release lock %d: %w", g.key.lock, netlock.ErrClosed)
+	}
+}
+
+// startRelease moves g into the release-pending table and sends the first
+// release datagram.
+func (c *Client) startRelease(g *Grant) {
+	h := g.hdr
+	h.Op = wire.OpRelease
+	c.mu.Lock()
+	delete(c.grants, g.key)
+	c.releases[g.key] = g
+	g.lastSend = time.Now()
+	c.enqueueOp(&h)
+	c.maybeFlushLocked()
+	c.mu.Unlock()
+}
+
+// autoRelease gives back a grant that arrived for an op this client no
+// longer tracks (cancelled, timed out, or already fully released): it
+// fabricates a releasing Grant so the normal retry/ack machinery applies.
+// Caller holds c.mu.
+func (c *Client) autoRelease(h *wire.Header, key pendKey) {
+	g := c.grantPool.Get().(*Grant)
+	g.c = c
+	g.key = key
+	g.hdr = *h
+	g.hdr.Op = wire.OpRelease
+	g.hdr.Flags = 0 // grant flag bits must not leak into the release path
+	g.state.Store(grantReleasing)
+	g.lastSend = time.Now()
+	c.releases[key] = g
+	rel := g.hdr
+	c.enqueueOp(&rel)
+}
+
+// enqueueOp appends one op to the outgoing frame (or writes it straight
+// out when MaxBatch == 1). Caller holds c.mu.
+func (c *Client) enqueueOp(h *wire.Header) {
+	if c.maxBatch <= 1 {
+		buf := h.AppendTo(c.scratch[:0])
+		c.conn.WriteToUDPAddrPort(buf, c.switchAP)
+		c.o.Inc(obs.CtrFramesOut)
+		c.o.Observe(obs.StageEgressBatch, 1)
+		return
+	}
+	if c.bw.Count() >= c.maxBatch || !c.bw.Append(h) {
+		c.flushLocked()
+		c.bw.Append(h)
+	}
+}
+
+// maybeFlushLocked applies the adaptive flush rule: send the open frame
+// once it is full, or once every outstanding op is sitting in it (nothing
+// is left in flight whose completion could grow the batch). Caller holds
+// c.mu.
+func (c *Client) maybeFlushLocked() {
+	n := c.bw.Count()
+	if n == 0 {
+		return
+	}
+	if n >= c.maxBatch || n >= len(c.acquires)+len(c.releases) {
+		c.flushLocked()
+	}
+}
+
+// flushLocked writes the open frame, if any. Caller holds c.mu.
+func (c *Client) flushLocked() {
+	n := c.bw.Count()
+	frame := c.bw.Frame()
+	if frame == nil {
+		return
+	}
+	c.conn.WriteToUDPAddrPort(frame, c.switchAP)
+	c.o.Inc(obs.CtrFramesOut)
+	c.o.Observe(obs.StageEgressBatch, int64(n))
+	c.bstore = frame[:0]
+	c.bw.Reset(c.bstore)
+}
+
+// flushLoop is the FlushInterval backstop for ops the adaptive rule left
+// buffered.
+func (c *Client) flushLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.flushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			c.flushLocked()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// sweepLoop enforces acquire deadlines and retransmits unanswered
+// acquires and un-acked releases every RetryInterval.
+func (c *Client) sweepLoop() {
+	defer c.wg.Done()
+	tick := c.retryEvery / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var expired []*AsyncAcquire
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		expired = expired[:0]
+		c.mu.Lock()
+		for key, a := range c.acquires {
+			if !a.deadline.IsZero() && now.After(a.deadline) {
+				delete(c.acquires, key)
+				a.g = nil
+				a.err = fmt.Errorf("transport: acquire lock %d: %w (%w)",
+					key.lock, netlock.ErrTimeout, context.DeadlineExceeded)
+				expired = append(expired, a)
+				continue
+			}
+			if now.Sub(a.lastSend) >= c.retryEvery {
+				a.lastSend = now
+				c.enqueueOp(&a.hdr)
+			}
+		}
+		for _, g := range c.releases {
+			if now.Sub(g.lastSend) >= c.retryEvery {
+				g.lastSend = now
+				h := g.hdr
+				h.Op = wire.OpRelease
+				c.enqueueOp(&h)
+			}
+		}
+		c.flushLocked()
+		c.mu.Unlock()
+		for _, a := range expired {
+			c.finishAcquire(a)
+		}
+	}
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, maxPacket)
+	var h wire.Header
+	var br wire.BatchReader
+	var doneAcq []*AsyncAcquire
+	var doneRel []*Grant
+	for {
+		n, _, err := c.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			select {
+			case <-c.closed:
+				return
+			default:
+				continue
+			}
+		}
+		data := buf[:n]
+		doneAcq = doneAcq[:0]
+		doneRel = doneRel[:0]
+		c.mu.Lock()
+		if wire.IsBatch(data) {
+			if br.Reset(data) == nil {
+				ops := 0
+				for {
+					ok, err2 := br.Next(&h)
+					if err2 != nil || !ok {
+						break
+					}
+					ops++
+					doneAcq, doneRel = c.handleOp(&h, doneAcq, doneRel)
+				}
+				if ops > 0 {
+					c.o.Inc(obs.CtrFramesIn)
+					c.o.Add(obs.CtrOpsIn, uint64(ops))
+				}
+			}
+		} else if h.DecodeFromBytes(data) == nil {
+			c.o.Inc(obs.CtrFramesIn)
+			c.o.Inc(obs.CtrOpsIn)
+			doneAcq, doneRel = c.handleOp(&h, doneAcq, doneRel)
+		}
+		// Completions may have drained the in-flight set down to the
+		// buffered ops; re-check the adaptive flush rule.
+		c.maybeFlushLocked()
+		c.mu.Unlock()
+		// Deliver completions outside the lock: callbacks may submit new
+		// ops (which take c.mu), and channel waiters resume immediately.
+		for _, a := range doneAcq {
+			c.finishAcquire(a)
+		}
+		for _, g := range doneRel {
+			c.finishRelease(g)
+		}
+	}
+}
+
+// handleOp matches one ingress op to its in-flight entry and stages the
+// completion. Caller holds c.mu.
+func (c *Client) handleOp(h *wire.Header, doneAcq []*AsyncAcquire, doneRel []*Grant) ([]*AsyncAcquire, []*Grant) {
+	key := pendKey{h.LockID, h.TxnID}
+	switch h.Op {
+	case wire.OpGrant, wire.OpFetch:
+		if a, ok := c.acquires[key]; ok {
+			delete(c.acquires, key)
+			g := c.grantPool.Get().(*Grant)
+			g.c = c
+			g.key = key
+			g.hdr = a.hdr
+			g.state.Store(grantHeld)
+			c.grants[key] = g
+			a.g = g
+			a.err = nil
+			return append(doneAcq, a), doneRel
+		}
+		if _, held := c.grants[key]; held {
+			return doneAcq, doneRel // duplicated grant datagram
+		}
+		if _, rel := c.releases[key]; rel {
+			return doneAcq, doneRel // duplicate; release already in flight
+		}
+		c.autoRelease(h, key)
+	case wire.OpReject:
+		if a, ok := c.acquires[key]; ok {
+			delete(c.acquires, key)
+			a.g = nil
+			a.err = rejectErr(h, key.lock)
+			return append(doneAcq, a), doneRel
+		}
+	case wire.OpReleaseAck:
+		if g, ok := c.releases[key]; ok {
+			delete(c.releases, key)
+			return doneAcq, append(doneRel, g)
+		}
+	}
+	return doneAcq, doneRel
+}
+
+// finishAcquire delivers one staged acquire completion. Must be called
+// without c.mu held.
+func (c *Client) finishAcquire(a *AsyncAcquire) {
+	if cb := a.cb; cb != nil {
+		g, err := a.g, a.err
+		c.recycleAcquire(a)
+		cb(g, err)
+		return
+	}
+	a.ch <- struct{}{}
+}
+
+// finishRelease resolves one acked release: hand the token to a
+// ReleaseWait consumer, or recycle the grant directly. Must be called
+// without c.mu held.
+func (c *Client) finishRelease(g *Grant) {
+	if g.state.Load() == grantWaited {
+		select {
+		case g.ackCh <- struct{}{}:
+		default:
+		}
+		return
+	}
+	c.recycleGrant(g)
+}
+
+func (c *Client) recycleAcquire(a *AsyncAcquire) {
+	select {
+	case <-a.ch:
+	default:
+	}
+	a.cb = nil
+	a.g = nil
+	a.err = nil
+	a.deadline = time.Time{}
+	c.acqPool.Put(a)
+}
+
+func (c *Client) recycleGrant(g *Grant) {
+	select {
+	case <-g.ackCh:
+	default:
+	}
+	g.state.Store(grantFree)
+	c.grantPool.Put(g)
+}
+
+func rejectErr(h *wire.Header, lockID uint32) error {
+	if h.Flags&wire.FlagOverflow != 0 {
+		return fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrQueueOverflow)
+	}
+	return fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrQuotaExceeded)
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"netlock"
+	"netlock/internal/switchdp"
+	"netlock/internal/wire"
+)
+
+// TestAcquireTimeoutMatchesContext pins the deprecation contract: the
+// AcquireTimeout shim and a context-first Acquire with the same deadline
+// must fail identically over the batched path — same sentinels, same
+// message — so callers can migrate without changing error handling.
+func TestAcquireTimeoutMatchesContext(t *testing.T) {
+	sw, _ := rack(t, 1, dpConfig())
+	holder := client(t, sw)
+	g, err := acquire(holder, 1, netlock.Exclusive, timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+
+	c := client(t, sw)
+	const d = 150 * time.Millisecond
+
+	_, errShim := c.AcquireTimeout(1, wire.Exclusive, d)
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	_, errCtx := c.Acquire(ctx, 1, netlock.Exclusive)
+	cancel()
+
+	for name, err := range map[string]error{"AcquireTimeout": errShim, "Acquire": errCtx} {
+		if err == nil {
+			t.Fatalf("%s: acquired a held exclusive lock", name)
+		}
+		if !errors.Is(err, netlock.ErrTimeout) {
+			t.Errorf("%s: %v, want errors.Is ErrTimeout", name, err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: %v, want errors.Is context.DeadlineExceeded", name, err)
+		}
+	}
+	if errShim.Error() != errCtx.Error() {
+		t.Errorf("error text diverged:\n  AcquireTimeout: %q\n  Acquire:        %q",
+			errShim.Error(), errCtx.Error())
+	}
+}
+
+// TestClientSteadyStateAllocs gates the client's steady-state send/receive
+// path: once the pools and tables are warm, an acquire/release round trip
+// must not allocate on the client side. The budget of 2 allocs/op absorbs
+// runtime noise from the in-process switch and server goroutines (netpoll,
+// map growth) that AllocsPerRun cannot separate out.
+func TestClientSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate skipped in -short")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	sw, servers := rack(t, 1, dpConfig())
+	// Switch-resident lock: the steady-state round trip is one RTT with no
+	// server hop, so the measurement covers exactly the client+switch path.
+	installLock(t, sw, servers, 1, switchdp.Region{Left: 0, Right: 8})
+
+	c, err := NewClientConfig(ClientConfig{
+		Switch: sw.Addr(),
+		// Park the retry and flush tickers: a retransmit mid-measurement
+		// would be a (legitimate) extra send, not steady state.
+		RetryInterval: time.Hour,
+		FlushInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	ctx := context.Background()
+	op := func() {
+		g, err := c.Acquire(ctx, 1, netlock.Exclusive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.ReleaseWait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ { // warm pools, maps, and the egress free list
+		op()
+	}
+	if avg := testing.AllocsPerRun(500, op); avg > 2 {
+		t.Fatalf("steady-state acquire/release allocates %.2f/op, want <= 2", avg)
+	}
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"net/netip"
+
+	"netlock/internal/obs"
+	"netlock/internal/wire"
+)
+
+// egress accumulates outgoing ops into per-destination batch frames and
+// writes each frame with one conn write. Flush policy belongs to the
+// caller: the switch and server flush after every ingress datagram (plus an
+// optional timer), the client flushes adaptively (see client.go). egress is
+// not goroutine-safe; each node serializes it under its own mutex.
+type egress struct {
+	conn PacketConn
+	o    *obs.Stripe
+	// max is the op capacity per frame; 1 sends legacy bare-header
+	// datagrams (no batch preamble), which is the unbatched baseline the
+	// load generator compares against.
+	max     int
+	dests   map[netip.AddrPort]*destBatch
+	free    []*destBatch
+	scratch [wire.HeaderLen]byte
+}
+
+// destBatch is one destination's open frame. store keeps the frame's
+// backing array across flushes so steady-state egress does not allocate.
+type destBatch struct {
+	ap    netip.AddrPort
+	w     wire.BatchWriter
+	store []byte
+}
+
+func newEgress(conn PacketConn, o *obs.Stripe, max int) *egress {
+	if max <= 0 || max > wire.MaxBatchOps {
+		max = wire.MaxBatchOps
+	}
+	return &egress{
+		conn:  conn,
+		o:     o,
+		max:   max,
+		dests: make(map[netip.AddrPort]*destBatch),
+	}
+}
+
+// send queues h toward ap, flushing the destination's frame first if it is
+// full. The op is not on the wire until the next flush (unless max == 1).
+func (e *egress) send(h *wire.Header, ap netip.AddrPort) {
+	if e.max == 1 {
+		buf := h.AppendTo(e.scratch[:0])
+		e.conn.WriteToUDPAddrPort(buf, ap)
+		e.o.Inc(obs.CtrFramesOut)
+		e.o.Observe(obs.StageEgressBatch, 1)
+		return
+	}
+	db := e.dests[ap]
+	if db == nil {
+		if n := len(e.free); n > 0 {
+			db = e.free[n-1]
+			e.free = e.free[:n-1]
+		} else {
+			db = &destBatch{}
+		}
+		db.ap = ap
+		db.w.Reset(db.store)
+		e.dests[ap] = db
+	}
+	if db.w.Count() >= e.max || !db.w.Append(h) {
+		e.flushDest(db)
+		db.w.Append(h)
+	}
+}
+
+// flushDest writes db's open frame, if any, and resets the writer. The
+// destination stays registered.
+func (e *egress) flushDest(db *destBatch) {
+	n := db.w.Count()
+	frame := db.w.Frame()
+	if frame != nil {
+		e.conn.WriteToUDPAddrPort(frame, db.ap)
+		e.o.Inc(obs.CtrFramesOut)
+		e.o.Observe(obs.StageEgressBatch, int64(n))
+		db.store = frame[:0]
+	}
+	db.w.Reset(db.store)
+}
+
+// flushAll writes every destination's open frame and returns the
+// destination slots to the free list.
+func (e *egress) flushAll() {
+	for ap, db := range e.dests {
+		e.flushDest(db)
+		delete(e.dests, ap)
+		e.free = append(e.free, db)
+	}
+}

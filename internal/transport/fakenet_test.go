@@ -1,0 +1,504 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netlock"
+	"netlock/internal/check"
+	"netlock/internal/switchdp"
+	"netlock/internal/wire"
+)
+
+// fakeNet is an in-process Network with seeded, packet-level chaos. Links
+// where both endpoints are marked reliable (the in-rack switch<->server
+// fabric, which the q1/q2 protocol assumes lossless and ordered) deliver
+// synchronously in order; every other link — the client edge — drops,
+// duplicates, and delays datagrams under a seeded rand, so a failing run
+// replays with `go test -netlock.seed=N`.
+type fakeNet struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	conns    map[netip.AddrPort]*fakeConn
+	reliable map[netip.AddrPort]bool
+	nextPort uint16
+
+	// Chaos probabilities for edge links; zero values mean a perfect
+	// network.
+	drop, dup, delay float64
+	maxDelay         time.Duration
+	// filter, when set, drops any edge datagram it returns true for
+	// (called with fn.mu held).
+	filter func(data []byte, from, to netip.AddrPort) bool
+
+	wg sync.WaitGroup // in-flight delayed deliveries
+}
+
+func newFakeNet(seed int64) *fakeNet {
+	return &fakeNet{
+		rng:      rand.New(rand.NewSource(seed)),
+		conns:    make(map[netip.AddrPort]*fakeConn),
+		reliable: make(map[netip.AddrPort]bool),
+		maxDelay: 2 * time.Millisecond,
+	}
+}
+
+// Listen assigns the next fake address; the requested bind address only
+// matters for its host part, which is ignored (everything shares one fake
+// subnet).
+func (fn *fakeNet) Listen(string) (PacketConn, error) {
+	fn.mu.Lock()
+	defer fn.mu.Unlock()
+	fn.nextPort++
+	ap := netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 99, 0, 1}), fn.nextPort)
+	fc := &fakeConn{
+		fn:     fn,
+		local:  ap,
+		inbox:  make(chan fakePacket, 4096),
+		closed: make(chan struct{}),
+	}
+	fn.conns[ap] = fc
+	return fc, nil
+}
+
+func (fn *fakeNet) markReliable(t *testing.T, addr string) {
+	t.Helper()
+	ap, err := netip.ParseAddrPort(addr)
+	if err != nil {
+		t.Fatalf("markReliable(%q): %v", addr, err)
+	}
+	fn.mu.Lock()
+	fn.reliable[normAddrPort(ap)] = true
+	fn.mu.Unlock()
+}
+
+func (fn *fakeNet) send(from *fakeConn, data []byte, to netip.AddrPort) {
+	fn.mu.Lock()
+	dst := fn.conns[to]
+	if dst == nil {
+		fn.mu.Unlock()
+		return
+	}
+	pkt := fakePacket{data: append([]byte(nil), data...), from: from.local}
+	if fn.reliable[from.local] && fn.reliable[to] {
+		fn.mu.Unlock()
+		dst.deliver(pkt)
+		return
+	}
+	if fn.filter != nil && fn.filter(pkt.data, from.local, to) {
+		fn.mu.Unlock()
+		return
+	}
+	if fn.rng.Float64() < fn.drop {
+		fn.mu.Unlock()
+		return
+	}
+	copies := 1
+	if fn.rng.Float64() < fn.dup {
+		copies = 2
+	}
+	var delays [2]time.Duration
+	for i := 0; i < copies; i++ {
+		if fn.rng.Float64() < fn.delay && fn.maxDelay > 0 {
+			delays[i] = time.Duration(fn.rng.Int63n(int64(fn.maxDelay)))
+		}
+	}
+	fn.mu.Unlock()
+	for i := 0; i < copies; i++ {
+		if delays[i] == 0 {
+			dst.deliver(pkt)
+			continue
+		}
+		fn.wg.Add(1)
+		go func(d time.Duration) {
+			defer fn.wg.Done()
+			time.Sleep(d)
+			dst.deliver(pkt)
+		}(delays[i])
+	}
+}
+
+type fakePacket struct {
+	data []byte
+	from netip.AddrPort
+}
+
+type fakeConn struct {
+	fn        *fakeNet
+	local     netip.AddrPort
+	inbox     chan fakePacket
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (fc *fakeConn) deliver(p fakePacket) {
+	select {
+	case <-fc.closed:
+		return
+	default:
+	}
+	select {
+	case fc.inbox <- p:
+	default: // inbox full: drop, it's UDP
+	}
+}
+
+func (fc *fakeConn) ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error) {
+	select {
+	case <-fc.closed:
+		return 0, netip.AddrPort{}, net.ErrClosed
+	case p := <-fc.inbox:
+		return copy(b, p.data), p.from, nil
+	}
+}
+
+func (fc *fakeConn) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error) {
+	select {
+	case <-fc.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+	fc.fn.send(fc, b, normAddrPort(addr))
+	return len(b), nil
+}
+
+func (fc *fakeConn) Close() error {
+	fc.closeOnce.Do(func() {
+		close(fc.closed)
+		fc.fn.mu.Lock()
+		delete(fc.fn.conns, fc.local)
+		fc.fn.mu.Unlock()
+	})
+	return nil
+}
+
+func (fc *fakeConn) LocalAddr() net.Addr {
+	return net.UDPAddrFromAddrPort(fc.local)
+}
+
+// fakeRack is rack() over a fake network: the switch and servers are
+// marked reliable peers (in-rack fabric), so chaos applies only to the
+// client edge.
+func fakeRack(t *testing.T, fn *fakeNet, n int, dp switchdp.Config) (*Switch, []*Server) {
+	t.Helper()
+	var servers []*Server
+	var addrs []string
+	for i := 0; i < n; i++ {
+		srv, err := NewServer(ServerConfig{Listen: "10.99.0.1:0", Net: fn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+		fn.markReliable(t, srv.Addr())
+	}
+	sw, err := NewSwitch(SwitchConfig{Listen: "10.99.0.1:0", DataPlane: dp, Servers: addrs, Net: fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sw.Close() })
+	fn.markReliable(t, sw.Addr())
+	for _, srv := range servers {
+		if err := srv.SetSwitchAddr(sw.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sw, servers
+}
+
+// recorder serializes trace events into the checker. Its mutex defines the
+// event order the checker sees; the recording discipline (EvAcquire after
+// submit but before Wait, EvGrant after Wait returns, EvRelease before the
+// release is handed to the client) makes that order sound for safety
+// checking.
+type recorder struct {
+	mu   sync.Mutex
+	ck   *check.Checker
+	viol *check.Violation
+}
+
+func (r *recorder) observe(e check.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.viol != nil {
+		return
+	}
+	r.viol = r.ck.Observe(e)
+}
+
+// conformanceIters reports how many seeds to sweep: the default
+// check.Seeds() sweep, widened to NETLOCK_FAKENET_ITERS sequential seeds
+// when that env var is set (CI runs 1000 under -race). A pinned
+// -netlock.seed always wins.
+func conformanceSeeds() (seeds []int64, quick bool) {
+	if s, ok := check.ReplaySeed(); ok {
+		return []int64{s}, false
+	}
+	if v := os.Getenv("NETLOCK_FAKENET_ITERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			for i := 0; i < n; i++ {
+				seeds = append(seeds, int64(i+1))
+			}
+			return seeds, true
+		}
+	}
+	return check.Seeds(), false
+}
+
+// TestFakenetConformance drives a full client->switch->server rack over
+// the chaotic fake network — drops, duplicates, and reordering delays on
+// the client edge — and validates every surviving grant trace against the
+// safety checker: mutual exclusion, no phantom or duplicate grants,
+// conservation at quiescence. Locks span switch-resident queues small
+// enough to overflow (exercising q1/q2) and server-owned locks.
+func TestFakenetConformance(t *testing.T) {
+	seeds, quick := conformanceSeeds()
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runConformance(t, seed, quick)
+		})
+	}
+}
+
+func runConformance(t *testing.T, seed int64, quick bool) {
+	fn := newFakeNet(seed)
+	fn.drop, fn.dup, fn.delay = 0.15, 0.10, 0.25
+
+	dp := switchdp.Config{MaxLocks: 8, TotalSlots: 32, Priorities: 1}
+	sw, servers := fakeRack(t, fn, 2, dp)
+	// Four switch-resident locks with queues small enough that contention
+	// overflows to the servers; locks 5..10 stay server-owned.
+	for id := uint32(1); id <= 4; id++ {
+		lo := uint64(id-1) * 2
+		installLock(t, sw, servers, id, switchdp.Region{Left: lo, Right: lo + 2})
+	}
+	locks := []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+
+	rec := &recorder{ck: check.NewChecker()}
+	// Overflow buffering legally reorders grants across priorities/modes
+	// (§4.3), so only the safety invariants apply.
+	rec.ck.CheckPriority = false
+
+	nClients, workersPer, opsPer := 3, 2, 12
+	if quick {
+		nClients, workersPer, opsPer = 2, 2, 6
+	}
+
+	var clients []*Client
+	for i := 0; i < nClients; i++ {
+		c, err := NewClientConfig(ClientConfig{
+			Switch:        sw.Addr(),
+			Net:           fn,
+			RetryInterval: 15 * time.Millisecond,
+			FlushInterval: 200 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for ci, c := range clients {
+		for w := 0; w < workersPer; w++ {
+			wg.Add(1)
+			go func(c *Client, id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed*1000 + int64(id)))
+				for op := 0; op < opsPer; op++ {
+					lock := locks[rng.Intn(len(locks))]
+					excl := rng.Intn(100) < 60
+					mode := netlock.Shared
+					if excl {
+						mode = netlock.Exclusive
+					}
+					a, err := c.AcquireAsync(ctx, lock, mode)
+					if err != nil {
+						t.Errorf("worker %d: submit: %v (replay: %s)", id, err, check.ReplayArgs(seed))
+						return
+					}
+					rec.observe(check.Event{Kind: check.EvAcquire, Lock: lock, Txn: a.Txn(), Excl: excl})
+					g, err := a.Wait(ctx)
+					if err != nil {
+						t.Errorf("worker %d: acquire lock %d: %v (replay: %s)", id, lock, err, check.ReplayArgs(seed))
+						return
+					}
+					rec.observe(check.Event{Kind: check.EvGrant, Lock: lock, Txn: g.Txn(), Excl: excl})
+					if rng.Intn(4) == 0 {
+						time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+					}
+					rec.observe(check.Event{Kind: check.EvRelease, Lock: lock, Txn: g.Txn(), Excl: excl})
+					if rng.Intn(2) == 0 {
+						g.Release()
+					} else if err := g.ReleaseWait(ctx); err != nil {
+						t.Errorf("worker %d: release lock %d: %v (replay: %s)", id, lock, err, check.ReplayArgs(seed))
+						return
+					}
+				}
+			}(c, ci*workersPer+w)
+		}
+	}
+	wg.Wait()
+	for _, c := range clients {
+		c.Close()
+	}
+	// Quiesce the rack before draining the net: the switch sweep keeps
+	// re-sending un-released grants (e.g. for just-closed clients), and a
+	// send entering the chaos edge concurrently with fn.wg.Wait would race
+	// the WaitGroup.
+	sw.Close()
+	for _, srv := range servers {
+		srv.Close()
+	}
+	fn.wg.Wait()
+
+	rec.mu.Lock()
+	viol := rec.viol
+	rec.mu.Unlock()
+	if viol != nil {
+		t.Fatalf("trace violation: %v (replay: %s)", viol, check.ReplayArgs(seed))
+	}
+	if v := rec.ck.Quiesce(); v != nil {
+		t.Fatalf("quiescence: %v (replay: %s)", v, check.ReplayArgs(seed))
+	}
+	grants, _, releases := rec.ck.Stats()
+	want := nClients * workersPer * opsPer
+	if t.Failed() {
+		return
+	}
+	if grants != want || releases != want {
+		t.Fatalf("vacuous run: %d grants, %d releases, want %d each (replay: %s)",
+			grants, releases, want, check.ReplayArgs(seed))
+	}
+}
+
+// frameHasOp reports whether a datagram (bare header or batch frame)
+// carries an op of the given kind.
+func frameHasOp(data []byte, op wire.Op) bool {
+	var h wire.Header
+	if wire.IsBatch(data) {
+		var br wire.BatchReader
+		if br.Reset(data) != nil {
+			return false
+		}
+		for {
+			ok, err := br.Next(&h)
+			if err != nil || !ok {
+				return false
+			}
+			if h.Op == op {
+				return true
+			}
+		}
+	}
+	return h.DecodeFromBytes(data) == nil && h.Op == op
+}
+
+// TestReleaseRetransmitAfterLoss is the leaked-lock regression: with the
+// old fire-and-forget release, dropping the release datagram stranded the
+// lock until lease expiry (forever, without a lease). The client must now
+// retransmit the release until the end-to-end ack lands.
+func TestReleaseRetransmitAfterLoss(t *testing.T) {
+	fn := newFakeNet(1)
+	var dropped atomic.Int32
+	fn.filter = func(data []byte, from, to netip.AddrPort) bool {
+		if frameHasOp(data, wire.OpRelease) && dropped.CompareAndSwap(0, 1) {
+			return true
+		}
+		return false
+	}
+	sw, servers := fakeRack(t, fn, 1, dpConfig())
+	installLock(t, sw, servers, 7, switchdp.Region{Left: 0, Right: 8})
+
+	c, err := NewClientConfig(ClientConfig{
+		Switch:        sw.Addr(),
+		Net:           fn,
+		RetryInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	g, err := c.Acquire(ctx, 7, netlock.Exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release() // first release datagram is eaten by the filter
+
+	// A second exclusive acquire only succeeds once the retransmitted
+	// release lands; fire-and-forget would hang here forever.
+	g2, err := c.Acquire(ctx, 7, netlock.Exclusive)
+	if err != nil {
+		t.Fatalf("acquire after lossy release: %v", err)
+	}
+	if dropped.Load() != 1 {
+		t.Fatalf("filter never saw a release datagram")
+	}
+	if err := g2.ReleaseWait(ctx); err != nil {
+		t.Fatalf("ReleaseWait: %v", err)
+	}
+}
+
+// TestReleaseAckIdempotent: a duplicated release datagram (or a
+// retransmit racing its own ack) must ack idempotently, never dequeue a
+// second holder. The duplicating fake network plus a waiter pair on one
+// lock covers the double-release hazard directly.
+func TestReleaseAckIdempotent(t *testing.T) {
+	fn := newFakeNet(3)
+	fn.dup = 1.0 // duplicate every client-edge datagram
+	sw, servers := fakeRack(t, fn, 1, dpConfig())
+	installLock(t, sw, servers, 9, switchdp.Region{Left: 0, Right: 8})
+
+	c, err := NewClientConfig(ClientConfig{Switch: sw.Addr(), Net: fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	g1, err := c.Acquire(ctx, 9, netlock.Exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue a second exclusive waiter, then release. If the duplicated
+	// release dequeued the waiter's fresh grant too, g2 would be granted
+	// while a third acquire also succeeds — instead the third must block
+	// until g2 releases.
+	a2, err := c.AcquireAsync(ctx, 9, netlock.Exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.ReleaseWait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := a2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancel2 := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel2()
+	if _, err := c.Acquire(short, 9, netlock.Exclusive); !errors.Is(err, netlock.ErrTimeout) {
+		t.Fatalf("third acquire while g2 held: err=%v, want timeout", err)
+	}
+	if err := g2.ReleaseWait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+)
+
+// PacketConn is the slice of *net.UDPConn the transport nodes use. All
+// addressing is netip.AddrPort so the read and write hot paths stay
+// allocation-free; the conformance tests substitute an in-process fake
+// network that drops, duplicates, and reorders datagrams.
+type PacketConn interface {
+	ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error)
+	WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error)
+	Close() error
+	LocalAddr() net.Addr
+}
+
+// Network creates the sockets a node binds. A nil Network in the node
+// configs means the real UDP stack (UDP below).
+type Network interface {
+	// Listen binds a datagram socket on addr ("127.0.0.1:0" for an
+	// ephemeral port).
+	Listen(addr string) (PacketConn, error)
+}
+
+type udpNetwork struct{}
+
+func (udpNetwork) Listen(addr string) (PacketConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.ListenUDP("udp", ua)
+}
+
+// UDP is the real-socket Network.
+var UDP Network = udpNetwork{}
+
+// resolveAddrPort resolves a host:port string to a normalized AddrPort.
+func resolveAddrPort(addr string) (netip.AddrPort, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	ap := normAddrPort(ua.AddrPort())
+	if !ap.IsValid() {
+		return netip.AddrPort{}, fmt.Errorf("no usable address in %q", addr)
+	}
+	return ap, nil
+}
+
+// normAddrPort unmaps 4-in-6 addresses so one peer always maps to one
+// table key regardless of which API produced the address.
+func normAddrPort(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}

@@ -1,7 +1,7 @@
 // Package transport runs NetLock over real UDP sockets: a switch node that
 // processes NetLock packets through the data-plane program
 // (internal/switchdp), lock-server nodes that own unpopular locks and
-// buffer overflow, and a client.
+// buffer overflow, and a multiplexed client.
 //
 // The deployment mirrors the paper's: clients address the switch (it is the
 // ToR; every packet traverses it), the switch either processes a request in
@@ -11,40 +11,75 @@
 // lock is granted by someone else's release), the switch keeps a pending
 // table mapping (lock, transaction) to the requester's UDP address.
 //
+// Datagrams carry either one bare wire.Header or a wire batch frame
+// (wire.BatchWriter) holding up to wire.MaxBatchOps headers; the first byte
+// disambiguates. Every node decodes both; every node batches its egress
+// per destination and flushes at its own policy (see egress and Client).
+//
+// The client-facing edge is lossy and the protocol tolerates it end to
+// end: clients retransmit unanswered acquires and un-acked releases, and
+// the switch deduplicates. A retransmitted acquire whose grant was lost is
+// answered from the switch's grant cache without touching the data plane
+// (a duplicate enqueue would install a ghost holder); a retransmitted
+// release is forwarded to the lock server at most once (a release dequeues
+// the granted head of its queue, so a duplicate would release a different
+// holder's lock). Releases are acknowledged end to end with
+// wire.OpReleaseAck — by the switch for switch-resident locks, by the
+// owning lock server otherwise — and the ack is idempotent. The in-rack
+// links between the switch and its servers are assumed reliable, as in the
+// paper's rack deployment; the q1/q2 overflow protocol (§4.3) sends
+// server-bound packets exactly once.
+//
 // This is the demonstration plane: correctness over sockets, not the
 // evaluation plane (internal/cluster reproduces the paper's numbers in
 // virtual time).
 package transport
 
 import (
-	"context"
-	"errors"
 	"fmt"
-	"math/rand"
-	"net"
 	"net/netip"
 	"sync"
 	"time"
 
-	"netlock"
 	"netlock/internal/lockserver"
 	"netlock/internal/obs"
 	"netlock/internal/switchdp"
 	"netlock/internal/wire"
 )
 
-const maxPacket = 256
+// maxPacket bounds one ingress datagram; it comfortably holds a full batch
+// frame (wire.MaxDatagram).
+const maxPacket = 2048
 
 // Switch is a NetLock switch node on a UDP socket.
 type Switch struct {
-	conn *net.UDPConn
+	conn PacketConn
 	dp   *switchdp.Switch
 	now  func() int64
 	o    *obs.Stripe
 
 	mu      sync.Mutex
-	servers []*net.UDPAddr
+	servers []netip.AddrPort
+	// pending maps an acquire awaiting its grant to the requester.
 	pending map[pendKey]pendingReq
+	// granted caches delivered grants until their release completes, for
+	// three duties: answering acquire retransmits whose grant was lost
+	// without re-entering the data plane, gating the data plane to
+	// exactly one release per grant, and re-sending undelivered grants
+	// from the sweep (the release is the delivery ack). The re-send
+	// closes a ghost-holder wedge: a stale duplicate of an acquire
+	// datagram arriving after its op fully completed re-enters the data
+	// plane as a fresh request, and if its grant then drops, no client
+	// retransmit exists to recover it — the sweep's re-send reaches the
+	// client, which auto-releases the unmatched grant.
+	granted map[pendKey]grantEntry
+	// relPending maps a release forwarded to a lock server (not yet
+	// acked) to the client awaiting the ack. While an entry exists,
+	// client retransmits of that release only refresh the address.
+	relPending map[pendKey]netip.AddrPort
+	eg         *egress
+
+	flushEvery time.Duration
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -59,9 +94,24 @@ type pendKey struct {
 // address and, when observability is on, the arrival instant — the switch's
 // view of end-to-end acquire latency runs from here to grant delivery.
 type pendingReq struct {
-	addr   *net.UDPAddr
+	addr   netip.AddrPort
 	sentNs int64
 }
+
+// grantEntry is one delivered-but-unreleased grant: the cached grant
+// header, the holder's address, and the last delivery attempt (data-plane
+// clock) for re-send pacing.
+type grantEntry struct {
+	hdr    wire.Header
+	addr   netip.AddrPort
+	sentNs int64
+}
+
+// grantResendNs paces the sweep's re-send of un-released grants. Held
+// locks cost one duplicate grant datagram per interval (ignored by live
+// holders); grants for vanished clients re-send until the lease sweep
+// reclaims the hold.
+const grantResendNs = int64(100 * time.Millisecond)
 
 // SwitchConfig configures a switch node.
 type SwitchConfig struct {
@@ -75,15 +125,22 @@ type SwitchConfig struct {
 	// SweepInterval runs the control-plane sweep: expired-lease release
 	// injection and stranded-overflow re-notification. Default 10ms.
 	SweepInterval time.Duration
+	// EgressFlush, when nonzero, holds egress batches open across ingress
+	// datagrams and flushes them on this timer, trading latency for
+	// larger frames. Zero (the default) flushes after every ingress
+	// datagram and control sweep.
+	EgressFlush time.Duration
+	// Net is the socket factory; nil means real UDP.
+	Net Network
 }
 
 // NewSwitch binds and starts a switch node.
 func NewSwitch(cfg SwitchConfig) (*Switch, error) {
-	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
-	if err != nil {
-		return nil, fmt.Errorf("transport: resolve listen addr: %w", err)
+	nw := cfg.Net
+	if nw == nil {
+		nw = UDP
 	}
-	conn, err := net.ListenUDP("udp", addr)
+	conn, err := nw.Listen(cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
@@ -92,19 +149,23 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 		cfg.DataPlane.Now = func() int64 { return int64(time.Since(start)) }
 	}
 	s := &Switch{
-		conn:    conn,
-		dp:      switchdp.New(cfg.DataPlane),
-		o:       cfg.DataPlane.Obs,
-		pending: make(map[pendKey]pendingReq),
-		closed:  make(chan struct{}),
+		conn:       conn,
+		dp:         switchdp.New(cfg.DataPlane),
+		o:          cfg.DataPlane.Obs,
+		pending:    make(map[pendKey]pendingReq),
+		granted:    make(map[pendKey]grantEntry),
+		relPending: make(map[pendKey]netip.AddrPort),
+		flushEvery: cfg.EgressFlush,
+		closed:     make(chan struct{}),
 	}
+	s.eg = newEgress(conn, s.o, 0)
 	for _, sa := range cfg.Servers {
-		ua, err := net.ResolveUDPAddr("udp", sa)
+		ap, err := resolveAddrPort(sa)
 		if err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("transport: resolve server addr %q: %w", sa, err)
 		}
-		s.servers = append(s.servers, ua)
+		s.servers = append(s.servers, ap)
 	}
 	if len(s.servers) == 0 {
 		conn.Close()
@@ -118,6 +179,10 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 	go s.readLoop()
 	s.wg.Add(1)
 	go s.sweepLoop(cfg.SweepInterval)
+	if s.flushEvery > 0 {
+		s.wg.Add(1)
+		go s.flushLoop()
+	}
 	return s, nil
 }
 
@@ -128,7 +193,6 @@ func (s *Switch) sweepLoop(interval time.Duration) {
 	defer s.wg.Done()
 	t := time.NewTicker(interval)
 	defer t.Stop()
-	out := make([]byte, 0, wire.HeaderLen)
 	for {
 		select {
 		case <-s.closed:
@@ -137,15 +201,48 @@ func (s *Switch) sweepLoop(interval time.Duration) {
 			s.mu.Lock()
 			for _, h := range s.dp.CtrlScanExpired(s.now()) {
 				h := h
-				emits, _ := s.dp.ProcessPacket(&h)
-				for _, e := range emits {
-					s.routeEmit(e, &out)
-				}
+				// The lease reclaimed this hold; drop its grant cache so
+				// a late client release acks idempotently instead of
+				// releasing whoever holds the lock next.
+				key := pendKey{h.LockID, h.TxnID}
+				delete(s.granted, key)
+				delete(s.relPending, key)
+				s.process(&h)
 			}
 			for _, h := range s.dp.CtrlScanStranded() {
-				out = h.AppendTo(out[:0])
-				s.conn.WriteToUDP(out, s.serverFor(h.LockID))
+				h := h
+				s.eg.send(&h, s.serverFor(h.LockID))
 			}
+			now := s.now()
+			for key, g := range s.granted {
+				if _, releasing := s.relPending[key]; releasing {
+					continue
+				}
+				if now-g.sentNs < grantResendNs {
+					continue
+				}
+				g.sentNs = now
+				s.granted[key] = g
+				s.eg.send(&g.hdr, g.addr)
+			}
+			s.eg.flushAll()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// flushLoop drains held-open egress batches on the EgressFlush timer.
+func (s *Switch) flushLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.flushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.eg.flushAll()
 			s.mu.Unlock()
 		}
 	}
@@ -177,6 +274,12 @@ type SwitchSnapshot struct {
 	// PendingAcquires is the number of acquires whose grant has not yet
 	// been delivered to a client.
 	PendingAcquires int
+	// TrackedGrants is the number of delivered grants whose release has
+	// not yet completed.
+	TrackedGrants int
+	// PendingReleases is the number of releases forwarded to a lock
+	// server and not yet acked.
+	PendingReleases int
 }
 
 // Snapshot captures the switch's counters and occupancy gauges under the
@@ -191,6 +294,8 @@ func (s *Switch) Snapshot() SwitchSnapshot {
 		SlotsInUse:      s.dp.CtrlSlotsInUse(),
 		FreeEntries:     s.dp.CtrlFreeEntries(),
 		PendingAcquires: len(s.pending),
+		TrackedGrants:   len(s.granted),
+		PendingReleases: len(s.relPending),
 	}
 }
 
@@ -207,17 +312,26 @@ func (s *Switch) Close() error {
 	return err
 }
 
-func (s *Switch) serverFor(lockID uint32) *net.UDPAddr {
+func (s *Switch) serverFor(lockID uint32) netip.AddrPort {
 	return s.servers[lockserver.RSSCore(lockID, len(s.servers))]
+}
+
+func (s *Switch) fromServer(ap netip.AddrPort) bool {
+	for _, sv := range s.servers {
+		if sv == ap {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Switch) readLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, maxPacket)
 	var h wire.Header
-	out := make([]byte, 0, wire.HeaderLen)
+	var br wire.BatchReader
 	for {
-		n, from, err := s.conn.ReadFromUDP(buf)
+		n, from, err := s.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			select {
 			case <-s.closed:
@@ -226,72 +340,211 @@ func (s *Switch) readLoop() {
 				continue // transient error; the ToR keeps forwarding
 			}
 		}
-		if err := h.DecodeFromBytes(buf[:n]); err != nil {
-			continue // not a NetLock packet
-		}
+		from = normAddrPort(from)
+		data := buf[:n]
 		s.mu.Lock()
-		switch h.Op {
-		case wire.OpGrant, wire.OpReject, wire.OpFetch:
-			// Passthrough from a lock server toward the client.
-			s.deliverToClient(&h, &out)
-		default:
-			if h.Op == wire.OpAcquire && h.Flags&wire.FlagOverflow == 0 {
-				// Remember the requester for the eventual grant. (Pushes
-				// and overflow re-forwards keep the original entry.)
-				p := pendingReq{addr: from}
-				if s.o.Enabled() {
-					p.sentNs = s.now()
+		if wire.IsBatch(data) {
+			if br.Reset(data) == nil {
+				ops := 0
+				for {
+					ok, err := br.Next(&h)
+					if err != nil || !ok {
+						break
+					}
+					ops++
+					s.handleOp(&h, from)
 				}
-				// A retransmit must not reset the latency clock.
-				if old, ok := s.pending[pendKey{h.LockID, h.TxnID}]; ok && old.sentNs != 0 {
-					p.sentNs = old.sentNs
+				if ops > 0 {
+					s.o.Inc(obs.CtrFramesIn)
+					s.o.Add(obs.CtrOpsIn, uint64(ops))
 				}
-				s.pending[pendKey{h.LockID, h.TxnID}] = p
 			}
-			emits, _ := s.dp.ProcessPacket(&h)
-			for _, e := range emits {
-				s.routeEmit(e, &out)
-			}
+		} else if h.DecodeFromBytes(data) == nil {
+			s.o.Inc(obs.CtrFramesIn)
+			s.o.Inc(obs.CtrOpsIn)
+			s.handleOp(&h, from)
+		}
+		if s.flushEvery == 0 {
+			s.eg.flushAll()
 		}
 		s.mu.Unlock()
 	}
 }
 
+// handleOp processes one ingress operation. Caller holds s.mu.
+func (s *Switch) handleOp(h *wire.Header, from netip.AddrPort) {
+	switch h.Op {
+	case wire.OpGrant, wire.OpReject, wire.OpFetch:
+		// Passthrough from a lock server toward the client.
+		s.deliverToClient(h)
+	case wire.OpReleaseAck:
+		// The owning server consumed a forwarded release: complete the
+		// end-to-end ack.
+		key := pendKey{h.LockID, h.TxnID}
+		if to, ok := s.relPending[key]; ok {
+			delete(s.relPending, key)
+			delete(s.granted, key)
+			s.eg.send(h, to)
+		}
+	case wire.OpRelease:
+		s.handleRelease(h, from)
+	case wire.OpAcquire:
+		if h.Flags&wire.FlagOverflow == 0 && !s.fromServer(from) {
+			s.handleAcquire(h, from)
+			return
+		}
+		// Server-originated (a request bounced across a lock move) or
+		// overflow-marked: the pending entry for the original client, if
+		// any, must not be rewritten to the server's address.
+		s.process(h)
+	default:
+		s.process(h)
+	}
+}
+
+// handleAcquire processes a client acquire, deduplicating retransmits.
+// Caller holds s.mu.
+func (s *Switch) handleAcquire(h *wire.Header, from netip.AddrPort) {
+	key := pendKey{h.LockID, h.TxnID}
+	if g, ok := s.granted[key]; ok {
+		// Retransmit of an acquire whose grant (or everything since) was
+		// lost: answer from the cache. The data plane must not see the
+		// duplicate — it would enqueue a ghost holder.
+		g.addr = from
+		g.sentNs = s.now()
+		s.granted[key] = g
+		s.eg.send(&g.hdr, from)
+		return
+	}
+	if p, ok := s.pending[key]; ok {
+		// Retransmit of a still-queued acquire: refresh the return
+		// address only; the request is already queued in the data plane
+		// or at its lock server.
+		p.addr = from
+		s.pending[key] = p
+		return
+	}
+	p := pendingReq{addr: from}
+	if s.o.Enabled() {
+		p.sentNs = s.now()
+	}
+	s.pending[key] = p
+	s.process(h)
+}
+
+// handleRelease applies the at-most-one-data-plane-release rule. Caller
+// holds s.mu.
+func (s *Switch) handleRelease(h *wire.Header, from netip.AddrPort) {
+	key := pendKey{h.LockID, h.TxnID}
+	if s.fromServer(from) {
+		// Bounced across a server-to-switch move: the data plane owns
+		// the lock now. In-rack links are reliable, so this is not a
+		// duplicate.
+		if s.processRelease(h, key) {
+			return // forwarded onward again; ack still pending
+		}
+		delete(s.granted, key)
+		if to, ok := s.relPending[key]; ok {
+			delete(s.relPending, key)
+			s.ackRelease(h, to)
+		}
+		return
+	}
+	if _, ok := s.relPending[key]; ok {
+		// Client retransmit while the forwarded release is still at its
+		// server: refresh the ack address, never re-forward (a release
+		// dequeues a granted queue head, so a duplicate would release a
+		// different holder).
+		s.relPending[key] = from
+		return
+	}
+	if _, held := s.granted[key]; !held {
+		// Duplicate of a completed release, or a release for a hold the
+		// lease sweep already reclaimed: ack idempotently without
+		// touching the data plane.
+		s.ackRelease(h, from)
+		return
+	}
+	if s.processRelease(h, key) {
+		s.relPending[key] = from // the owning server will ack
+		return
+	}
+	delete(s.granted, key)
+	s.ackRelease(h, from)
+}
+
+// processRelease runs one release through the data plane and reports
+// whether it was forwarded onward to a lock server. Caller holds s.mu.
+func (s *Switch) processRelease(h *wire.Header, key pendKey) bool {
+	emits, _ := s.dp.ProcessPacket(h)
+	forwarded := false
+	for i := range emits {
+		e := &emits[i]
+		if e.Action == switchdp.ActForward && e.Hdr.Op == wire.OpRelease &&
+			e.Hdr.LockID == key.lock && e.Hdr.TxnID == key.txn {
+			forwarded = true
+		}
+		s.routeEmit(e)
+	}
+	return forwarded
+}
+
+// ackRelease sends an OpReleaseAck echo of h to the releasing client.
+// Caller holds s.mu.
+func (s *Switch) ackRelease(h *wire.Header, to netip.AddrPort) {
+	ack := *h
+	ack.Op = wire.OpReleaseAck
+	s.eg.send(&ack, to)
+}
+
+// process runs one packet through the data plane and routes its emits.
+// Caller holds s.mu.
+func (s *Switch) process(h *wire.Header) {
+	emits, _ := s.dp.ProcessPacket(h)
+	for i := range emits {
+		s.routeEmit(&emits[i])
+	}
+}
+
 // routeEmit sends one switch output packet. Caller holds s.mu.
-func (s *Switch) routeEmit(e switchdp.Emit, out *[]byte) {
+func (s *Switch) routeEmit(e *switchdp.Emit) {
 	switch e.Action {
 	case switchdp.ActGrant, switchdp.ActReject, switchdp.ActFetch:
-		h := e.Hdr
-		s.deliverToClient(&h, out)
+		s.deliverToClient(&e.Hdr)
 	case switchdp.ActForward, switchdp.ActForwardOverflow, switchdp.ActPushNotify:
-		*out = e.Hdr.AppendTo((*out)[:0])
-		s.conn.WriteToUDP(*out, s.serverFor(e.Hdr.LockID))
+		s.eg.send(&e.Hdr, s.serverFor(e.Hdr.LockID))
 	}
 }
 
 // deliverToClient forwards a grant/reject to the requester recorded in the
 // pending table. Caller holds s.mu.
-func (s *Switch) deliverToClient(h *wire.Header, out *[]byte) {
+func (s *Switch) deliverToClient(h *wire.Header) {
 	key := pendKey{h.LockID, h.TxnID}
 	to, ok := s.pending[key]
 	if !ok {
 		return // duplicate or expired
 	}
 	delete(s.pending, key)
-	if to.sentNs != 0 && h.Op != wire.OpReject {
-		s.o.Observe(obs.StageAcquireE2E, s.now()-to.sentNs)
+	if h.Op != wire.OpReject {
+		// Cache the grant until its release completes: acquire
+		// retransmits are answered from here, and the sweep re-sends it
+		// until the release acknowledges delivery.
+		s.granted[key] = grantEntry{hdr: *h, addr: to.addr, sentNs: s.now()}
+		if to.sentNs != 0 {
+			s.o.Observe(obs.StageAcquireE2E, s.now()-to.sentNs)
+		}
 	}
-	*out = h.AppendTo((*out)[:0])
-	s.conn.WriteToUDP(*out, to.addr)
+	s.eg.send(h, to.addr)
 }
 
 // Server is a NetLock lock-server node on a UDP socket.
 type Server struct {
-	conn *net.UDPConn
+	conn PacketConn
 	ls   *lockserver.Server
 
 	mu         sync.Mutex
-	switchAddr *net.UDPAddr
+	switchAddr netip.AddrPort
+	eg         *egress
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -301,16 +554,18 @@ type Server struct {
 type ServerConfig struct {
 	Listen string
 	Config lockserver.Config
+	// Net is the socket factory; nil means real UDP.
+	Net Network
 }
 
 // NewServer binds and starts a lock-server node. The switch address is set
 // later with SetSwitchAddr (the switch must know the servers first).
 func NewServer(cfg ServerConfig) (*Server, error) {
-	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
-	if err != nil {
-		return nil, fmt.Errorf("transport: resolve listen addr: %w", err)
+	nw := cfg.Net
+	if nw == nil {
+		nw = UDP
 	}
-	conn, err := net.ListenUDP("udp", addr)
+	conn, err := nw.Listen(cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
@@ -326,6 +581,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		ls:     lockserver.New(cfg.Config),
 		closed: make(chan struct{}),
 	}
+	srv.eg = newEgress(conn, cfg.Config.Obs, 0)
 	srv.wg.Add(1)
 	go srv.readLoop()
 	return srv, nil
@@ -337,12 +593,12 @@ func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
 // SetSwitchAddr points the server at its switch (for pushes and grant
 // routing).
 func (s *Server) SetSwitchAddr(addr string) error {
-	ua, err := net.ResolveUDPAddr("udp", addr)
+	ap, err := resolveAddrPort(addr)
 	if err != nil {
 		return fmt.Errorf("transport: resolve switch addr: %w", err)
 	}
 	s.mu.Lock()
-	s.switchAddr = ua
+	s.switchAddr = ap
 	s.mu.Unlock()
 	return nil
 }
@@ -367,9 +623,9 @@ func (s *Server) readLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, maxPacket)
 	var h wire.Header
-	out := make([]byte, 0, wire.HeaderLen)
+	var br wire.BatchReader
 	for {
-		n, _, err := s.conn.ReadFromUDP(buf)
+		n, _, err := s.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			select {
 			case <-s.closed:
@@ -378,227 +634,51 @@ func (s *Server) readLoop() {
 				continue
 			}
 		}
-		if err := h.DecodeFromBytes(buf[:n]); err != nil {
-			continue
-		}
+		data := buf[:n]
 		s.mu.Lock()
-		sw := s.switchAddr
-		emits := s.ls.ProcessPacket(&h)
-		for _, e := range emits {
-			// Every server output returns through the switch: grants are
-			// forwarded to the client by the switch's pending table, and
-			// pushes are processed by its data plane.
-			out = e.Hdr.AppendTo(out[:0])
-			if sw != nil {
-				s.conn.WriteToUDP(out, sw)
+		if wire.IsBatch(data) {
+			if br.Reset(data) == nil {
+				for {
+					ok, err := br.Next(&h)
+					if err != nil || !ok {
+						break
+					}
+					s.handleOp(&h)
+				}
 			}
+		} else if h.DecodeFromBytes(data) == nil {
+			s.handleOp(&h)
 		}
+		s.eg.flushAll()
 		s.mu.Unlock()
 	}
 }
 
-// Client acquires and releases locks against a NetLock switch over UDP.
-// Client is safe for concurrent use.
-type Client struct {
-	conn       *net.UDPConn
-	switchAddr *net.UDPAddr
-
-	mu      sync.Mutex
-	nextTxn uint64
-	waiters map[pendKey]chan wire.Header
-
-	wg     sync.WaitGroup
-	closed chan struct{}
-
-	// RetryInterval resends unanswered acquires (packet loss). Default
-	// 200ms.
-	RetryInterval time.Duration
-}
-
-// NewClient creates a client socket pointed at the switch.
-func NewClient(switchAddr string) (*Client, error) {
-	ua, err := net.ResolveUDPAddr("udp", switchAddr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: resolve switch addr: %w", err)
-	}
-	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: ua.IP})
-	if err != nil {
-		return nil, fmt.Errorf("transport: client socket: %w", err)
-	}
-	c := &Client{
-		conn:          conn,
-		switchAddr:    ua,
-		waiters:       make(map[pendKey]chan wire.Header),
-		closed:        make(chan struct{}),
-		RetryInterval: time.Second,
-	}
-	// Transaction IDs identify a request end to end: grants for queued
-	// requests are routed back by (lock, txn). Clients draw from disjoint
-	// random ranges so concurrent clients cannot collide.
-	c.nextTxn = rand.Uint64() >> 1
-	c.wg.Add(1)
-	go c.readLoop()
-	return c, nil
-}
-
-// Close stops the client; blocked Acquire calls fail.
-func (c *Client) Close() error {
-	select {
-	case <-c.closed:
-		return nil
-	default:
-	}
-	close(c.closed)
-	err := c.conn.Close()
-	c.wg.Wait()
-	c.mu.Lock()
-	for k, ch := range c.waiters {
-		close(ch)
-		delete(c.waiters, k)
-	}
-	c.mu.Unlock()
-	return err
-}
-
-func (c *Client) readLoop() {
-	defer c.wg.Done()
-	buf := make([]byte, maxPacket)
-	var h wire.Header
-	for {
-		n, _, err := c.conn.ReadFromUDP(buf)
-		if err != nil {
-			select {
-			case <-c.closed:
-				return
-			default:
-				continue
-			}
+// handleOp processes one ingress operation. Caller holds s.mu.
+func (s *Server) handleOp(h *wire.Header) {
+	sw := s.switchAddr
+	emits := s.ls.ProcessPacket(h)
+	bounced := false
+	for i := range emits {
+		e := &emits[i]
+		if e.Hdr.Op == wire.OpRelease && e.Hdr.LockID == h.LockID && e.Hdr.TxnID == h.TxnID {
+			// The release raced a server-to-switch move and bounced; the
+			// switch (which owns the lock now) acks it, not us.
+			bounced = true
 		}
-		if err := h.DecodeFromBytes(buf[:n]); err != nil {
-			continue
-		}
-		c.mu.Lock()
-		key := pendKey{h.LockID, h.TxnID}
-		if ch, ok := c.waiters[key]; ok {
-			delete(c.waiters, key)
-			ch <- h
-		}
-		c.mu.Unlock()
-	}
-}
-
-// Grant is a lock held through a Client.
-type Grant struct {
-	c        *Client
-	hdr      wire.Header
-	released sync.Once
-}
-
-// Release releases the lock (fire-and-forget, as in the paper).
-func (g *Grant) Release() {
-	g.released.Do(func() {
-		h := g.hdr
-		h.Op = wire.OpRelease
-		var buf [wire.HeaderLen]byte
-		g.c.conn.WriteToUDP(h.AppendTo(buf[:0]), g.c.switchAddr)
-	})
-}
-
-// Acquire requests a lock and blocks until granted, the context is
-// cancelled, or the client closes. Unanswered requests are retransmitted
-// every RetryInterval. The option set (tenant, priority, lease) is shared
-// with the embedded netlock.Manager, as are the failure sentinels: errors
-// match netlock.ErrClosed, netlock.ErrQuotaExceeded,
-// netlock.ErrQueueOverflow, and — when the context's deadline expired —
-// netlock.ErrTimeout alongside context.DeadlineExceeded.
-func (c *Client) Acquire(ctx context.Context, lockID uint32, mode netlock.Mode, opts ...netlock.AcquireOption) (*Grant, error) {
-	o := netlock.ResolveAcquireOptions(opts...)
-	wm := wire.Shared
-	if mode == netlock.Exclusive {
-		wm = wire.Exclusive
-	}
-	c.mu.Lock()
-	c.nextTxn++
-	txn := c.nextTxn
-	local := c.conn.LocalAddr().(*net.UDPAddr)
-	h := wire.Header{
-		Op:       wire.OpAcquire,
-		Mode:     wm,
-		LockID:   lockID,
-		TxnID:    txn,
-		TenantID: o.Tenant,
-		Priority: o.Priority,
-		LeaseNs:  int64(o.Lease),
-	}
-	if ip4 := local.IP.To4(); ip4 != nil {
-		h.ClientIP, _ = netipAddrFrom4(ip4)
-	}
-	ch := make(chan wire.Header, 1)
-	key := pendKey{lockID, txn}
-	c.waiters[key] = ch
-	c.mu.Unlock()
-
-	var bufArr [wire.HeaderLen]byte
-	buf := h.AppendTo(bufArr[:0])
-	if _, err := c.conn.WriteToUDP(buf, c.switchAddr); err != nil {
-		c.mu.Lock()
-		delete(c.waiters, key)
-		c.mu.Unlock()
-		select {
-		case <-c.closed:
-			return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrClosed)
-		default:
-		}
-		return nil, fmt.Errorf("transport: send acquire: %w", err)
-	}
-	retry := time.NewTicker(c.RetryInterval)
-	defer retry.Stop()
-	for {
-		select {
-		case g, ok := <-ch:
-			if !ok {
-				return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrClosed)
-			}
-			if g.Op == wire.OpReject {
-				if g.Flags&wire.FlagOverflow != 0 {
-					return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrQueueOverflow)
-				}
-				return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrQuotaExceeded)
-			}
-			return &Grant{c: c, hdr: h}, nil
-		case <-retry.C:
-			c.conn.WriteToUDP(buf, c.switchAddr)
-		case <-ctx.Done():
-			c.mu.Lock()
-			delete(c.waiters, key)
-			c.mu.Unlock()
-			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-				return nil, fmt.Errorf("transport: acquire lock %d: %w (%w)", lockID, netlock.ErrTimeout, ctx.Err())
-			}
-			return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, ctx.Err())
-		case <-c.closed:
-			return nil, fmt.Errorf("transport: acquire lock %d: %w", lockID, netlock.ErrClosed)
+		// Every server output returns through the switch: grants are
+		// forwarded to the client by the switch's pending table, and
+		// pushes are processed by its data plane.
+		if sw.IsValid() {
+			s.eg.send(&e.Hdr, sw)
 		}
 	}
-}
-
-// AcquireTimeout requests a lock with a plain timeout.
-//
-// Deprecated: use Acquire with a context and the shared netlock option set;
-// this shim will be removed after one release.
-func (c *Client) AcquireTimeout(lockID uint32, mode wire.Mode, timeout time.Duration) (*Grant, error) {
-	nm := netlock.Shared
-	if mode == wire.Exclusive {
-		nm = netlock.Exclusive
+	if h.Op == wire.OpRelease && !bounced && sw.IsValid() {
+		// Consumed (or spurious) release: ack it end to end so the
+		// client stops retransmitting. The switch forwards the ack and
+		// retires its grant cache.
+		ack := *h
+		ack.Op = wire.OpReleaseAck
+		s.eg.send(&ack, sw)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	return c.Acquire(ctx, lockID, nm)
-}
-
-// netipAddrFrom4 converts a 4-byte IP into the wire address type.
-func netipAddrFrom4(ip4 []byte) (a netip.Addr, ok bool) {
-	var b [4]byte
-	copy(b[:], ip4)
-	return netip.AddrFrom4(b), true
 }

@@ -41,3 +41,63 @@ func TestHeaderCodecAllocFree(t *testing.T) {
 		t.Fatalf("header encode+decode allocates %v allocs/op, want 0", allocs)
 	}
 }
+
+// The batch codec wraps the header codec on the same hot paths (client
+// flush, switch/server ingress and egress loops), so a full frame's encode
+// and decode must also be allocation-free at steady state: BatchWriter
+// reuses the previous frame's storage, BatchReader decodes into one Header.
+func TestBatchCodecAllocFree(t *testing.T) {
+	hdrs := make([]Header, MaxBatchOps)
+	for i := range hdrs {
+		hdrs[i] = Header{
+			Op:       OpAcquire,
+			Mode:     Mode(i % 2),
+			LockID:   uint32(i + 1),
+			TxnID:    uint64(i + 1000),
+			ClientIP: netip.AddrFrom4([4]byte{10, 0, 0, byte(i)}),
+			LeaseNs:  int64(i),
+		}
+	}
+	var w BatchWriter
+	var r BatchReader
+	var dec Header
+	var codecErr error
+	buf := make([]byte, 0, MaxDatagram)
+	decoded := 0
+
+	allocs := testing.AllocsPerRun(500, func() {
+		w.Reset(buf)
+		for i := range hdrs {
+			if !w.Append(&hdrs[i]) {
+				codecErr = ErrBatchCount
+				return
+			}
+		}
+		frame := w.Frame()
+		if err := r.Reset(frame); err != nil {
+			codecErr = err
+			return
+		}
+		for {
+			ok, err := r.Next(&dec)
+			if err != nil {
+				codecErr = err
+				return
+			}
+			if !ok {
+				break
+			}
+			decoded++
+		}
+		buf = frame[:0]
+	})
+	if codecErr != nil {
+		t.Fatalf("batch codec: %v", codecErr)
+	}
+	if decoded == 0 {
+		t.Fatalf("no records decoded")
+	}
+	if allocs != 0 {
+		t.Fatalf("batch encode+decode allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Batch frames pack several NetLock operations into one UDP datagram so the
+// client, switch, and lock servers amortize a syscall (and, on the paper's
+// hardware, a PCIe doorbell) over many lock ops — the batching discipline
+// behind the prototype's 18 MRPS-per-server client (§5, §6.1).
+//
+// Layout (big-endian):
+//
+//	0  magic(1)=0xB5  reserved(1)=0
+//	2  count(2)
+//	4  count records, each: length(2) + payload(length)
+//
+// A record payload is one NetLock header encoding (HeaderLen bytes today);
+// the length prefix leaves room for longer per-op records in future
+// versions, and decoders ignore trailing record bytes beyond the header.
+// The magic byte is disjoint from header Version, so receivers classify a
+// datagram by its first byte: Version → a bare single-op header (the legacy
+// one-op-per-packet format, still accepted on every ingress path), magic →
+// a batch frame.
+//
+// Like the header codec, the batch codec is zero-alloc by construction:
+// BatchWriter appends into a caller buffer and BatchReader decodes into a
+// reusable Header.
+
+const (
+	// BatchMagic is the first byte of every batch frame. It must stay
+	// disjoint from any header Version so the two formats self-classify.
+	BatchMagic = 0xB5
+
+	// batchHdrLen is the fixed batch frame preamble length.
+	batchHdrLen = 4
+
+	// recHdrLen is the per-record length-prefix size.
+	recHdrLen = 2
+
+	// MaxDatagram is the largest frame the transport ever puts in one
+	// datagram: a conservative Ethernet-MTU payload (1500 minus IP and
+	// UDP headers, rounded down) that avoids IP fragmentation.
+	MaxDatagram = 1400
+
+	// MaxBatchOps is the most operations one batch frame can carry.
+	MaxBatchOps = (MaxDatagram - batchHdrLen) / (recHdrLen + HeaderLen) // 41
+)
+
+// Errors returned by BatchReader.
+var (
+	ErrNotBatch       = errors.New("wire: not a batch frame")
+	ErrBatchShort     = errors.New("wire: batch frame shorter than preamble")
+	ErrBatchReserved  = errors.New("wire: nonzero reserved byte in batch frame")
+	ErrBatchEmpty     = errors.New("wire: batch frame with zero ops")
+	ErrBatchCount     = errors.New("wire: batch op count exceeds MaxBatchOps")
+	ErrBatchOversize  = errors.New("wire: batch frame exceeds MaxDatagram")
+	ErrBatchTruncated = errors.New("wire: batch record extends past frame")
+	ErrBatchRecord    = errors.New("wire: batch record shorter than a header")
+	ErrBatchTrailing  = errors.New("wire: trailing bytes after last batch record")
+)
+
+// IsBatch reports whether data starts like a batch frame. It does not
+// validate the frame; use BatchReader.Reset for that.
+func IsBatch(data []byte) bool {
+	return len(data) > 0 && data[0] == BatchMagic
+}
+
+// BatchWriter builds one batch frame into a reusable buffer. The zero value
+// is ready after Reset:
+//
+//	var w BatchWriter
+//	w.Reset(buf[:0])            // buf retains its capacity across frames
+//	for w.Append(&h) { ... }
+//	conn.Write(w.Frame())
+type BatchWriter struct {
+	buf   []byte
+	count int
+}
+
+// Reset starts a new frame in buf (normally a previous frame's storage
+// sliced to zero length, so steady-state encoding never allocates).
+func (w *BatchWriter) Reset(buf []byte) {
+	w.buf = append(buf[:0], BatchMagic, 0, 0, 0)
+	w.count = 0
+}
+
+// Append adds one operation to the frame. It returns false — leaving the
+// frame unchanged — when the frame is full (MaxBatchOps reached or the
+// datagram budget exhausted); the caller flushes and starts a new frame.
+func (w *BatchWriter) Append(h *Header) bool {
+	if w.count >= MaxBatchOps || len(w.buf)+recHdrLen+HeaderLen > MaxDatagram {
+		return false
+	}
+	w.buf = binary.BigEndian.AppendUint16(w.buf, HeaderLen)
+	w.buf = h.AppendTo(w.buf)
+	w.count++
+	return true
+}
+
+// Count returns the number of ops appended since the last Reset.
+func (w *BatchWriter) Count() int { return w.count }
+
+// Frame finalizes and returns the encoded frame, or nil if no ops were
+// appended. The returned slice aliases the writer's buffer and is valid
+// until the next Reset.
+func (w *BatchWriter) Frame() []byte {
+	if w.count == 0 {
+		return nil
+	}
+	binary.BigEndian.PutUint16(w.buf[2:4], uint16(w.count))
+	return w.buf
+}
+
+// BatchReader iterates the operations of one batch frame:
+//
+//	var r BatchReader
+//	if err := r.Reset(data); err != nil { ... }
+//	var h Header
+//	for {
+//		ok, err := r.Next(&h)
+//		if err != nil { ... }
+//		if !ok { break }
+//		process(&h)
+//	}
+type BatchReader struct {
+	data []byte
+	off  int
+	left int
+}
+
+// Reset validates the frame preamble and prepares iteration. It does not
+// retain data beyond the iteration.
+func (r *BatchReader) Reset(data []byte) error {
+	r.data, r.off, r.left = nil, 0, 0
+	if len(data) > MaxDatagram {
+		return fmt.Errorf("%w: %d bytes", ErrBatchOversize, len(data))
+	}
+	if len(data) < batchHdrLen {
+		return fmt.Errorf("%w: %d bytes", ErrBatchShort, len(data))
+	}
+	if data[0] != BatchMagic {
+		return fmt.Errorf("%w: first byte %#x", ErrNotBatch, data[0])
+	}
+	if data[1] != 0 {
+		return fmt.Errorf("%w: %#x", ErrBatchReserved, data[1])
+	}
+	n := int(binary.BigEndian.Uint16(data[2:4]))
+	if n == 0 {
+		return ErrBatchEmpty
+	}
+	if n > MaxBatchOps {
+		return fmt.Errorf("%w: %d", ErrBatchCount, n)
+	}
+	r.data, r.off, r.left = data, batchHdrLen, n
+	return nil
+}
+
+// Next decodes the next operation into h. It returns (false, nil) at a
+// clean end of frame and (false, err) on a malformed record, truncation, or
+// trailing garbage after the last record.
+func (r *BatchReader) Next(h *Header) (bool, error) {
+	if r.left == 0 {
+		if r.off != len(r.data) {
+			return false, fmt.Errorf("%w: %d bytes", ErrBatchTrailing, len(r.data)-r.off)
+		}
+		return false, nil
+	}
+	if r.off+recHdrLen > len(r.data) {
+		return false, fmt.Errorf("%w: record header at %d", ErrBatchTruncated, r.off)
+	}
+	n := int(binary.BigEndian.Uint16(r.data[r.off : r.off+recHdrLen]))
+	r.off += recHdrLen
+	if n < HeaderLen {
+		return false, fmt.Errorf("%w: %d bytes", ErrBatchRecord, n)
+	}
+	if r.off+n > len(r.data) {
+		return false, fmt.Errorf("%w: record of %d bytes at %d", ErrBatchTruncated, n, r.off)
+	}
+	if err := h.DecodeFromBytes(r.data[r.off : r.off+n]); err != nil {
+		return false, err
+	}
+	r.off += n
+	r.left--
+	return true, nil
+}
+
+// Remaining returns the number of records not yet read.
+func (r *BatchReader) Remaining() int { return r.left }

@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+func batchHeader(i int) Header {
+	return Header{
+		Op:       OpAcquire,
+		Mode:     Mode(i % 2),
+		LockID:   uint32(100 + i),
+		TxnID:    uint64(1000 + i),
+		ClientIP: netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}),
+		TenantID: uint8(i),
+		Priority: uint8(i % 8),
+		LeaseNs:  int64(i) * 1_000_000,
+	}
+}
+
+// encodeBatch builds a frame of n sequential headers.
+func encodeBatch(t *testing.T, n int) []byte {
+	t.Helper()
+	var w BatchWriter
+	w.Reset(nil)
+	for i := 0; i < n; i++ {
+		h := batchHeader(i)
+		if !w.Append(&h) {
+			t.Fatalf("Append %d/%d refused", i, n)
+		}
+	}
+	frame := w.Frame()
+	if frame == nil {
+		t.Fatalf("nil frame for %d ops", n)
+	}
+	return append([]byte(nil), frame...)
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 7, MaxBatchOps} {
+		frame := encodeBatch(t, n)
+		var r BatchReader
+		if err := r.Reset(frame); err != nil {
+			t.Fatalf("n=%d: Reset: %v", n, err)
+		}
+		var h Header
+		for i := 0; i < n; i++ {
+			ok, err := r.Next(&h)
+			if err != nil || !ok {
+				t.Fatalf("n=%d: Next %d: ok=%v err=%v", n, i, ok, err)
+			}
+			if want := batchHeader(i); h != want {
+				t.Fatalf("n=%d: record %d: got %v want %v", n, i, &h, &want)
+			}
+		}
+		if ok, err := r.Next(&h); ok || err != nil {
+			t.Fatalf("n=%d: expected clean end, got ok=%v err=%v", n, ok, err)
+		}
+	}
+}
+
+func TestBatchWriterFull(t *testing.T) {
+	var w BatchWriter
+	w.Reset(nil)
+	h := batchHeader(0)
+	for i := 0; i < MaxBatchOps; i++ {
+		if !w.Append(&h) {
+			t.Fatalf("Append %d refused before MaxBatchOps", i)
+		}
+	}
+	if w.Append(&h) {
+		t.Fatalf("Append beyond MaxBatchOps accepted")
+	}
+	if w.Count() != MaxBatchOps {
+		t.Fatalf("count %d after overfill, want %d", w.Count(), MaxBatchOps)
+	}
+	if len(w.Frame()) > MaxDatagram {
+		t.Fatalf("full frame %d bytes exceeds MaxDatagram", len(w.Frame()))
+	}
+}
+
+func TestBatchWriterEmptyFrame(t *testing.T) {
+	var w BatchWriter
+	w.Reset(nil)
+	if f := w.Frame(); f != nil {
+		t.Fatalf("empty writer produced a frame of %d bytes", len(f))
+	}
+}
+
+// TestBatchDecodeMalformed is the table of rejected frames: truncations at
+// every layer, zero and oversized counts, bad magic/reserved bytes, runt
+// records, and trailing garbage.
+func TestBatchDecodeMalformed(t *testing.T) {
+	one := encodeBatch(t, 1)
+	two := encodeBatch(t, 2)
+
+	mut := func(src []byte, f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), src...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrBatchShort},
+		{"preamble-only-truncated", one[:3], ErrBatchShort},
+		{"bad-magic", mut(one, func(b []byte) []byte { b[0] = Version; return b }), ErrNotBatch},
+		{"bad-reserved", mut(one, func(b []byte) []byte { b[1] = 1; return b }), ErrBatchReserved},
+		{"zero-count", mut(one, func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[2:4], 0)
+			return b
+		}), ErrBatchEmpty},
+		{"count-over-max", mut(one, func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[2:4], MaxBatchOps+1)
+			return b
+		}), ErrBatchCount},
+		{"oversize-frame", make([]byte, MaxDatagram+1), ErrBatchOversize},
+		{"record-header-truncated", one[:batchHdrLen+1], ErrBatchTruncated},
+		{"record-body-truncated", one[:len(one)-1], ErrBatchTruncated},
+		{"runt-record-length", mut(one, func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[4:6], HeaderLen-1)
+			return b
+		}), ErrBatchRecord},
+		{"count-exceeds-records", mut(one, func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[2:4], 2)
+			return b
+		}), ErrBatchTruncated},
+		{"trailing-garbage", append(append([]byte(nil), one...), 0xAA), ErrBatchTrailing},
+		{"count-under-records", mut(two, func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[2:4], 1)
+			return b
+		}), ErrBatchTrailing},
+		{"bad-header-version", mut(one, func(b []byte) []byte { b[6] = 0xFF; return b }), ErrBadVersion},
+		{"bad-header-op", mut(one, func(b []byte) []byte { b[7] = 0xEE; return b }), ErrBadOp},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r BatchReader
+			err := r.Reset(tc.data)
+			var h Header
+			for err == nil {
+				var ok bool
+				ok, err = r.Next(&h)
+				if !ok {
+					break
+				}
+			}
+			if err == nil {
+				t.Fatalf("malformed frame accepted")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// Longer-than-header records are forward compatibility: the decoder takes
+// the header and ignores the record's extra bytes.
+func TestBatchLongRecordForwardCompat(t *testing.T) {
+	h := batchHeader(3)
+	frame := []byte{BatchMagic, 0, 0, 1}
+	frame = binary.BigEndian.AppendUint16(frame, HeaderLen+4)
+	frame = h.AppendTo(frame)
+	frame = append(frame, 0xDE, 0xAD, 0xBE, 0xEF)
+	var r BatchReader
+	if err := r.Reset(frame); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	var got Header
+	if ok, err := r.Next(&got); !ok || err != nil {
+		t.Fatalf("Next: ok=%v err=%v", ok, err)
+	}
+	if got != h {
+		t.Fatalf("long record decode mismatch: got %v want %v", &got, &h)
+	}
+	if ok, err := r.Next(&got); ok || err != nil {
+		t.Fatalf("expected clean end, got ok=%v err=%v", ok, err)
+	}
+}
+
+// The two on-wire formats must classify by first byte: receivers route a
+// datagram by IsBatch and never confuse a bare header for a frame.
+func TestBatchMagicDisjointFromVersion(t *testing.T) {
+	if BatchMagic == Version {
+		t.Fatalf("BatchMagic collides with header Version")
+	}
+	h := batchHeader(0)
+	if IsBatch(h.Marshal()) {
+		t.Fatalf("bare header classified as batch")
+	}
+	if !IsBatch(encodeBatch(t, 1)) {
+		t.Fatalf("batch frame not classified as batch")
+	}
+}
+
+// Reusing one writer buffer and one reader across frames must work; this is
+// the steady-state pattern of every transport loop.
+func TestBatchWriterReuse(t *testing.T) {
+	var w BatchWriter
+	var r BatchReader
+	var h Header
+	buf := make([]byte, 0, MaxDatagram)
+	for round := 0; round < 3; round++ {
+		w.Reset(buf)
+		for i := 0; i < 5; i++ {
+			hh := batchHeader(round*5 + i)
+			if !w.Append(&hh) {
+				t.Fatal("Append refused")
+			}
+		}
+		frame := w.Frame()
+		if err := r.Reset(frame); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := 0; i < 5; i++ {
+			if ok, err := r.Next(&h); !ok || err != nil {
+				t.Fatalf("round %d rec %d: ok=%v err=%v", round, i, ok, err)
+			}
+			if want := batchHeader(round*5 + i); h != want {
+				t.Fatalf("round %d rec %d mismatch", round, i)
+			}
+		}
+		buf = frame[:0]
+	}
+}

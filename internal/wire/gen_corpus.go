@@ -1,12 +1,14 @@
 //go:build ignore
 
-// Generates the seed corpus for FuzzHeaderDecode under
-// testdata/fuzz/FuzzHeaderDecode: one well-formed header per opcode, edge
-// values (TxnNone, max IDs, all flags), and malformed variants (bad
-// version, bad op, truncations). Run via `go generate ./internal/wire`.
+// Generates the seed corpora for FuzzHeaderDecode and FuzzBatchDecode
+// under testdata/fuzz/: one well-formed header per opcode, edge values
+// (TxnNone, max IDs, all flags), malformed variants (bad version, bad op,
+// truncations), and batch frames of several sizes with malformed preamble,
+// count, and record variants. Run via `go generate ./internal/wire`.
 package main
 
 import (
+	"encoding/binary"
 	"fmt"
 	"log"
 	"net/netip"
@@ -17,11 +19,21 @@ import (
 	"netlock/internal/wire"
 )
 
-func main() {
-	dir := filepath.Join("testdata", "fuzz", "FuzzHeaderDecode")
+func writeCorpus(dir string, entries map[string][]byte) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
+	for name, buf := range entries {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(buf)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d corpus entries to %s\n", len(entries), dir)
+}
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzHeaderDecode")
 	base := wire.Header{
 		Mode:     wire.Exclusive,
 		LockID:   0xDEADBEEF,
@@ -34,7 +46,7 @@ func main() {
 	entries := map[string][]byte{}
 	for _, op := range []wire.Op{
 		wire.OpAcquire, wire.OpRelease, wire.OpGrant, wire.OpReject,
-		wire.OpPushNotify, wire.OpPush, wire.OpFetch,
+		wire.OpPushNotify, wire.OpPush, wire.OpFetch, wire.OpReleaseAck,
 	} {
 		h := base
 		h.Op = op
@@ -72,11 +84,55 @@ func main() {
 	entries["truncated"] = entries["op-acquire"][:wire.HeaderLen/2]
 	entries["empty"] = nil
 
-	for name, buf := range entries {
-		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(buf)))
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
-			log.Fatal(err)
+	writeCorpus(dir, entries)
+	writeCorpus(filepath.Join("testdata", "fuzz", "FuzzBatchDecode"), batchEntries(base))
+}
+
+// batchEntries builds the FuzzBatchDecode seed corpus: frames of several
+// sizes and op mixes, plus one malformed variant per decoder check.
+func batchEntries(base wire.Header) map[string][]byte {
+	frame := func(n int, mix bool) []byte {
+		var w wire.BatchWriter
+		w.Reset(nil)
+		ops := []wire.Op{wire.OpAcquire, wire.OpRelease, wire.OpGrant, wire.OpReleaseAck}
+		for i := 0; i < n; i++ {
+			h := base
+			h.Op = wire.OpAcquire
+			if mix {
+				h.Op = ops[i%len(ops)]
+			}
+			h.LockID = uint32(i + 1)
+			h.TxnID = uint64(i + 100)
+			if !w.Append(&h) {
+				log.Fatalf("batch frame of %d ops refused at %d", n, i)
+			}
 		}
+		return append([]byte(nil), w.Frame()...)
 	}
-	fmt.Printf("wrote %d corpus entries to %s\n", len(entries), dir)
+	entries := map[string][]byte{
+		"batch-1":       frame(1, false),
+		"batch-2-mixed": frame(2, true),
+		"batch-8-mixed": frame(8, true),
+		"batch-max":     frame(wire.MaxBatchOps, true),
+	}
+
+	one := frame(1, false)
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), one...)
+		f(b)
+		return b
+	}
+	entries["preamble-truncated"] = one[:3]
+	entries["bad-magic"] = mut(func(b []byte) { b[0] = wire.Version })
+	entries["bad-reserved"] = mut(func(b []byte) { b[1] = 7 })
+	entries["zero-count"] = mut(func(b []byte) { binary.BigEndian.PutUint16(b[2:4], 0) })
+	entries["count-over-max"] = mut(func(b []byte) { binary.BigEndian.PutUint16(b[2:4], wire.MaxBatchOps+1) })
+	entries["count-exceeds-records"] = mut(func(b []byte) { binary.BigEndian.PutUint16(b[2:4], 2) })
+	entries["record-truncated"] = one[:len(one)-1]
+	entries["runt-record"] = mut(func(b []byte) { binary.BigEndian.PutUint16(b[4:6], wire.HeaderLen-1) })
+	entries["trailing-garbage"] = append(append([]byte(nil), one...), 0x00)
+	entries["bad-record-version"] = mut(func(b []byte) { b[6] = 0xFF })
+	entries["bad-record-op"] = mut(func(b []byte) { b[7] = 0xEE })
+	entries["oversize"] = make([]byte, wire.MaxDatagram+1)
+	return entries
 }

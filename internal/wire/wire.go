@@ -60,6 +60,14 @@ const (
 	// the database server holding the item, so lock acquisition and data
 	// fetch complete in a single round trip (§4.1).
 	OpFetch
+	// OpReleaseAck confirms to a client that its OpRelease was processed by
+	// the node owning the lock. The paper's release is fire-and-forget; the
+	// ack lets the transport client resend un-acked releases on its sweep
+	// timer so a dropped release packet cannot leak the lock until lease
+	// expiry. Acks are idempotent: a node receiving a release for a lock it
+	// no longer tracks re-acks without touching the data plane (releases
+	// dequeue a granted queue head, so replaying one is never safe).
+	OpReleaseAck
 )
 
 var opNames = map[Op]string{
@@ -70,6 +78,7 @@ var opNames = map[Op]string{
 	OpPushNotify: "push-notify",
 	OpPush:       "push",
 	OpFetch:      "fetch",
+	OpReleaseAck: "release-ack",
 }
 
 // String returns the lowercase operation name.

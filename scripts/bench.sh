@@ -1,10 +1,17 @@
 #!/usr/bin/env sh
-# Regenerates BENCH_embedded.json: the embedded hot-path benchmarks
-# (serial, parallel disjoint/contended, sharded vs single-mutex baseline)
-# plus the simulated Fig 8a / Fig 9 throughput numbers.
+# Regenerates the committed benchmark artifacts.
 #
-#   scripts/bench.sh                 # quick run, writes BENCH_embedded.json
-#   scripts/bench.sh -out - | less   # print the JSON instead
+#   scripts/bench.sh                     # embedded hot path -> BENCH_embedded.json
+#   scripts/bench.sh -out - | less       # same, print the JSON instead
+#   scripts/bench.sh transport           # batched vs unbatched UDP transport
+#                                        #   (cmd/loadgen -compare) -> BENCH_transport.json
+#   scripts/bench.sh transport -quick    # shorter transport comparison
+#
+# The default mode runs the embedded hot-path benchmarks (serial, parallel
+# disjoint/contended, sharded vs single-mutex baseline) plus the simulated
+# Fig 8a / Fig 9 throughput numbers. The transport mode measures the same
+# closed-loop workload over real UDP sockets with client batching off
+# (MaxBatch 1) and on (full frames), on identical self-hosted racks.
 #
 # To compare the raw benchmarks between two commits, use benchstat:
 #
@@ -13,4 +20,12 @@
 #   benchstat /tmp/old.txt /tmp/new.txt
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/benchrunner -embedded -quick "$@"
+case "${1:-}" in
+transport)
+	shift
+	exec go run ./cmd/loadgen -compare "$@"
+	;;
+*)
+	exec go run ./cmd/benchrunner -embedded -quick "$@"
+	;;
+esac
