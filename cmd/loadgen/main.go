@@ -54,9 +54,25 @@ func main() {
 	flag.DurationVar(&cfg.flush, "flush", 0, "client flush interval (0: transport default)")
 	report := flag.Duration("report", time.Second, "live readout interval (0 disables)")
 	compare := flag.Bool("compare", false, "run batched vs unbatched back to back and emit a JSON report")
-	out := flag.String("out", "", "JSON output path for -compare ('-' for stdout; default BENCH_transport.json)")
+	out := flag.String("out", "", "JSON output path for -compare/-workload ('-' for stdout)")
 	quick := flag.Bool("quick", false, "shorter -compare run")
+	workload := flag.String("workload", "", "run a named adversarial scenario from internal/scenario ('all' for the full suite); skips the load loop")
+	plane := flag.String("plane", "both", "scenario plane: embedded, udp, or both")
+	seed := flag.Int64("seed", 1, "scenario seed (replays a failing run)")
+	short := flag.Bool("short", false, "CI-sized scenario configuration")
 	flag.Parse()
+
+	if *workload != "" {
+		path := *out
+		if path == "" {
+			path = "BENCH_scenarios.json"
+		}
+		if err := runScenarios(*workload, *plane, *seed, *short, path); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare {
 		path := *out

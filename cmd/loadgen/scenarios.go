@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"netlock/internal/scenario"
+)
+
+// runScenarios executes named adversarial scenarios from the
+// internal/scenario registry and writes the figure-style summaries as a
+// JSON array (the BENCH_scenarios.json artifact). Each scenario
+// self-validates its trace with internal/check; any violation aborts the
+// run with a -netlock.seed replay fragment in the error.
+func runScenarios(workload, plane string, seed int64, short bool, path string) error {
+	var scs []scenario.Scenario
+	if workload == "all" {
+		scs = scenario.All()
+	} else {
+		sc, ok := scenario.ByName(workload)
+		if !ok {
+			names := ""
+			for _, s := range scenario.All() {
+				names += " " + s.Name
+			}
+			return fmt.Errorf("unknown -workload %q (have: all%s)", workload, names)
+		}
+		scs = []scenario.Scenario{sc}
+	}
+
+	var planes []struct {
+		kind  string
+		chaos bool
+	}
+	switch plane {
+	case "embedded":
+		planes = append(planes, struct {
+			kind  string
+			chaos bool
+		}{"embedded", false})
+	case "udp":
+		planes = append(planes, struct {
+			kind  string
+			chaos bool
+		}{"udp", true})
+	case "both", "":
+		planes = append(planes, struct {
+			kind  string
+			chaos bool
+		}{"embedded", false}, struct {
+			kind  string
+			chaos bool
+		}{"udp", true})
+	default:
+		return fmt.Errorf("unknown -plane %q (embedded, udp, both)", plane)
+	}
+
+	var sums []*scenario.Summary
+	for _, sc := range scs {
+		for _, pl := range planes {
+			cfg := scenario.Config{Seed: seed, Plane: pl.kind, Chaos: pl.chaos, Short: short}
+			sum, err := sc.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("scenario %s/%s: %w", sc.Name, pl.kind, err)
+			}
+			fmt.Println(sum)
+			sums = append(sums, sum)
+		}
+	}
+
+	data, err := json.MarshalIndent(sums, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: wrote %d scenario summaries to %s\n", len(sums), path)
+	return nil
+}

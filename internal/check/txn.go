@@ -1,0 +1,154 @@
+package check
+
+// TxnChecker validates multi-lock transactions over the same Event stream
+// the per-lock Checker consumes: every lock of one transaction shares a
+// Txn (as cluster.TxnSpec execution and the scenario 2PL layer do), and
+// the checker enforces the transaction-level discipline that the per-lock
+// invariants cannot see:
+//
+//   - two-phase: once a transaction releases (or loses) any lock, it must
+//     not issue another acquire — a growing phase strictly before a
+//     shrinking phase
+//   - atomic hold: a transaction must not start releasing while one of
+//     its own acquires is still in flight; the full lock set is held
+//     together before the shrink phase begins
+//   - ordered acquisition (CheckOrder): lock IDs within a transaction are
+//     acquired in strictly increasing order, the deadlock-freedom
+//     discipline the cluster executor's LockOrderer sorting guarantees.
+//     Adversarial 2PL scenarios that deliberately acquire out of order
+//     disable it
+//   - conservation at Quiesce: no transaction still holds or waits
+//
+// A TxnChecker optionally wraps an inner per-lock Checker so one Observe
+// call feeds both; pass nil to check only the transaction discipline.
+type TxnChecker struct {
+	// CheckOrder enables the ordered-acquisition invariant.
+	CheckOrder bool
+
+	inner *Checker
+	txns  map[uint64]*txnState
+	seq   int
+	done  int
+}
+
+type txnState struct {
+	pending   int             // acquires not yet granted or rejected
+	held      map[uint32]bool // locks granted and not yet released
+	last      uint32          // highest lock ID acquired so far
+	hasLast   bool
+	shrinking bool // a release or loss has been observed
+}
+
+// NewTxnChecker builds a transaction checker around inner (which may be
+// nil for txn-discipline-only checking).
+func NewTxnChecker(inner *Checker) *TxnChecker {
+	return &TxnChecker{
+		CheckOrder: true,
+		inner:      inner,
+		txns:       make(map[uint64]*txnState),
+	}
+}
+
+// Inner returns the wrapped per-lock checker, or nil.
+func (tc *TxnChecker) Inner() *Checker { return tc.inner }
+
+func (tc *TxnChecker) txn(id uint64) *txnState {
+	s, ok := tc.txns[id]
+	if !ok {
+		s = &txnState{held: make(map[uint32]bool)}
+		tc.txns[id] = s
+	}
+	return s
+}
+
+// Observe feeds one event through the per-lock checker (if any) and the
+// transaction invariants, returning the first violation. As with Checker,
+// state is undefined after a violation.
+func (tc *TxnChecker) Observe(e Event) *Violation {
+	if tc.inner != nil {
+		if v := tc.inner.Observe(e); v != nil {
+			return v
+		}
+	}
+	e.Seq = tc.seq
+	tc.seq++
+	s := tc.txn(e.Txn)
+	violate := func(inv, format string, args ...any) *Violation {
+		return (&Checker{}).violate(inv, e, format, args...)
+	}
+	switch e.Kind {
+	case EvAcquire:
+		if s.shrinking {
+			return violate("two-phase", "transaction %d acquires after starting its shrink phase", e.Txn)
+		}
+		if tc.CheckOrder && s.hasLast && e.Lock <= s.last {
+			return violate("ordered-acquisition", "transaction %d acquires lock %d after lock %d", e.Txn, e.Lock, s.last)
+		}
+		s.pending++
+		s.last, s.hasLast = e.Lock, true
+	case EvGrant:
+		if s.pending <= 0 {
+			return violate("txn-grant-pending", "transaction %d granted with no acquire in flight", e.Txn)
+		}
+		s.pending--
+		s.held[e.Lock] = true
+	case EvReject:
+		if s.pending > 0 {
+			s.pending--
+		}
+	case EvRelease:
+		if !s.held[e.Lock] {
+			return violate("txn-release-held", "transaction %d releases lock %d it does not hold", e.Txn, e.Lock)
+		}
+		if s.pending > 0 {
+			return violate("atomic-hold", "transaction %d releases lock %d while %d acquire(s) still in flight", e.Txn, e.Lock, s.pending)
+		}
+		s.shrinking = true
+		delete(s.held, e.Lock)
+		if len(s.held) == 0 {
+			delete(tc.txns, e.Txn)
+			tc.done++
+		}
+	case EvLost:
+		// A failure may destroy the request or the grant; either way the
+		// transaction cannot legally grow afterwards.
+		s.shrinking = true
+		delete(s.held, e.Lock)
+		if s.pending > 0 {
+			s.pending--
+		}
+		if len(s.held) == 0 && s.pending == 0 {
+			delete(tc.txns, e.Txn)
+		}
+	}
+	return nil
+}
+
+// Quiesce verifies transaction conservation once traffic has drained:
+// every transaction released everything it was granted and has no acquire
+// still in flight.
+func (tc *TxnChecker) Quiesce() *Violation {
+	if tc.inner != nil {
+		if v := tc.inner.Quiesce(); v != nil {
+			return v
+		}
+	}
+	for id, s := range tc.txns {
+		e := Event{Kind: EvAcquire, Txn: id, Seq: tc.seq}
+		if len(s.held) > 0 {
+			for lock := range s.held {
+				e.Lock = lock
+				break
+			}
+			return (&Checker{}).violate("txn-conservation", e, "transaction %d still holds %d lock(s) at quiescence", id, len(s.held))
+		}
+		if s.pending > 0 {
+			return (&Checker{}).violate("txn-conservation", e, "transaction %d still has %d acquire(s) in flight at quiescence", id, s.pending)
+		}
+	}
+	return nil
+}
+
+// Completed reports how many transactions ran to a full
+// grow-hold-release cycle — tests use it to reject vacuous runs.
+func (tc *TxnChecker) Completed() int { return tc.done }

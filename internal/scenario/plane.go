@@ -1,0 +1,250 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netlock"
+	"netlock/internal/lockserver"
+	"netlock/internal/obs"
+	"netlock/internal/switchdp"
+	"netlock/internal/transport"
+)
+
+// Handle is one held lock, satisfied by both *netlock.Grant and
+// *transport.Grant.
+type Handle interface {
+	Txn() uint64
+	Release()
+}
+
+// Plane is a runnable NetLock deployment: every scenario executes
+// identically against the embedded sharded Manager and a UDP rack over
+// the chaos network.
+type Plane interface {
+	Name() string
+	// Acquire blocks until the lock is granted or ctx expires. worker
+	// selects the issuing client on multi-client planes.
+	Acquire(ctx context.Context, worker int, lockID uint32, mode netlock.Mode, opts ...netlock.AcquireOption) (Handle, error)
+	Close()
+}
+
+// Placer is the optional capability of planes whose memory-management
+// loop can be ticked manually (the embedded Manager).
+type Placer interface {
+	PlacementTick(window time.Duration) (installed, removed int)
+}
+
+// MetricsSource is the optional capability of planes exposing the obs
+// snapshot.
+type MetricsSource interface {
+	Metrics() *obs.Snapshot
+}
+
+// SwitchLock pre-installs a switch-resident lock before traffic.
+type SwitchLock struct {
+	ID    uint32
+	Slots int
+}
+
+// TenantQuota configures one tenant's ingress meter.
+type TenantQuota struct {
+	Tenant uint8
+	PerSec float64
+	Burst  float64
+}
+
+// PlaneConfig wires a Plane for one scenario run.
+type PlaneConfig struct {
+	Kind    string // "embedded" or "udp"
+	Seed    int64
+	Chaos   bool // udp only
+	Workers int
+
+	// Embedded configures the in-process Manager (Kind "embedded").
+	Embedded netlock.Config
+
+	// DP, Servers and Server configure the rack (Kind "udp").
+	DP      switchdp.Config
+	Servers int
+	Server  lockserver.Config
+
+	SwitchLocks []SwitchLock
+	Quotas      []TenantQuota
+}
+
+// NewPlane builds the requested deployment.
+func NewPlane(cfg PlaneConfig) (Plane, error) {
+	switch cfg.Kind {
+	case "embedded", "":
+		return newEmbeddedPlane(cfg)
+	case "udp":
+		return newUDPPlane(cfg)
+	}
+	return nil, fmt.Errorf("scenario: unknown plane %q", cfg.Kind)
+}
+
+type embeddedPlane struct {
+	m *netlock.Manager
+}
+
+func newEmbeddedPlane(cfg PlaneConfig) (*embeddedPlane, error) {
+	m := netlock.New(cfg.Embedded)
+	for _, q := range cfg.Quotas {
+		m.SetTenantQuota(q.Tenant, q.PerSec, q.Burst)
+	}
+	for _, sl := range cfg.SwitchLocks {
+		if err := m.Preinstall(sl.ID, sl.Slots); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("scenario: preinstall lock %d: %w", sl.ID, err)
+		}
+	}
+	return &embeddedPlane{m: m}, nil
+}
+
+func (p *embeddedPlane) Name() string { return "embedded" }
+
+func (p *embeddedPlane) Acquire(ctx context.Context, _ int, lockID uint32, mode netlock.Mode, opts ...netlock.AcquireOption) (Handle, error) {
+	g, err := p.m.Acquire(ctx, lockID, mode, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *embeddedPlane) Close() { p.m.Close() }
+
+func (p *embeddedPlane) PlacementTick(window time.Duration) (int, int) {
+	return p.m.PlacementTick(window)
+}
+
+func (p *embeddedPlane) Metrics() *obs.Snapshot { return p.m.Metrics() }
+
+// scenarioChaos is the edge profile scenarios run under: lighter than the
+// conformance sweep's (scenario runs are long), still enough to force
+// retransmits, dedup, and reordering on every run.
+func scenarioChaos(seed int64) transport.ChaosConfig {
+	return transport.ChaosConfig{Seed: seed, Drop: 0.05, Dup: 0.05, Delay: 0.20}
+}
+
+type udpPlane struct {
+	cn      *transport.ChaosNet
+	sw      *transport.Switch
+	servers []*transport.Server
+	clients []*transport.Client
+}
+
+func newUDPPlane(cfg PlaneConfig) (*udpPlane, error) {
+	chaos := transport.ChaosConfig{Seed: cfg.Seed}
+	if cfg.Chaos {
+		chaos = scenarioChaos(cfg.Seed)
+	}
+	cn := transport.NewChaosNet(chaos)
+	p := &udpPlane{cn: cn}
+	fail := func(err error) (*udpPlane, error) {
+		p.Close()
+		return nil, err
+	}
+
+	nServers := cfg.Servers
+	if nServers == 0 {
+		nServers = 2
+	}
+	var addrs []string
+	for i := 0; i < nServers; i++ {
+		srv, err := transport.NewServer(transport.ServerConfig{Listen: "10.99.0.1:0", Config: cfg.Server, Net: cn})
+		if err != nil {
+			return fail(err)
+		}
+		p.servers = append(p.servers, srv)
+		addrs = append(addrs, srv.Addr())
+		if err := cn.MarkReliable(srv.Addr()); err != nil {
+			return fail(err)
+		}
+	}
+	sw, err := transport.NewSwitch(transport.SwitchConfig{Listen: "10.99.0.1:0", DataPlane: cfg.DP, Servers: addrs, Net: cn})
+	if err != nil {
+		return fail(err)
+	}
+	p.sw = sw
+	if err := cn.MarkReliable(sw.Addr()); err != nil {
+		return fail(err)
+	}
+	for _, srv := range p.servers {
+		if err := srv.SetSwitchAddr(sw.Addr()); err != nil {
+			return fail(err)
+		}
+	}
+
+	// One region per priority bank, SwitchLock.Slots slots each, laid out
+	// sequentially over the switch's slot arena.
+	banks := cfg.DP.Priorities
+	if banks < 1 {
+		banks = 1
+	}
+	off := 0
+	for _, sl := range cfg.SwitchLocks {
+		regions := make([]switchdp.Region, banks)
+		for b := range regions {
+			regions[b] = switchdp.Region{Left: uint64(off), Right: uint64(off + sl.Slots)}
+			off += sl.Slots
+		}
+		if err := transport.InstallSwitchLock(sw, p.servers, sl.ID, regions); err != nil {
+			return fail(fmt.Errorf("scenario: install lock %d: %w", sl.ID, err))
+		}
+	}
+	sw.WithDataPlane(func(dp *switchdp.Switch) {
+		for _, q := range cfg.Quotas {
+			dp.CtrlSetTenantQuota(q.Tenant, q.PerSec, q.Burst)
+		}
+	})
+
+	nClients := cfg.Workers
+	if nClients > 4 {
+		nClients = 4
+	}
+	if nClients < 1 {
+		nClients = 1
+	}
+	for i := 0; i < nClients; i++ {
+		c, err := transport.NewClientConfig(transport.ClientConfig{
+			Switch:        sw.Addr(),
+			Net:           cn,
+			RetryInterval: 15 * time.Millisecond,
+			FlushInterval: 200 * time.Microsecond,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+func (p *udpPlane) Name() string { return "udp" }
+
+func (p *udpPlane) Acquire(ctx context.Context, worker int, lockID uint32, mode netlock.Mode, opts ...netlock.AcquireOption) (Handle, error) {
+	c := p.clients[worker%len(p.clients)]
+	g, err := c.Acquire(ctx, lockID, mode, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Close tears the rack down: clients first (their abandon path
+// auto-releases raced-in grants), then the switch and servers, then the
+// chaos drain so no delayed delivery races the WaitGroup.
+func (p *udpPlane) Close() {
+	for _, c := range p.clients {
+		c.Close()
+	}
+	if p.sw != nil {
+		p.sw.Close()
+	}
+	for _, srv := range p.servers {
+		srv.Close()
+	}
+	p.cn.Wait()
+}

@@ -1,0 +1,230 @@
+// Package scenario is the adversarial workload suite: the ugly
+// real-world shapes the paper's evaluation (§6) defers. Each scenario
+// drives a full NetLock deployment — either the embedded sharded Manager
+// or a UDP rack over the seeded chaos network — through a hostile
+// pattern (deadlock-prone 2PL, Zipf memory stress, convoys and priority
+// inversion, reader-mostly leases, many-tenant quota storms), validates
+// every surviving trace against the internal/check model, and reports a
+// figure-style Summary. Failing seeds replay with -netlock.seed.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"netlock/internal/check"
+)
+
+// Config selects how one scenario run is wired.
+type Config struct {
+	// Seed drives the workload rngs and the chaos network.
+	Seed int64
+	// Plane is "embedded" (in-process sharded Manager) or "udp" (a
+	// switch + servers + batched clients rack over the chaos network).
+	Plane string
+	// Chaos enables seeded drop/dup/delay on the client edge (udp plane
+	// only; the embedded plane has no network to corrupt).
+	Chaos bool
+	// Short selects the CI-sized configuration.
+	Short bool
+}
+
+// Summary is one scenario's figure-style result row.
+type Summary struct {
+	Name  string `json:"name"`
+	Plane string `json:"plane"`
+	Seed  int64  `json:"seed"`
+	Chaos bool   `json:"chaos"`
+
+	DurationSec float64 `json:"duration_sec"`
+	Ops         int     `json:"ops"`
+	Throughput  float64 `json:"ops_per_sec"`
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+
+	// 2PL accounting.
+	Commits        int `json:"commits,omitempty"`
+	DeadlockAborts int `json:"deadlock_aborts,omitempty"`
+	CycleAborts    int `json:"cycle_aborts,omitempty"`
+
+	// Memory-management accounting (Zipf stress).
+	DistinctLocks     int `json:"distinct_locks,omitempty"`
+	EvictionInstalled int `json:"eviction_installed,omitempty"`
+	EvictionRemoved   int `json:"eviction_removed,omitempty"`
+
+	// Lease / isolation accounting.
+	LeaseExpiries uint64 `json:"lease_expiries,omitempty"`
+	QuotaRejects  int    `json:"quota_rejects,omitempty"`
+
+	// Extra holds scenario-specific figures (jain index, per-class
+	// percentiles, ...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// String renders the one-line figure-style row EXPERIMENTS.md embeds.
+func (s *Summary) String() string {
+	line := fmt.Sprintf("%-14s %-9s chaos=%-5v %8.0f ops/s  p50 %6.0fµs  p99 %7.0fµs",
+		s.Name, s.Plane, s.Chaos, s.Throughput, s.P50us, s.P99us)
+	if s.Commits > 0 || s.DeadlockAborts > 0 {
+		line += fmt.Sprintf("  commits %d aborts %d (cycle %d)", s.Commits, s.DeadlockAborts, s.CycleAborts)
+	}
+	if s.EvictionInstalled > 0 || s.EvictionRemoved > 0 {
+		line += fmt.Sprintf("  churn +%d/-%d over %d locks", s.EvictionInstalled, s.EvictionRemoved, s.DistinctLocks)
+	}
+	if s.LeaseExpiries > 0 {
+		line += fmt.Sprintf("  lease-expiries %d", s.LeaseExpiries)
+	}
+	if s.QuotaRejects > 0 {
+		line += fmt.Sprintf("  quota-rejects %d", s.QuotaRejects)
+	}
+	return line
+}
+
+// Scenario is one named adversarial workload.
+type Scenario struct {
+	Name string
+	// Run executes the scenario and returns its summary. A non-nil error
+	// means the scenario failed (a trace violation, a wedged run, a
+	// broken invariant); the message embeds check.ReplayArgs(seed).
+	Run func(cfg Config) (*Summary, error)
+}
+
+// All returns the scenario registry in canonical order.
+func All() []Scenario {
+	return []Scenario{
+		{Name: "2pl-wait-die", Run: func(cfg Config) (*Summary, error) { return runTwoPL(cfg, PolicyWaitDie) }},
+		{Name: "2pl-wound-wait", Run: func(cfg Config) (*Summary, error) { return runTwoPL(cfg, PolicyWoundWait) }},
+		{Name: "zipf", Run: runZipf},
+		{Name: "convoy", Run: runConvoy},
+		{Name: "readers", Run: runReaders},
+		{Name: "tenants", Run: runTenants},
+	}
+}
+
+// ByName looks a scenario up in the registry.
+func ByName(name string) (Scenario, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// failf builds a scenario error that carries the replay instructions.
+func failf(seed int64, format string, args ...any) error {
+	return fmt.Errorf(format+" (replay: %s)", append(args, check.ReplayArgs(seed))...)
+}
+
+// latencies collects acquire latencies for percentile reporting.
+type latencies struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (l *latencies) add(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+func (l *latencies) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// percentiles returns p50 and p99 in microseconds (zeros when empty).
+func (l *latencies) percentiles() (p50us, p99us float64) {
+	l.mu.Lock()
+	s := append([]time.Duration(nil), l.samples...)
+	l.mu.Unlock()
+	if len(s) == 0 {
+		return 0, 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(s)-1))
+		return float64(s[i]) / 1e3
+	}
+	return pick(0.50), pick(0.99)
+}
+
+// recorder serializes per-lock trace events into the safety checker. The
+// planes expose blocking acquires, so the txn ID is only known once the
+// grant lands; recording EvAcquire+EvGrant back-to-back under one lock is
+// sound for the safety invariants (mutual exclusion, duplicates,
+// conservation) — the priority invariant is vacuous under this discipline
+// and stays off.
+type recorder struct {
+	mu           sync.Mutex
+	ck           *check.Checker
+	viol         *check.Violation
+	tenantGrants map[uint8]uint64
+}
+
+func newRecorder() *recorder {
+	ck := check.NewChecker()
+	ck.CheckPriority = false
+	return &recorder{ck: ck, tenantGrants: make(map[uint8]uint64)}
+}
+
+func (r *recorder) observe(e check.Event) {
+	if r.viol != nil {
+		return
+	}
+	r.viol = r.ck.Observe(e)
+}
+
+// granted records a successful blocking acquire (EvAcquire+EvGrant).
+func (r *recorder) granted(lock uint32, txn uint64, excl bool, prio, tenant uint8) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observe(check.Event{Kind: check.EvAcquire, Lock: lock, Txn: txn, Excl: excl, Prio: prio})
+	r.observe(check.Event{Kind: check.EvGrant, Lock: lock, Txn: txn, Excl: excl, Prio: prio})
+	r.tenantGrants[tenant]++
+}
+
+// released must be called before the release is handed to the plane.
+func (r *recorder) released(lock uint32, txn uint64, excl bool, prio uint8) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observe(check.Event{Kind: check.EvRelease, Lock: lock, Txn: txn, Excl: excl, Prio: prio})
+}
+
+// lost marks a deliberately-abandoned grant (a "crashed" client) so
+// conservation at quiescence holds.
+func (r *recorder) lost(lock uint32, txn uint64, excl bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observe(check.Event{Kind: check.EvLost, Lock: lock, Txn: txn, Excl: excl})
+}
+
+func (r *recorder) violation() *check.Violation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viol
+}
+
+func (r *recorder) quiesce() *check.Violation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.viol != nil {
+		return r.viol
+	}
+	return r.ck.Quiesce()
+}
+
+func (r *recorder) stats() (grants, rejects, releases int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ck.Stats()
+}
+
+func (r *recorder) tenantCount(t uint8) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tenantGrants[t]
+}

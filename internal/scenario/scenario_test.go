@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"testing"
+
+	"netlock/internal/check"
+)
+
+// TestScenarioMatrix runs every registered scenario on both planes — the
+// embedded sharded Manager and the UDP rack under seeded chaos — in the
+// CI-sized (Short) configuration. Each run self-validates: trace checked
+// by internal/check, scenario-specific invariants (deadlock resolution,
+// fairness, lease reclaim, quota isolation) enforced inside Run. Failures
+// embed the -netlock.seed replay fragment.
+func TestScenarioMatrix(t *testing.T) {
+	planes := []struct {
+		name  string
+		plane string
+		chaos bool
+	}{
+		{"embedded", "embedded", false},
+		{"udp-chaos", "udp", true},
+	}
+	for _, sc := range All() {
+		sc := sc
+		for _, pl := range planes {
+			pl := pl
+			t.Run(sc.Name+"/"+pl.name, func(t *testing.T) {
+				t.Parallel()
+				for _, seed := range check.SeedsN(1) {
+					sum, err := sc.Run(Config{Seed: seed, Plane: pl.plane, Chaos: pl.chaos, Short: true})
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if sum.Name != sc.Name {
+						t.Fatalf("summary name %q for scenario %q", sum.Name, sc.Name)
+					}
+					if sum.Plane != pl.plane {
+						t.Fatalf("summary plane %q, want %q", sum.Plane, pl.plane)
+					}
+					if sum.Ops == 0 {
+						t.Fatalf("seed %d: vacuous run: 0 ops", seed)
+					}
+					t.Logf("%s", sum)
+				}
+			})
+		}
+	}
+}
+
+// TestByName covers registry lookup, including the miss path the loadgen
+// -workload flag relies on for its error message.
+func TestByName(t *testing.T) {
+	for _, sc := range All() {
+		got, ok := ByName(sc.Name)
+		if !ok || got.Name != sc.Name {
+			t.Fatalf("ByName(%q) = %q, %v", sc.Name, got.Name, ok)
+		}
+	}
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Fatal("ByName invented a scenario")
+	}
+}
+
+// TestSummaryString keeps the figure-style row stable enough to embed.
+func TestSummaryString(t *testing.T) {
+	s := &Summary{Name: "zipf", Plane: "embedded", Throughput: 1234, P50us: 10, P99us: 90,
+		EvictionInstalled: 5, EvictionRemoved: 3, DistinctLocks: 100}
+	line := s.String()
+	for _, want := range []string{"zipf", "embedded", "1234 ops/s", "churn +5/-3"} {
+		if !contains(line, want) {
+			t.Fatalf("summary row %q missing %q", line, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"netlock/internal/check"
+)
+
+// sweepSeeds returns the 2PL sweep's seed list: the pinned replay seed
+// when -netlock.seed (or NETLOCK_SEED) is set, else 1..100 — trimmed
+// under -short so the race-detector CI leg stays fast.
+func sweepSeeds(t *testing.T) []int64 {
+	if s, ok := check.ReplaySeed(); ok {
+		return []int64{s}
+	}
+	n := 100
+	if testing.Short() {
+		n = 12
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+// TestTwoPLSweep is the acceptance sweep: across 100 seeds and both
+// resolution policies, every deadlock-prone transaction batch must fully
+// commit — zero unresolved deadlocks — with clean per-lock and
+// transaction-level traces. Failures replay with -netlock.seed=N.
+func TestTwoPLSweep(t *testing.T) {
+	for _, policy := range []Policy{PolicyWaitDie, PolicyWoundWait} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range sweepSeeds(t) {
+				cfg := Config{Seed: seed, Plane: "embedded", Short: true}
+				sum, err := runTwoPL(cfg, policy)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if sum.Commits == 0 {
+					t.Fatalf("seed %d: vacuous sweep entry", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestTwoPLCycleDetectorOracle runs PolicyNone — no request-time checks,
+// so real deadlocks form and ONLY the wait-for-graph guard can resolve
+// them. Every batch still committing proves the detector finds cycles and
+// its victim choice unwedges the system; cyclesDetected > 0 proves the
+// runs were not vacuously conflict-free.
+func TestTwoPLCycleDetectorOracle(t *testing.T) {
+	pr := twoPLParams{
+		workers:     4,
+		txnsPer:     4,
+		lockPool:    3, // every txn takes the whole pool in random order
+		locksPerTxn: 3,
+		think:       500 * time.Microsecond,
+		guardEvery:  500 * time.Microsecond,
+		timeout:     30 * time.Second,
+	}
+	totalCycles := 0
+	for _, seed := range check.SeedsN(3) {
+		cfg := Config{Seed: seed, Plane: "embedded", Short: true}
+		plane, err := twoPLPlane(cfg, pr)
+		if err != nil {
+			t.Fatalf("seed %d: plane: %v", seed, err)
+		}
+		sum, p, err := runTwoPLOn(plane, PolicyNone, cfg, pr)
+		plane.Close()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st := p.statsSnapshot()
+		totalCycles += st.cyclesDetected
+		if st.dieAborts != 0 || st.woundAborts != 0 {
+			t.Fatalf("seed %d: PolicyNone produced policy aborts (%d die, %d wound)", seed, st.dieAborts, st.woundAborts)
+		}
+		if sum.Commits != pr.workers*pr.txnsPer {
+			t.Fatalf("seed %d: %d commits", seed, sum.Commits)
+		}
+	}
+	if totalCycles == 0 {
+		t.Fatal("oracle vacuous: no deadlock cycles formed across all seeds; tighten the workload")
+	}
+}
+
+// TestTwoPLPolicySeparation checks each policy only uses its own abort
+// mechanism at request time: wait-die never wounds, wound-wait never dies.
+func TestTwoPLPolicySeparation(t *testing.T) {
+	for _, seed := range check.SeedsN(2) {
+		cfg := Config{Seed: seed, Plane: "embedded", Short: true}
+		pr := twoPLSizes(cfg)
+
+		plane, err := twoPLPlane(cfg, pr)
+		if err != nil {
+			t.Fatalf("plane: %v", err)
+		}
+		_, p, err := runTwoPLOn(plane, PolicyWaitDie, cfg, pr)
+		plane.Close()
+		if err != nil {
+			t.Fatalf("seed %d wait-die: %v", seed, err)
+		}
+		if st := p.statsSnapshot(); st.woundAborts != 0 {
+			t.Fatalf("seed %d: wait-die wounded %d holders", seed, st.woundAborts)
+		}
+
+		plane, err = twoPLPlane(cfg, pr)
+		if err != nil {
+			t.Fatalf("plane: %v", err)
+		}
+		_, p, err = runTwoPLOn(plane, PolicyWoundWait, cfg, pr)
+		plane.Close()
+		if err != nil {
+			t.Fatalf("seed %d wound-wait: %v", seed, err)
+		}
+		if st := p.statsSnapshot(); st.dieAborts != 0 {
+			t.Fatalf("seed %d: wound-wait self-died %d times", seed, st.dieAborts)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package scenario
+
+import "sort"
+
+// waitGraph is a wait-for graph over transaction timestamps: an edge
+// a -> b means transaction a is blocked waiting for a lock transaction b
+// holds. A cycle is a deadlock. Edges run waiter -> holder only (not
+// waiter -> queued waiter): queues drain unless a holder-cycle exists, so
+// any permanent wedge eventually shows up as a holder cycle on a later
+// guard tick, and holder-only edges never produce false positives.
+type waitGraph struct {
+	out map[uint64]map[uint64]bool
+}
+
+func newWaitGraph() *waitGraph {
+	return &waitGraph{out: make(map[uint64]map[uint64]bool)}
+}
+
+func (g *waitGraph) addEdge(from, to uint64) {
+	if from == to {
+		return
+	}
+	m, ok := g.out[from]
+	if !ok {
+		m = make(map[uint64]bool)
+		g.out[from] = m
+	}
+	m[to] = true
+}
+
+// findCycle returns one deadlock cycle (each node waits for the next,
+// last waits for first), or nil. Iteration is sorted so the same graph
+// always yields the same cycle — victim choice stays replayable.
+func (g *waitGraph) findCycle() []uint64 {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS stack
+		black = 2 // fully explored
+	)
+	color := make(map[uint64]int, len(g.out))
+	var stack []uint64
+
+	sortedKeys := func(m map[uint64]bool) []uint64 {
+		ks := make([]uint64, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		return ks
+	}
+
+	var cycle []uint64
+	var dfs func(n uint64) bool
+	dfs = func(n uint64) bool {
+		color[n] = grey
+		stack = append(stack, n)
+		for _, next := range sortedKeys(g.out[n]) {
+			switch color[next] {
+			case grey:
+				// Found: slice the stack from next's position.
+				for i, v := range stack {
+					if v == next {
+						cycle = append([]uint64(nil), stack[i:]...)
+						return true
+					}
+				}
+			case white:
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+		return false
+	}
+
+	roots := make([]uint64, 0, len(g.out))
+	for n := range g.out {
+		roots = append(roots, n)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, n := range roots {
+		if color[n] == white && dfs(n) {
+			return cycle
+		}
+	}
+	return nil
+}

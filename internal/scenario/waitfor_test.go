@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWaitGraphNoCycle(t *testing.T) {
+	g := newWaitGraph()
+	g.addEdge(1, 2)
+	g.addEdge(2, 3)
+	g.addEdge(1, 3)
+	g.addEdge(4, 1)
+	if c := g.findCycle(); c != nil {
+		t.Fatalf("DAG reported cycle %v", c)
+	}
+}
+
+func TestWaitGraphSelfEdgeIgnored(t *testing.T) {
+	g := newWaitGraph()
+	g.addEdge(7, 7)
+	if c := g.findCycle(); c != nil {
+		t.Fatalf("self edge reported cycle %v", c)
+	}
+}
+
+func TestWaitGraphFindsCycle(t *testing.T) {
+	g := newWaitGraph()
+	g.addEdge(1, 2)
+	g.addEdge(2, 3)
+	g.addEdge(3, 1)
+	g.addEdge(3, 4) // dead-end branch off the cycle
+	c := g.findCycle()
+	if len(c) != 3 {
+		t.Fatalf("cycle = %v, want the 3-cycle", c)
+	}
+	// Each node waits for the next; the last waits for the first.
+	for i, n := range c {
+		next := c[(i+1)%len(c)]
+		if !g.out[n][next] {
+			t.Fatalf("cycle %v: missing edge %d -> %d", c, n, next)
+		}
+	}
+}
+
+func TestWaitGraphTwoNodeCycle(t *testing.T) {
+	g := newWaitGraph()
+	g.addEdge(10, 20)
+	g.addEdge(20, 10)
+	if c := g.findCycle(); len(c) != 2 {
+		t.Fatalf("cycle = %v, want a 2-cycle", c)
+	}
+}
+
+func TestWaitGraphDeterministic(t *testing.T) {
+	build := func() *waitGraph {
+		g := newWaitGraph()
+		// Two disjoint cycles plus noise; the same one must always win.
+		g.addEdge(5, 6)
+		g.addEdge(6, 5)
+		g.addEdge(8, 9)
+		g.addEdge(9, 8)
+		g.addEdge(1, 5)
+		g.addEdge(2, 8)
+		return g
+	}
+	first := build().findCycle()
+	if first == nil {
+		t.Fatal("no cycle found")
+	}
+	for i := 0; i < 20; i++ {
+		if got := build().findCycle(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: cycle %v, earlier %v (non-deterministic victim choice)", i, got, first)
+		}
+	}
+}

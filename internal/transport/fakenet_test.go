@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"net"
 	"net/netip"
 	"os"
 	"strconv"
@@ -20,195 +19,40 @@ import (
 	"netlock/internal/wire"
 )
 
-// fakeNet is an in-process Network with seeded, packet-level chaos. Links
-// where both endpoints are marked reliable (the in-rack switch<->server
-// fabric, which the q1/q2 protocol assumes lossless and ordered) deliver
-// synchronously in order; every other link — the client edge — drops,
-// duplicates, and delays datagrams under a seeded rand, so a failing run
-// replays with `go test -netlock.seed=N`.
-type fakeNet struct {
-	mu       sync.Mutex
-	rng      *rand.Rand
-	conns    map[netip.AddrPort]*fakeConn
-	reliable map[netip.AddrPort]bool
-	nextPort uint16
+// The chaos network itself lives in chaosnet.go (it is a first-class
+// Network implementation, shared with internal/scenario and cmd/loadgen);
+// these tests drive the full transport stack through it.
 
-	// Chaos probabilities for edge links; zero values mean a perfect
-	// network.
-	drop, dup, delay float64
-	maxDelay         time.Duration
-	// filter, when set, drops any edge datagram it returns true for
-	// (called with fn.mu held).
-	filter func(data []byte, from, to netip.AddrPort) bool
-
-	wg sync.WaitGroup // in-flight delayed deliveries
-}
-
-func newFakeNet(seed int64) *fakeNet {
-	return &fakeNet{
-		rng:      rand.New(rand.NewSource(seed)),
-		conns:    make(map[netip.AddrPort]*fakeConn),
-		reliable: make(map[netip.AddrPort]bool),
-		maxDelay: 2 * time.Millisecond,
-	}
-}
-
-// Listen assigns the next fake address; the requested bind address only
-// matters for its host part, which is ignored (everything shares one fake
-// subnet).
-func (fn *fakeNet) Listen(string) (PacketConn, error) {
-	fn.mu.Lock()
-	defer fn.mu.Unlock()
-	fn.nextPort++
-	ap := netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 99, 0, 1}), fn.nextPort)
-	fc := &fakeConn{
-		fn:     fn,
-		local:  ap,
-		inbox:  make(chan fakePacket, 4096),
-		closed: make(chan struct{}),
-	}
-	fn.conns[ap] = fc
-	return fc, nil
-}
-
-func (fn *fakeNet) markReliable(t *testing.T, addr string) {
+func markReliable(t *testing.T, cn *ChaosNet, addr string) {
 	t.Helper()
-	ap, err := netip.ParseAddrPort(addr)
-	if err != nil {
-		t.Fatalf("markReliable(%q): %v", addr, err)
-	}
-	fn.mu.Lock()
-	fn.reliable[normAddrPort(ap)] = true
-	fn.mu.Unlock()
-}
-
-func (fn *fakeNet) send(from *fakeConn, data []byte, to netip.AddrPort) {
-	fn.mu.Lock()
-	dst := fn.conns[to]
-	if dst == nil {
-		fn.mu.Unlock()
-		return
-	}
-	pkt := fakePacket{data: append([]byte(nil), data...), from: from.local}
-	if fn.reliable[from.local] && fn.reliable[to] {
-		fn.mu.Unlock()
-		dst.deliver(pkt)
-		return
-	}
-	if fn.filter != nil && fn.filter(pkt.data, from.local, to) {
-		fn.mu.Unlock()
-		return
-	}
-	if fn.rng.Float64() < fn.drop {
-		fn.mu.Unlock()
-		return
-	}
-	copies := 1
-	if fn.rng.Float64() < fn.dup {
-		copies = 2
-	}
-	var delays [2]time.Duration
-	for i := 0; i < copies; i++ {
-		if fn.rng.Float64() < fn.delay && fn.maxDelay > 0 {
-			delays[i] = time.Duration(fn.rng.Int63n(int64(fn.maxDelay)))
-		}
-	}
-	fn.mu.Unlock()
-	for i := 0; i < copies; i++ {
-		if delays[i] == 0 {
-			dst.deliver(pkt)
-			continue
-		}
-		fn.wg.Add(1)
-		go func(d time.Duration) {
-			defer fn.wg.Done()
-			time.Sleep(d)
-			dst.deliver(pkt)
-		}(delays[i])
+	if err := cn.MarkReliable(addr); err != nil {
+		t.Fatalf("MarkReliable(%q): %v", addr, err)
 	}
 }
 
-type fakePacket struct {
-	data []byte
-	from netip.AddrPort
-}
-
-type fakeConn struct {
-	fn        *fakeNet
-	local     netip.AddrPort
-	inbox     chan fakePacket
-	closed    chan struct{}
-	closeOnce sync.Once
-}
-
-func (fc *fakeConn) deliver(p fakePacket) {
-	select {
-	case <-fc.closed:
-		return
-	default:
-	}
-	select {
-	case fc.inbox <- p:
-	default: // inbox full: drop, it's UDP
-	}
-}
-
-func (fc *fakeConn) ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error) {
-	select {
-	case <-fc.closed:
-		return 0, netip.AddrPort{}, net.ErrClosed
-	case p := <-fc.inbox:
-		return copy(b, p.data), p.from, nil
-	}
-}
-
-func (fc *fakeConn) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error) {
-	select {
-	case <-fc.closed:
-		return 0, net.ErrClosed
-	default:
-	}
-	fc.fn.send(fc, b, normAddrPort(addr))
-	return len(b), nil
-}
-
-func (fc *fakeConn) Close() error {
-	fc.closeOnce.Do(func() {
-		close(fc.closed)
-		fc.fn.mu.Lock()
-		delete(fc.fn.conns, fc.local)
-		fc.fn.mu.Unlock()
-	})
-	return nil
-}
-
-func (fc *fakeConn) LocalAddr() net.Addr {
-	return net.UDPAddrFromAddrPort(fc.local)
-}
-
-// fakeRack is rack() over a fake network: the switch and servers are
+// fakeRack is rack() over a chaos network: the switch and servers are
 // marked reliable peers (in-rack fabric), so chaos applies only to the
 // client edge.
-func fakeRack(t *testing.T, fn *fakeNet, n int, dp switchdp.Config) (*Switch, []*Server) {
+func fakeRack(t *testing.T, cn *ChaosNet, n int, dp switchdp.Config) (*Switch, []*Server) {
 	t.Helper()
 	var servers []*Server
 	var addrs []string
 	for i := 0; i < n; i++ {
-		srv, err := NewServer(ServerConfig{Listen: "10.99.0.1:0", Net: fn})
+		srv, err := NewServer(ServerConfig{Listen: "10.99.0.1:0", Net: cn})
 		if err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { srv.Close() })
 		servers = append(servers, srv)
 		addrs = append(addrs, srv.Addr())
-		fn.markReliable(t, srv.Addr())
+		markReliable(t, cn, srv.Addr())
 	}
-	sw, err := NewSwitch(SwitchConfig{Listen: "10.99.0.1:0", DataPlane: dp, Servers: addrs, Net: fn})
+	sw, err := NewSwitch(SwitchConfig{Listen: "10.99.0.1:0", DataPlane: dp, Servers: addrs, Net: cn})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { sw.Close() })
-	fn.markReliable(t, sw.Addr())
+	markReliable(t, cn, sw.Addr())
 	for _, srv := range servers {
 		if err := srv.SetSwitchAddr(sw.Addr()); err != nil {
 			t.Fatal(err)
@@ -273,11 +117,10 @@ func TestFakenetConformance(t *testing.T) {
 }
 
 func runConformance(t *testing.T, seed int64, quick bool) {
-	fn := newFakeNet(seed)
-	fn.drop, fn.dup, fn.delay = 0.15, 0.10, 0.25
+	cn := NewChaosNet(ChaosConfig{Seed: seed, Drop: 0.15, Dup: 0.10, Delay: 0.25})
 
 	dp := switchdp.Config{MaxLocks: 8, TotalSlots: 32, Priorities: 1}
-	sw, servers := fakeRack(t, fn, 2, dp)
+	sw, servers := fakeRack(t, cn, 2, dp)
 	// Four switch-resident locks with queues small enough that contention
 	// overflows to the servers; locks 5..10 stay server-owned.
 	for id := uint32(1); id <= 4; id++ {
@@ -300,7 +143,7 @@ func runConformance(t *testing.T, seed int64, quick bool) {
 	for i := 0; i < nClients; i++ {
 		c, err := NewClientConfig(ClientConfig{
 			Switch:        sw.Addr(),
-			Net:           fn,
+			Net:           cn,
 			RetryInterval: 15 * time.Millisecond,
 			FlushInterval: 200 * time.Microsecond,
 		})
@@ -358,13 +201,13 @@ func runConformance(t *testing.T, seed int64, quick bool) {
 	}
 	// Quiesce the rack before draining the net: the switch sweep keeps
 	// re-sending un-released grants (e.g. for just-closed clients), and a
-	// send entering the chaos edge concurrently with fn.wg.Wait would race
+	// send entering the chaos edge concurrently with cn.Wait would race
 	// the WaitGroup.
 	sw.Close()
 	for _, srv := range servers {
 		srv.Close()
 	}
-	fn.wg.Wait()
+	cn.Wait()
 
 	rec.mu.Lock()
 	viol := rec.viol
@@ -413,20 +256,20 @@ func frameHasOp(data []byte, op wire.Op) bool {
 // lock until lease expiry (forever, without a lease). The client must now
 // retransmit the release until the end-to-end ack lands.
 func TestReleaseRetransmitAfterLoss(t *testing.T) {
-	fn := newFakeNet(1)
+	cn := NewChaosNet(ChaosConfig{Seed: 1})
 	var dropped atomic.Int32
-	fn.filter = func(data []byte, from, to netip.AddrPort) bool {
+	cn.SetFilter(func(data []byte, from, to netip.AddrPort) bool {
 		if frameHasOp(data, wire.OpRelease) && dropped.CompareAndSwap(0, 1) {
 			return true
 		}
 		return false
-	}
-	sw, servers := fakeRack(t, fn, 1, dpConfig())
+	})
+	sw, servers := fakeRack(t, cn, 1, dpConfig())
 	installLock(t, sw, servers, 7, switchdp.Region{Left: 0, Right: 8})
 
 	c, err := NewClientConfig(ClientConfig{
 		Switch:        sw.Addr(),
-		Net:           fn,
+		Net:           cn,
 		RetryInterval: 20 * time.Millisecond,
 	})
 	if err != nil {
@@ -458,15 +301,14 @@ func TestReleaseRetransmitAfterLoss(t *testing.T) {
 
 // TestReleaseAckIdempotent: a duplicated release datagram (or a
 // retransmit racing its own ack) must ack idempotently, never dequeue a
-// second holder. The duplicating fake network plus a waiter pair on one
+// second holder. The duplicating chaos network plus a waiter pair on one
 // lock covers the double-release hazard directly.
 func TestReleaseAckIdempotent(t *testing.T) {
-	fn := newFakeNet(3)
-	fn.dup = 1.0 // duplicate every client-edge datagram
-	sw, servers := fakeRack(t, fn, 1, dpConfig())
+	cn := NewChaosNet(ChaosConfig{Seed: 3, Dup: 1.0}) // duplicate every client-edge datagram
+	sw, servers := fakeRack(t, cn, 1, dpConfig())
 	installLock(t, sw, servers, 9, switchdp.Region{Left: 0, Right: 8})
 
-	c, err := NewClientConfig(ClientConfig{Switch: sw.Addr(), Net: fn})
+	c, err := NewClientConfig(ClientConfig{Switch: sw.Addr(), Net: cn})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -606,6 +606,35 @@ func (s *Server) SetSwitchAddr(addr string) error {
 // LockServer exposes the underlying lock table for control operations.
 func (s *Server) LockServer() *lockserver.Server { return s.ls }
 
+// WithLockServer runs fn with exclusive access to the lock table,
+// serialized against packet processing — the safe way to issue control
+// operations (ownership moves, policy changes) on a live node.
+func (s *Server) WithLockServer(fn func(ls *lockserver.Server)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.ls)
+}
+
+// InstallSwitchLock makes lockID switch-resident on a live rack: the
+// regions (one per priority bank) are installed in the switch data plane
+// and the owning lock server (by RSS steering) releases ownership. This
+// is the control-plane warmup every benchmark and scenario performs
+// before traffic.
+func InstallSwitchLock(sw *Switch, servers []*Server, lockID uint32, regions []switchdp.Region) error {
+	var err error
+	sw.WithDataPlane(func(dp *switchdp.Switch) {
+		err = dp.CtrlInstallLock(lockID, regions)
+	})
+	if err != nil {
+		return err
+	}
+	srv := servers[lockserver.RSSCore(lockID, len(servers))]
+	srv.WithLockServer(func(ls *lockserver.Server) {
+		err = ls.CtrlReleaseOwnership(lockID)
+	})
+	return err
+}
+
 // Close stops the node.
 func (s *Server) Close() error {
 	select {

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"netlock"
-	"netlock/internal/lockserver"
 	"netlock/internal/switchdp"
 	"netlock/internal/wire"
 )
@@ -45,18 +44,7 @@ func rack(t *testing.T, n int, dp switchdp.Config) (*Switch, []*Server) {
 // two-sided move core.Manager performs (§4.3).
 func installLock(t *testing.T, sw *Switch, servers []*Server, lockID uint32, region switchdp.Region) {
 	t.Helper()
-	var err error
-	sw.WithDataPlane(func(dp *switchdp.Switch) {
-		err = dp.CtrlInstallLock(lockID, []switchdp.Region{region})
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := servers[lockserver.RSSCore(lockID, len(servers))]
-	srv.mu.Lock()
-	err = srv.ls.CtrlReleaseOwnership(lockID)
-	srv.mu.Unlock()
-	if err != nil {
+	if err := InstallSwitchLock(sw, servers, lockID, []switchdp.Region{region}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"math/rand"
+	"sync"
 
 	"netlock/internal/cluster"
 	"netlock/internal/wire"
@@ -29,7 +30,11 @@ type Micro struct {
 	Priority uint8
 	OneRTT   bool
 
-	zipfs map[int64]*rand.Zipf
+	// Zipf sources are per client: rand.Zipf captures the rng it was
+	// built with, and loadgen workers call NextTxn concurrently with one
+	// rng each, so a shared source would both skew the draw and race.
+	zipfMu sync.Mutex
+	zipfs  map[int]*rand.Zipf
 }
 
 // NextTxn implements cluster.Workload.
@@ -40,16 +45,20 @@ func (m *Micro) NextTxn(client int, rng *rand.Rand) cluster.TxnSpec {
 	var id uint32
 	switch {
 	case m.ZipfS > 1:
+		// Each client gets its own source bound to the rng of its first
+		// call. A client must keep passing the same rng (and be driven by
+		// one goroutine at a time, as the testbed and loadgen both do);
+		// distinct clients may then call NextTxn concurrently.
+		m.zipfMu.Lock()
 		if m.zipfs == nil {
-			m.zipfs = make(map[int64]*rand.Zipf)
+			m.zipfs = make(map[int]*rand.Zipf)
 		}
-		// One Zipf source per rng identity is enough here: the testbed
-		// drives all clients from a single deterministic rng.
-		z, ok := m.zipfs[0]
+		z, ok := m.zipfs[client]
 		if !ok {
 			z = rand.NewZipf(rng, m.ZipfS, 1, uint64(m.Locks-1))
-			m.zipfs[0] = z
+			m.zipfs[client] = z
 		}
+		m.zipfMu.Unlock()
 		id = uint32(z.Uint64()) + 1
 	default:
 		id = uint32(rng.Intn(int(m.Locks))) + 1

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"netlock/internal/wire"
@@ -63,6 +64,57 @@ func TestMicroZipfSkew(t *testing.T) {
 	}
 	if maxHits < 2000 {
 		t.Fatalf("zipf skew too weak: max=%d/10000", maxHits)
+	}
+}
+
+// TestMicroZipfPerClientRace is the regression for the shared Zipf
+// source: the lazy zipfs map was keyed by a constant and captured the
+// first rng it saw, so concurrent per-client rngs (as cmd/loadgen workers
+// use) all drew from one unsynchronized source. Run under -race.
+func TestMicroZipfPerClientRace(t *testing.T) {
+	m := &Micro{Locks: 1000, Mode: wire.Shared, ZipfS: 1.3}
+	const clients, draws = 8, 2000
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c + 1)))
+			for i := 0; i < draws; i++ {
+				id := m.NextTxn(c, rng).Locks[0].LockID
+				if id < 1 || id > 1000 {
+					t.Errorf("client %d: lock %d out of range", c, id)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestMicroZipfPerClientDeterministic: each client's draw sequence is a
+// pure function of its own rng, regardless of interleaving with other
+// clients or of which client called first.
+func TestMicroZipfPerClientDeterministic(t *testing.T) {
+	seq := func(m *Micro, client int, seed int64, n int) []uint32 {
+		rng := rand.New(rand.NewSource(seed))
+		ids := make([]uint32, n)
+		for i := range ids {
+			ids[i] = m.NextTxn(client, rng).Locks[0].LockID
+		}
+		return ids
+	}
+
+	// Client 1 alone vs client 1 interleaved after client 0 warmed the map.
+	alone := seq(&Micro{Locks: 500, ZipfS: 1.5}, 1, 77, 100)
+	m := &Micro{Locks: 500, ZipfS: 1.5}
+	seq(m, 0, 11, 50) // a different client draws first
+	mixed := seq(m, 1, 77, 100)
+	for i := range alone {
+		if alone[i] != mixed[i] {
+			t.Fatalf("client 1 sequence depends on other clients: idx %d: %d vs %d",
+				i, alone[i], mixed[i])
+		}
 	}
 }
 

@@ -405,6 +405,11 @@ func (g *Grant) LockID() uint32 { return g.lockID }
 // Mode returns the granted mode.
 func (g *Grant) Mode() Mode { return g.mode }
 
+// Txn returns the transaction ID the manager assigned to this
+// acquisition. It is unique per grant until the Grant is released (the
+// storage is pooled afterwards), which is what trace validation needs.
+func (g *Grant) Txn() uint64 { return g.txnID }
+
 // Release releases the lock. The first call wins; subsequent calls on the
 // same Grant are no-ops. After Release returns, the Grant's storage is
 // recycled for future acquisitions and must not be retained or inspected.

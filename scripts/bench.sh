@@ -6,6 +6,9 @@
 #   scripts/bench.sh transport           # batched vs unbatched UDP transport
 #                                        #   (cmd/loadgen -compare) -> BENCH_transport.json
 #   scripts/bench.sh transport -quick    # shorter transport comparison
+#   scripts/bench.sh scenarios           # adversarial scenario suite on both
+#                                        #   planes -> BENCH_scenarios.json
+#   scripts/bench.sh scenarios -workload zipf -plane embedded  # one scenario
 #
 # The default mode runs the embedded hot-path benchmarks (serial, parallel
 # disjoint/contended, sharded vs single-mutex baseline) plus the simulated
@@ -24,6 +27,10 @@ case "${1:-}" in
 transport)
 	shift
 	exec go run ./cmd/loadgen -compare "$@"
+	;;
+scenarios)
+	shift
+	exec go run ./cmd/loadgen -workload all "$@"
 	;;
 *)
 	exec go run ./cmd/benchrunner -embedded -quick "$@"
