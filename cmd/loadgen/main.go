@@ -28,12 +28,13 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"netlock"
-	"netlock/internal/lockserver"
+	"netlock/internal/ctrlplane"
 	"netlock/internal/obs"
 	"netlock/internal/switchdp"
 	"netlock/internal/transport"
@@ -41,8 +42,9 @@ import (
 
 func main() {
 	var cfg loadConfig
-	flag.StringVar(&cfg.switchAddr, "switch", "", "external switch address (empty: self-host a rack in-process)")
+	flag.StringVar(&cfg.switchAddr, "switch", "", "external switch address(es), comma-separated chain members head first (empty: self-host a rack in-process)")
 	flag.IntVar(&cfg.servers, "servers", 2, "self-hosted rack: number of lock servers")
+	flag.IntVar(&cfg.chain, "chain", 1, "self-hosted rack: switch replication chain length (1-3)")
 	flag.IntVar(&cfg.locks, "locks", 64, "lock ID space; self-hosted racks preinstall them in the switch")
 	flag.Uint64Var(&cfg.slotsPerLock, "slots-per-lock", 64, "self-hosted rack: queue slots per preinstalled lock")
 	flag.IntVar(&cfg.clients, "clients", 1, "client sockets; workers are spread across them")
@@ -56,6 +58,7 @@ func main() {
 	compare := flag.Bool("compare", false, "run batched vs unbatched back to back and emit a JSON report")
 	out := flag.String("out", "", "JSON output path for -compare/-workload ('-' for stdout)")
 	quick := flag.Bool("quick", false, "shorter -compare run")
+	failover := flag.Bool("failover", false, "measure head-failure recovery on a 3-member chain vs a single-switch baseline and emit a JSON report")
 	workload := flag.String("workload", "", "run a named adversarial scenario from internal/scenario ('all' for the full suite); skips the load loop")
 	plane := flag.String("plane", "both", "scenario plane: embedded, udp, or both")
 	seed := flag.Int64("seed", 1, "scenario seed (replays a failing run)")
@@ -85,6 +88,17 @@ func main() {
 		}
 		return
 	}
+	if *failover {
+		path := *out
+		if path == "" {
+			path = "BENCH_failover.json"
+		}
+		if err := runFailover(cfg, path, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	res, err := runLoad(cfg, *report)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -95,6 +109,7 @@ func main() {
 
 type loadConfig struct {
 	switchAddr   string
+	chain        int
 	servers      int
 	locks        int
 	slotsPerLock uint64
@@ -124,61 +139,24 @@ func (r result) String() string {
 		r.MRPS, r.Ops, r.Errors, r.Seconds, r.P50Us, r.P99Us, r.AvgBatch)
 }
 
-// selfHost brings up an in-process rack and returns the switch address and
-// a shutdown function.
-func selfHost(cfg loadConfig) (string, func(), error) {
-	var srvs []*transport.Server
-	var addrs []string
-	shutdown := func() {
-		for _, s := range srvs {
-			s.Close()
-		}
+// selfHost brings up an in-process rack through the Topology API: a
+// cfg.chain-member switch chain over real loopback UDP, cfg.servers lock
+// servers, and locks 1..cfg.locks preinstalled switch-resident.
+func selfHost(cfg loadConfig) (*ctrlplane.Topology, error) {
+	locks := make([]ctrlplane.SwitchLock, 0, cfg.locks)
+	for id := 1; id <= cfg.locks; id++ {
+		locks = append(locks, ctrlplane.SwitchLock{ID: uint32(id), Slots: int(cfg.slotsPerLock)})
 	}
-	for i := 0; i < cfg.servers; i++ {
-		srv, err := transport.NewServer(transport.ServerConfig{Listen: "127.0.0.1:0"})
-		if err != nil {
-			shutdown()
-			return "", nil, fmt.Errorf("lock server %d: %w", i, err)
-		}
-		srvs = append(srvs, srv)
-		addrs = append(addrs, srv.Addr())
-	}
-	sw, err := transport.NewSwitch(transport.SwitchConfig{
-		Listen: "127.0.0.1:0",
+	return ctrlplane.New(ctrlplane.Config{
+		Switches: cfg.chain,
+		Servers:  cfg.servers,
 		DataPlane: switchdp.Config{
 			MaxLocks:   nextPow2(cfg.locks + 1),
 			TotalSlots: int(cfg.slotsPerLock) * (cfg.locks + 1),
 			Priorities: 1,
 		},
-		Servers: addrs,
+		SwitchLocks: locks,
 	})
-	if err != nil {
-		shutdown()
-		return "", nil, fmt.Errorf("switch: %w", err)
-	}
-	all := shutdown
-	shutdown = func() { sw.Close(); all() }
-	for _, srv := range srvs {
-		if err := srv.SetSwitchAddr(sw.Addr()); err != nil {
-			shutdown()
-			return "", nil, err
-		}
-	}
-	for id := uint32(1); id <= uint32(cfg.locks); id++ {
-		var err error
-		sw.WithDataPlane(func(dp *switchdp.Switch) {
-			err = dp.CtrlInstallLock(id, []switchdp.Region{{
-				Left:  uint64(id-1) * cfg.slotsPerLock,
-				Right: uint64(id) * cfg.slotsPerLock,
-			}})
-		})
-		if err != nil {
-			shutdown()
-			return "", nil, fmt.Errorf("preinstall lock %d: %w", id, err)
-		}
-		srvs[lockserver.RSSCore(id, len(srvs))].LockServer().CtrlReleaseOwnership(id)
-	}
-	return sw.Addr(), shutdown, nil
 }
 
 func nextPow2(n int) int {
@@ -192,14 +170,14 @@ func nextPow2(n int) int {
 // runLoad executes one measured run against cfg's rack (self-hosted when
 // switchAddr is empty) and returns the aggregate result.
 func runLoad(cfg loadConfig, report time.Duration) (result, error) {
-	switchAddr := cfg.switchAddr
-	if switchAddr == "" {
-		addr, shutdown, err := selfHost(cfg)
+	var tp *ctrlplane.Topology
+	if cfg.switchAddr == "" {
+		var err error
+		tp, err = selfHost(cfg)
 		if err != nil {
 			return result{}, err
 		}
-		defer shutdown()
-		switchAddr = addr
+		defer tp.Close()
 	}
 
 	// One stripe per client socket for egress frame/batch counters; the
@@ -214,12 +192,20 @@ func runLoad(cfg loadConfig, report time.Duration) (result, error) {
 		}
 	}()
 	for i := 0; i < cfg.clients; i++ {
-		c, err := transport.NewClientConfig(transport.ClientConfig{
-			Switch:        switchAddr,
+		ccfg := transport.ClientConfig{
 			MaxBatch:      cfg.batch,
 			FlushInterval: cfg.flush,
 			Obs:           reg.Stripe(1 + i),
-		})
+		}
+		var c *transport.Client
+		var err error
+		if tp != nil {
+			c, err = tp.NewClient(ccfg)
+		} else {
+			// External rack: -switch lists the chain members head first.
+			ccfg.Switches = strings.Split(cfg.switchAddr, ",")
+			c, err = transport.NewClientConfig(ccfg)
+		}
 		if err != nil {
 			return result{}, fmt.Errorf("client %d: %w", i, err)
 		}
@@ -475,4 +461,240 @@ func runCompare(cfg loadConfig, path string, quick bool) error {
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: wrote %s (batched %.2fx unbatched)\n", path, rep.SpeedupBatched)
 	return nil
+}
+
+// failoverReport is the BENCH_failover.json document: the same closed-loop
+// workload on an unreplicated switch (baseline) and on a 3-member chain
+// whose head is killed mid-run.
+type failoverReport struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_maxprocs"`
+
+	DurationS float64 `json:"duration_s"`
+	Workers   int     `json:"workers"`
+	Locks     int     `json:"locks"`
+	Mode      string  `json:"mode"`
+
+	Baseline result         `json:"baseline_single_switch"`
+	Chain3   failoverResult `json:"failover_chain3"`
+
+	// ChainOverhead is chain-3 steady-state (pre-kill) MRPS over the
+	// single-switch baseline — the replication tax.
+	ChainOverhead float64 `json:"chain3_pre_kill_over_baseline"`
+}
+
+// failoverResult is one chain run with a mid-run head kill, sampled in
+// fixed buckets so the dip and recovery are visible.
+type failoverResult struct {
+	result
+	KillAtS      float64 `json:"kill_at_s"`
+	BucketMs     float64 `json:"bucket_ms"`
+	PreKillMRPS  float64 `json:"pre_kill_mrps"`
+	PostKillMRPS float64 `json:"post_kill_mrps"`
+	// DipFrac is the worst post-kill bucket over the pre-kill mean (0 = a
+	// full stall, 1 = no visible dip).
+	DipFrac float64 `json:"throughput_dip_frac"`
+	// RecoveryMs is the time from the kill until the first bucket back at
+	// >= 80% of the pre-kill mean; -1 if the run never recovered.
+	RecoveryMs float64 `json:"recovery_ms"`
+	EpochAfter uint64  `json:"epoch_after"`
+}
+
+// runFailover measures the baseline and the head-kill chain run on fresh
+// self-hosted racks and writes the comparison as JSON.
+func runFailover(cfg loadConfig, path string, quick bool) error {
+	cfg.switchAddr = "" // failover is a self-hosted controller experiment
+	cfg.rate = 0
+	cfg.duration = 10 * time.Second
+	if quick {
+		cfg.duration = 4 * time.Second
+	}
+
+	rep := failoverReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		DurationS:  cfg.duration.Seconds(),
+		Workers:    cfg.workers,
+		Locks:      cfg.locks,
+		Mode:       cfg.mode,
+	}
+
+	base := cfg
+	base.chain = 1
+	fmt.Fprintf(os.Stderr, "loadgen: measuring single-switch baseline (%v)...\n", base.duration)
+	baseline, err := runLoad(base, 0)
+	if err != nil {
+		return fmt.Errorf("baseline leg: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: baseline: %s\n", baseline)
+	rep.Baseline = baseline
+
+	fo := cfg
+	fo.chain = 3
+	fmt.Fprintf(os.Stderr, "loadgen: measuring 3-chain with head kill at %v...\n", fo.duration/2)
+	foRes, err := runFailoverLeg(fo)
+	if err != nil {
+		return fmt.Errorf("failover leg: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: chain3: %s kill@%.1fs dip=%.2f recovery=%.0fms\n",
+		foRes.result, foRes.KillAtS, foRes.DipFrac, foRes.RecoveryMs)
+	rep.Chain3 = foRes
+	if baseline.MRPS > 0 {
+		rep.ChainOverhead = foRes.PreKillMRPS / baseline.MRPS
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", path)
+	return nil
+}
+
+// runFailoverLeg runs the closed-loop workload on a cfg.chain rack, kills
+// the chain head at the halfway mark, and reports per-bucket throughput
+// around the kill.
+func runFailoverLeg(cfg loadConfig) (failoverResult, error) {
+	tp, err := selfHost(cfg)
+	if err != nil {
+		return failoverResult{}, err
+	}
+	defer tp.Close()
+
+	reg := obs.New(obs.Config{Stripes: 1 + cfg.clients})
+	o := reg.Stripe(0)
+	var clients []*transport.Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < cfg.clients; i++ {
+		c, err := tp.NewClient(transport.ClientConfig{
+			MaxBatch:      cfg.batch,
+			FlushInterval: cfg.flush,
+			RetryInterval: 20 * time.Millisecond,
+			Obs:           reg.Stripe(1 + i),
+		})
+		if err != nil {
+			return failoverResult{}, fmt.Errorf("client %d: %w", i, err)
+		}
+		clients = append(clients, c)
+	}
+
+	var done, errs atomic.Uint64
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+
+	// Sample completed ops in fixed buckets so the kill's dip is visible.
+	const bucket = 50 * time.Millisecond
+	var buckets []uint64
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		t := time.NewTicker(bucket)
+		defer t.Stop()
+		last := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				cur := done.Load()
+				buckets = append(buckets, cur-last)
+				last = cur
+			}
+		}
+	}()
+
+	killAt := cfg.duration / 2
+	killBucket := int(killAt / bucket)
+	killErr := make(chan error, 1)
+	timer := time.AfterFunc(killAt, func() { killErr <- tp.Controller().FailHead() })
+	defer timer.Stop()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci, c := range clients {
+		for w := 0; w < cfg.workers; w++ {
+			wg.Add(1)
+			go func(c *transport.Client, seed int64) {
+				defer wg.Done()
+				closedLoop(ctx, c, cfg, o, &done, &errs, seed)
+			}(c, int64(ci*cfg.workers+w))
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	sampler.Wait()
+	if err := <-killErr; err != nil {
+		return failoverResult{}, fmt.Errorf("kill head: %w", err)
+	}
+
+	sn := reg.Snapshot()
+	e2e := sn.Stage(obs.StageAcquireE2E)
+	batchHist := sn.Stage(obs.StageEgressBatch)
+	res := failoverResult{
+		result: result{
+			Ops:       done.Load(),
+			Errors:    errs.Load(),
+			Seconds:   elapsed,
+			MRPS:      float64(done.Load()) / elapsed / 1e6,
+			P50Us:     float64(e2e.Percentile(0.50)) / 1e3,
+			P99Us:     float64(e2e.Percentile(0.99)) / 1e3,
+			FramesOut: sn.Counter(obs.CtrFramesOut),
+			AvgBatch:  batchHist.Mean(),
+		},
+		KillAtS:    killAt.Seconds(),
+		BucketMs:   bucket.Seconds() * 1e3,
+		EpochAfter: tp.Controller().Epoch(),
+		RecoveryMs: -1,
+	}
+	if res.Ops == 0 {
+		return res, fmt.Errorf("no operations completed (%d errors)", res.Errors)
+	}
+	if killBucket < 1 || killBucket >= len(buckets) {
+		return res, fmt.Errorf("run too short for kill at bucket %d of %d", killBucket, len(buckets))
+	}
+	// Skip the first bucket (warmup) for the pre-kill mean.
+	pre := buckets[1:killBucket]
+	var preSum uint64
+	for _, b := range pre {
+		preSum += b
+	}
+	preMean := float64(preSum) / float64(len(pre))
+	res.PreKillMRPS = preMean / bucket.Seconds() / 1e6
+
+	post := buckets[killBucket:]
+	minPost := post[0]
+	var postSum uint64
+	for i, b := range post {
+		postSum += b
+		if b < minPost {
+			minPost = b
+		}
+		if res.RecoveryMs < 0 && preMean > 0 && float64(b) >= 0.8*preMean {
+			res.RecoveryMs = float64(i+1) * bucket.Seconds() * 1e3
+		}
+	}
+	res.PostKillMRPS = float64(postSum) / float64(len(post)) / bucket.Seconds() / 1e6
+	if preMean > 0 {
+		res.DipFrac = float64(minPost) / preMean
+	}
+	return res, nil
 }

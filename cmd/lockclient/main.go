@@ -3,6 +3,11 @@
 //
 //	lockclient -switch 127.0.0.1:9000 -locks 1024 -mode exclusive \
 //	           -concurrency 32 -duration 5s
+//
+// Against a replicated rack, list every chain member head first and the
+// client re-targets on epoch announcements when the head fails:
+//
+//	lockclient -switch 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,7 +27,7 @@ import (
 )
 
 func main() {
-	swAddr := flag.String("switch", "127.0.0.1:9000", "switch UDP address")
+	swAddr := flag.String("switch", "127.0.0.1:9000", "switch UDP address(es), comma-separated chain members head first")
 	locks := flag.Uint("locks", 1024, "lock ID space (1..N)")
 	modeStr := flag.String("mode", "exclusive", "lock mode: shared|exclusive")
 	concurrency := flag.Int("concurrency", 32, "concurrent workers")
@@ -44,11 +50,19 @@ func main() {
 	var lat stats.Histogram
 	stop := time.Now().Add(*duration)
 
+	var announced atomic.Uint64
 	for w := 0; w < *concurrency; w++ {
 		c, err := transport.NewClientConfig(transport.ClientConfig{
-			Switch:        *swAddr,
+			Switches:      strings.Split(*swAddr, ","),
 			MaxBatch:      *batch,
 			FlushInterval: *flush,
+			OnFailover: func(epoch uint64, head string) {
+				// Every worker's client sees the announcement; log each
+				// epoch once.
+				if old := announced.Load(); epoch > old && announced.CompareAndSwap(old, epoch) {
+					log.Printf("lockclient: chain epoch %d, head now %s", epoch, head)
+				}
+			},
 		})
 		if err != nil {
 			log.Fatalf("client: %v", err)

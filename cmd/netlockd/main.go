@@ -1,11 +1,12 @@
-// Command netlockd runs a NetLock rack over real UDP sockets: one switch
-// node and N lock-server nodes, optionally with a set of locks preinstalled
-// in the switch data plane.
+// Command netlockd runs a NetLock rack over real UDP sockets: a switch
+// chain of -chain members and N lock-server nodes, optionally with a set
+// of locks preinstalled in the switch data plane.
 //
-//	netlockd -listen 127.0.0.1:9000 -servers 2 -preinstall 1024 -slots-per-lock 16
+//	netlockd -listen 127.0.0.1:9000 -chain 3 -servers 2 -preinstall 1024 -slots-per-lock 16
 //
-// The switch address is printed on startup; point cmd/lockclient (or any
-// internal/transport.Client) at it.
+// Every chain member's address is printed on startup (head first); point
+// cmd/lockclient (or any internal/transport.Client) at the full list so
+// clients survive head failure.
 //
 // Unless -metrics is empty, an HTTP endpoint serves the rack's
 // observability surface:
@@ -33,14 +34,15 @@ import (
 	"syscall"
 	"time"
 
+	"netlock/internal/ctrlplane"
 	"netlock/internal/lockserver"
 	"netlock/internal/obs"
 	"netlock/internal/switchdp"
-	"netlock/internal/transport"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:0", "switch UDP listen address")
+	listen := flag.String("listen", "127.0.0.1:0", "head switch UDP listen address (other nodes take ephemeral ports)")
+	chain := flag.Int("chain", 1, "switch replication chain length (1-3)")
 	servers := flag.Int("servers", 2, "number of lock servers (in-process)")
 	slots := flag.Int("slots", 100_000, "switch shared-queue slots")
 	maxLocks := flag.Int("max-locks", 8192, "switch lock-table capacity")
@@ -52,30 +54,15 @@ func main() {
 	metrics := flag.String("metrics", "127.0.0.1:0", "metrics/pprof HTTP listen address (empty disables)")
 	flag.Parse()
 
-	// One obs stripe for the switch plus one per lock server: each node
-	// writes its own stripe lock-free; scrapes merge them into a snapshot.
-	reg := obs.New(obs.Config{Stripes: 1 + *servers})
+	// Two obs stripes: the head switch writes stripe 0 (the chain applies
+	// every op once per member; counting member 0 keeps obs equal to what
+	// one switch sees) and all lock servers share the atomic stripe 1;
+	// scrapes merge them into one snapshot.
+	reg := obs.New(obs.Config{Stripes: 2})
 
-	var srvs []*transport.Server
-	var addrs []string
-	for i := 0; i < *servers; i++ {
-		srv, err := transport.NewServer(transport.ServerConfig{
-			Listen: "127.0.0.1:0",
-			Config: lockserver.Config{
-				Priorities:     *priorities,
-				DefaultLeaseNs: int64(*lease),
-				Obs:            reg.Stripe(1 + i),
-			},
-		})
-		if err != nil {
-			log.Fatalf("start lock server %d: %v", i, err)
-		}
-		defer srv.Close()
-		srvs = append(srvs, srv)
-		addrs = append(addrs, srv.Addr())
-	}
-	sw, err := transport.NewSwitch(transport.SwitchConfig{
-		Listen: *listen,
+	tp, err := ctrlplane.New(ctrlplane.Config{
+		Switches: *chain,
+		Servers:  *servers,
 		DataPlane: switchdp.Config{
 			MaxLocks:       *maxLocks,
 			TotalSlots:     *slots,
@@ -83,46 +70,56 @@ func main() {
 			DefaultLeaseNs: int64(*lease),
 			Obs:            reg.Stripe(0),
 		},
-		Servers:     addrs,
+		Server: lockserver.Config{
+			Priorities:     *priorities,
+			DefaultLeaseNs: int64(*lease),
+			Obs:            reg.Stripe(1),
+		},
+		HeadListen:  *listen,
 		EgressFlush: *egressFlush,
 	})
 	if err != nil {
-		log.Fatalf("start switch: %v", err)
+		log.Fatalf("start rack: %v", err)
 	}
-	defer sw.Close()
-	for _, srv := range srvs {
-		if err := srv.SetSwitchAddr(sw.Addr()); err != nil {
-			log.Fatal(err)
-		}
-	}
+	defer tp.Close()
 
-	// Control-plane placement of the preinstalled locks: install in the
-	// switch and release ownership at the partition servers.
+	// Control-plane placement of the preinstalled locks: install chain-wide
+	// and release ownership at the partition servers, one contiguous slot
+	// region per priority bank.
+	ctrl := tp.Controller()
 	installed := 0
+	off := uint64(0)
 	for id := uint32(1); id <= uint32(*preinstall); id++ {
-		var err error
-		sw.WithDataPlane(func(dp *switchdp.Switch) {
-			err = dp.CtrlInstallLock(id, uniformRegions(*priorities, id, *slotsPerLock))
-		})
-		if err != nil {
+		regions := make([]switchdp.Region, *priorities)
+		for b := range regions {
+			regions[b] = switchdp.Region{Left: off, Right: off + *slotsPerLock}
+			off += *slotsPerLock
+		}
+		if err := ctrl.InstallLock(id, regions); err != nil {
 			log.Printf("preinstall stopped at lock %d: %v", id, err)
 			break
 		}
-		srvs[lockserver.RSSCore(id, len(srvs))].LockServer().CtrlReleaseOwnership(id)
 		installed++
 	}
 
 	if *metrics != "" {
-		maddr, err := serveMetrics(*metrics, reg, sw)
+		maddr, err := serveMetrics(*metrics, reg, tp)
 		if err != nil {
 			log.Fatalf("metrics endpoint: %v", err)
 		}
 		fmt.Printf("netlockd: metrics on http://%s/metrics\n", maddr)
 	}
 
-	fmt.Printf("netlockd: switch on %s\n", sw.Addr())
-	for i, a := range addrs {
-		fmt.Printf("netlockd: lock server %d on %s\n", i, a)
+	// "netlockd: switch on <addr>" is the parseable announcement contract
+	// (smoke test, scripts): the head is the client-facing address in
+	// every chain size, replicas are informational extras.
+	addrs := ctrl.Addrs()
+	fmt.Printf("netlockd: switch on %s\n", addrs[0])
+	for i, a := range addrs[1:] {
+		fmt.Printf("netlockd: chain member %d on %s\n", i+1, a)
+	}
+	for i, srv := range tp.Servers() {
+		fmt.Printf("netlockd: lock server %d on %s\n", i, srv.Addr())
 	}
 	fmt.Printf("netlockd: %d locks preinstalled (%d slots each), %d total slots, lease %v\n",
 		installed, *slotsPerLock, *slots, *lease)
@@ -136,17 +133,17 @@ func main() {
 // serveMetrics starts the observability HTTP listener and returns its bound
 // address. The default mux already carries /debug/pprof (net/http/pprof) and
 // /debug/vars (expvar); /metrics renders a merged snapshot of every node's
-// stripe plus the switch occupancy gauges as Prometheus text.
-func serveMetrics(addr string, reg *obs.Registry, sw *transport.Switch) (string, error) {
+// stripe plus the current head switch's occupancy gauges as Prometheus text.
+func serveMetrics(addr string, reg *obs.Registry, tp *ctrlplane.Topology) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	expvar.Publish("netlock", expvar.Func(func() any {
-		return snapshotRack(reg, sw).String()
+		return snapshotRack(reg, tp).String()
 	}))
 	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		sn := snapshotRack(reg, sw)
+		sn := snapshotRack(reg, tp)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := sn.WriteProm(w); err != nil {
 			log.Printf("metrics: write: %v", err)
@@ -157,23 +154,16 @@ func serveMetrics(addr string, reg *obs.Registry, sw *transport.Switch) (string,
 }
 
 // snapshotRack merges the counter/histogram stripes and attaches the
-// switch's occupancy gauges.
-func snapshotRack(reg *obs.Registry, sw *transport.Switch) *obs.Snapshot {
+// current chain head's occupancy gauges (every member applies the same op
+// stream, so any member's occupancy is the rack's).
+func snapshotRack(reg *obs.Registry, tp *ctrlplane.Topology) *obs.Snapshot {
 	sn := reg.Snapshot()
-	s := sw.Snapshot()
+	s := tp.Head().Snapshot()
 	sn.AddGauge("switch_slots_in_use", "Occupied switch shared-queue slots.", float64(s.SlotsInUse))
 	sn.AddGauge("switch_resident_locks", "Locks resident in the switch data plane.", float64(s.ResidentLocks))
 	sn.AddGauge("switch_free_entries", "Free switch lock-table entries.", float64(s.FreeEntries))
 	sn.AddGauge("switch_pending_acquires", "Acquires whose grant has not yet reached a client.", float64(s.PendingAcquires))
+	sn.AddGauge("chain_epoch", "Current chain configuration epoch.", float64(tp.Controller().Epoch()))
+	sn.AddGauge("chain_members", "Live switch chain members.", float64(len(tp.Switches())))
 	return sn
-}
-
-// uniformRegions assigns lock id a contiguous region of n slots per bank.
-func uniformRegions(banks int, id uint32, n uint64) []switchdp.Region {
-	rs := make([]switchdp.Region, banks)
-	left := uint64(id-1) * n
-	for b := range rs {
-		rs[b] = switchdp.Region{Left: left, Right: left + n}
-	}
-	return rs
 }

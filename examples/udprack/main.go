@@ -1,8 +1,9 @@
-// UDP rack: a NetLock switch and two lock servers on loopback sockets,
-// driven by concurrent clients — the deployment shape of the paper's
-// prototype (§5), in miniature.
+// UDP rack: a NetLock switch chain and two lock servers on loopback
+// sockets, driven by concurrent clients — the deployment shape of the
+// paper's prototype (§5), in miniature, built through the ctrlplane
+// Topology API.
 //
-// The control plane (this program) installs a hot lock in the switch and
+// The control plane (ctrlplane.New) installs a hot lock in the switch and
 // leaves the rest to the servers; clients observe identical semantics on
 // both paths.
 package main
@@ -16,56 +17,35 @@ import (
 	"time"
 
 	"netlock"
-	"netlock/internal/lockserver"
+	"netlock/internal/ctrlplane"
 	"netlock/internal/switchdp"
 	"netlock/internal/transport"
 )
 
 func main() {
-	// Two lock servers.
-	var servers []*transport.Server
-	var addrs []string
-	for i := 0; i < 2; i++ {
-		srv, err := transport.NewServer(transport.ServerConfig{Listen: "127.0.0.1:0"})
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer srv.Close()
-		servers = append(servers, srv)
-		addrs = append(addrs, srv.Addr())
-	}
-	// The ToR lock switch, with leases for crash recovery.
-	sw, err := transport.NewSwitch(transport.SwitchConfig{
-		Listen: "127.0.0.1:0",
+	// Two lock servers behind one ToR lock switch, with leases for crash
+	// recovery; lock 1 is hot — SwitchLocks installs it in the data plane
+	// (and releases ownership at its partition server, the §4.3 move).
+	tp, err := ctrlplane.New(ctrlplane.Config{
+		Switches: 1,
+		Servers:  2,
 		DataPlane: switchdp.Config{
 			MaxLocks:       1024,
 			TotalSlots:     10_000,
 			Priorities:     1,
 			DefaultLeaseNs: int64(500 * time.Millisecond),
 		},
-		Servers: addrs,
+		SwitchLocks: []ctrlplane.SwitchLock{{ID: 1, Slots: 64}},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sw.Close()
-	for _, srv := range servers {
-		srv.SetSwitchAddr(sw.Addr())
+	defer tp.Close()
+	var srvAddrs []string
+	for _, srv := range tp.Servers() {
+		srvAddrs = append(srvAddrs, srv.Addr())
 	}
-	fmt.Printf("switch on %s, lock servers on %v\n", sw.Addr(), addrs)
-
-	// Control plane: lock 1 is hot — install it in the switch (and release
-	// ownership at its partition server, the §4.3 move).
-	sw.WithDataPlane(func(dp *switchdp.Switch) {
-		err = dp.CtrlInstallLock(1, []switchdp.Region{{Left: 0, Right: 64}})
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	home := servers[lockserver.RSSCore(1, len(servers))]
-	if err := home.LockServer().CtrlReleaseOwnership(1); err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("switch on %s, lock servers on %v\n", tp.Head().Addr(), srvAddrs)
 
 	// Clients hammer the hot lock (switch path) and a cold lock (server
 	// path) concurrently. Each acquire carries a per-call deadline through
@@ -74,11 +54,10 @@ func main() {
 	var hot, cold atomic.Int64
 	deadline := time.Now().Add(time.Second)
 	for w := 0; w < 4; w++ {
-		c, err := transport.NewClient(sw.Addr())
+		c, err := tp.NewClient(transport.ClientConfig{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer c.Close()
 		wg.Add(1)
 		go func(c *transport.Client, w int) {
 			defer wg.Done()
@@ -104,7 +83,7 @@ func main() {
 	}
 	wg.Wait()
 
-	snap := sw.Snapshot()
+	snap := tp.Head().Snapshot()
 	st := snap.Stats
 	fmt.Printf("hot lock (switch path): %d acquisitions, %d switch grants\n",
 		hot.Load(), st.GrantsImmediate+st.GrantsQueued)

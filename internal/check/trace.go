@@ -1,6 +1,9 @@
 package check
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // EventKind classifies one trace event. Acquire/Release are requests sent
 // to the system under test; Grant/Reject are its observed actions.
@@ -324,4 +327,24 @@ func (c *Checker) Quiesce() *Violation {
 // assert the run was not vacuous.
 func (c *Checker) Stats() (grants, rejects, releases int) {
 	return c.grants, c.rejects, c.releases
+}
+
+// Holders returns the transactions currently holding each lock according
+// to the trace, sorted per lock. Failover drivers snapshot it around a
+// fault to assert granted locks survive the reconfiguration, and at the
+// end of a run to assert every grant was handed back.
+func (c *Checker) Holders() map[uint32][]uint64 {
+	out := make(map[uint32][]uint64)
+	for id, lo := range c.locks {
+		if len(lo.granted) == 0 {
+			continue
+		}
+		txns := make([]uint64, 0, len(lo.granted))
+		for txn := range lo.granted {
+			txns = append(txns, txn)
+		}
+		sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+		out[id] = txns
+	}
+	return out
 }

@@ -1,0 +1,103 @@
+package ctrlplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"netlock"
+	"netlock/internal/transport"
+)
+
+// TestHeadKillStress hammers the head-kill window: many short racks, each
+// with contended switch-resident and server-path traffic, killing the head
+// twice per rack while acquires and releases are in flight. Any acquire
+// that fails to complete within the per-rack deadline is a stuck-op bug,
+// not contention — each rack nominally drains in well under a second.
+func TestHeadKillStress(t *testing.T) {
+	racks := 40
+	if testing.Short() {
+		racks = 8
+	}
+	for r := 0; r < racks; r++ {
+		r := r
+		t.Run(fmt.Sprintf("rack%02d", r), func(t *testing.T) {
+			tp, err := New(Config{
+				Switches:  3,
+				Servers:   2,
+				DataPlane: dpConfig(),
+				Chaos:     &transport.ChaosConfig{Seed: int64(r + 1), Drop: 0.05, Dup: 0.05, Delay: 0.20},
+				SwitchLocks: []SwitchLock{
+					{ID: 1, Slots: 8}, {ID: 2, Slots: 8},
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tp.Close()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+
+			const workers = 4
+			const txns = 12
+			var wg sync.WaitGroup
+			errs := make([]error, workers)
+			for w := 0; w < workers; w++ {
+				c, err := tp.NewClient(transport.ClientConfig{RetryInterval: 15 * time.Millisecond})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(w int, c *transport.Client) {
+					defer wg.Done()
+					for i := 0; i < txns; i++ {
+						// Alternate hot switch-resident lock and a
+						// server-path lock; hold both briefly.
+						hot := uint32(1 + (i % 2))
+						cold := uint32(100 + w)
+						g1, err := c.Acquire(ctx, hot, netlock.Exclusive)
+						if err != nil {
+							errs[w] = fmt.Errorf("txn %d hot lock %d: %w", i, hot, err)
+							return
+						}
+						g2, err := c.Acquire(ctx, cold, netlock.Exclusive)
+						if err != nil {
+							g1.Release()
+							errs[w] = fmt.Errorf("txn %d cold lock %d: %w", i, cold, err)
+							return
+						}
+						time.Sleep(200 * time.Microsecond)
+						g2.Release()
+						g1.Release()
+					}
+				}(w, c)
+			}
+
+			// Two head kills while the workers churn.
+			killed := make(chan error, 2)
+			go func() {
+				time.Sleep(3 * time.Millisecond)
+				killed <- tp.Controller().FailHead()
+				time.Sleep(5 * time.Millisecond)
+				killed <- tp.Controller().FailHead()
+			}()
+			wg.Wait()
+			for i := 0; i < 2; i++ {
+				if err := <-killed; err != nil {
+					t.Fatalf("kill %d: %v", i, err)
+				}
+			}
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", w, err)
+				}
+			}
+			if got := tp.Controller().Epoch(); got != 3 {
+				t.Fatalf("epoch %d, want 3", got)
+			}
+		})
+	}
+}

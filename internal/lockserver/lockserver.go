@@ -161,6 +161,17 @@ type Stats struct {
 	// ForwardedToSwitch counts requests that arrived for locks this server
 	// no longer owns (in flight across a migration) and were sent back.
 	ForwardedToSwitch uint64
+	// DupAcquires counts acquires whose txn ID was already queued or
+	// granted for the same lock: retransmits (or chain-replication
+	// re-forwards across an epoch change) answered without enqueuing a
+	// ghost entry. The release protocol dequeues a queue head per release,
+	// so a duplicate entry would desynchronize grants from releases.
+	DupAcquires uint64
+	// DupReleases counts txn-stamped releases that matched no granted
+	// entry: retransmits (or chain re-forwards) of a release that was
+	// already applied. The switch re-forwards a release for as long as
+	// its dedup entry is alive, so duplicates are expected no-ops.
+	DupReleases uint64
 }
 
 // New creates a lock server.
@@ -239,6 +250,48 @@ func (s *Server) ProcessPacket(h *wire.Header) []Emit {
 	return s.emits
 }
 
+// findTxn scans the lock's queues and overflow buffer for an entry carrying
+// txn and reports whether it exists and whether it is currently granted.
+func (lo *lockObj) findTxn(txn uint64) (found, granted bool) {
+	if txn == wire.TxnNone {
+		return false, false
+	}
+	for b := range lo.queues {
+		for i := range lo.queues[b] {
+			if lo.queues[b][i].hdr.TxnID == txn {
+				return true, lo.queues[b][i].granted
+			}
+		}
+		for i := range lo.q2[b] {
+			if lo.q2[b][i].hdr.TxnID == txn {
+				return true, false
+			}
+		}
+	}
+	return false, false
+}
+
+// dedup answers a duplicate acquire: a granted duplicate re-emits the grant
+// (the original may have been lost with a failed chain tail); a waiting
+// duplicate is dropped. Returns true when h was a duplicate.
+func (s *Server) dedup(lo *lockObj, h *wire.Header) bool {
+	found, granted := lo.findTxn(h.TxnID)
+	if !found {
+		return false
+	}
+	s.stats.DupAcquires++
+	if granted {
+		lease := h.LeaseNs
+		if lease == 0 && s.cfg.DefaultLeaseNs != 0 {
+			lease = s.cfg.Now() + s.cfg.DefaultLeaseNs
+		} else if lease != 0 {
+			lease = s.cfg.Now() + lease
+		}
+		s.emitGrant(*h, lease)
+	}
+	return true
+}
+
 // acquire processes a request for a server-owned lock. Requests for locks
 // that moved to the switch while this packet was in flight are forwarded
 // back to the switch; exactly one party owns a lock at any instant, so the
@@ -249,6 +302,9 @@ func (s *Server) acquire(h *wire.Header) {
 	if !lo.owned {
 		s.stats.ForwardedToSwitch++
 		s.emit(ActPush, *h)
+		return
+	}
+	if s.dedup(lo, h) {
 		return
 	}
 	if lo.moving {
@@ -330,8 +386,12 @@ func (s *Server) emitGrant(h wire.Header, lease int64) {
 	s.emit(ActGrant, h)
 }
 
-// release processes a release for a server-owned lock: dequeue the head of
-// the request's priority queue and grant followers, mirroring Algorithm 2.
+// release processes a release for a server-owned lock: dequeue the
+// releasing entry from the request's priority queue and grant followers,
+// mirroring Algorithm 2. Txn-stamped releases match their own entry, so a
+// retransmitted (or chain re-forwarded) release is a counted no-op rather
+// than dequeuing a different holder; TxnNone releases keep the paper's
+// blind head-dequeue.
 func (s *Server) release(h *wire.Header) {
 	s.stats.Releases++
 	lo, ok := s.locks[h.LockID]
@@ -347,10 +407,29 @@ func (s *Server) release(h *wire.Header) {
 	b := s.bankFor(h.Priority)
 	q := lo.queues[b]
 	if len(q) == 0 {
+		if h.TxnID != wire.TxnNone {
+			s.stats.DupReleases++
+		}
 		return
 	}
-	released := q[0]
-	lo.queues[b] = q[1:]
+	// Grants form a FIFO prefix of each queue, so a matched granted entry
+	// is always within the prefix and removing it preserves the ordering.
+	i := 0
+	if h.TxnID != wire.TxnNone {
+		i = -1
+		for j := range q {
+			if q[j].hdr.TxnID == h.TxnID {
+				i = j
+				break
+			}
+		}
+		if i < 0 || !q[i].granted {
+			s.stats.DupReleases++
+			return
+		}
+	}
+	released := q[i]
+	lo.queues[b] = append(q[:i], q[i+1:]...)
 	if released.hdr.Mode == wire.Exclusive {
 		lo.excl[b]--
 	}
@@ -434,6 +513,12 @@ func (s *Server) bufferOverflow(h *wire.Header) {
 		cp := *h
 		cp.Flags &^= wire.FlagOverflow | wire.FlagBounced
 		s.acquire(&cp)
+		return
+	}
+	if found, _ := lo.findTxn(h.TxnID); found {
+		// Already buffered (or queued): a retransmitted overflow mark must
+		// not create a second q2 entry for the same request.
+		s.stats.DupAcquires++
 		return
 	}
 	if !lo.buffering[b] && h.Flags&wire.FlagBounced == 0 {

@@ -386,13 +386,43 @@ func TestActionString(t *testing.T) {
 	}
 }
 
+func TestDuplicateAcquireDedup(t *testing.T) {
+	s := New(Config{Priorities: 1})
+	// Granted holder: a duplicate acquire re-emits the grant instead of
+	// enqueuing a ghost entry (a release dequeues one head per call, so a
+	// ghost would desynchronize grants from releases).
+	wantActions(t, do(t, s, req(wire.OpAcquire, 1, 10, wire.Exclusive)), ActGrant)
+	wantActions(t, do(t, s, req(wire.OpAcquire, 1, 10, wire.Exclusive)), ActGrant)
+	// Waiting entry: a duplicate is dropped silently.
+	wantActions(t, do(t, s, req(wire.OpAcquire, 1, 11, wire.Exclusive)))
+	wantActions(t, do(t, s, req(wire.OpAcquire, 1, 11, wire.Exclusive)))
+	if got := s.Stats().DupAcquires; got != 2 {
+		t.Fatalf("DupAcquires = %d, want 2", got)
+	}
+	// Exactly one release per real request drains the lock completely.
+	wantActions(t, do(t, s, req(wire.OpRelease, 1, 10, wire.Exclusive)), ActGrant)
+	wantActions(t, do(t, s, req(wire.OpRelease, 1, 11, wire.Exclusive)))
+	if h, _ := s.CtrlQueueDepth(1); h != 0 {
+		t.Fatalf("queue should be empty after paired releases: %d", h)
+	}
+	// Overflow path: a retransmitted marked request must not double-buffer.
+	s.CtrlReleaseOwnership(7)
+	m := req(wire.OpAcquire, 7, 20, wire.Exclusive)
+	m.Flags = wire.FlagOverflow | wire.FlagBounced
+	do(t, s, m)
+	do(t, s, m)
+	if _, buf := s.CtrlQueueDepth(7); buf != 1 {
+		t.Fatalf("duplicate overflow mark buffered twice: %d", buf)
+	}
+}
+
 func TestPriorityBufferingSeparateBanks(t *testing.T) {
 	// q2 is per (lock, priority): overflow at one priority must not mix
 	// with another's buffer.
 	s := New(Config{Priorities: 2})
 	s.CtrlReleaseOwnership(7)
-	for _, prio := range []uint8{0, 1, 1} {
-		m := req(wire.OpAcquire, 7, uint64(prio)+1, wire.Exclusive)
+	for i, prio := range []uint8{0, 1, 1} {
+		m := req(wire.OpAcquire, 7, uint64(i)+1, wire.Exclusive)
 		m.Flags = wire.FlagOverflow | wire.FlagBounced
 		m.Priority = prio
 		do(t, s, m)

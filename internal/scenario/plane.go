@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"netlock"
+	"netlock/internal/ctrlplane"
 	"netlock/internal/lockserver"
 	"netlock/internal/obs"
 	"netlock/internal/switchdp"
@@ -55,6 +56,16 @@ type TenantQuota struct {
 	Burst  float64
 }
 
+// FaultInjector is the optional capability of planes that can kill rack
+// nodes mid-run: FailHead removes the current chain-head switch (udp
+// plane, Switches >= 2) or drops all data-plane state (embedded plane);
+// FailServer fails lock server i (the embedded plane reassigns its locks
+// to server i+1).
+type FaultInjector interface {
+	FailHead() error
+	FailServer(i int) error
+}
+
 // PlaneConfig wires a Plane for one scenario run.
 type PlaneConfig struct {
 	Kind    string // "embedded" or "udp"
@@ -65,10 +76,12 @@ type PlaneConfig struct {
 	// Embedded configures the in-process Manager (Kind "embedded").
 	Embedded netlock.Config
 
-	// DP, Servers and Server configure the rack (Kind "udp").
-	DP      switchdp.Config
-	Servers int
-	Server  lockserver.Config
+	// DP, Servers and Server configure the rack (Kind "udp"). Switches
+	// sets the replication chain length (default 1, unreplicated).
+	DP       switchdp.Config
+	Servers  int
+	Switches int
+	Server   lockserver.Config
 
 	SwitchLocks []SwitchLock
 	Quotas      []TenantQuota
@@ -86,7 +99,8 @@ func NewPlane(cfg PlaneConfig) (Plane, error) {
 }
 
 type embeddedPlane struct {
-	m *netlock.Manager
+	m       *netlock.Manager
+	servers int
 }
 
 func newEmbeddedPlane(cfg PlaneConfig) (*embeddedPlane, error) {
@@ -100,7 +114,11 @@ func newEmbeddedPlane(cfg PlaneConfig) (*embeddedPlane, error) {
 			return nil, fmt.Errorf("scenario: preinstall lock %d: %w", sl.ID, err)
 		}
 	}
-	return &embeddedPlane{m: m}, nil
+	servers := cfg.Embedded.Servers
+	if servers == 0 {
+		servers = 2 // netlock.Config default
+	}
+	return &embeddedPlane{m: m, servers: servers}, nil
 }
 
 func (p *embeddedPlane) Name() string { return "embedded" }
@@ -121,6 +139,22 @@ func (p *embeddedPlane) PlacementTick(window time.Duration) (int, int) {
 
 func (p *embeddedPlane) Metrics() *obs.Snapshot { return p.m.Metrics() }
 
+// FailHead drops all switch data-plane state (the embedded Manager's ToR
+// has no replica chain; held locks are reclaimed by lease expiry).
+func (p *embeddedPlane) FailHead() error {
+	p.m.FailSwitch()
+	return nil
+}
+
+// FailServer reassigns server i's locks to the next server (§4.5).
+func (p *embeddedPlane) FailServer(i int) error {
+	if p.servers < 2 {
+		return fmt.Errorf("scenario: FailServer needs >= 2 servers")
+	}
+	p.m.FailServer(i%p.servers, (i+1)%p.servers)
+	return nil
+}
+
 // scenarioChaos is the edge profile scenarios run under: lighter than the
 // conformance sweep's (scenario runs are long), still enough to force
 // retransmits, dedup, and reordering on every run.
@@ -128,10 +162,11 @@ func scenarioChaos(seed int64) transport.ChaosConfig {
 	return transport.ChaosConfig{Seed: seed, Drop: 0.05, Dup: 0.05, Delay: 0.20}
 }
 
+// udpPlane is a rack built through ctrlplane.Topology: a switch chain of
+// cfg.Switches members over the chaos network, with per-worker clients
+// configured with every member's address.
 type udpPlane struct {
-	cn      *transport.ChaosNet
-	sw      *transport.Switch
-	servers []*transport.Server
+	tp      *ctrlplane.Topology
 	clients []*transport.Client
 }
 
@@ -140,65 +175,27 @@ func newUDPPlane(cfg PlaneConfig) (*udpPlane, error) {
 	if cfg.Chaos {
 		chaos = scenarioChaos(cfg.Seed)
 	}
-	cn := transport.NewChaosNet(chaos)
-	p := &udpPlane{cn: cn}
-	fail := func(err error) (*udpPlane, error) {
-		p.Close()
+	locks := make([]ctrlplane.SwitchLock, len(cfg.SwitchLocks))
+	for i, sl := range cfg.SwitchLocks {
+		locks[i] = ctrlplane.SwitchLock{ID: sl.ID, Slots: sl.Slots}
+	}
+	quotas := make([]ctrlplane.TenantQuota, len(cfg.Quotas))
+	for i, q := range cfg.Quotas {
+		quotas[i] = ctrlplane.TenantQuota{Tenant: q.Tenant, PerSec: q.PerSec, Burst: q.Burst}
+	}
+	tp, err := ctrlplane.New(ctrlplane.Config{
+		Switches:    cfg.Switches,
+		Servers:     cfg.Servers,
+		DataPlane:   cfg.DP,
+		Server:      cfg.Server,
+		Chaos:       &chaos,
+		SwitchLocks: locks,
+		Quotas:      quotas,
+	})
+	if err != nil {
 		return nil, err
 	}
-
-	nServers := cfg.Servers
-	if nServers == 0 {
-		nServers = 2
-	}
-	var addrs []string
-	for i := 0; i < nServers; i++ {
-		srv, err := transport.NewServer(transport.ServerConfig{Listen: "10.99.0.1:0", Config: cfg.Server, Net: cn})
-		if err != nil {
-			return fail(err)
-		}
-		p.servers = append(p.servers, srv)
-		addrs = append(addrs, srv.Addr())
-		if err := cn.MarkReliable(srv.Addr()); err != nil {
-			return fail(err)
-		}
-	}
-	sw, err := transport.NewSwitch(transport.SwitchConfig{Listen: "10.99.0.1:0", DataPlane: cfg.DP, Servers: addrs, Net: cn})
-	if err != nil {
-		return fail(err)
-	}
-	p.sw = sw
-	if err := cn.MarkReliable(sw.Addr()); err != nil {
-		return fail(err)
-	}
-	for _, srv := range p.servers {
-		if err := srv.SetSwitchAddr(sw.Addr()); err != nil {
-			return fail(err)
-		}
-	}
-
-	// One region per priority bank, SwitchLock.Slots slots each, laid out
-	// sequentially over the switch's slot arena.
-	banks := cfg.DP.Priorities
-	if banks < 1 {
-		banks = 1
-	}
-	off := 0
-	for _, sl := range cfg.SwitchLocks {
-		regions := make([]switchdp.Region, banks)
-		for b := range regions {
-			regions[b] = switchdp.Region{Left: uint64(off), Right: uint64(off + sl.Slots)}
-			off += sl.Slots
-		}
-		if err := transport.InstallSwitchLock(sw, p.servers, sl.ID, regions); err != nil {
-			return fail(fmt.Errorf("scenario: install lock %d: %w", sl.ID, err))
-		}
-	}
-	sw.WithDataPlane(func(dp *switchdp.Switch) {
-		for _, q := range cfg.Quotas {
-			dp.CtrlSetTenantQuota(q.Tenant, q.PerSec, q.Burst)
-		}
-	})
+	p := &udpPlane{tp: tp}
 
 	nClients := cfg.Workers
 	if nClients > 4 {
@@ -208,14 +205,13 @@ func newUDPPlane(cfg PlaneConfig) (*udpPlane, error) {
 		nClients = 1
 	}
 	for i := 0; i < nClients; i++ {
-		c, err := transport.NewClientConfig(transport.ClientConfig{
-			Switch:        sw.Addr(),
-			Net:           cn,
+		c, err := tp.NewClient(transport.ClientConfig{
 			RetryInterval: 15 * time.Millisecond,
 			FlushInterval: 200 * time.Microsecond,
 		})
 		if err != nil {
-			return fail(err)
+			p.Close()
+			return nil, err
 		}
 		p.clients = append(p.clients, c)
 	}
@@ -233,18 +229,13 @@ func (p *udpPlane) Acquire(ctx context.Context, worker int, lockID uint32, mode 
 	return g, nil
 }
 
-// Close tears the rack down: clients first (their abandon path
-// auto-releases raced-in grants), then the switch and servers, then the
-// chaos drain so no delayed delivery races the WaitGroup.
-func (p *udpPlane) Close() {
-	for _, c := range p.clients {
-		c.Close()
-	}
-	if p.sw != nil {
-		p.sw.Close()
-	}
-	for _, srv := range p.servers {
-		srv.Close()
-	}
-	p.cn.Wait()
-}
+// FailHead kills the current chain-head switch and reconfigures the
+// survivors under a new epoch.
+func (p *udpPlane) FailHead() error { return p.tp.Controller().FailHead() }
+
+// FailServer kills lock server i in place.
+func (p *udpPlane) FailServer(i int) error { return p.tp.FailServer(i) }
+
+// Close tears the rack down (clients, switches, servers, chaos drain —
+// Topology owns the ordering).
+func (p *udpPlane) Close() { p.tp.Close() }

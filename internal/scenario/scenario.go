@@ -100,6 +100,7 @@ func All() []Scenario {
 		{Name: "convoy", Run: runConvoy},
 		{Name: "readers", Run: runReaders},
 		{Name: "tenants", Run: runTenants},
+		{Name: "failover", Run: runFailoverScenario},
 	}
 }
 
@@ -221,6 +222,13 @@ func (r *recorder) stats() (grants, rejects, releases int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.ck.Stats()
+}
+
+// holders snapshots the trace's current lock holders (check.Holders).
+func (r *recorder) holders() map[uint32][]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ck.Holders()
 }
 
 func (r *recorder) tenantCount(t uint8) uint64 {

@@ -169,6 +169,27 @@ func (sw *Switch) CtrlSetTenantQuota(tenant uint8, perSec float64, burst float64
 	sw.meter.CtrlSetRate(int(tenant), perSec, burst)
 }
 
+// CtrlSetMeterBypass disables (on=true) or restores the in-dp per-tenant
+// quota check. Chain replication sets it on every chain member so that
+// quota decisions — which consult the wall clock and would diverge across
+// replicas — are made exactly once, by the head, via CtrlMeterAdmit before
+// an acquire is sequenced into the replicated op stream.
+func (sw *Switch) CtrlSetMeterBypass(on bool) { sw.meterBypass = on }
+
+// CtrlMeterAdmit runs the per-tenant quota check outside the data plane and
+// reports whether the request conforms. It consumes meter tokens; call it
+// exactly once per client acquire. Always true when Isolation is off.
+func (sw *Switch) CtrlMeterAdmit(tenant uint8) bool {
+	if !sw.cfg.Isolation {
+		return true
+	}
+	if sw.meter.Conforming(int(tenant), sw.cfg.Now()) {
+		return true
+	}
+	sw.stats.Rejects++
+	return false
+}
+
 // CtrlScanExpired implements the lease sweep (§4.5): the control plane polls
 // the head slot of every bank of every resident lock and, for granted
 // entries whose lease expired before now, synthesizes release packets to

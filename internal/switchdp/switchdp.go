@@ -149,6 +149,13 @@ type Switch struct {
 	emits []Emit
 	stats Stats
 
+	// meterBypass suppresses the in-dp quota check. Chain replication
+	// (internal/transport) sets it on every member: the meter consults the
+	// wall clock, so replicas metering independently would diverge; instead
+	// the chain head meters once at ingress via CtrlMeterAdmit and rejected
+	// requests are never sequenced into the replicated op stream.
+	meterBypass bool
+
 	// Per-packet program state, reused across packets so the hot path never
 	// allocates: the pipeline processes one packet at a time, and the
 	// programs are bound once as method values in New (a per-packet closure
@@ -354,7 +361,7 @@ func (sw *Switch) processPacket(h *wire.Header) ([]Emit, int) {
 		sw.stats.Acquires++
 		// The quota meter sits at ingress: the ToR sees every request, so
 		// isolation applies whether the lock is switch- or server-resident.
-		if sw.cfg.Isolation && !sw.meter.Conforming(int(h.TenantID), sw.cfg.Now()) {
+		if sw.cfg.Isolation && !sw.meterBypass && !sw.meter.Conforming(int(h.TenantID), sw.cfg.Now()) {
 			sw.stats.Rejects++
 			rej := *h
 			rej.Op = wire.OpReject

@@ -366,6 +366,45 @@ func TestTenantQuotaRejects(t *testing.T) {
 	wantActions(t, do(t, sw, mk(5)), ActGrant)
 }
 
+func TestMeterBypassAndCtrlAdmit(t *testing.T) {
+	now := int64(0)
+	sw := New(Config{MaxLocks: 8, TotalSlots: 64, Priorities: 1, Isolation: true,
+		Now: func() int64 { return now }})
+	if err := sw.CtrlInstallLock(1, []Region{{0, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	sw.CtrlSetTenantQuota(5, 1000, 1)
+	mk := func(txn uint64) *wire.Header {
+		h := req(wire.OpAcquire, 1, txn, wire.Shared)
+		h.TenantID = 5
+		return h
+	}
+	// Under bypass the in-dp meter never consumes nor rejects: both of
+	// these would blow the 1-token burst otherwise.
+	sw.CtrlSetMeterBypass(true)
+	wantActions(t, do(t, sw, mk(1)), ActGrant)
+	wantActions(t, do(t, sw, mk(2)), ActGrant)
+	// CtrlMeterAdmit is the transport-level check a chain head uses
+	// instead: it consumes tokens and reports conformance.
+	if !sw.CtrlMeterAdmit(5) {
+		t.Fatalf("first CtrlMeterAdmit should conform (burst 1)")
+	}
+	if sw.CtrlMeterAdmit(5) {
+		t.Fatalf("second CtrlMeterAdmit should exceed the burst")
+	}
+	if got := sw.Stats().Rejects; got != 1 {
+		t.Fatalf("CtrlMeterAdmit rejects not counted: %d", got)
+	}
+	// Restoring the meter re-enables in-dp rejects (tokens exhausted).
+	sw.CtrlSetMeterBypass(false)
+	wantActions(t, do(t, sw, mk(3)), ActReject)
+	// Isolation off: admit is unconditionally true and consumes nothing.
+	sw2 := newTestSwitch(t)
+	if !sw2.CtrlMeterAdmit(9) || !sw2.CtrlMeterAdmit(9) {
+		t.Fatalf("CtrlMeterAdmit must always conform with Isolation off")
+	}
+}
+
 func TestOneRTTFetchEmit(t *testing.T) {
 	sw := newTestSwitch(t)
 	installed(t, sw, 1, 4)

@@ -1,0 +1,538 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"netlock"
+	"netlock/internal/switchdp"
+	"netlock/internal/wire"
+)
+
+// Protocol-level chain replication tests: racks are wired by hand with
+// ChainConfigure (the role ctrlplane.Topology automates) and probed with
+// raw UDP sockets so individual frames — chain envelopes included — can be
+// forged, duplicated, and reordered. End-to-end failover under a real
+// Client runs in internal/ctrlplane and internal/scenario.
+
+// chainRack starts nsw switches and one lock server on loopback and wires
+// the switches into a chain (switch 0 head, switch nsw-1 tail, epoch 1).
+func chainRack(t *testing.T, nsw int, dp switchdp.Config) ([]*Switch, *Server) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	var sws []*Switch
+	var addrs []string
+	for i := 0; i < nsw; i++ {
+		sw, err := NewSwitch(SwitchConfig{Listen: "127.0.0.1:0", DataPlane: dp, Servers: []string{srv.Addr()}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sw.Close() })
+		sws = append(sws, sw)
+		addrs = append(addrs, sw.Addr())
+	}
+	for i, sw := range sws {
+		r := ChainRole{Epoch: 1, Head: i == 0, Tail: i == nsw-1}
+		if i+1 < nsw {
+			r.Succ = addrs[i+1]
+		}
+		if i > 0 {
+			r.HeadAddr = addrs[0]
+		}
+		for j, a := range addrs {
+			if j != i {
+				r.Peers = append(r.Peers, a)
+			}
+		}
+		if err := sw.ChainConfigure(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.SetSwitchAddr(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	return sws, srv
+}
+
+// probe is a raw UDP endpoint standing in for a client, sending hand-built
+// headers and collecting whatever the rack emits.
+type probe struct {
+	t    *testing.T
+	conn *net.UDPConn
+}
+
+func newProbe(t *testing.T) *probe {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &probe{t: t, conn: conn}
+}
+
+func (p *probe) send(h *wire.Header, to string) {
+	p.t.Helper()
+	ap, err := resolveAddrPort(to)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	if _, err := p.conn.WriteToUDPAddrPort(h.AppendTo(nil), ap); err != nil {
+		p.t.Fatal(err)
+	}
+}
+
+// recv waits for the next header matching want, skipping others (epoch
+// announcements, duplicate grants from the resend sweep).
+func (p *probe) recv(want wire.Op, d time.Duration) (wire.Header, bool) {
+	p.t.Helper()
+	deadline := time.Now().Add(d)
+	buf := make([]byte, 2048)
+	for time.Now().Before(deadline) {
+		p.conn.SetReadDeadline(deadline)
+		n, _, err := p.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return wire.Header{}, false
+		}
+		for _, h := range decodeAll(buf[:n]) {
+			if h.Op == want {
+				return h, true
+			}
+		}
+	}
+	return wire.Header{}, false
+}
+
+// decodeAll splits a datagram into headers, unwrapping batch frames.
+func decodeAll(data []byte) []wire.Header {
+	var out []wire.Header
+	if wire.IsBatch(data) {
+		var r wire.BatchReader
+		if r.Reset(data) != nil {
+			return out
+		}
+		var h wire.Header
+		for {
+			ok, err := r.Next(&h)
+			if err != nil || !ok {
+				return out
+			}
+			out = append(out, h)
+		}
+	}
+	var h wire.Header
+	if h.DecodeFromBytes(data) == nil {
+		out = append(out, h)
+	}
+	return out
+}
+
+func waitStatus(t *testing.T, sw *Switch, d time.Duration, cond func(ChainInfo) bool) ChainInfo {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	var ci ChainInfo
+	for time.Now().Before(deadline) {
+		ci = sw.ChainStatus()
+		if cond(ci) {
+			return ci
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("chain status condition not reached; last %+v", ci)
+	return ci
+}
+
+// TestChainReplicatedAcquireRelease drives a full server-path acquire and
+// release through a 3-member chain and checks that every member applied
+// the identical op stream and that the head's replay log drains.
+func TestChainReplicatedAcquireRelease(t *testing.T) {
+	sws, _ := chainRack(t, 3, dpConfig())
+	p := newProbe(t)
+
+	p.send(&wire.Header{Op: wire.OpAcquire, Mode: wire.Exclusive, LockID: 1, TxnID: 7}, sws[0].Addr())
+	if _, ok := p.recv(wire.OpGrant, timeout); !ok {
+		t.Fatal("no grant through 3-member chain")
+	}
+	p.send(&wire.Header{Op: wire.OpRelease, LockID: 1, TxnID: 7}, sws[0].Addr())
+	if _, ok := p.recv(wire.OpReleaseAck, timeout); !ok {
+		t.Fatal("no release ack through 3-member chain")
+	}
+
+	// All members converge to the same applied prefix and the tail's acks
+	// drain every replay log.
+	head := waitStatus(t, sws[0], timeout, func(ci ChainInfo) bool { return ci.LogLen == 0 })
+	for i, sw := range sws[1:] {
+		ci := waitStatus(t, sw, timeout, func(ci ChainInfo) bool {
+			return ci.Applied == head.Applied && ci.LogLen == 0
+		})
+		if ci.Epoch != head.Epoch {
+			t.Fatalf("member %d epoch %d, head %d", i+1, ci.Epoch, head.Epoch)
+		}
+	}
+	if head.Applied < 4 {
+		// acquire, grant, release, release-ack at minimum.
+		t.Fatalf("head applied only %d ops", head.Applied)
+	}
+}
+
+// TestChainGrantSurvivesPromotion: a grant delivered through a 2-member
+// chain stays answerable — and releasable — from the surviving member
+// after the head fails, because the dedup tables replicated with it.
+func TestChainGrantSurvivesPromotion(t *testing.T) {
+	sws, srv := chainRack(t, 2, dpConfig())
+	p := newProbe(t)
+
+	acq := wire.Header{Op: wire.OpAcquire, Mode: wire.Exclusive, LockID: 3, TxnID: 9}
+	p.send(&acq, sws[0].Addr())
+	if _, ok := p.recv(wire.OpGrant, timeout); !ok {
+		t.Fatal("no grant")
+	}
+
+	// Head dies; the controller would now promote the tail. The promotion
+	// must announce the new epoch to the holder found in the grant cache.
+	sws[0].Close()
+	if err := sws[1].ChainConfigure(ChainRole{Epoch: 2, Head: true, Tail: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetSwitchAddr(sws[1].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ann, ok := p.recv(wire.OpEpoch, timeout)
+	if !ok {
+		t.Fatal("promotion did not announce the new epoch to the grant holder")
+	}
+	if ann.TxnID != 2 {
+		t.Fatalf("epoch announcement carries epoch %d, want 2", ann.TxnID)
+	}
+	head := netip.AddrPortFrom(ann.ClientIP, ann.ClientPort).String()
+	if want := sws[1].Addr(); head != want {
+		t.Fatalf("epoch announcement names head %s, want %s", head, want)
+	}
+
+	// A retransmitted acquire is answered from the replicated grant cache —
+	// not double-granted through the data plane.
+	p.send(&acq, sws[1].Addr())
+	if _, ok := p.recv(wire.OpGrant, timeout); !ok {
+		t.Fatal("retransmit not answered from replicated grant cache")
+	}
+	if g := sws[1].Snapshot().Stats.GrantsImmediate + sws[1].Snapshot().Stats.GrantsQueued; g != 0 {
+		t.Fatalf("replica's data plane granted %d times; lock is server-resident", g)
+	}
+
+	// The release must complete against the new head.
+	p.send(&wire.Header{Op: wire.OpRelease, LockID: 3, TxnID: 9}, sws[1].Addr())
+	if _, ok := p.recv(wire.OpReleaseAck, timeout); !ok {
+		t.Fatal("release not acked by promoted head")
+	}
+}
+
+// TestChainRelayToHead: external ingress landing on a non-head member is
+// relayed to the head (and the client redirected), so requests sent to a
+// stale address during reconfiguration still complete.
+func TestChainRelayToHead(t *testing.T) {
+	sws, _ := chainRack(t, 2, dpConfig())
+	p := newProbe(t)
+
+	p.send(&wire.Header{Op: wire.OpAcquire, Mode: wire.Exclusive, LockID: 4, TxnID: 11}, sws[1].Addr())
+	ann, ok := p.recv(wire.OpEpoch, timeout)
+	if !ok {
+		t.Fatal("non-head member did not redirect the client")
+	}
+	if got := netip.AddrPortFrom(ann.ClientIP, ann.ClientPort).String(); got != sws[0].Addr() {
+		t.Fatalf("redirect names %s, want head %s", got, sws[0].Addr())
+	}
+	if _, ok := p.recv(wire.OpGrant, timeout); !ok {
+		t.Fatal("relayed acquire was not granted")
+	}
+}
+
+// TestClientFailoverAnnounced: a multi-address client holding a grant
+// through a 2-member chain survives head failure — the promoted head's
+// epoch announcement re-targets it, the OnFailover callback fires, and an
+// acquire that was outstanding across the failure completes.
+func TestClientFailoverAnnounced(t *testing.T) {
+	sws, srv := chainRack(t, 2, dpConfig())
+
+	var mu sync.Mutex
+	var events []string
+	c, err := NewClientConfig(ClientConfig{
+		Switches:      []string{sws[0].Addr(), sws[1].Addr()},
+		RetryInterval: 30 * time.Millisecond,
+		OnFailover: func(epoch uint64, head string) {
+			mu.Lock()
+			events = append(events, head)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	g, err := acquire(c, 1, netlock.Exclusive, timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second acquire contends with g, so it is still queued at the lock
+	// server when the head dies.
+	a2, err := c.AcquireAsync(context.Background(), 1, netlock.Exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sws[0].Close()
+	if err := sws[1].ChainConfigure(ChainRole{Epoch: 2, Head: true, Tail: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetSwitchAddr(sws[1].Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Releasing g through the new head unblocks the queued acquire.
+	g.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	g2, err := a2.Wait(ctx)
+	if err != nil {
+		t.Fatalf("acquire outstanding across head failure: %v", err)
+	}
+	if err := g2.ReleaseWait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("OnFailover never fired")
+	}
+	if got := events[len(events)-1]; got != sws[1].Addr() {
+		t.Fatalf("OnFailover named head %s, want %s", got, sws[1].Addr())
+	}
+}
+
+// TestClientFailoverByRotation: with no grant on the table there is nobody
+// for the promoted head to announce to; the client's silence-rotation
+// backstop must find the new head on its own.
+func TestClientFailoverByRotation(t *testing.T) {
+	sws, srv := chainRack(t, 2, dpConfig())
+	c, err := NewClientConfig(ClientConfig{
+		Switches:      []string{sws[0].Addr(), sws[1].Addr()},
+		RetryInterval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	sws[0].Close()
+	if err := sws[1].ChainConfigure(ChainRole{Epoch: 2, Head: true, Tail: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetSwitchAddr(sws[1].Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := acquire(c, 2, netlock.Exclusive, timeout)
+	if err != nil {
+		t.Fatalf("acquire after silent head death: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := g.ReleaseWait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rawChain sends a hand-built chain envelope to a switch.
+func rawChain(t *testing.T, p *probe, m *wire.ChainMsg, to string) {
+	t.Helper()
+	ap, err := resolveAddrPort(to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.conn.WriteToUDPAddrPort(m.AppendTo(nil), ap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recvChain waits for the next chain frame of the given kind.
+func (p *probe) recvChain(kind wire.ChainKind, d time.Duration) (wire.ChainMsg, bool) {
+	p.t.Helper()
+	deadline := time.Now().Add(d)
+	buf := make([]byte, 2048)
+	for time.Now().Before(deadline) {
+		p.conn.SetReadDeadline(deadline)
+		n, _, err := p.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return wire.ChainMsg{}, false
+		}
+		var m wire.ChainMsg
+		if wire.IsChain(buf[:n]) && m.DecodeFromBytes(buf[:n]) == nil && m.Kind == kind {
+			return m, true
+		}
+	}
+	return wire.ChainMsg{}, false
+}
+
+// soloMember starts one switch configured as a mid-chain member whose
+// predecessor and successor are both the probe, so the test controls the
+// entire op stream and observes every forward.
+func soloMember(t *testing.T, p *probe) *Switch {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	sw, err := NewSwitch(SwitchConfig{Listen: "127.0.0.1:0", DataPlane: dpConfig(), Servers: []string{srv.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sw.Close() })
+	pa := p.conn.LocalAddr().String()
+	if err := sw.ChainConfigure(ChainRole{Epoch: 1, Succ: pa, HeadAddr: pa, Peers: []string{pa}}); err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func chainOp(seq uint64, lock uint32, txn uint64) *wire.ChainMsg {
+	return &wire.ChainMsg{Kind: wire.ChainOp, Origin: wire.OriginClient, Epoch: 1, Seq: seq,
+		Hdr: wire.Header{Op: wire.OpAcquire, Mode: wire.Exclusive, LockID: lock, TxnID: txn}}
+}
+
+// TestChainEpochFencing: envelopes from another epoch are dropped without
+// touching the applied prefix.
+func TestChainEpochFencing(t *testing.T) {
+	p := newProbe(t)
+	sw := soloMember(t, p)
+
+	m := chainOp(1, 1, 1)
+	m.Epoch = 99
+	rawChain(t, p, m, sw.Addr())
+	time.Sleep(20 * time.Millisecond)
+	if ci := sw.ChainStatus(); ci.Applied != 0 {
+		t.Fatalf("fenced envelope applied: %+v", ci)
+	}
+
+	m.Epoch = 1
+	rawChain(t, p, m, sw.Addr())
+	waitStatus(t, sw, timeout, func(ci ChainInfo) bool { return ci.Applied == 1 })
+}
+
+// TestChainDupAndGap: a duplicate envelope is suppressed; an envelope
+// arriving ahead of a gap is dropped with a nack carrying the receiver's
+// applied prefix, and replaying the missing range heals the gap.
+func TestChainDupAndGap(t *testing.T) {
+	p := newProbe(t)
+	sw := soloMember(t, p)
+
+	rawChain(t, p, chainOp(1, 1, 1), sw.Addr())
+	waitStatus(t, sw, timeout, func(ci ChainInfo) bool { return ci.Applied == 1 })
+
+	// Duplicate: applied prefix must not advance.
+	rawChain(t, p, chainOp(1, 1, 1), sw.Addr())
+	time.Sleep(20 * time.Millisecond)
+	if ci := sw.ChainStatus(); ci.Applied != 1 {
+		t.Fatalf("duplicate advanced the applied prefix: %+v", ci)
+	}
+
+	// Gap: seq 3 before seq 2 nacks with Applied=1 and is not applied.
+	rawChain(t, p, chainOp(3, 3, 3), sw.Addr())
+	ack, ok := p.recvChain(wire.ChainAck, timeout)
+	if !ok {
+		t.Fatal("gap did not nack")
+	}
+	if ack.Seq != 1 {
+		t.Fatalf("gap nack carries applied prefix %d, want 1", ack.Seq)
+	}
+	if ci := sw.ChainStatus(); ci.Applied != 1 || ci.GapDrops == 0 {
+		t.Fatalf("gap handling: %+v", ci)
+	}
+
+	// Replay the missing range in order: both apply.
+	rawChain(t, p, chainOp(2, 2, 2), sw.Addr())
+	rawChain(t, p, chainOp(3, 3, 3), sw.Addr())
+	waitStatus(t, sw, timeout, func(ci ChainInfo) bool { return ci.Applied == 3 })
+}
+
+// TestChainMidForwardsDownstream: a mid-chain member forwards each applied
+// envelope to its successor unchanged.
+func TestChainMidForwardsDownstream(t *testing.T) {
+	p := newProbe(t)
+	sw := soloMember(t, p)
+
+	rawChain(t, p, chainOp(1, 5, 5), sw.Addr())
+	m, ok := p.recvChain(wire.ChainOp, timeout)
+	if !ok {
+		t.Fatal("mid member did not forward downstream")
+	}
+	if m.Seq != 1 || m.Hdr.LockID != 5 || m.Hdr.TxnID != 5 {
+		t.Fatalf("forwarded envelope mutated: %+v", m)
+	}
+	// The un-acked op stays in the replay log until the tail acks it.
+	if ci := sw.ChainStatus(); ci.LogLen != 1 {
+		t.Fatalf("want 1 logged op awaiting ack, got %+v", ci)
+	}
+	// Ack as the tail would: the log drains.
+	ack := &wire.ChainMsg{Kind: wire.ChainAck, Epoch: 1, Seq: 1}
+	rawChain(t, p, ack, sw.Addr())
+	waitStatus(t, sw, timeout, func(ci ChainInfo) bool { return ci.LogLen == 0 })
+}
+
+// TestLateDuplicateAcquireDropped: a network-delayed duplicate of an
+// acquire whose whole acquire/release cycle already completed must not
+// re-enter the rack. By the time it arrives, the pending/granted dedup
+// tables have forgotten the txn, so without the completion tombstones the
+// duplicate reads as a brand-new request and enqueues a ghost holder that
+// no client will ever release — wedging the lock for everyone behind it.
+func TestLateDuplicateAcquireDropped(t *testing.T) {
+	run := func(t *testing.T, sws []*Switch, lockID uint32) {
+		t.Helper()
+		head := sws[0].Addr()
+		p := newProbe(t)
+		acq := wire.Header{Op: wire.OpAcquire, Mode: wire.Exclusive, LockID: lockID, TxnID: 21}
+		p.send(&acq, head)
+		if _, ok := p.recv(wire.OpGrant, timeout); !ok {
+			t.Fatal("no grant for the original acquire")
+		}
+		p.send(&wire.Header{Op: wire.OpRelease, LockID: lockID, TxnID: 21}, head)
+		if _, ok := p.recv(wire.OpReleaseAck, timeout); !ok {
+			t.Fatal("no release ack")
+		}
+
+		// The delayed duplicate lands after the cycle completed.
+		p.send(&acq, head)
+		time.Sleep(20 * time.Millisecond)
+
+		// A different client must still get the lock promptly.
+		p2 := newProbe(t)
+		p2.send(&wire.Header{Op: wire.OpAcquire, Mode: wire.Exclusive, LockID: lockID, TxnID: 22}, head)
+		if _, ok := p2.recv(wire.OpGrant, 2*time.Second); !ok {
+			t.Fatal("lock wedged behind the ghost holder left by the late duplicate")
+		}
+		// And the duplicate itself must not have produced a second grant.
+		if h, ok := p.recv(wire.OpGrant, 200*time.Millisecond); ok {
+			t.Fatalf("late duplicate was granted: %+v", h)
+		}
+	}
+	t.Run("server-owned", func(t *testing.T) {
+		sws, _ := chainRack(t, 2, dpConfig())
+		run(t, sws, 5)
+	})
+	t.Run("switch-resident", func(t *testing.T) {
+		sws, srv := chainRack(t, 1, dpConfig())
+		if err := InstallSwitchLock(sws[0], []*Server{srv}, 6, []switchdp.Region{{Left: 0, Right: 8}}); err != nil {
+			t.Fatal(err)
+		}
+		run(t, sws, 6)
+	})
+}

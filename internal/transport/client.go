@@ -32,18 +32,41 @@ import (
 // deadlines are enforced by the same sweep, and grants that arrive for an
 // op the caller abandoned are released automatically so the lock is not
 // stranded until lease expiry.
+//
+// Against a replicated switch chain the client is given every member's
+// address. Ops go to the current head; when the control plane reconfigures
+// the chain, the promoted head announces the new epoch (wire.OpEpoch) and
+// the client re-targets and immediately retransmits everything
+// outstanding. If the head dies before any announcement arrives, the sweep
+// rotates through the remaining addresses until one redirects or answers.
 type Client struct {
-	conn     PacketConn
-	switchAP netip.AddrPort
-	localIP  netip.Addr
-	o        *obs.Stripe
+	conn      PacketConn
+	localIP   netip.Addr
+	localPort uint16
+	o         *obs.Stripe
 
 	maxBatch   int
 	flushEvery time.Duration
 	retryEvery time.Duration
+	onFailover func(epoch uint64, head string)
 
-	mu       sync.Mutex
-	nextTxn  uint64
+	mu sync.Mutex
+	// targets are the known switch addresses; cur indexes the one ops are
+	// sent to (the chain head, as far as this client knows).
+	targets []netip.AddrPort
+	cur     int
+	// epoch is the newest chain epoch seen in an OpEpoch announcement;
+	// older announcements are ignored.
+	epoch uint64
+	// lastRx is the last ingress instant; lastMove the last re-target. The
+	// sweep rotates targets when ops are outstanding but the rack has gone
+	// silent.
+	lastRx   time.Time
+	lastMove time.Time
+	// failovers stages OnFailover notifications; the read loop delivers
+	// them outside the lock.
+	failovers []failoverEvent
+	nextTxn   uint64
 	acquires map[pendKey]*AsyncAcquire
 	releases map[pendKey]*Grant
 	// grants holds delivered, unreleased grants so a duplicated grant
@@ -61,10 +84,25 @@ type Client struct {
 	closed chan struct{}
 }
 
+// failoverEvent is one staged OnFailover notification.
+type failoverEvent struct {
+	epoch uint64
+	head  string
+}
+
 // ClientConfig configures a Client.
 type ClientConfig struct {
-	// Switch is the switch's UDP address.
+	// Switch is the switch's UDP address (single-switch shorthand for a
+	// one-element Switches list).
 	Switch string
+	// Switches are the addresses of every member of a replicated switch
+	// chain, head first. Ops go to the head; the remaining addresses are
+	// failover candidates. Takes precedence over Switch when non-empty.
+	Switches []string
+	// OnFailover, if set, is invoked (from the client's internal
+	// goroutines — it must not block) whenever the client re-targets to a
+	// new head after an epoch announcement.
+	OnFailover func(epoch uint64, head string)
 	// Net is the socket factory; nil means real UDP.
 	Net Network
 	// MaxBatch caps ops per egress datagram. 0 means wire.MaxBatchOps;
@@ -88,15 +126,23 @@ func NewClient(switchAddr string) (*Client, error) {
 
 // NewClientConfig creates a client from an explicit configuration.
 func NewClientConfig(cfg ClientConfig) (*Client, error) {
-	ap, err := resolveAddrPort(cfg.Switch)
-	if err != nil {
-		return nil, fmt.Errorf("transport: resolve switch addr: %w", err)
+	addrs := cfg.Switches
+	if len(addrs) == 0 {
+		addrs = []string{cfg.Switch}
+	}
+	var targets []netip.AddrPort
+	for _, a := range addrs {
+		ap, err := resolveAddrPort(a)
+		if err != nil {
+			return nil, fmt.Errorf("transport: resolve switch addr: %w", err)
+		}
+		targets = append(targets, ap)
 	}
 	nw := cfg.Net
 	if nw == nil {
 		nw = UDP
 	}
-	conn, err := nw.Listen(net.JoinHostPort(ap.Addr().String(), "0"))
+	conn, err := nw.Listen(net.JoinHostPort(targets[0].Addr().String(), "0"))
 	if err != nil {
 		return nil, fmt.Errorf("transport: client socket: %w", err)
 	}
@@ -117,11 +163,13 @@ func NewClientConfig(cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{
 		conn:       conn,
-		switchAP:   ap,
+		targets:    targets,
 		o:          cfg.Obs,
 		maxBatch:   maxBatch,
 		flushEvery: flush,
 		retryEvery: retry,
+		onFailover: cfg.OnFailover,
+		lastRx:     time.Now(),
 		acquires:   make(map[pendKey]*AsyncAcquire),
 		releases:   make(map[pendKey]*Grant),
 		grants:     make(map[pendKey]*Grant),
@@ -134,6 +182,7 @@ func NewClientConfig(cfg ClientConfig) (*Client, error) {
 		if a, ok2 := netip.AddrFromSlice(ua.IP); ok2 {
 			c.localIP = a.Unmap()
 		}
+		c.localPort = ua.AddrPort().Port()
 	}
 	// Transaction IDs identify a request end to end: grants for queued
 	// requests are routed back by (lock, txn). Clients draw from disjoint
@@ -325,14 +374,15 @@ func (c *Client) submit(ctx context.Context, lockID uint32, mode netlock.Mode, c
 	c.nextTxn++
 	a.key = pendKey{lockID, c.nextTxn}
 	a.hdr = wire.Header{
-		Op:       wire.OpAcquire,
-		Mode:     wm,
-		LockID:   lockID,
-		TxnID:    a.key.txn,
-		ClientIP: c.localIP,
-		TenantID: o.Tenant,
-		Priority: o.Priority,
-		LeaseNs:  int64(o.Lease),
+		Op:         wire.OpAcquire,
+		Mode:       wm,
+		LockID:     lockID,
+		TxnID:      a.key.txn,
+		ClientIP:   c.localIP,
+		ClientPort: c.localPort,
+		TenantID:   o.Tenant,
+		Priority:   o.Priority,
+		LeaseNs:    int64(o.Lease),
 	}
 	c.acquires[a.key] = a
 	c.enqueueOp(&a.hdr)
@@ -442,7 +492,7 @@ func (c *Client) autoRelease(h *wire.Header, key pendKey) {
 func (c *Client) enqueueOp(h *wire.Header) {
 	if c.maxBatch <= 1 {
 		buf := h.AppendTo(c.scratch[:0])
-		c.conn.WriteToUDPAddrPort(buf, c.switchAP)
+		c.conn.WriteToUDPAddrPort(buf, c.dest())
 		c.o.Inc(obs.CtrFramesOut)
 		c.o.Observe(obs.StageEgressBatch, 1)
 		return
@@ -474,7 +524,7 @@ func (c *Client) flushLocked() {
 	if frame == nil {
 		return
 	}
-	c.conn.WriteToUDPAddrPort(frame, c.switchAP)
+	c.conn.WriteToUDPAddrPort(frame, c.dest())
 	c.o.Inc(obs.CtrFramesOut)
 	c.o.Observe(obs.StageEgressBatch, int64(n))
 	c.bstore = frame[:0]
@@ -497,6 +547,92 @@ func (c *Client) flushLoop() {
 			c.mu.Unlock()
 		}
 	}
+}
+
+// dest is the current head's address. Caller holds c.mu.
+func (c *Client) dest() netip.AddrPort { return c.targets[c.cur] }
+
+// adoptEpoch processes one OpEpoch announcement: TxnID carries the chain
+// epoch, the client address fields the head. Newer epochs (and same-epoch
+// redirects from non-head members) re-target the client and trigger an
+// immediate retransmit of everything outstanding. Caller holds c.mu.
+func (c *Client) adoptEpoch(h *wire.Header) {
+	if h.TxnID < c.epoch {
+		return // stale announcement from a demoted member
+	}
+	head := netip.AddrPortFrom(h.ClientIP.Unmap(), h.ClientPort)
+	if !head.IsValid() {
+		return
+	}
+	moved := c.retarget(head)
+	newer := h.TxnID > c.epoch
+	c.epoch = h.TxnID
+	if !moved && !newer {
+		return
+	}
+	if moved {
+		c.retransmitAllLocked()
+	}
+	if c.onFailover != nil {
+		c.failovers = append(c.failovers, failoverEvent{epoch: c.epoch, head: head.String()})
+	}
+}
+
+// retarget points the client at head, learning the address if it was not
+// in the configured set, and reports whether the destination changed.
+// Caller holds c.mu.
+func (c *Client) retarget(head netip.AddrPort) bool {
+	for i, t := range c.targets {
+		if t == head {
+			if i == c.cur {
+				return false
+			}
+			c.cur = i
+			c.lastMove = time.Now()
+			return true
+		}
+	}
+	c.targets = append(c.targets, head)
+	c.cur = len(c.targets) - 1
+	c.lastMove = time.Now()
+	return true
+}
+
+// retransmitAllLocked re-sends every outstanding acquire and release to
+// the current destination, resetting their retry clocks. Caller holds
+// c.mu.
+func (c *Client) retransmitAllLocked() {
+	now := time.Now()
+	for _, a := range c.acquires {
+		a.lastSend = now
+		c.enqueueOp(&a.hdr)
+	}
+	for _, g := range c.releases {
+		g.lastSend = now
+		h := g.hdr
+		h.Op = wire.OpRelease
+		c.enqueueOp(&h)
+	}
+	c.flushLocked()
+}
+
+// rotateIfSilent is the sweep's failover backstop for the window between a
+// head failing and its successor's epoch announcement (which the dead head
+// obviously cannot deliver): with ops outstanding and nothing received for
+// two retry intervals, try the next known switch address. A live non-head
+// member answers with a redirect; a live head answers the ops themselves.
+// Caller holds c.mu.
+func (c *Client) rotateIfSilent(now time.Time) {
+	if len(c.targets) < 2 || len(c.acquires)+len(c.releases) == 0 {
+		return
+	}
+	quiet := 2 * c.retryEvery
+	if now.Sub(c.lastRx) < quiet || now.Sub(c.lastMove) < quiet {
+		return
+	}
+	c.cur = (c.cur + 1) % len(c.targets)
+	c.lastMove = now
+	c.retransmitAllLocked()
 }
 
 // sweepLoop enforces acquire deadlines and retransmits unanswered
@@ -541,6 +677,7 @@ func (c *Client) sweepLoop() {
 				c.enqueueOp(&h)
 			}
 		}
+		c.rotateIfSilent(now)
 		c.flushLocked()
 		c.mu.Unlock()
 		for _, a := range expired {
@@ -570,6 +707,7 @@ func (c *Client) readLoop() {
 		doneAcq = doneAcq[:0]
 		doneRel = doneRel[:0]
 		c.mu.Lock()
+		c.lastRx = time.Now()
 		if wire.IsBatch(data) {
 			if br.Reset(data) == nil {
 				ops := 0
@@ -594,9 +732,17 @@ func (c *Client) readLoop() {
 		// Completions may have drained the in-flight set down to the
 		// buffered ops; re-check the adaptive flush rule.
 		c.maybeFlushLocked()
+		var events []failoverEvent
+		if len(c.failovers) > 0 {
+			events = append(events, c.failovers...)
+			c.failovers = c.failovers[:0]
+		}
 		c.mu.Unlock()
 		// Deliver completions outside the lock: callbacks may submit new
 		// ops (which take c.mu), and channel waiters resume immediately.
+		for _, ev := range events {
+			c.onFailover(ev.epoch, ev.head)
+		}
 		for _, a := range doneAcq {
 			c.finishAcquire(a)
 		}
@@ -643,6 +789,8 @@ func (c *Client) handleOp(h *wire.Header, doneAcq []*AsyncAcquire, doneRel []*Gr
 			delete(c.releases, key)
 			return doneAcq, append(doneRel, g)
 		}
+	case wire.OpEpoch:
+		c.adoptEpoch(h)
 	}
 	return doneAcq, doneRel
 }

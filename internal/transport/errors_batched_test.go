@@ -17,6 +17,13 @@ import (
 // errors.Is even after crossing the wire as an OpReject or expiring in
 // the client's retry loop.
 
+func markReliable(t *testing.T, cn *ChaosNet, addr string) {
+	t.Helper()
+	if err := cn.MarkReliable(addr); err != nil {
+		t.Fatalf("MarkReliable(%q): %v", addr, err)
+	}
+}
+
 // errorRack builds a one-server rack over a quiet chaos network with a
 // caller-controlled server and data-plane config.
 func errorRack(t *testing.T, srvCfg lockserver.Config, dp switchdp.Config) (*ChaosNet, *Switch, []*Server) {

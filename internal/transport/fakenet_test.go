@@ -1,4 +1,4 @@
-package transport
+package transport_test
 
 import (
 	"context"
@@ -15,50 +15,23 @@ import (
 
 	"netlock"
 	"netlock/internal/check"
+	"netlock/internal/ctrlplane"
 	"netlock/internal/switchdp"
+	"netlock/internal/transport"
 	"netlock/internal/wire"
 )
 
 // The chaos network itself lives in chaosnet.go (it is a first-class
 // Network implementation, shared with internal/scenario and cmd/loadgen);
-// these tests drive the full transport stack through it.
+// these tests drive the full transport stack through it, with racks built
+// the way every consumer builds them: through ctrlplane.Topology. Chain
+// lengths 1-3 all run here — the conformance invariants are
+// replication-agnostic.
 
-func markReliable(t *testing.T, cn *ChaosNet, addr string) {
-	t.Helper()
-	if err := cn.MarkReliable(addr); err != nil {
-		t.Fatalf("MarkReliable(%q): %v", addr, err)
-	}
-}
+const timeout = 5 * time.Second
 
-// fakeRack is rack() over a chaos network: the switch and servers are
-// marked reliable peers (in-rack fabric), so chaos applies only to the
-// client edge.
-func fakeRack(t *testing.T, cn *ChaosNet, n int, dp switchdp.Config) (*Switch, []*Server) {
-	t.Helper()
-	var servers []*Server
-	var addrs []string
-	for i := 0; i < n; i++ {
-		srv, err := NewServer(ServerConfig{Listen: "10.99.0.1:0", Net: cn})
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { srv.Close() })
-		servers = append(servers, srv)
-		addrs = append(addrs, srv.Addr())
-		markReliable(t, cn, srv.Addr())
-	}
-	sw, err := NewSwitch(SwitchConfig{Listen: "10.99.0.1:0", DataPlane: dp, Servers: addrs, Net: cn})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { sw.Close() })
-	markReliable(t, cn, sw.Addr())
-	for _, srv := range servers {
-		if err := srv.SetSwitchAddr(sw.Addr()); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return sw, servers
+func dpConfig() switchdp.Config {
+	return switchdp.Config{MaxLocks: 64, TotalSlots: 256, Priorities: 1}
 }
 
 // recorder serializes trace events into the checker. Its mutex defines the
@@ -105,7 +78,8 @@ func conformanceSeeds() (seeds []int64, quick bool) {
 // the client edge — and validates every surviving grant trace against the
 // safety checker: mutual exclusion, no phantom or duplicate grants,
 // conservation at quiescence. Locks span switch-resident queues small
-// enough to overflow (exercising q1/q2) and server-owned locks.
+// enough to overflow (exercising q1/q2) and server-owned locks, and the
+// switch plane is a replication chain whose length varies with the seed.
 func TestFakenetConformance(t *testing.T) {
 	seeds, quick := conformanceSeeds()
 	for _, seed := range seeds {
@@ -117,16 +91,23 @@ func TestFakenetConformance(t *testing.T) {
 }
 
 func runConformance(t *testing.T, seed int64, quick bool) {
-	cn := NewChaosNet(ChaosConfig{Seed: seed, Drop: 0.15, Dup: 0.10, Delay: 0.25})
-
-	dp := switchdp.Config{MaxLocks: 8, TotalSlots: 32, Priorities: 1}
-	sw, servers := fakeRack(t, cn, 2, dp)
 	// Four switch-resident locks with queues small enough that contention
 	// overflows to the servers; locks 5..10 stay server-owned.
+	var switchLocks []ctrlplane.SwitchLock
 	for id := uint32(1); id <= 4; id++ {
-		lo := uint64(id-1) * 2
-		installLock(t, sw, servers, id, switchdp.Region{Left: lo, Right: lo + 2})
+		switchLocks = append(switchLocks, ctrlplane.SwitchLock{ID: id, Slots: 2})
 	}
+	tp, err := ctrlplane.New(ctrlplane.Config{
+		Switches:    1 + int(seed%3),
+		Servers:     2,
+		DataPlane:   switchdp.Config{MaxLocks: 8, TotalSlots: 32, Priorities: 1},
+		Chaos:       &transport.ChaosConfig{Seed: seed, Drop: 0.15, Dup: 0.10, Delay: 0.25},
+		SwitchLocks: switchLocks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
 	locks := []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 
 	rec := &recorder{ck: check.NewChecker()}
@@ -139,11 +120,9 @@ func runConformance(t *testing.T, seed int64, quick bool) {
 		nClients, workersPer, opsPer = 2, 2, 6
 	}
 
-	var clients []*Client
+	var clients []*transport.Client
 	for i := 0; i < nClients; i++ {
-		c, err := NewClientConfig(ClientConfig{
-			Switch:        sw.Addr(),
-			Net:           cn,
+		c, err := tp.NewClient(transport.ClientConfig{
 			RetryInterval: 15 * time.Millisecond,
 			FlushInterval: 200 * time.Microsecond,
 		})
@@ -159,7 +138,7 @@ func runConformance(t *testing.T, seed int64, quick bool) {
 	for ci, c := range clients {
 		for w := 0; w < workersPer; w++ {
 			wg.Add(1)
-			go func(c *Client, id int) {
+			go func(c *transport.Client, id int) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(seed*1000 + int64(id)))
 				for op := 0; op < opsPer; op++ {
@@ -196,18 +175,11 @@ func runConformance(t *testing.T, seed int64, quick bool) {
 		}
 	}
 	wg.Wait()
-	for _, c := range clients {
-		c.Close()
-	}
-	// Quiesce the rack before draining the net: the switch sweep keeps
-	// re-sending un-released grants (e.g. for just-closed clients), and a
-	// send entering the chaos edge concurrently with cn.Wait would race
-	// the WaitGroup.
-	sw.Close()
-	for _, srv := range servers {
-		srv.Close()
-	}
-	cn.Wait()
+	// Quiesce the rack (clients, then switches, then servers) before the
+	// chaos drain: the switch sweep keeps re-sending un-released grants
+	// (e.g. for just-closed clients), and a send entering the chaos edge
+	// concurrently with the drain would race the WaitGroup.
+	tp.Close()
 
 	rec.mu.Lock()
 	viol := rec.viol
@@ -233,6 +205,9 @@ func runConformance(t *testing.T, seed int64, quick bool) {
 // carries an op of the given kind.
 func frameHasOp(data []byte, op wire.Op) bool {
 	var h wire.Header
+	if wire.IsChain(data) {
+		return false
+	}
 	if wire.IsBatch(data) {
 		var br wire.BatchReader
 		if br.Reset(data) != nil {
@@ -256,26 +231,28 @@ func frameHasOp(data []byte, op wire.Op) bool {
 // lock until lease expiry (forever, without a lease). The client must now
 // retransmit the release until the end-to-end ack lands.
 func TestReleaseRetransmitAfterLoss(t *testing.T) {
-	cn := NewChaosNet(ChaosConfig{Seed: 1})
+	tp, err := ctrlplane.New(ctrlplane.Config{
+		Servers:     1,
+		DataPlane:   dpConfig(),
+		Chaos:       &transport.ChaosConfig{Seed: 1},
+		SwitchLocks: []ctrlplane.SwitchLock{{ID: 7, Slots: 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
 	var dropped atomic.Int32
-	cn.SetFilter(func(data []byte, from, to netip.AddrPort) bool {
+	tp.Chaos().SetFilter(func(data []byte, from, to netip.AddrPort) bool {
 		if frameHasOp(data, wire.OpRelease) && dropped.CompareAndSwap(0, 1) {
 			return true
 		}
 		return false
 	})
-	sw, servers := fakeRack(t, cn, 1, dpConfig())
-	installLock(t, sw, servers, 7, switchdp.Region{Left: 0, Right: 8})
 
-	c, err := NewClientConfig(ClientConfig{
-		Switch:        sw.Addr(),
-		Net:           cn,
-		RetryInterval: 20 * time.Millisecond,
-	})
+	c, err := tp.NewClient(transport.ClientConfig{RetryInterval: 20 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
@@ -304,15 +281,22 @@ func TestReleaseRetransmitAfterLoss(t *testing.T) {
 // second holder. The duplicating chaos network plus a waiter pair on one
 // lock covers the double-release hazard directly.
 func TestReleaseAckIdempotent(t *testing.T) {
-	cn := NewChaosNet(ChaosConfig{Seed: 3, Dup: 1.0}) // duplicate every client-edge datagram
-	sw, servers := fakeRack(t, cn, 1, dpConfig())
-	installLock(t, sw, servers, 9, switchdp.Region{Left: 0, Right: 8})
-
-	c, err := NewClientConfig(ClientConfig{Switch: sw.Addr(), Net: cn})
+	tp, err := ctrlplane.New(ctrlplane.Config{
+		Servers:   1,
+		DataPlane: dpConfig(),
+		// Duplicate every client-edge datagram.
+		Chaos:       &transport.ChaosConfig{Seed: 3, Dup: 1.0},
+		SwitchLocks: []ctrlplane.SwitchLock{{ID: 9, Slots: 8}},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
+	defer tp.Close()
+
+	c, err := tp.NewClient(transport.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()

@@ -37,6 +37,7 @@ package transport
 
 import (
 	"fmt"
+	"net"
 	"net/netip"
 	"sync"
 	"time"
@@ -66,18 +67,33 @@ type Switch struct {
 	// three duties: answering acquire retransmits whose grant was lost
 	// without re-entering the data plane, gating the data plane to
 	// exactly one release per grant, and re-sending undelivered grants
-	// from the sweep (the release is the delivery ack). The re-send
-	// closes a ghost-holder wedge: a stale duplicate of an acquire
-	// datagram arriving after its op fully completed re-enters the data
-	// plane as a fresh request, and if its grant then drops, no client
-	// retransmit exists to recover it — the sweep's re-send reaches the
-	// client, which auto-releases the unmatched grant.
+	// from the sweep (the release is the delivery ack; a live client
+	// auto-releases a grant it no longer has an op for).
 	granted map[pendKey]grantEntry
 	// relPending maps a release forwarded to a lock server (not yet
 	// acked) to the client awaiting the ack. While an entry exists,
 	// client retransmits of that release only refresh the address.
 	relPending map[pendKey]netip.AddrPort
-	eg         *egress
+	// done tombstones recently completed (lock, txn) keys. A
+	// network-delayed duplicate of an acquire whose whole cycle already
+	// finished finds pending and granted empty, so without the tombstone
+	// it would re-enter the rack as a fresh request and leave a ghost
+	// holder wedging the lock — the grant-re-send/auto-release recovery
+	// above only works while the duplicate's owner keeps answering.
+	// Recorded in the apply path, so every chain member (and any future
+	// head) shares the window; doneRing bounds it by evicting the oldest
+	// key. Txn IDs are drawn once per op from per-client disjoint random
+	// ranges, so a completed key never returns legitimately.
+	done     map[pendKey]struct{}
+	doneRing []pendKey
+	doneNext int
+	eg       *egress
+
+	// chain is the replication role (see chain.go). NewSwitch initializes
+	// a single-member chain — head and tail at epoch 0 — which behaves
+	// exactly like an unreplicated switch.
+	chain  chainState
+	selfAP netip.AddrPort
 
 	flushEvery time.Duration
 
@@ -91,8 +107,9 @@ type pendKey struct {
 }
 
 // pendingReq remembers an acquire awaiting its grant: the requester's UDP
-// address and, when observability is on, the arrival instant — the switch's
-// view of end-to-end acquire latency runs from here to grant delivery.
+// address and, when observability is on, the arrival instant — the
+// switch's view of end-to-end acquire latency runs from here to grant
+// delivery.
 type pendingReq struct {
 	addr   netip.AddrPort
 	sentNs int64
@@ -112,6 +129,12 @@ type grantEntry struct {
 // holders); grants for vanished clients re-send until the lease sweep
 // reclaims the hold.
 const grantResendNs = int64(100 * time.Millisecond)
+
+// doneWindow is how many completed (lock, txn) keys each switch remembers
+// for duplicate suppression. A delayed duplicate arrives within a few
+// retransmit intervals of its op completing; the window only has to
+// outlast that, not the run.
+const doneWindow = 8192
 
 // SwitchConfig configures a switch node.
 type SwitchConfig struct {
@@ -155,10 +178,16 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 		pending:    make(map[pendKey]pendingReq),
 		granted:    make(map[pendKey]grantEntry),
 		relPending: make(map[pendKey]netip.AddrPort),
+		done:       make(map[pendKey]struct{}),
+		doneRing:   make([]pendKey, doneWindow),
 		flushEvery: cfg.EgressFlush,
 		closed:     make(chan struct{}),
 	}
 	s.eg = newEgress(conn, s.o, 0)
+	s.chain = chainState{head: true, tail: true}
+	if ua, ok := conn.LocalAddr().(*net.UDPAddr); ok {
+		s.selfAP = normAddrPort(ua.AddrPort())
+	}
 	for _, sa := range cfg.Servers {
 		ap, err := resolveAddrPort(sa)
 		if err != nil {
@@ -187,8 +216,13 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 }
 
 // sweepLoop is the switch control plane's periodic poll (§4.5): it injects
-// releases for expired leases and re-issues push notifications for stranded
-// overflow queues.
+// releases for expired leases, re-issues push notifications for stranded
+// overflow queues, and re-sends undelivered grants. Sweep duties are split
+// by chain role: only the head scans for expired leases (the decision
+// consults the wall clock, so it must be made once and sequenced down the
+// chain like any other op), and only the tail performs external sends (the
+// stranded-queue notifications and grant re-sends), reading its own
+// replica of the same state the head sees.
 func (s *Switch) sweepLoop(interval time.Duration) {
 	defer s.wg.Done()
 	t := time.NewTicker(interval)
@@ -199,33 +233,37 @@ func (s *Switch) sweepLoop(interval time.Duration) {
 			return
 		case <-t.C:
 			s.mu.Lock()
-			for _, h := range s.dp.CtrlScanExpired(s.now()) {
-				h := h
-				// The lease reclaimed this hold; drop its grant cache so
-				// a late client release acks idempotently instead of
-				// releasing whoever holds the lock next.
-				key := pendKey{h.LockID, h.TxnID}
-				delete(s.granted, key)
-				delete(s.relPending, key)
-				s.process(&h)
-			}
-			for _, h := range s.dp.CtrlScanStranded() {
-				h := h
-				s.eg.send(&h, s.serverFor(h.LockID))
-			}
-			now := s.now()
-			for key, g := range s.granted {
-				if _, releasing := s.relPending[key]; releasing {
-					continue
+			if s.chain.head {
+				for _, h := range s.dp.CtrlScanExpired(s.now()) {
+					h := h
+					// Sequenced with OriginCtrl: every member drops the
+					// grant cache (so a late client release acks
+					// idempotently instead of releasing whoever holds the
+					// lock next) and applies the release.
+					s.sequence(wire.OriginCtrl, &h)
 				}
-				if now-g.sentNs < grantResendNs {
-					continue
-				}
-				g.sentNs = now
-				s.granted[key] = g
-				s.eg.send(&g.hdr, g.addr)
 			}
+			if s.chain.tail {
+				for _, h := range s.dp.CtrlScanStranded() {
+					h := h
+					s.eg.send(&h, s.serverFor(h.LockID))
+				}
+				now := s.now()
+				for key, g := range s.granted {
+					if _, releasing := s.relPending[key]; releasing {
+						continue
+					}
+					if now-g.sentNs < grantResendNs {
+						continue
+					}
+					g.sentNs = now
+					s.granted[key] = g
+					s.eg.send(&g.hdr, g.addr)
+				}
+			}
+			s.chainHeal()
 			s.eg.flushAll()
+			s.flushChain()
 			s.mu.Unlock()
 		}
 	}
@@ -243,6 +281,7 @@ func (s *Switch) flushLoop() {
 		case <-t.C:
 			s.mu.Lock()
 			s.eg.flushAll()
+			s.flushChain()
 			s.mu.Unlock()
 		}
 	}
@@ -343,7 +382,9 @@ func (s *Switch) readLoop() {
 		from = normAddrPort(from)
 		data := buf[:n]
 		s.mu.Lock()
-		if wire.IsBatch(data) {
+		if wire.IsChain(data) {
+			s.handleChain(data, from)
+		} else if wire.IsBatch(data) {
 			if br.Reset(data) == nil {
 				ops := 0
 				for {
@@ -367,12 +408,147 @@ func (s *Switch) readLoop() {
 		if s.flushEvery == 0 {
 			s.eg.flushAll()
 		}
+		// Chain records never wait for the egress timer: replication
+		// latency gates every externally-visible grant.
+		s.flushChain()
 		s.mu.Unlock()
 	}
 }
 
-// handleOp processes one ingress operation. Caller holds s.mu.
+// handleOp processes one external ingress operation: the head classifies
+// and sequences it; other members relay it to the head. Caller holds s.mu.
 func (s *Switch) handleOp(h *wire.Header, from netip.AddrPort) {
+	if !s.chain.head {
+		s.relayToHead(h, from)
+		return
+	}
+	origin := wire.OriginClient
+	if s.fromServer(from) {
+		origin = wire.OriginServer
+	}
+	s.headIngress(origin, h, from)
+}
+
+// headIngress is the chain head's (and a standalone switch's) ingress
+// stage: it answers retransmit duplicates from the replicated tables —
+// those answers mutate nothing, so the head emits them directly — and
+// sequences everything that does mutate replicated state. Caller holds
+// s.mu.
+func (s *Switch) headIngress(origin wire.ChainOrigin, h *wire.Header, from netip.AddrPort) {
+	if origin == wire.OriginClient {
+		switch h.Op {
+		case wire.OpAcquire:
+			if h.Flags&wire.FlagOverflow == 0 {
+				s.headAcquire(h, from)
+				return
+			}
+		case wire.OpRelease:
+			s.headRelease(h, from)
+			return
+		case wire.OpEpoch:
+			return // control-plane announcement; clients never send these
+		}
+	}
+	s.sequence(origin, h)
+}
+
+// headAcquire processes a client acquire, deduplicating retransmits.
+// Caller holds s.mu.
+func (s *Switch) headAcquire(h *wire.Header, from netip.AddrPort) {
+	key := pendKey{h.LockID, h.TxnID}
+	if g, ok := s.granted[key]; ok {
+		// Retransmit of an acquire whose grant (or everything since) was
+		// lost: answer from the cache. The data plane must not see the
+		// duplicate — it would enqueue a ghost holder.
+		if from.IsValid() {
+			g.addr = from
+		}
+		g.sentNs = s.now()
+		s.granted[key] = g
+		s.eg.send(&g.hdr, g.addr)
+		return
+	}
+	if p, ok := s.pending[key]; ok {
+		// Retransmit of a still-queued acquire. For a switch-resident
+		// lock the request is already queued in the data plane: refresh
+		// the return address only. For a server-owned lock the forward
+		// leg (tail→server) or its grant may have been lost — to the
+		// in-rack network or to a failed chain member — so re-sequence
+		// the acquire end to end. The server deduplicates by (lock, txn)
+		// and re-emits granted entries, so re-forwarding on every
+		// retransmit is a self-healing no-op in the common case.
+		if from.IsValid() {
+			p.addr = from
+		}
+		if !s.dp.CtrlHasLock(h.LockID) {
+			s.stampClient(h, from)
+			s.sequence(wire.OriginClient, h)
+			return
+		}
+		s.pending[key] = p
+		return
+	}
+	if _, ok := s.done[key]; ok {
+		// Delayed duplicate of an acquire whose whole cycle already
+		// completed: the client is done with this txn, so drop it —
+		// admitting it would enqueue a ghost holder.
+		return
+	}
+	if s.chain.meterAtHead && !s.dp.CtrlMeterAdmit(h.TenantID) {
+		// Chain-mode quota check, decided once before sequencing: the
+		// meter consults the wall clock, so replicas metering
+		// independently would diverge. Rejects mutate no replicated
+		// state; the head answers directly.
+		if from.IsValid() {
+			rej := *h
+			rej.Op = wire.OpReject
+			s.eg.send(&rej, from)
+		}
+		return
+	}
+	s.stampClient(h, from)
+	s.sequence(wire.OriginClient, h)
+}
+
+// headRelease applies the at-most-one-data-plane-release rule to a client
+// release. Caller holds s.mu.
+func (s *Switch) headRelease(h *wire.Header, from netip.AddrPort) {
+	key := pendKey{h.LockID, h.TxnID}
+	if _, ok := s.relPending[key]; ok {
+		// Client retransmit while the forwarded release is still at its
+		// server: refresh the ack address. If the lock is server-owned
+		// the forward (or its ack) may have been lost, so re-sequence it
+		// — the server matches releases by txn and counts an
+		// already-applied one as a duplicate no-op.
+		if from.IsValid() {
+			s.relPending[key] = from
+		}
+		if !s.dp.CtrlHasLock(h.LockID) {
+			s.stampClient(h, from)
+			s.sequence(wire.OriginClient, h)
+		}
+		return
+	}
+	if _, held := s.granted[key]; !held {
+		// Duplicate of a completed release, or a release for a hold the
+		// lease sweep already reclaimed: ack idempotently without
+		// touching the data plane.
+		if from.IsValid() {
+			s.ackRelease(h, from)
+		}
+		return
+	}
+	s.stampClient(h, from)
+	s.sequence(wire.OriginClient, h)
+}
+
+// applyOp applies one sequenced operation to this member's replicated
+// state: the data plane plus the pending/granted/relPending dedup tables.
+// Every chain member executes the identical op stream through this
+// function; only the tail's client- and server-bound sends are externally
+// visible. Caller holds s.mu.
+func (s *Switch) applyOp(origin wire.ChainOrigin, h *wire.Header) {
+	key := pendKey{h.LockID, h.TxnID}
 	switch h.Op {
 	case wire.OpGrant, wire.OpReject, wire.OpFetch:
 		// Passthrough from a lock server toward the client.
@@ -380,63 +556,53 @@ func (s *Switch) handleOp(h *wire.Header, from netip.AddrPort) {
 	case wire.OpReleaseAck:
 		// The owning server consumed a forwarded release: complete the
 		// end-to-end ack.
-		key := pendKey{h.LockID, h.TxnID}
 		if to, ok := s.relPending[key]; ok {
 			delete(s.relPending, key)
 			delete(s.granted, key)
-			s.eg.send(h, to)
+			s.markDone(key)
+			s.emitToClient(h, to)
 		}
 	case wire.OpRelease:
-		s.handleRelease(h, from)
+		s.applyRelease(origin, h, key)
 	case wire.OpAcquire:
-		if h.Flags&wire.FlagOverflow == 0 && !s.fromServer(from) {
-			s.handleAcquire(h, from)
+		if origin != wire.OriginClient || h.Flags&wire.FlagOverflow != 0 {
+			// Server-originated (a request bounced across a lock move) or
+			// overflow-marked: the pending entry for the original client,
+			// if any, must not be rewritten.
+			s.process(h)
 			return
 		}
-		// Server-originated (a request bounced across a lock move) or
-		// overflow-marked: the pending entry for the original client, if
-		// any, must not be rewritten to the server's address.
+		p := pendingReq{addr: clientAddrOf(h)}
+		if s.o.Enabled() {
+			p.sentNs = s.now()
+		}
+		s.pending[key] = p
 		s.process(h)
 	default:
 		s.process(h)
 	}
 }
 
-// handleAcquire processes a client acquire, deduplicating retransmits.
-// Caller holds s.mu.
-func (s *Switch) handleAcquire(h *wire.Header, from netip.AddrPort) {
-	key := pendKey{h.LockID, h.TxnID}
-	if g, ok := s.granted[key]; ok {
-		// Retransmit of an acquire whose grant (or everything since) was
-		// lost: answer from the cache. The data plane must not see the
-		// duplicate — it would enqueue a ghost holder.
-		g.addr = from
-		g.sentNs = s.now()
-		s.granted[key] = g
-		s.eg.send(&g.hdr, from)
+// markDone tombstones a completed (lock, txn) key so late duplicates of
+// its acquire are dropped at head ingress instead of re-entering the rack
+// as ghost holders. Runs in the apply path: every chain member records the
+// identical window. Caller holds s.mu.
+func (s *Switch) markDone(key pendKey) {
+	if _, ok := s.done[key]; ok {
 		return
 	}
-	if p, ok := s.pending[key]; ok {
-		// Retransmit of a still-queued acquire: refresh the return
-		// address only; the request is already queued in the data plane
-		// or at its lock server.
-		p.addr = from
-		s.pending[key] = p
-		return
+	if old := s.doneRing[s.doneNext]; old != (pendKey{}) {
+		delete(s.done, old)
 	}
-	p := pendingReq{addr: from}
-	if s.o.Enabled() {
-		p.sentNs = s.now()
-	}
-	s.pending[key] = p
-	s.process(h)
+	s.doneRing[s.doneNext] = key
+	s.doneNext = (s.doneNext + 1) % len(s.doneRing)
+	s.done[key] = struct{}{}
 }
 
-// handleRelease applies the at-most-one-data-plane-release rule. Caller
-// holds s.mu.
-func (s *Switch) handleRelease(h *wire.Header, from netip.AddrPort) {
-	key := pendKey{h.LockID, h.TxnID}
-	if s.fromServer(from) {
+// applyRelease applies one sequenced release by origin. Caller holds s.mu.
+func (s *Switch) applyRelease(origin wire.ChainOrigin, h *wire.Header, key pendKey) {
+	switch origin {
+	case wire.OriginServer:
 		// Bounced across a server-to-switch move: the data plane owns
 		// the lock now. In-rack links are reliable, so this is not a
 		// duplicate.
@@ -444,33 +610,30 @@ func (s *Switch) handleRelease(h *wire.Header, from netip.AddrPort) {
 			return // forwarded onward again; ack still pending
 		}
 		delete(s.granted, key)
+		s.markDone(key)
 		if to, ok := s.relPending[key]; ok {
 			delete(s.relPending, key)
-			s.ackRelease(h, to)
+			s.ackReleaseTail(h, to)
 		}
-		return
+	case wire.OriginCtrl:
+		// The head's lease sweep reclaimed this hold; drop its grant
+		// cache so a late client release acks idempotently instead of
+		// releasing whoever holds the lock next. The hold's owner is
+		// presumed gone, so its late duplicates are tombstoned too.
+		delete(s.granted, key)
+		delete(s.relPending, key)
+		s.markDone(key)
+		s.process(h)
+	default:
+		// Client release, already vetted by the head's dedup tables.
+		if s.processRelease(h, key) {
+			s.relPending[key] = clientAddrOf(h) // the owning server will ack
+			return
+		}
+		delete(s.granted, key)
+		s.markDone(key)
+		s.ackReleaseTail(h, clientAddrOf(h))
 	}
-	if _, ok := s.relPending[key]; ok {
-		// Client retransmit while the forwarded release is still at its
-		// server: refresh the ack address, never re-forward (a release
-		// dequeues a granted queue head, so a duplicate would release a
-		// different holder).
-		s.relPending[key] = from
-		return
-	}
-	if _, held := s.granted[key]; !held {
-		// Duplicate of a completed release, or a release for a hold the
-		// lease sweep already reclaimed: ack idempotently without
-		// touching the data plane.
-		s.ackRelease(h, from)
-		return
-	}
-	if s.processRelease(h, key) {
-		s.relPending[key] = from // the owning server will ack
-		return
-	}
-	delete(s.granted, key)
-	s.ackRelease(h, from)
 }
 
 // processRelease runs one release through the data plane and reports
@@ -497,6 +660,22 @@ func (s *Switch) ackRelease(h *wire.Header, to netip.AddrPort) {
 	s.eg.send(&ack, to)
 }
 
+// ackReleaseTail is ackRelease gated to the tail: every member applies the
+// table mutation, only the tail's ack leaves the rack. Caller holds s.mu.
+func (s *Switch) ackReleaseTail(h *wire.Header, to netip.AddrPort) {
+	if s.chain.tail && to.IsValid() {
+		s.ackRelease(h, to)
+	}
+}
+
+// emitToClient sends a client-bound packet if this member is the tail.
+// Caller holds s.mu.
+func (s *Switch) emitToClient(h *wire.Header, to netip.AddrPort) {
+	if s.chain.tail && to.IsValid() {
+		s.eg.send(h, to)
+	}
+}
+
 // process runs one packet through the data plane and routes its emits.
 // Caller holds s.mu.
 func (s *Switch) process(h *wire.Header) {
@@ -512,7 +691,12 @@ func (s *Switch) routeEmit(e *switchdp.Emit) {
 	case switchdp.ActGrant, switchdp.ActReject, switchdp.ActFetch:
 		s.deliverToClient(&e.Hdr)
 	case switchdp.ActForward, switchdp.ActForwardOverflow, switchdp.ActPushNotify:
-		s.eg.send(&e.Hdr, s.serverFor(e.Hdr.LockID))
+		// Server-bound traffic is emitted by the tail only: a grant that a
+		// server produces in response is then externally visible exactly
+		// when the whole chain has recorded the request that caused it.
+		if s.chain.tail {
+			s.eg.send(&e.Hdr, s.serverFor(e.Hdr.LockID))
+		}
 	}
 }
 
@@ -534,7 +718,7 @@ func (s *Switch) deliverToClient(h *wire.Header) {
 			s.o.Observe(obs.StageAcquireE2E, s.now()-to.sentNs)
 		}
 	}
-	s.eg.send(h, to.addr)
+	s.emitToClient(h, to.addr)
 }
 
 // Server is a NetLock lock-server node on a UDP socket.
@@ -617,9 +801,13 @@ func (s *Server) WithLockServer(fn func(ls *lockserver.Server)) {
 
 // InstallSwitchLock makes lockID switch-resident on a live rack: the
 // regions (one per priority bank) are installed in the switch data plane
-// and the owning lock server (by RSS steering) releases ownership. This
-// is the control-plane warmup every benchmark and scenario performs
-// before traffic.
+// and the owning lock server (by RSS steering) releases ownership.
+//
+// Deprecated: use ctrlplane.Controller.InstallLock (or the SwitchLocks
+// field of ctrlplane.Config), which installs chain-wide — on a replicated
+// chain this helper touches only one member, leaving replicas unable to
+// apply the op stream. It remains for single-switch racks wired by hand
+// and will be removed once no caller is left.
 func InstallSwitchLock(sw *Switch, servers []*Server, lockID uint32, regions []switchdp.Region) error {
 	var err error
 	sw.WithDataPlane(func(dp *switchdp.Switch) {

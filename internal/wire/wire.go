@@ -68,6 +68,13 @@ const (
 	// no longer tracks re-acks without touching the data plane (releases
 	// dequeue a granted queue head, so replaying one is never safe).
 	OpReleaseAck
+	// OpEpoch is a control-plane announcement from a replicated switch
+	// chain to a client: the chain entered a new epoch (TxnID carries the
+	// epoch number) and the member at ClientIP:ClientPort is now the head.
+	// Clients re-target pending traffic; the announcement is idempotent and
+	// safe to drop (clients also discover the head by rotating through
+	// their configured member list on retransmit).
+	OpEpoch
 )
 
 var opNames = map[Op]string{
@@ -79,6 +86,7 @@ var opNames = map[Op]string{
 	OpPush:       "push",
 	OpFetch:      "fetch",
 	OpReleaseAck: "release-ack",
+	OpEpoch:      "epoch",
 }
 
 // String returns the lowercase operation name.
@@ -150,6 +158,13 @@ type Header struct {
 	ClientIP netip.Addr // IPv4 address for grant notification
 	TenantID uint8
 	Priority uint8
+	// ClientPort is the UDP source port of the requesting client, stamped
+	// by the client alongside ClientIP. A single switch answers to the
+	// packet's source address and ignores it; a replicated chain needs it
+	// because the member emitting the grant (the tail) is not the member
+	// that received the request (the head). Zero means "unset" (pre-chain
+	// clients); receivers then fall back to the datagram source address.
+	ClientPort uint16
 	// LeaseNs is the absolute expiry time of the lock lease in nanoseconds
 	// of the NetLock clock, set by the switch/server when granting (§4.5).
 	// On Acquire it carries the client's requested lease duration.
@@ -171,7 +186,7 @@ var (
 //	0  version(1) op(1) mode(1) flags(1)
 //	4  lockID(4)
 //	8  txnID(8)
-//	16 clientIP(4) tenantID(1) priority(1) reserved(2)
+//	16 clientIP(4) tenantID(1) priority(1) clientPort(2)
 //	24 leaseNs(8)
 func (h *Header) AppendTo(dst []byte) []byte {
 	var b [HeaderLen]byte
@@ -187,6 +202,7 @@ func (h *Header) AppendTo(dst []byte) []byte {
 	}
 	b[20] = h.TenantID
 	b[21] = h.Priority
+	binary.BigEndian.PutUint16(b[22:24], h.ClientPort)
 	binary.BigEndian.PutUint64(b[24:32], uint64(h.LeaseNs))
 	return append(dst, b[:]...)
 }
@@ -217,6 +233,7 @@ func (h *Header) DecodeFromBytes(data []byte) error {
 	h.ClientIP = netip.AddrFrom4([4]byte(data[16:20]))
 	h.TenantID = data[20]
 	h.Priority = data[21]
+	h.ClientPort = binary.BigEndian.Uint16(data[22:24])
 	h.LeaseNs = int64(binary.BigEndian.Uint64(data[24:32]))
 	return nil
 }

@@ -779,6 +779,18 @@ func (m *Manager) FailSwitch() {
 	m.unlockAll()
 }
 
+// FailServer simulates a lock-server failure (§4.5): on every shard, the
+// locks owned by server index failed are adopted (with empty queues) by
+// server index replacement; clients resubmit and leases expire any stale
+// grants. Exposed for failure testing alongside FailSwitch.
+func (m *Manager) FailServer(failed, replacement int) {
+	m.lockAll()
+	for _, sh := range m.shards {
+		sh.mgr.FailServer(failed, replacement)
+	}
+	m.unlockAll()
+}
+
 // RestartSwitch reactivates a failed switch: the control plane reinstalls
 // the lock table with empty queues on every shard.
 func (m *Manager) RestartSwitch() {

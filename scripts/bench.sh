@@ -9,6 +9,9 @@
 #   scripts/bench.sh scenarios           # adversarial scenario suite on both
 #                                        #   planes -> BENCH_scenarios.json
 #   scripts/bench.sh scenarios -workload zipf -plane embedded  # one scenario
+#   scripts/bench.sh failover            # head-kill recovery: 3-member chain
+#                                        #   vs single switch -> BENCH_failover.json
+#   scripts/bench.sh failover -quick     # shorter failover measurement
 #
 # The default mode runs the embedded hot-path benchmarks (serial, parallel
 # disjoint/contended, sharded vs single-mutex baseline) plus the simulated
@@ -31,6 +34,10 @@ transport)
 scenarios)
 	shift
 	exec go run ./cmd/loadgen -workload all "$@"
+	;;
+failover)
+	shift
+	exec go run ./cmd/loadgen -failover "$@"
 	;;
 *)
 	exec go run ./cmd/benchrunner -embedded -quick "$@"
