@@ -3,6 +3,7 @@ package netlock
 import (
 	"context"
 	"testing"
+	"time"
 
 	"netlock/internal/obs"
 )
@@ -25,6 +26,15 @@ func TestSteadyStateAcquireReleaseAllocFree(t *testing.T) {
 // Config.Metrics must not cost allocs on the steady-state path.
 func TestSteadyStateAllocFreeWithMetrics(t *testing.T) {
 	testSteadyStateAllocFree(t, Config{Servers: 1, Shards: 1, Metrics: true})
+}
+
+// The gate holds with the online rebalancer enabled: the planner reads the
+// same demand gauges placement already records, so wiring the loop
+// (Config.RebalanceInterval) must not add a single alloc to the
+// steady-state path. The interval is set far beyond the test's lifetime:
+// the loop is live but idle, so the measurement sees only the hot path.
+func TestSteadyStateAllocFreeWithRebalancer(t *testing.T) {
+	testSteadyStateAllocFree(t, Config{Servers: 1, Shards: 1, RebalanceInterval: time.Hour})
 }
 
 func testSteadyStateAllocFree(t *testing.T, cfg Config) {

@@ -36,6 +36,7 @@ import (
 	"netlock"
 	"netlock/internal/ctrlplane"
 	"netlock/internal/obs"
+	"netlock/internal/rebalance"
 	"netlock/internal/switchdp"
 	"netlock/internal/transport"
 )
@@ -54,8 +55,11 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measurement duration")
 	flag.IntVar(&cfg.batch, "batch", 0, "client MaxBatch: 0 = full frames, 1 = unbatched baseline")
 	flag.DurationVar(&cfg.flush, "flush", 0, "client flush interval (0: transport default)")
+	flag.DurationVar(&cfg.rebalanceEvery, "rebalance", 0, "self-hosted rack: tick the online lock-placement rebalancer at this interval (0 disables; disables preinstall so residency is earned)")
+	flag.IntVar(&cfg.rebalanceBudget, "rebalance-budget", 0, "max live migrations per rebalance tick (0: rebalance default)")
 	report := flag.Duration("report", time.Second, "live readout interval (0 disables)")
 	compare := flag.Bool("compare", false, "run batched vs unbatched back to back and emit a JSON report")
+	rebalanceBench := flag.Bool("rebalance-bench", false, "measure hot-set drift with static placement vs the online rebalancer and emit a JSON report")
 	out := flag.String("out", "", "JSON output path for -compare/-workload ('-' for stdout)")
 	quick := flag.Bool("quick", false, "shorter -compare run")
 	failover := flag.Bool("failover", false, "measure head-failure recovery on a 3-member chain vs a single-switch baseline and emit a JSON report")
@@ -99,6 +103,17 @@ func main() {
 		}
 		return
 	}
+	if *rebalanceBench {
+		path := *out
+		if path == "" {
+			path = "BENCH_rebalance.json"
+		}
+		if err := runRebalanceBench(cfg, path, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	res, err := runLoad(cfg, *report)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -108,18 +123,20 @@ func main() {
 }
 
 type loadConfig struct {
-	switchAddr   string
-	chain        int
-	servers      int
-	locks        int
-	slotsPerLock uint64
-	clients      int
-	workers      int
-	mode         string
-	rate         float64
-	duration     time.Duration
-	batch        int
-	flush        time.Duration
+	switchAddr      string
+	chain           int
+	servers         int
+	locks           int
+	slotsPerLock    uint64
+	clients         int
+	workers         int
+	mode            string
+	rate            float64
+	duration        time.Duration
+	batch           int
+	flush           time.Duration
+	rebalanceEvery  time.Duration
+	rebalanceBudget int
 }
 
 // result is one measured run.
@@ -141,11 +158,16 @@ func (r result) String() string {
 
 // selfHost brings up an in-process rack through the Topology API: a
 // cfg.chain-member switch chain over real loopback UDP, cfg.servers lock
-// servers, and locks 1..cfg.locks preinstalled switch-resident.
+// servers, and locks 1..cfg.locks preinstalled switch-resident. With the
+// rebalancer enabled nothing is preinstalled: every residency is earned
+// through a live migration planned by the loop.
 func selfHost(cfg loadConfig) (*ctrlplane.Topology, error) {
-	locks := make([]ctrlplane.SwitchLock, 0, cfg.locks)
-	for id := 1; id <= cfg.locks; id++ {
-		locks = append(locks, ctrlplane.SwitchLock{ID: uint32(id), Slots: int(cfg.slotsPerLock)})
+	var locks []ctrlplane.SwitchLock
+	if cfg.rebalanceEvery == 0 {
+		locks = make([]ctrlplane.SwitchLock, 0, cfg.locks)
+		for id := 1; id <= cfg.locks; id++ {
+			locks = append(locks, ctrlplane.SwitchLock{ID: uint32(id), Slots: int(cfg.slotsPerLock)})
+		}
 	}
 	return ctrlplane.New(ctrlplane.Config{
 		Switches: cfg.chain,
@@ -178,6 +200,14 @@ func runLoad(cfg loadConfig, report time.Duration) (result, error) {
 			return result{}, err
 		}
 		defer tp.Close()
+		if cfg.rebalanceEvery > 0 {
+			loop := rebalance.New(tp.Controller().Mover(), rebalance.Config{
+				Interval: cfg.rebalanceEvery,
+				Budget:   cfg.rebalanceBudget,
+			})
+			loop.Start()
+			defer loop.Stop()
+		}
 	}
 
 	// One stripe per client socket for egress frame/batch counters; the
@@ -410,6 +440,7 @@ type compareReport struct {
 func runCompare(cfg loadConfig, path string, quick bool) error {
 	cfg.switchAddr = "" // comparison is only meaningful on identical racks
 	cfg.rate = 0
+	cfg.rebalanceEvery = 0 // both legs run the static preinstalled placement
 	cfg.duration = 5 * time.Second
 	if quick {
 		cfg.duration = 2 * time.Second
@@ -507,6 +538,7 @@ type failoverResult struct {
 func runFailover(cfg loadConfig, path string, quick bool) error {
 	cfg.switchAddr = "" // failover is a self-hosted controller experiment
 	cfg.rate = 0
+	cfg.rebalanceEvery = 0 // both legs run the static preinstalled placement
 	cfg.duration = 10 * time.Second
 	if quick {
 		cfg.duration = 4 * time.Second

@@ -37,6 +37,7 @@ import (
 	"netlock/internal/ctrlplane"
 	"netlock/internal/lockserver"
 	"netlock/internal/obs"
+	"netlock/internal/rebalance"
 	"netlock/internal/switchdp"
 )
 
@@ -52,6 +53,8 @@ func main() {
 	lease := flag.Duration("lease", 500*time.Millisecond, "default lock lease (0 disables)")
 	egressFlush := flag.Duration("egress-flush", 0, "hold switch egress batches open and flush on this timer (0: flush per ingress datagram)")
 	metrics := flag.String("metrics", "127.0.0.1:0", "metrics/pprof HTTP listen address (empty disables)")
+	rebalanceEvery := flag.Duration("rebalance", 0, "online lock-placement rebalance interval (0 disables the loop)")
+	rebalanceBudget := flag.Int("rebalance-budget", 0, "max live migrations per rebalance tick (0: rebalance default)")
 	flag.Parse()
 
 	// Two obs stripes: the head switch writes stripe 0 (the chain applies
@@ -102,8 +105,22 @@ func main() {
 		installed++
 	}
 
+	// The online rebalancer: the same control loop the scenarios drive,
+	// ticking against the live rack. Stopped before the rack closes (defer
+	// order) so no move races the teardown.
+	var loop *rebalance.Loop
+	if *rebalanceEvery > 0 {
+		loop = rebalance.New(ctrl.Mover(), rebalance.Config{
+			Interval: *rebalanceEvery,
+			Budget:   *rebalanceBudget,
+		})
+		loop.Start()
+		defer loop.Stop()
+		fmt.Printf("netlockd: rebalancer ticking every %v\n", *rebalanceEvery)
+	}
+
 	if *metrics != "" {
-		maddr, err := serveMetrics(*metrics, reg, tp)
+		maddr, err := serveMetrics(*metrics, reg, tp, loop)
 		if err != nil {
 			log.Fatalf("metrics endpoint: %v", err)
 		}
@@ -134,16 +151,16 @@ func main() {
 // address. The default mux already carries /debug/pprof (net/http/pprof) and
 // /debug/vars (expvar); /metrics renders a merged snapshot of every node's
 // stripe plus the current head switch's occupancy gauges as Prometheus text.
-func serveMetrics(addr string, reg *obs.Registry, tp *ctrlplane.Topology) (string, error) {
+func serveMetrics(addr string, reg *obs.Registry, tp *ctrlplane.Topology, loop *rebalance.Loop) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	expvar.Publish("netlock", expvar.Func(func() any {
-		return snapshotRack(reg, tp).String()
+		return snapshotRack(reg, tp, loop).String()
 	}))
 	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		sn := snapshotRack(reg, tp)
+		sn := snapshotRack(reg, tp, loop)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := sn.WriteProm(w); err != nil {
 			log.Printf("metrics: write: %v", err)
@@ -156,7 +173,7 @@ func serveMetrics(addr string, reg *obs.Registry, tp *ctrlplane.Topology) (strin
 // snapshotRack merges the counter/histogram stripes and attaches the
 // current chain head's occupancy gauges (every member applies the same op
 // stream, so any member's occupancy is the rack's).
-func snapshotRack(reg *obs.Registry, tp *ctrlplane.Topology) *obs.Snapshot {
+func snapshotRack(reg *obs.Registry, tp *ctrlplane.Topology, loop *rebalance.Loop) *obs.Snapshot {
 	sn := reg.Snapshot()
 	s := tp.Head().Snapshot()
 	sn.AddGauge("switch_slots_in_use", "Occupied switch shared-queue slots.", float64(s.SlotsInUse))
@@ -165,5 +182,19 @@ func snapshotRack(reg *obs.Registry, tp *ctrlplane.Topology) *obs.Snapshot {
 	sn.AddGauge("switch_pending_acquires", "Acquires whose grant has not yet reached a client.", float64(s.PendingAcquires))
 	sn.AddGauge("chain_epoch", "Current chain configuration epoch.", float64(tp.Controller().Epoch()))
 	sn.AddGauge("chain_members", "Live switch chain members.", float64(len(tp.Switches())))
+	var moved uint64
+	for _, srv := range tp.Servers() {
+		srv.WithLockServer(func(ls *lockserver.Server) {
+			moved += ls.Stats().MovedRejects
+		})
+	}
+	sn.AddGauge("server_moved_redirects", "Requests answered with a moved redirect while a lock was in flight between nodes.", float64(moved))
+	if loop != nil {
+		st := loop.Stats()
+		sn.AddGauge("rebalance_ticks", "Rebalance control-loop rounds.", float64(st.Ticks))
+		sn.AddGauge("rebalance_promotions", "Locks live-promoted into the switch.", float64(st.Promotions))
+		sn.AddGauge("rebalance_demotions", "Locks live-demoted to the servers.", float64(st.Demotions))
+		sn.AddGauge("rebalance_move_failures", "Planned moves that failed and were re-planned.", float64(st.Failures))
+	}
 	return sn
 }

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"netlock/internal/lockserver"
+	"netlock/internal/obs"
+	"netlock/internal/sharedqueue"
+	"netlock/internal/switchdp"
+)
+
+// Live region moves: unlike the drain-first protocol in Reallocate (§4.3
+// pause-and-move), these transfer a lock's occupied queue — granted bits
+// included — between switch and server in one control action, without
+// waiting for the queue to empty. The embedded manager is single-threaded,
+// so the export+import pair is atomic from the data path's point of view;
+// the UDP transport reproduces the same sequence with epoch-fenced chain
+// messages (internal/transport).
+
+// MoveReport describes one completed live move for the migration oracle:
+// which transactions held the lock and which were waiting at the instant
+// the state crossed the boundary.
+type MoveReport struct {
+	LockID uint32
+	// ToSwitch is the move direction: true for promotion.
+	ToSwitch bool
+	Granted  []uint64
+	Waiting  []uint64
+}
+
+// Entries returns the number of migrated requests.
+func (r *MoveReport) Entries() int { return len(r.Granted) + len(r.Waiting) }
+
+// MoveToServer live-demotes a resident lock to its home server: the
+// switch's queue state is exported (evicting the lock), converted, and
+// installed at the server with granted flags preserved; overflow requests
+// the server buffered while the lock was resident replay behind it. The
+// returned emits (q2-replay grants) must be delivered by the caller.
+func (m *Manager) MoveToServer(id uint32) (MoveReport, []lockserver.Emit, error) {
+	rep := MoveReport{LockID: id}
+	srv := m.servers[m.ServerFor(id)]
+	if srv.CtrlOwns(id) {
+		return rep, nil, fmt.Errorf("core: lock %d already server-owned", id)
+	}
+	ex, err := m.sw.CtrlExportLock(id)
+	if err != nil {
+		return rep, nil, err
+	}
+	for b, iv := range m.regionsByLock[id] {
+		m.allocators[b].release(iv)
+	}
+	delete(m.regionsByLock, id)
+	delete(m.slotsByLock, id)
+	banks := make([][]lockserver.ExportEntry, len(ex.Slots))
+	for b, slots := range ex.Slots {
+		for _, s := range slots {
+			h, lease, granted := switchdp.EntryFromSlot(id, b, s)
+			banks[b] = append(banks[b], lockserver.ExportEntry{Hdr: h, LeaseNs: lease, Granted: granted})
+			if granted {
+				rep.Granted = append(rep.Granted, s.TxnID)
+			} else {
+				rep.Waiting = append(rep.Waiting, s.TxnID)
+			}
+		}
+	}
+	emits, err := srv.CtrlImportLock(id, banks)
+	if err != nil {
+		// Unreachable with the ownership pre-check above; fail loudly rather
+		// than silently dropping holder state.
+		panic(fmt.Sprintf("core: live demote of lock %d lost state: %v", id, err))
+	}
+	return rep, emits, nil
+}
+
+// MoveToSwitch live-promotes a server-owned lock into the switch with the
+// given slot count: the server's queues are exported (releasing ownership)
+// and installed literally in freshly reserved regions. The allocation is
+// widened if the live queue is deeper than requested, so the occupied state
+// always fits. On capacity failure the state is re-imported at the server
+// and the move reports an error; nothing is lost either way.
+func (m *Manager) MoveToSwitch(id uint32, slots uint64) (MoveReport, error) {
+	rep := MoveReport{LockID: id, ToSwitch: true}
+	if m.sw.CtrlHasLock(id) {
+		return rep, fmt.Errorf("core: lock %d already switch-resident", id)
+	}
+	if m.sw.CtrlFreeEntries() == 0 {
+		return rep, fmt.Errorf("core: %w: lock table full", ErrNoCapacity)
+	}
+	srv := m.servers[m.ServerFor(id)]
+	ex, err := srv.CtrlExportLock(id)
+	if err != nil {
+		return rep, err
+	}
+	rollback := func() {
+		if _, rerr := srv.CtrlImportLock(id, ex.Banks); rerr != nil {
+			panic(fmt.Sprintf("core: live promote rollback of lock %d lost state: %v", id, rerr))
+		}
+	}
+	banks := len(m.allocators)
+	if slots < uint64(banks) {
+		slots = uint64(banks)
+	}
+	per := slots / uint64(banks)
+	extra := slots % uint64(banks)
+	sizes := make([]uint64, banks)
+	for b := range sizes {
+		sizes[b] = per
+		if uint64(b) < extra {
+			sizes[b]++
+		}
+		if b < len(ex.Banks) && uint64(len(ex.Banks[b])) > sizes[b] {
+			sizes[b] = uint64(len(ex.Banks[b]))
+		}
+	}
+	ivs, ok := m.reserve(sizes)
+	if !ok {
+		m.Compact()
+		if ivs, ok = m.reserve(sizes); !ok {
+			rollback()
+			return rep, fmt.Errorf("core: %w: queue memory exhausted for lock %d", ErrNoCapacity, id)
+		}
+	}
+	regions := make([]switchdp.Region, banks)
+	slotBanks := make([][]sharedqueue.Slot, banks)
+	for b, iv := range ivs {
+		regions[b] = switchdp.Region{Left: iv.Left, Right: iv.Right}
+		if b >= len(ex.Banks) {
+			continue
+		}
+		for _, e := range ex.Banks[b] {
+			slotBanks[b] = append(slotBanks[b], switchdp.SlotFromEntry(e.Hdr, e.LeaseNs, e.Granted, b))
+			if e.Granted {
+				rep.Granted = append(rep.Granted, e.Hdr.TxnID)
+			} else {
+				rep.Waiting = append(rep.Waiting, e.Hdr.TxnID)
+			}
+		}
+	}
+	if err := m.sw.CtrlImportLock(id, regions, slotBanks); err != nil {
+		for b, iv := range ivs {
+			m.allocators[b].release(iv)
+		}
+		rollback()
+		return rep, err
+	}
+	total := uint64(0)
+	for _, sz := range sizes {
+		total += sz
+	}
+	m.regionsByLock[id] = ivs
+	m.slotsByLock[id] = total
+	return rep, nil
+}
+
+// Placement returns the resident locks and their allocated slot counts — the
+// "current" input to memalloc.Resolve.
+func (m *Manager) Placement() map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(m.slotsByLock))
+	for id, s := range m.slotsByLock {
+		out[id] = s
+	}
+	return out
+}
+
+// SwitchCapacity returns the total shared-queue slots across all banks.
+func (m *Manager) SwitchCapacity() uint64 {
+	return uint64(m.sw.BankSlots()) * uint64(len(m.allocators))
+}
+
+// AddServer grows the rack by one lock server and rebalances the static
+// partition: every lock whose RSSCore home changes under the new server
+// count migrates — live, queue state intact — to its new home, overflow
+// residue included. Returns the new server's index and any q2-replay emits
+// to deliver.
+func (m *Manager) AddServer() (int, []lockserver.Emit) {
+	m.servers = append(m.servers, lockserver.New(m.cfg.ServerConfig))
+	idx := len(m.servers) - 1
+	var emits []lockserver.Emit
+	for i, src := range m.servers[:idx] {
+		for _, id := range src.CtrlOwnedLocks() {
+			if home := m.ServerFor(id); home != i {
+				ex, err := src.CtrlExportLock(id)
+				if err != nil {
+					continue
+				}
+				es, err := m.servers[home].CtrlImportLock(id, ex.Banks)
+				if err != nil {
+					panic(fmt.Sprintf("core: rehash of lock %d lost state: %v", id, err))
+				}
+				emits = append(emits, es...)
+			}
+		}
+		for _, id := range src.CtrlOverflowLocks() {
+			if home := m.ServerFor(id); home != i {
+				m.servers[home].CtrlImportOverflow(id, src.CtrlExportOverflow(id))
+			}
+		}
+	}
+	return idx, emits
+}
+
+// DrainServer live-evacuates a server for decommissioning: the victim stops
+// adopting new locks (draining mode redirects unknown-lock requests with
+// OpReject+FlagMoved), every owned lock's queue state moves to the target,
+// overflow residue follows, and finally the victim's partition is
+// redirected. Ordering matters: state moves before the routing flip, so a
+// request racing the drain either reaches the victim (served or redirected)
+// or the target (state already there).
+func (m *Manager) DrainServer(victim, target int) ([]lockserver.Emit, error) {
+	if victim == target {
+		return nil, fmt.Errorf("core: drain target must differ from victim")
+	}
+	if m.ServerForIndex(target) == victim {
+		return nil, fmt.Errorf("core: drain target resolves back to the victim")
+	}
+	src, dst := m.servers[victim], m.servers[target]
+	src.CtrlSetDraining(true)
+	var emits []lockserver.Emit
+	for _, id := range src.CtrlOwnedLocks() {
+		ex, err := src.CtrlExportLock(id)
+		if err != nil {
+			continue
+		}
+		es, err := dst.CtrlImportLock(id, ex.Banks)
+		if err != nil {
+			panic(fmt.Sprintf("core: drain of lock %d lost state: %v", id, err))
+		}
+		emits = append(emits, es...)
+	}
+	for _, id := range src.CtrlOverflowLocks() {
+		dst.CtrlImportOverflow(id, src.CtrlExportOverflow(id))
+	}
+	if m.serverRedirect == nil {
+		m.serverRedirect = make(map[int]int)
+	}
+	m.serverRedirect[victim] = target
+	m.noteFailover(obs.FailoverServer)
+	return emits, nil
+}

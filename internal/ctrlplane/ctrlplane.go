@@ -30,6 +30,17 @@ type Controller struct {
 	servers     []*transport.Server
 	epoch       uint64
 	meterAtHead bool
+
+	// regions tracks every switch-resident lock's queue regions (one per
+	// bank). The controller is the only region allocator on a live rack —
+	// InstallLock and the live-move entry points (migrate.go) keep it
+	// current — so free-space scans for promotions read it instead of the
+	// data planes.
+	regions map[uint32][]switchdp.Region
+	// redirect maps a drained server's index to the server that absorbed
+	// its locks; ServerIndexFor follows the chain. Mirrors the send-side
+	// redirect installed on every chain member.
+	redirect map[int]int
 }
 
 // NewController wires members (head first) into a chain at epoch 1 and
@@ -44,6 +55,8 @@ func NewController(members []*transport.Switch, servers []*transport.Server, met
 		servers:     append([]*transport.Server(nil), servers...),
 		epoch:       1,
 		meterAtHead: meterAtHead && len(members) > 1,
+		regions:     make(map[uint32][]switchdp.Region),
+		redirect:    make(map[int]int),
 	}
 	if c.meterAtHead {
 		// Quota decisions consult the wall clock, so replicas metering
@@ -185,8 +198,9 @@ func (c *Controller) InstallLock(lockID uint32, regions []switchdp.Region) error
 	if err != nil {
 		return err
 	}
+	c.regions[lockID] = append([]switchdp.Region(nil), regions...)
 	if len(c.servers) > 0 {
-		srv := c.servers[lockserver.RSSCore(lockID, len(c.servers))]
+		srv := c.servers[c.serverIndexForLocked(lockID)]
 		srv.WithLockServer(func(ls *lockserver.Server) {
 			err = ls.CtrlReleaseOwnership(lockID)
 		})

@@ -1,0 +1,39 @@
+package ctrlplane
+
+import (
+	"netlock/internal/memalloc"
+	"netlock/internal/rebalance"
+)
+
+// mover adapts the Controller's live-migration surface to rebalance.Mover,
+// so the same online rebalance loop that drives the embedded Manager's
+// shards drives a UDP rack: demand measured from the chain head and the
+// servers, moves executed as epoch-fenced chain migrations.
+type mover struct{ c *Controller }
+
+// Mover returns the rebalance.Mover view of this controller. The loop
+// serializes its own calls; the controller's mutex serializes them against
+// other control-plane operations (drains, failovers, installs).
+func (c *Controller) Mover() rebalance.Mover { return mover{c} }
+
+func (m mover) MeasureDemands(windowSec float64) []memalloc.Demand {
+	return m.c.MeasureDemands(windowSec)
+}
+
+func (m mover) Placement() map[uint32]uint64 { return m.c.Placement() }
+
+func (m mover) SwitchCapacity() uint64 { return m.c.SwitchCapacity() }
+
+func (m mover) MoveToSwitch(lockID uint32, slots uint64) (rebalance.Report, error) {
+	rep, err := m.c.MoveToSwitch(lockID, slots)
+	return rebalance.Report{
+		LockID: rep.LockID, ToSwitch: true, Granted: rep.Granted, Waiting: rep.Waiting,
+	}, err
+}
+
+func (m mover) MoveToServer(lockID uint32) (rebalance.Report, error) {
+	rep, err := m.c.MoveToServer(lockID)
+	return rebalance.Report{
+		LockID: rep.LockID, ToSwitch: false, Granted: rep.Granted, Waiting: rep.Waiting,
+	}, err
+}

@@ -73,6 +73,11 @@ type Topology struct {
 	switches []*transport.Switch
 	servers  []*transport.Server
 	clients  []*transport.Client
+
+	// listen and serverCfg are kept so AddServer can start new lock
+	// servers identical to the originals.
+	listen    string
+	serverCfg lockserver.Config
 }
 
 // New builds and starts a rack. On error everything already started is
@@ -105,6 +110,7 @@ func New(cfg Config) (*Topology, error) {
 	if listen == "" {
 		listen = "127.0.0.1:0"
 	}
+	t.listen, t.serverCfg = listen, cfg.Server
 	fail := func(err error) (*Topology, error) {
 		t.Close()
 		return nil, err
@@ -217,6 +223,30 @@ func (t *Topology) Net() transport.Network { return t.net }
 // Chaos returns the rack's chaos network, or nil when the rack runs on
 // real UDP or an externally supplied Network.
 func (t *Topology) Chaos() *transport.ChaosNet { return t.cn }
+
+// AddServer starts a new lock server on the rack's fabric and hands it to
+// the controller, which migrates the rehashed partition onto it and flips
+// routing. Returns the new server's index.
+func (t *Topology) AddServer() (int, error) {
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Listen: t.listen, Config: t.serverCfg, Net: t.net,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if t.cn != nil {
+		if err := t.cn.MarkReliable(srv.Addr()); err != nil {
+			srv.Close()
+			return 0, err
+		}
+	}
+	if err := t.ctrl.AddServer(srv); err != nil {
+		srv.Close()
+		return 0, err
+	}
+	t.servers = append(t.servers, srv)
+	return len(t.servers) - 1, nil
+}
 
 // FailServer closes lock server i in place (its address stays in the
 // switches' forwarding tables — the rack behaves as if the node died).

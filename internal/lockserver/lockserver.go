@@ -143,6 +143,10 @@ type Server struct {
 	locks map[uint32]*lockObj
 	emits []Emit
 	stats Stats
+	// draining marks a server being emptied by the rebalancer: requests for
+	// locks it does not own are rejected with OpReject+FlagMoved instead of
+	// adopted or buffered (see CtrlSetDraining).
+	draining bool
 }
 
 // Stats counts server activity for the experiment breakdowns.
@@ -172,6 +176,10 @@ type Stats struct {
 	// already applied. The switch re-forwards a release for as long as
 	// its dedup entry is alive, so duplicates are expected no-ops.
 	DupReleases uint64
+	// MovedRejects counts requests rejected with FlagMoved because this
+	// server is draining and does not own the lock: the client re-resolves
+	// through the switch and retries.
+	MovedRejects uint64
 }
 
 // New creates a lock server.
@@ -216,6 +224,18 @@ func (s *Server) bankFor(p uint8) int {
 
 func (s *Server) emit(a Action, h wire.Header) {
 	s.emits = append(s.emits, Emit{Action: a, Hdr: h})
+}
+
+// rejectMoved bounces a request with the "moved" redirect: this server is
+// draining and does not (or must not come to) own the lock. The client
+// retries immediately through the switch rather than backing off.
+func (s *Server) rejectMoved(h *wire.Header) {
+	s.stats.MovedRejects++
+	r := *h
+	r.Op = wire.OpReject
+	r.Flags &^= wire.FlagOverflow | wire.FlagBounced
+	r.Flags |= wire.FlagMoved
+	s.emit(ActReject, r)
 }
 
 // reject bounces a request off a full bounded buffer (Config.MaxBuffer).
@@ -298,6 +318,12 @@ func (s *Server) dedup(lo *lockObj, h *wire.Header) bool {
 // forwarding converges.
 func (s *Server) acquire(h *wire.Header) {
 	s.stats.Acquires++
+	if s.draining {
+		if lo, ok := s.locks[h.LockID]; !ok || !lo.owned {
+			s.rejectMoved(h)
+			return
+		}
+	}
 	lo := s.lock(h.LockID)
 	if !lo.owned {
 		s.stats.ForwardedToSwitch++
@@ -495,6 +521,14 @@ func (s *Server) observeQueueWait(e *entry) {
 // lock: buffer it in q2, or bounce it if the server believes overflow mode
 // has ended (see the package comment for the race this closes).
 func (s *Server) bufferOverflow(h *wire.Header) {
+	if s.draining {
+		// A draining server must not accumulate new overflow state: the
+		// buffered request would be stranded when routing flips to the
+		// drain target. The moved reject sends the client back through the
+		// switch, which re-resolves once the redirect is installed.
+		s.rejectMoved(h)
+		return
+	}
 	lo, existed := s.locks[h.LockID]
 	if !existed {
 		// First contact via an overflow mark: the mark is authoritative

@@ -68,10 +68,23 @@ func (p Plan) SwitchSlotsUsed() uint64 {
 func Knapsack(demands []Demand, capacity uint64) Plan {
 	ds := make([]Demand, len(demands))
 	copy(ds, demands)
-	sort.SliceStable(ds, func(i, j int) bool {
-		return value(ds[i]) > value(ds[j])
-	})
+	sortByValue(ds)
 	return assign(ds, capacity)
+}
+
+// sortByValue orders demands by decreasing per-slot worth, breaking ties by
+// ascending lock ID. The tie-break matters: equal-score demands otherwise
+// keep input order, which depends on map iteration upstream, and a placement
+// decision that differs between two runs of the same seed breaks seed-replay
+// of the scenario sweeps.
+func sortByValue(ds []Demand) {
+	sort.Slice(ds, func(i, j int) bool {
+		vi, vj := value(ds[i]), value(ds[j])
+		if vi != vj {
+			return vi > vj
+		}
+		return ds[i].LockID < ds[j].LockID
+	})
 }
 
 // value is the per-slot worth r_i/c_i of a demand.
@@ -110,6 +123,135 @@ func assign(ds []Demand, capacity uint64) Plan {
 		plan.GuaranteedRate += d.Rate * float64(s) / float64(d.Contention)
 	}
 	return plan
+}
+
+// Move is one placement change produced by Resolve: promote a lock into
+// switch memory with Slots slots, or demote it back to the lock servers.
+type Move struct {
+	LockID  uint32
+	Promote bool
+	// Slots is the switch allocation after a promotion; zero for demotions.
+	Slots uint64
+}
+
+// Resolve computes an incremental step from the current placement toward
+// the knapsack optimum, bounded by a move budget — the re-solve a live
+// rebalancer runs each control round, where moving every lock at once
+// would stall traffic. current maps resident lock IDs to their switch slot
+// counts. At most budget moves are returned, demotions ordered before the
+// promotions they make room for; each is safe to apply one at a time with
+// live traffic in between. The returned Plan describes the placement after
+// all returned moves apply (kept locks retain their current slot counts).
+//
+// Resolve is deterministic for identical inputs: candidates are ordered by
+// per-slot value with ties broken by lock ID, so 100-seed sweeps replay
+// exactly.
+func Resolve(demands []Demand, capacity uint64, current map[uint32]uint64, budget int) (Plan, []Move) {
+	target := Knapsack(demands, capacity)
+	inTarget := make(map[uint32]uint64, len(target.Switch))
+	for _, a := range target.Switch {
+		inTarget[a.LockID] = a.Slots
+	}
+	byID := make(map[uint32]Demand, len(demands))
+	for _, d := range demands {
+		byID[d.LockID] = d
+	}
+
+	// Classify: residents the target drops become demotion candidates
+	// (coldest first); target locks not yet resident become promotion
+	// candidates (hottest first, i.e. target order).
+	var used uint64
+	demoteCands := make([]Demand, 0)
+	for id, slots := range current {
+		used += slots
+		if _, keep := inTarget[id]; !keep {
+			demoteCands = append(demoteCands, byID[id]) // zero Demand (value 0) if unmeasured
+			demoteCands[len(demoteCands)-1].LockID = id
+		}
+	}
+	sortByValue(demoteCands)
+	// Reverse: demote the least valuable residents first.
+	for i, j := 0, len(demoteCands)-1; i < j; i, j = i+1, j-1 {
+		demoteCands[i], demoteCands[j] = demoteCands[j], demoteCands[i]
+	}
+	var promoteCands []Allocation
+	for _, a := range target.Switch {
+		if _, resident := current[a.LockID]; !resident {
+			promoteCands = append(promoteCands, a)
+		}
+	}
+
+	var moves []Move
+	free := uint64(0)
+	if capacity > used {
+		free = capacity - used
+	}
+	demoted := make(map[uint32]bool)
+	di := 0
+	for _, p := range promoteCands {
+		if len(moves) >= budget {
+			break
+		}
+		// Make room by demoting cold residents, still within budget (the
+		// promotion itself needs one slot of budget too).
+		for free < p.Slots && di < len(demoteCands) && len(moves)+1 < budget {
+			d := demoteCands[di]
+			di++
+			moves = append(moves, Move{LockID: d.LockID})
+			demoted[d.LockID] = true
+			free += current[d.LockID]
+		}
+		if free < p.Slots {
+			break // cannot make room within this round's budget
+		}
+		moves = append(moves, Move{LockID: p.LockID, Promote: true, Slots: p.Slots})
+		free -= p.Slots
+	}
+	// Leftover budget: retire remaining cold residents.
+	for ; di < len(demoteCands) && len(moves) < budget; di++ {
+		d := demoteCands[di]
+		moves = append(moves, Move{LockID: d.LockID})
+		demoted[d.LockID] = true
+	}
+
+	// Describe the placement after the moves apply.
+	final := make(map[uint32]uint64, len(current))
+	for id, slots := range current {
+		if !demoted[id] {
+			final[id] = slots
+		}
+	}
+	for _, m := range moves {
+		if m.Promote {
+			final[m.LockID] = m.Slots
+		}
+	}
+	var plan Plan
+	ds := make([]Demand, len(demands))
+	copy(ds, demands)
+	sortByValue(ds)
+	for _, d := range ds {
+		if slots, ok := final[d.LockID]; ok {
+			plan.Switch = append(plan.Switch, Allocation{LockID: d.LockID, Slots: slots})
+			delete(final, d.LockID)
+		} else {
+			plan.Server = append(plan.Server, d.LockID)
+		}
+	}
+	// Residents with no demand entry still belong to the plan.
+	for id, slots := range final {
+		plan.Switch = append(plan.Switch, Allocation{LockID: id, Slots: slots})
+	}
+	sort.Slice(plan.Switch[len(plan.Switch)-len(final):], func(i, j int) bool {
+		tail := plan.Switch[len(plan.Switch)-len(final):]
+		return tail[i].LockID < tail[j].LockID
+	})
+	alloc := make(map[uint32]uint64, len(plan.Switch))
+	for _, a := range plan.Switch {
+		alloc[a.LockID] = a.Slots
+	}
+	plan.GuaranteedRate = Objective(demands, alloc)
+	return plan, moves
 }
 
 // Objective evaluates Σ r_i·s_i/c_i for an arbitrary allocation against the

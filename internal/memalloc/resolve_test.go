@@ -1,0 +1,189 @@
+package memalloc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Equal-score demands must produce the identical plan regardless of input
+// order. The upstream demand list is assembled from a map, so without the
+// lock-ID tie-break the placement of same-value locks would depend on map
+// iteration order and seed-replay of scenario sweeps would diverge.
+func TestKnapsackDeterministicUnderTies(t *testing.T) {
+	base := []Demand{
+		{LockID: 7, Rate: 100, Contention: 4},
+		{LockID: 3, Rate: 100, Contention: 4},
+		{LockID: 9, Rate: 100, Contention: 4},
+		{LockID: 1, Rate: 100, Contention: 4},
+		{LockID: 5, Rate: 50, Contention: 2}, // same value 25 as the rest
+	}
+	want := Knapsack(base, 10) // only 2.5 locks fit: placement must still be stable
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		ds := make([]Demand, len(base))
+		copy(ds, base)
+		rng.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+		got := Knapsack(ds, 10)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: shuffled input changed plan:\n got %+v\nwant %+v", trial, got, want)
+		}
+	}
+	// Ties resolve to ascending lock IDs.
+	for i := 1; i < len(want.Switch); i++ {
+		if want.Switch[i-1].LockID >= want.Switch[i].LockID {
+			t.Fatalf("tied allocations not in lock-ID order: %+v", want.Switch)
+		}
+	}
+}
+
+func TestResolveEmptyCurrentMatchesKnapsack(t *testing.T) {
+	demands := []Demand{
+		{LockID: 1, Rate: 90, Contention: 3},
+		{LockID: 2, Rate: 40, Contention: 2},
+		{LockID: 3, Rate: 10, Contention: 5},
+	}
+	plan, moves := Resolve(demands, 5, nil, 100)
+	want := Knapsack(demands, 5)
+	if !reflect.DeepEqual(plan.Switch, want.Switch) {
+		t.Fatalf("plan %+v, want %+v", plan.Switch, want.Switch)
+	}
+	if len(moves) != len(want.Switch) {
+		t.Fatalf("%d moves for a cold start, want %d", len(moves), len(want.Switch))
+	}
+	for _, m := range moves {
+		if !m.Promote {
+			t.Fatalf("cold start produced a demotion: %+v", m)
+		}
+	}
+}
+
+func TestResolveNoopWhenOptimal(t *testing.T) {
+	demands := []Demand{
+		{LockID: 1, Rate: 90, Contention: 3},
+		{LockID: 2, Rate: 40, Contention: 2},
+	}
+	current := map[uint32]uint64{1: 3, 2: 2}
+	plan, moves := Resolve(demands, 5, current, 100)
+	if len(moves) != 0 {
+		t.Fatalf("optimal placement produced moves: %+v", moves)
+	}
+	if len(plan.Switch) != 2 {
+		t.Fatalf("plan dropped resident locks: %+v", plan)
+	}
+}
+
+// A hot-set rotation: the resident lock cools down, a new lock heats up.
+// Resolve must demote the cold one before promoting the hot one so the
+// promotion always has room.
+func TestResolveDemotesBeforePromoting(t *testing.T) {
+	demands := []Demand{
+		{LockID: 1, Rate: 1, Contention: 4},   // cooled down
+		{LockID: 2, Rate: 400, Contention: 4}, // new hot lock
+	}
+	current := map[uint32]uint64{1: 4}
+	plan, moves := Resolve(demands, 4, current, 10)
+	if len(moves) != 2 {
+		t.Fatalf("moves = %+v, want demote 1 then promote 2", moves)
+	}
+	if moves[0].Promote || moves[0].LockID != 1 {
+		t.Fatalf("first move = %+v, want demotion of lock 1", moves[0])
+	}
+	if !moves[1].Promote || moves[1].LockID != 2 || moves[1].Slots != 4 {
+		t.Fatalf("second move = %+v, want promotion of lock 2 with 4 slots", moves[1])
+	}
+	if len(plan.Switch) != 1 || plan.Switch[0].LockID != 2 {
+		t.Fatalf("final plan = %+v", plan.Switch)
+	}
+}
+
+// The budget caps moves per round; a too-small budget must not emit a
+// demotion whose paired promotion cannot fit in the same round (that would
+// leave the switch needlessly empty), but leftover budget may retire cold
+// residents.
+func TestResolveRespectsBudget(t *testing.T) {
+	demands := []Demand{
+		{LockID: 1, Rate: 1, Contention: 4},
+		{LockID: 2, Rate: 1, Contention: 4},
+		{LockID: 3, Rate: 400, Contention: 8},
+	}
+	current := map[uint32]uint64{1: 4, 2: 4}
+
+	// Budget 1: promoting 3 needs both residents demoted (2 moves) plus the
+	// promotion — impossible. The single move must be a demotion (progress
+	// toward the target), never a half-prepared state beyond budget.
+	_, moves := Resolve(demands, 8, current, 1)
+	if len(moves) != 1 || moves[0].Promote {
+		t.Fatalf("budget-1 moves = %+v, want one demotion", moves)
+	}
+
+	// Budget 3: demote 1, demote 2, promote 3.
+	plan, moves := Resolve(demands, 8, current, 3)
+	if len(moves) != 3 {
+		t.Fatalf("budget-3 moves = %+v", moves)
+	}
+	if moves[0].Promote || moves[1].Promote || !moves[2].Promote {
+		t.Fatalf("move order = %+v, want demote, demote, promote", moves)
+	}
+	if moves[2].LockID != 3 || moves[2].Slots != 8 {
+		t.Fatalf("promotion = %+v", moves[2])
+	}
+	if len(plan.Switch) != 1 || plan.Switch[0].LockID != 3 {
+		t.Fatalf("final plan = %+v", plan.Switch)
+	}
+}
+
+// Residents with no demand entry (cooled off the measurement window
+// entirely) are the coldest candidates and are demoted first.
+func TestResolveDemotesUnmeasuredResidents(t *testing.T) {
+	demands := []Demand{
+		{LockID: 2, Rate: 100, Contention: 2},
+	}
+	current := map[uint32]uint64{9: 4} // lock 9 no longer measured
+	plan, moves := Resolve(demands, 4, current, 10)
+	if len(moves) != 2 {
+		t.Fatalf("moves = %+v", moves)
+	}
+	if moves[0].Promote || moves[0].LockID != 9 {
+		t.Fatalf("first move = %+v, want demotion of unmeasured lock 9", moves[0])
+	}
+	if !moves[1].Promote || moves[1].LockID != 2 {
+		t.Fatalf("second move = %+v", moves[1])
+	}
+	if len(plan.Switch) != 1 || plan.Switch[0].LockID != 2 {
+		t.Fatalf("final plan = %+v", plan.Switch)
+	}
+}
+
+// Resolve is deterministic across shuffled demand input and map-ordered
+// current placement, byte for byte — the property the rebalancer's
+// seed-replay depends on.
+func TestResolveDeterministic(t *testing.T) {
+	base := []Demand{
+		{LockID: 4, Rate: 100, Contention: 4},
+		{LockID: 2, Rate: 100, Contention: 4},
+		{LockID: 8, Rate: 100, Contention: 4},
+		{LockID: 6, Rate: 100, Contention: 4},
+		{LockID: 1, Rate: 3, Contention: 3},
+		{LockID: 3, Rate: 3, Contention: 3},
+	}
+	current := map[uint32]uint64{1: 3, 3: 3, 6: 4}
+	wantPlan, wantMoves := Resolve(base, 11, current, 3)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ds := make([]Demand, len(base))
+		copy(ds, base)
+		rng.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+		cur := map[uint32]uint64{}
+		for k, v := range current {
+			cur[k] = v
+		}
+		plan, moves := Resolve(ds, 11, cur, 3)
+		if !reflect.DeepEqual(moves, wantMoves) {
+			t.Fatalf("trial %d: moves %+v, want %+v", trial, moves, wantMoves)
+		}
+		if !reflect.DeepEqual(plan, wantPlan) {
+			t.Fatalf("trial %d: plan %+v, want %+v", trial, plan, wantPlan)
+		}
+	}
+}

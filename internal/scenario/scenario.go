@@ -101,6 +101,7 @@ func All() []Scenario {
 		{Name: "readers", Run: runReaders},
 		{Name: "tenants", Run: runTenants},
 		{Name: "failover", Run: runFailoverScenario},
+		{Name: "rebalance", Run: runRebalance},
 	}
 }
 

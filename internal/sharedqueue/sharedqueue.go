@@ -383,6 +383,44 @@ func (q *Queues) CtrlReadSlot(g int) Slot {
 	return s
 }
 
+// CtrlWriteSlot stores s at global slot index g from the control plane —
+// the write half of CtrlReadSlot, used when installing migrated queue state.
+func (q *Queues) CtrlWriteSlot(g int, s Slot) {
+	b := q.block(g)
+	off := g - q.bounds[b]
+	q.planeMeta[b].CtrlWrite(off, packMeta(s))
+	q.planeTxn[b].CtrlWrite(off, s.TxnID)
+	q.planeLease[b].CtrlWrite(off, uint64(s.LeaseNs))
+}
+
+// CtrlLoadQueue assigns the region [left, right) to queue qi and installs
+// slots as its contents in FIFO order — the inverse of CtrlQueueSlots, used
+// to import a migrated lock's queue without replaying its requests through
+// the grant logic (replay would re-decide grants and can diverge from the
+// exporter's decisions). Counters are derived from the slots: occupancy and
+// tail from the slot count, the exclusive counter from exclusive slots, the
+// waiting counter from never-granted slots, and head from zero.
+func (q *Queues) CtrlLoadQueue(qi int, left, right uint64, slots []Slot) {
+	if uint64(len(slots)) > right-left {
+		panic(fmt.Sprintf("sharedqueue: %d slots exceed region [%d,%d)", len(slots), left, right))
+	}
+	q.CtrlSetRegion(qi, left, right)
+	var excl, wait uint64
+	for k, s := range slots {
+		q.CtrlWriteSlot(SlotIndex(left, right-left, uint64(k)), s)
+		if s.Exclusive {
+			excl++
+		}
+		if !s.Granted {
+			wait++
+		}
+	}
+	q.count.CtrlWrite(qi, uint64(len(slots)))
+	q.excl.CtrlWrite(qi, excl)
+	q.wait.CtrlWrite(qi, wait)
+	q.tail.CtrlWrite(qi, uint64(len(slots)))
+}
+
 // CtrlQueueSlots returns the occupied slots of queue qi in FIFO order,
 // head first — used when draining a queue to move a lock.
 func (q *Queues) CtrlQueueSlots(qi int) []Slot {

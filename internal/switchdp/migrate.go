@@ -1,0 +1,182 @@
+package switchdp
+
+import (
+	"fmt"
+
+	"netlock/internal/sharedqueue"
+	"netlock/internal/wire"
+)
+
+// Live-migration control operations: export a resident lock's full queue
+// state (for a demotion to a lock server) and import one (for a promotion
+// from a lock server), both without replaying requests through the grant
+// logic. Replay is not an option: grant decisions depend on arrival order
+// relative to state that no longer exists (e.g. a high-priority exclusive
+// that arrived after a lower-priority shared was granted would be granted
+// on replay — a double grant). The queue state is therefore moved
+// literally, granted bits included, and the counters are reconstructed
+// from it (see sharedqueue.CtrlLoadQueue).
+
+// LockExport is the complete migratable state of one resident lock: the
+// per-bank region bounds and the occupied slots of every bank in FIFO
+// order, granted prefix first.
+type LockExport struct {
+	LockID  uint32
+	Regions []Region
+	// Slots holds each bank's occupied slots head-first. Slot.Granted
+	// distinguishes holders from waiters; Slot.LeaseNs is an absolute
+	// expiry on the exporter's clock and must be rebased by the importer.
+	Slots [][]sharedqueue.Slot
+}
+
+// Entries returns the total number of occupied slots across banks.
+func (e *LockExport) Entries() int {
+	n := 0
+	for _, s := range e.Slots {
+		n += len(s)
+	}
+	return n
+}
+
+// CtrlExportLock snapshots a resident lock's queue state and evicts the
+// lock from the switch in one control-plane step. Unlike CtrlRemoveLock it
+// does not require the queues to be drained — the occupied slots ARE the
+// export. After it returns, requests for the lock take the not-resident
+// path (forwarded to the lock server), so the caller must deliver the
+// export to the server before or while those forwards arrive; the server's
+// queue-merge dedups the overlap.
+func (sw *Switch) CtrlExportLock(lockID uint32) (LockExport, error) {
+	qiRaw, ok := sw.lockTable.Lookup(lockID)
+	if !ok {
+		return LockExport{}, fmt.Errorf("switchdp: lock %d not installed", lockID)
+	}
+	qi := int(qiRaw)
+	ex := LockExport{LockID: lockID}
+	for b := range sw.banks {
+		st := sw.banks[b].CtrlState(qi)
+		ex.Regions = append(ex.Regions, Region{Left: st.Left, Right: st.Right})
+		ex.Slots = append(ex.Slots, sw.banks[b].CtrlQueueSlots(qi))
+	}
+	// Evict: clear every per-lock register so the table entry is clean for
+	// the next install, then free the index.
+	if err := sw.lockTable.CtrlDel(lockID); err != nil {
+		return LockExport{}, err
+	}
+	for b := range sw.banks {
+		sw.banks[b].CtrlSetRegion(qi, 0, 0)
+		sw.ovf[b].CtrlWrite(qi, 0)
+	}
+	sw.hold.CtrlWrite(qi, 0)
+	sw.cmax.CtrlWrite(qi, 0)
+	sw.reqCounter.CtrlClear(qi)
+	sw.lockIDs[qi] = 0
+	sw.freeIdx = append(sw.freeIdx, qi)
+	return ex, nil
+}
+
+// CtrlHasTxn reports whether a resident lock's queues already hold an
+// entry for txnID, in any bank, granted or waiting. The chain uses it to
+// drop duplicate re-entries: a client retransmit re-forwarded to the lock
+// server across a server-to-switch move bounces back here with the
+// server's dedup state already exported — without this check the bounce
+// would claim a second slot for the same request (a ghost holder whose
+// grant is undeliverable and whose release never comes). Pure read of
+// replicated state, so every chain member decides identically.
+func (sw *Switch) CtrlHasTxn(lockID uint32, txnID uint64) bool {
+	if txnID == wire.TxnNone {
+		return false
+	}
+	qiRaw, ok := sw.lockTable.Lookup(lockID)
+	if !ok {
+		return false
+	}
+	qi := int(qiRaw)
+	for b := range sw.banks {
+		for _, s := range sw.banks[b].CtrlQueueSlots(qi) {
+			if s.TxnID == txnID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SlotFromEntry converts a migrated acquire-shaped header into the switch's
+// queue-slot representation for import into a bank. Note the slot carries no
+// client port: grants for migrated entries route through the transport's
+// pending table, which is keyed by (lock, txn) and survives the move.
+func SlotFromEntry(h wire.Header, lease int64, granted bool, bank int) sharedqueue.Slot {
+	return sharedqueue.Slot{
+		Exclusive: h.Mode == wire.Exclusive,
+		OneRTT:    h.Flags&wire.FlagOneRTT != 0,
+		Granted:   granted,
+		Tenant:    h.TenantID,
+		Priority:  uint8(bank),
+		ClientIP:  u32FromIP(&h),
+		TxnID:     h.TxnID,
+		LeaseNs:   lease,
+	}
+}
+
+// EntryFromSlot converts a switch queue slot back into the acquire-shaped
+// header plus lease and granted flag used by server-side import and the
+// migrate wire records.
+func EntryFromSlot(lockID uint32, bank int, s sharedqueue.Slot) (wire.Header, int64, bool) {
+	h := wire.Header{
+		Op:       wire.OpAcquire,
+		Mode:     wire.Shared,
+		LockID:   lockID,
+		TxnID:    s.TxnID,
+		ClientIP: ipFromU32(s.ClientIP),
+		TenantID: s.Tenant,
+		Priority: uint8(bank),
+	}
+	if s.Exclusive {
+		h.Mode = wire.Exclusive
+	}
+	if s.OneRTT {
+		h.Flags = wire.FlagOneRTT
+	}
+	return h, s.LeaseNs, s.Granted
+}
+
+// CtrlImportLock makes a lock switch-resident with pre-existing queue
+// state: regions are assigned per bank and slots installed literally
+// (granted bits, modes, leases), with occupancy/exclusive/waiting/hold
+// counters reconstructed. slots[b] must fit regions[b]; lease expiries
+// must already be rebased to this switch's clock by the caller.
+func (sw *Switch) CtrlImportLock(lockID uint32, regions []Region, slots [][]sharedqueue.Slot) error {
+	if len(slots) != len(sw.banks) {
+		return fmt.Errorf("switchdp: got %d slot banks for %d priority banks", len(slots), len(sw.banks))
+	}
+	for b, r := range regions {
+		if uint64(len(slots[b])) > r.Size() {
+			return fmt.Errorf("switchdp: bank %d: %d entries exceed region [%d,%d)",
+				b, len(slots[b]), r.Left, r.Right)
+		}
+	}
+	if err := sw.CtrlInstallLock(lockID, regions); err != nil {
+		return err
+	}
+	qiRaw, _ := sw.lockTable.Lookup(lockID)
+	qi := int(qiRaw)
+	var held uint64
+	var heldExcl bool
+	for b := range sw.banks {
+		sw.banks[b].CtrlLoadQueue(qi, regions[b].Left, regions[b].Right, slots[b])
+		for _, s := range slots[b] {
+			if s.Granted {
+				held++
+				if s.Exclusive {
+					heldExcl = true
+				}
+			}
+		}
+	}
+	hold := held
+	if heldExcl {
+		hold |= holdExclBit
+	}
+	sw.hold.CtrlWrite(qi, hold)
+	return nil
+}

@@ -304,6 +304,9 @@ func (sw *Switch) Pipeline() *p4sim.Pipeline { return sw.pipe }
 // BankSlots returns the slot capacity of each priority bank.
 func (sw *Switch) BankSlots() int { return sw.banks[0].TotalSlots() }
 
+// Banks returns the number of priority banks.
+func (sw *Switch) Banks() int { return len(sw.banks) }
+
 // bankFor clamps a wire priority to a bank index.
 func (sw *Switch) bankFor(prio uint8) int {
 	if int(prio) >= len(sw.banks) {

@@ -67,8 +67,8 @@ type Client struct {
 	// them outside the lock.
 	failovers []failoverEvent
 	nextTxn   uint64
-	acquires map[pendKey]*AsyncAcquire
-	releases map[pendKey]*Grant
+	acquires  map[pendKey]*AsyncAcquire
+	releases  map[pendKey]*Grant
 	// grants holds delivered, unreleased grants so a duplicated grant
 	// datagram is distinguishable from a grant for an abandoned op.
 	grants map[pendKey]*Grant
@@ -779,6 +779,15 @@ func (c *Client) handleOp(h *wire.Header, doneAcq []*AsyncAcquire, doneRel []*Gr
 		c.autoRelease(h, key)
 	case wire.OpReject:
 		if a, ok := c.acquires[key]; ok {
+			if h.Flags&wire.FlagMoved != 0 {
+				// The lock's owner moved mid-request (a rebalancer drain):
+				// not a failure. Retry immediately through the switch, which
+				// routes to the new owner once the flip completes; the
+				// acquire's deadline still bounds the loop.
+				a.lastSend = time.Now()
+				c.enqueueOp(&a.hdr)
+				return doneAcq, doneRel
+			}
 			delete(c.acquires, key)
 			a.g = nil
 			a.err = rejectErr(h, key.lock)

@@ -89,6 +89,21 @@ type Switch struct {
 	doneNext int
 	eg       *egress
 
+	// serverRoute redirects a drained (or failed) server's partition index
+	// to its replacement; serverFor follows the chain. Routing is
+	// send-side-only state: members may briefly disagree during a flip
+	// without diverging, because only the tail's sends are visible.
+	serverRoute map[int]int
+	// migStage accumulates a promote's sequenced state records (MigBegin …
+	// MigEntry) per lock until MigCommit installs them; part of the
+	// replicated apply path, so every member stages identically.
+	migStage map[uint32]*migStaging
+	// migDemoted / migErr hand the last applyMigrate result on THIS member
+	// back to the head-side entry points (sequence() applies locally and
+	// synchronously under s.mu).
+	migDemoted *switchdp.LockExport
+	migErr     error
+
 	// chain is the replication role (see chain.go). NewSwitch initializes
 	// a single-member chain — head and tail at epoch 0 — which behaves
 	// exactly like an unreplicated switch.
@@ -178,6 +193,7 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 		pending:    make(map[pendKey]pendingReq),
 		granted:    make(map[pendKey]grantEntry),
 		relPending: make(map[pendKey]netip.AddrPort),
+		migStage:   make(map[uint32]*migStaging),
 		done:       make(map[pendKey]struct{}),
 		doneRing:   make([]pendKey, doneWindow),
 		flushEvery: cfg.EgressFlush,
@@ -352,7 +368,65 @@ func (s *Switch) Close() error {
 }
 
 func (s *Switch) serverFor(lockID uint32) netip.AddrPort {
-	return s.servers[lockserver.RSSCore(lockID, len(s.servers))]
+	i := lockserver.RSSCore(lockID, len(s.servers))
+	for {
+		next, ok := s.serverRoute[i]
+		if !ok {
+			return s.servers[i]
+		}
+		i = next
+	}
+}
+
+// SetServerRedirect reroutes partition victim to target, following any
+// existing redirects from target. The controller flips routing only after
+// the victim's lock state has moved, so a redirected request always finds
+// its lock at the target.
+func (s *Switch) SetServerRedirect(victim, target int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if victim < 0 || victim >= len(s.servers) || target < 0 || target >= len(s.servers) {
+		return fmt.Errorf("transport: redirect %d -> %d out of range", victim, target)
+	}
+	if s.serverRoute == nil {
+		s.serverRoute = make(map[int]int)
+	}
+	// Refuse cycles: the target must not resolve back to the victim.
+	i := target
+	for {
+		next, ok := s.serverRoute[i]
+		if !ok {
+			break
+		}
+		if next == victim {
+			return fmt.Errorf("transport: redirect %d -> %d would cycle", victim, target)
+		}
+		i = next
+	}
+	s.serverRoute[victim] = target
+	return nil
+}
+
+// AddServerAddr appends a lock server to this switch's partition table.
+// Growing the table changes RSSCore homes for existing locks, so the
+// controller migrates affected lock state first and flips every member's
+// table last.
+func (s *Switch) AddServerAddr(addr string) error {
+	ap, err := resolveAddrPort(addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve server addr %q: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.servers = append(s.servers, ap)
+	s.mu.Unlock()
+	return nil
+}
+
+// NumServers returns the size of the switch's partition table.
+func (s *Switch) NumServers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.servers)
 }
 
 func (s *Switch) fromServer(ap netip.AddrPort) bool {
@@ -435,6 +509,12 @@ func (s *Switch) handleOp(h *wire.Header, from netip.AddrPort) {
 // sequences everything that does mutate replicated state. Caller holds
 // s.mu.
 func (s *Switch) headIngress(origin wire.ChainOrigin, h *wire.Header, from netip.AddrPort) {
+	if h.Op == wire.OpMigrate {
+		// Migrate records enter the stream only through the head-side move
+		// entry points (MigrateDemoteLock / MigratePromoteLock); an external
+		// OpMigrate datagram is spoofed or corrupt.
+		return
+	}
 	if origin == wire.OriginClient {
 		switch h.Op {
 		case wire.OpAcquire:
@@ -550,6 +630,8 @@ func (s *Switch) headRelease(h *wire.Header, from netip.AddrPort) {
 func (s *Switch) applyOp(origin wire.ChainOrigin, h *wire.Header) {
 	key := pendKey{h.LockID, h.TxnID}
 	switch h.Op {
+	case wire.OpMigrate:
+		s.applyMigrate(h)
 	case wire.OpGrant, wire.OpReject, wire.OpFetch:
 		// Passthrough from a lock server toward the client.
 		s.deliverToClient(h)
@@ -568,7 +650,13 @@ func (s *Switch) applyOp(origin wire.ChainOrigin, h *wire.Header) {
 		if origin != wire.OriginClient || h.Flags&wire.FlagOverflow != 0 {
 			// Server-originated (a request bounced across a lock move) or
 			// overflow-marked: the pending entry for the original client,
-			// if any, must not be rewritten.
+			// if any, must not be rewritten. A bounce whose txn the data
+			// plane already queues is a retransmit that crossed a
+			// server-to-switch move (the server's dedup state was exported
+			// with the lock); admitting it would enqueue a ghost duplicate.
+			if s.dp.CtrlHasTxn(h.LockID, h.TxnID) {
+				return
+			}
 			s.process(h)
 			return
 		}
@@ -577,6 +665,21 @@ func (s *Switch) applyOp(origin wire.ChainOrigin, h *wire.Header) {
 			p.sentNs = s.now()
 		}
 		s.pending[key] = p
+		s.process(h)
+	case wire.OpPush:
+		// Same ghost-duplicate guard for the overflow replay path: a
+		// retransmit can sit in a server's q2 while its original migrates
+		// into the switch, and the later push would double-queue it. A
+		// final push's clear-overflow side effect must survive the drop,
+		// so it is replayed in its pure control form (TxnNone).
+		if s.dp.CtrlHasTxn(h.LockID, h.TxnID) {
+			if h.Flags&wire.FlagOverflow != 0 {
+				cl := *h
+				cl.TxnID = wire.TxnNone
+				s.process(&cl)
+			}
+			return
+		}
 		s.process(h)
 	default:
 		s.process(h)
@@ -603,9 +706,25 @@ func (s *Switch) markDone(key pendKey) {
 func (s *Switch) applyRelease(origin wire.ChainOrigin, h *wire.Header, key pendKey) {
 	switch origin {
 	case wire.OriginServer:
-		// Bounced across a server-to-switch move: the data plane owns
-		// the lock now. In-rack links are reliable, so this is not a
-		// duplicate.
+		// Bounced across a server-to-switch move: the data plane owns the
+		// lock now. In-rack links are reliable, but the bounce can still be
+		// a duplicate: a release retransmit re-sequenced while the lock was
+		// server-owned puts two copies in flight, and when a promote's
+		// export lands between them the post-export server has no queue
+		// state left to deduplicate with — it bounces both. The data plane
+		// releases by queue head, not by transaction (§4.2), so the second
+		// copy would dequeue whoever holds the lock now. Admit a bounce
+		// only if the releasing transaction is actually queued here;
+		// otherwise its hold is already gone — finish idempotently.
+		if s.dp.CtrlHasLock(h.LockID) && !s.dp.CtrlHasTxn(h.LockID, h.TxnID) {
+			delete(s.granted, key)
+			s.markDone(key)
+			if to, ok := s.relPending[key]; ok {
+				delete(s.relPending, key)
+				s.ackReleaseTail(h, to)
+			}
+			return
+		}
 		if s.processRelease(h, key) {
 			return // forwarded onward again; ack still pending
 		}

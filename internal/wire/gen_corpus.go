@@ -86,6 +86,36 @@ func main() {
 
 	writeCorpus(dir, entries)
 	writeCorpus(filepath.Join("testdata", "fuzz", "FuzzBatchDecode"), batchEntries(base))
+	writeCorpus(filepath.Join("testdata", "fuzz", "FuzzMigrateDecode"), migrateEntries(base))
+}
+
+// migrateEntries builds the FuzzMigrateDecode seed corpus: one well-formed
+// record per kind plus one malformed variant per ParseMigrate check.
+func migrateEntries(base wire.Header) map[string][]byte {
+	entry := base
+	entry.Op = wire.OpAcquire
+	entry.Flags = wire.FlagOneRTT
+	entries := map[string][]byte{}
+	add := func(name string, h wire.Header) { entries[name] = h.Marshal() }
+	add("demote", wire.MigrateDemote(0xDEADBEEF))
+	add("begin", wire.MigrateBegin(0xDEADBEEF, 123456789))
+	add("region-bank0", wire.MigrateRegionRec(0xDEADBEEF, 0, 0, 16))
+	add("region-bank3", wire.MigrateRegionRec(0xDEADBEEF, 3, 48, 64))
+	add("entry-granted", wire.MigrateEntry(&entry, true))
+	add("entry-waiter", wire.MigrateEntry(&entry, false))
+	add("commit", wire.MigrateCommit(0xDEADBEEF, 2))
+
+	mut := func(h wire.Header, f func(*wire.Header)) wire.Header { f(&h); return h }
+	add("kind-zero", mut(wire.MigrateDemote(1), func(h *wire.Header) { h.Flags = 0 }))
+	add("kind-over-max", mut(wire.MigrateDemote(1), func(h *wire.Header) { h.Flags = 7 << 4 }))
+	add("demote-stray-txn", mut(wire.MigrateDemote(1), func(h *wire.Header) { h.TxnID = 9 }))
+	add("begin-stray-priority", mut(wire.MigrateBegin(1, 5), func(h *wire.Header) { h.Priority = 1 }))
+	add("region-empty", mut(wire.MigrateRegionRec(1, 0, 4, 8), func(h *wire.Header) { h.TxnID = 4<<32 | 4 }))
+	add("entry-txn-none", mut(wire.MigrateEntry(&entry, false), func(h *wire.Header) { h.TxnID = wire.TxnNone }))
+	add("entry-overflow-flag", mut(wire.MigrateEntry(&entry, true), func(h *wire.Header) { h.Flags |= wire.FlagOverflow }))
+	add("commit-count-wide", mut(wire.MigrateCommit(1, 1), func(h *wire.Header) { h.TxnID = 1 << 32 }))
+	entries["truncated"] = entries["demote"][:wire.HeaderLen/2]
+	return entries
 }
 
 // batchEntries builds the FuzzBatchDecode seed corpus: frames of several

@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Live-migration records (OpMigrate).
+//
+// A region move transfers one lock's queue state — per-bank region bounds
+// plus every granted/waiting entry in FIFO order — between the switch chain
+// and a lock server without stopping traffic. The transfer is a stream of
+// OpMigrate headers, each a self-contained 32-byte record that rides the
+// chain's sequenced op log and the batch frames unchanged:
+//
+//	demote                          (directive: chain exports lock → server)
+//	begin  → region* → entry* → commit   (the exported state itself)
+//
+// The record kind is packed into the upper flag bits (bits 4-6); bit 7
+// marks a granted entry. The lower flag bits keep their normal meaning on
+// entry records (FlagOneRTT survives a move) and must be clear elsewhere.
+// Field packing per kind:
+//
+//	demote  LockID
+//	begin   LockID, LeaseNs = exporter clock (leases are rebased on import)
+//	region  LockID, Priority = bank, TxnID = left<<32 | right
+//	entry   the original request header (Mode, TxnID, ClientIP, ClientPort,
+//	        TenantID, Priority, LeaseNs, FlagOneRTT) + granted bit
+//	commit  LockID, TxnID = entry count
+//
+// ParseMigrate validates strictly: every field a kind does not carry must
+// be zero, so parse∘encode is the identity on accepted records and the
+// fuzz target (FuzzMigrateDecode) can round-trip every accepted header.
+
+// MigrateKind discriminates OpMigrate records.
+type MigrateKind uint8
+
+const (
+	// MigDemote directs the switch chain to export a resident lock and
+	// stream its state to the owning lock server. It is sequenced through
+	// the chain so every member evicts deterministically at the same point
+	// in the op stream; only the tail emits the resulting state records.
+	MigDemote MigrateKind = iota + 1
+	// MigBegin opens a lock's state stream. LeaseNs carries the exporter's
+	// clock at export time so the importer can rebase absolute lease
+	// expiries onto its own clock (expiry - base + now).
+	MigBegin
+	// MigRegion declares the queue region bounds for one priority bank.
+	// One region record per bank, in bank order, before any entries.
+	MigRegion
+	// MigEntry transfers one queued request, granted bit included. Entries
+	// arrive in FIFO order per (bank): granted prefix first, then waiters.
+	MigEntry
+	// MigCommit closes the stream; TxnID carries the entry count so the
+	// importer can detect a torn transfer before installing anything.
+	MigCommit
+)
+
+var migKindNames = map[MigrateKind]string{
+	MigDemote: "demote",
+	MigBegin:  "begin",
+	MigRegion: "region",
+	MigEntry:  "entry",
+	MigCommit: "commit",
+}
+
+// String returns the lowercase record kind name.
+func (k MigrateKind) String() string {
+	if s, ok := migKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("mig-kind(%d)", uint8(k))
+}
+
+const (
+	migKindShift       = 4
+	migKindBits  Flags = 7 << migKindShift
+	// FlagMigGranted marks a MigEntry record as a granted holder (as
+	// opposed to a waiter). Meaningful only on OpMigrate entry records.
+	FlagMigGranted Flags = 1 << 7
+)
+
+// MigrateKindOf classifies a header: the record kind for OpMigrate headers,
+// 0 for everything else (including malformed kind bits — use ParseMigrate
+// for validation).
+func MigrateKindOf(h *Header) MigrateKind {
+	if h.Op != OpMigrate {
+		return 0
+	}
+	return MigrateKind((h.Flags & migKindBits) >> migKindShift)
+}
+
+// Errors returned by ParseMigrate.
+var (
+	ErrNotMigrate     = errors.New("wire: header is not an OpMigrate record")
+	ErrMigrateKind    = errors.New("wire: undefined migrate record kind")
+	ErrMigrateFlags   = errors.New("wire: invalid flags for migrate record kind")
+	ErrMigrateField   = errors.New("wire: nonzero field unused by migrate record kind")
+	ErrMigrateRegion  = errors.New("wire: empty migrate region")
+	ErrMigrateTxn     = errors.New("wire: migrate entry carries TxnNone")
+	ErrMigrateCount   = errors.New("wire: migrate commit count out of range")
+	ErrMigrateEntryOp = errors.New("wire: migrate entry header is not an acquire")
+)
+
+// zeroIPv4 is the canonical "unset" client address on migrate records that
+// carry no addressing (decode always materializes a 4-byte address).
+var zeroIPv4 = netip.AddrFrom4([4]byte{})
+
+// MigrateRecord is the decoded view of one OpMigrate header. Only the
+// fields for the record's Kind are meaningful; the rest are zero.
+type MigrateRecord struct {
+	Kind   MigrateKind
+	LockID uint32
+	// BaseNs is the exporter's clock at export time (MigBegin).
+	BaseNs int64
+	// Bank, Left, Right are the per-bank region bounds (MigRegion).
+	Bank        uint8
+	Left, Right uint32
+	// Entry is the migrated request as an acquire-shaped header, directly
+	// usable for import/replay; Granted tells holder from waiter (MigEntry).
+	Entry   Header
+	Granted bool
+	// Count is the total number of entry records in the stream (MigCommit).
+	Count uint32
+}
+
+// Header encodes the record back into an OpMigrate wire header. It is the
+// inverse of ParseMigrate for valid records.
+func (r *MigrateRecord) Header() Header {
+	kind := Flags(r.Kind) << migKindShift
+	switch r.Kind {
+	case MigBegin:
+		return Header{Op: OpMigrate, Flags: kind, LockID: r.LockID, ClientIP: zeroIPv4, LeaseNs: r.BaseNs}
+	case MigRegion:
+		return Header{
+			Op: OpMigrate, Flags: kind, LockID: r.LockID, ClientIP: zeroIPv4,
+			Priority: r.Bank, TxnID: uint64(r.Left)<<32 | uint64(r.Right),
+		}
+	case MigEntry:
+		h := r.Entry
+		h.Op = OpMigrate
+		h.LockID = r.LockID
+		h.Flags = (r.Entry.Flags & FlagOneRTT) | kind
+		if r.Granted {
+			h.Flags |= FlagMigGranted
+		}
+		return h
+	case MigCommit:
+		return Header{Op: OpMigrate, Flags: kind, LockID: r.LockID, ClientIP: zeroIPv4, TxnID: uint64(r.Count)}
+	default: // MigDemote and (unreachable) invalid kinds
+		return Header{Op: OpMigrate, Flags: kind, LockID: r.LockID, ClientIP: zeroIPv4}
+	}
+}
+
+// MigrateDemote builds the chain directive to export lockID to its server.
+func MigrateDemote(lockID uint32) Header {
+	r := MigrateRecord{Kind: MigDemote, LockID: lockID}
+	return r.Header()
+}
+
+// MigrateBegin opens a state stream for lockID; baseNs is the exporter's
+// clock at export time, used to rebase lease expiries on import.
+func MigrateBegin(lockID uint32, baseNs int64) Header {
+	r := MigrateRecord{Kind: MigBegin, LockID: lockID, BaseNs: baseNs}
+	return r.Header()
+}
+
+// MigrateRegionRec declares the [left, right) queue region for one bank.
+func MigrateRegionRec(lockID uint32, bank uint8, left, right uint32) Header {
+	r := MigrateRecord{Kind: MigRegion, LockID: lockID, Bank: bank, Left: left, Right: right}
+	return r.Header()
+}
+
+// MigrateEntry wraps one queued request. entry must be acquire-shaped (the
+// header as the client sent it, flags normalized to at most FlagOneRTT).
+func MigrateEntry(entry *Header, granted bool) Header {
+	r := MigrateRecord{Kind: MigEntry, LockID: entry.LockID, Entry: *entry, Granted: granted}
+	return r.Header()
+}
+
+// MigrateCommit closes the stream; count is the number of entry records.
+func MigrateCommit(lockID uint32, count uint32) Header {
+	r := MigrateRecord{Kind: MigCommit, LockID: lockID, Count: count}
+	return r.Header()
+}
+
+// ParseMigrate validates and decodes an OpMigrate header. Accepted records
+// re-encode to an identical header via MigrateRecord.Header.
+func ParseMigrate(h *Header) (MigrateRecord, error) {
+	var r MigrateRecord
+	if h.Op != OpMigrate {
+		return r, fmt.Errorf("%w: %s", ErrNotMigrate, h.Op)
+	}
+	kind := MigrateKind((h.Flags & migKindBits) >> migKindShift)
+	if _, ok := migKindNames[kind]; !ok {
+		return r, fmt.Errorf("%w: %d", ErrMigrateKind, kind)
+	}
+	r.Kind = kind
+	r.LockID = h.LockID
+	low := h.Flags &^ (migKindBits | FlagMigGranted)
+
+	if kind == MigEntry {
+		if low&^FlagOneRTT != 0 {
+			return r, fmt.Errorf("%w: entry flags %08b", ErrMigrateFlags, h.Flags)
+		}
+		if h.TxnID == TxnNone {
+			return r, ErrMigrateTxn
+		}
+		r.Granted = h.Flags&FlagMigGranted != 0
+		r.Entry = *h
+		r.Entry.Op = OpAcquire
+		r.Entry.Flags = low & FlagOneRTT
+		return r, nil
+	}
+
+	// All other kinds: no low flags, no granted bit, and every field the
+	// kind does not carry must be zero (strict parse keeps encode∘parse
+	// the identity, which the fuzz target depends on).
+	if low != 0 || h.Flags&FlagMigGranted != 0 {
+		return r, fmt.Errorf("%w: %s flags %08b", ErrMigrateFlags, kind, h.Flags)
+	}
+	if h.Mode != Shared || h.TenantID != 0 || h.ClientPort != 0 || h.ClientIP != zeroIPv4 {
+		return r, fmt.Errorf("%w: %s", ErrMigrateField, kind)
+	}
+	switch kind {
+	case MigDemote:
+		if h.TxnID != 0 || h.Priority != 0 || h.LeaseNs != 0 {
+			return r, fmt.Errorf("%w: demote", ErrMigrateField)
+		}
+	case MigBegin:
+		if h.TxnID != 0 || h.Priority != 0 {
+			return r, fmt.Errorf("%w: begin", ErrMigrateField)
+		}
+		r.BaseNs = h.LeaseNs
+	case MigRegion:
+		if h.LeaseNs != 0 {
+			return r, fmt.Errorf("%w: region", ErrMigrateField)
+		}
+		r.Bank = h.Priority
+		r.Left = uint32(h.TxnID >> 32)
+		r.Right = uint32(h.TxnID)
+		if r.Right <= r.Left {
+			return r, fmt.Errorf("%w: bank %d [%d, %d)", ErrMigrateRegion, r.Bank, r.Left, r.Right)
+		}
+	case MigCommit:
+		if h.Priority != 0 || h.LeaseNs != 0 {
+			return r, fmt.Errorf("%w: commit", ErrMigrateField)
+		}
+		if h.TxnID > uint64(^uint32(0)) {
+			return r, fmt.Errorf("%w: %d", ErrMigrateCount, h.TxnID)
+		}
+		r.Count = uint32(h.TxnID)
+	}
+	return r, nil
+}

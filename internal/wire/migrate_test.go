@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+func sampleEntry(i int) Header {
+	return Header{
+		Op:         OpAcquire,
+		Mode:       Mode(i % 2),
+		Flags:      FlagOneRTT * Flags(i%2),
+		LockID:     77,
+		TxnID:      uint64(9000 + i),
+		ClientIP:   netip.AddrFrom4([4]byte{10, 0, 3, byte(i + 1)}),
+		TenantID:   uint8(i),
+		Priority:   uint8(i % 4),
+		ClientPort: uint16(40000 + i),
+		LeaseNs:    int64(i) * 5_000_000,
+	}
+}
+
+// Every record kind must survive encode → wire round trip → parse intact.
+func TestMigrateRoundTrip(t *testing.T) {
+	entries := []Header{sampleEntry(0), sampleEntry(1), sampleEntry(2)}
+	records := []Header{
+		MigrateDemote(77),
+		MigrateBegin(77, 123_456_789),
+		MigrateRegionRec(77, 0, 0, 16),
+		MigrateRegionRec(77, 3, 48, 64),
+		MigrateEntry(&entries[0], true),
+		MigrateEntry(&entries[1], false),
+		MigrateEntry(&entries[2], true),
+		MigrateCommit(77, 3),
+	}
+	wantKinds := []MigrateKind{
+		MigDemote, MigBegin, MigRegion, MigRegion,
+		MigEntry, MigEntry, MigEntry, MigCommit,
+	}
+	for i, h := range records {
+		var onWire Header
+		if err := onWire.DecodeFromBytes(h.Marshal()); err != nil {
+			t.Fatalf("record %d: wire round trip: %v", i, err)
+		}
+		if got := MigrateKindOf(&onWire); got != wantKinds[i] {
+			t.Fatalf("record %d: kind %v, want %v", i, got, wantKinds[i])
+		}
+		rec, err := ParseMigrate(&onWire)
+		if err != nil {
+			t.Fatalf("record %d (%v): ParseMigrate: %v", i, wantKinds[i], err)
+		}
+		if rec.LockID != 77 {
+			t.Fatalf("record %d: lock %d", i, rec.LockID)
+		}
+		if re := rec.Header(); re != onWire {
+			t.Fatalf("record %d: re-encode mismatch:\n %v\n %v", i, &onWire, &re)
+		}
+	}
+}
+
+func TestMigrateFieldPacking(t *testing.T) {
+	if rec, err := ParseMigrate(&[]Header{MigrateBegin(5, 42)}[0]); err != nil || rec.BaseNs != 42 {
+		t.Fatalf("begin: rec=%+v err=%v", rec, err)
+	}
+	h := MigrateRegionRec(9, 2, 100, 164)
+	rec, err := ParseMigrate(&h)
+	if err != nil || rec.Bank != 2 || rec.Left != 100 || rec.Right != 164 {
+		t.Fatalf("region: rec=%+v err=%v", rec, err)
+	}
+	h = MigrateCommit(9, 7)
+	if rec, err = ParseMigrate(&h); err != nil || rec.Count != 7 {
+		t.Fatalf("commit: rec=%+v err=%v", rec, err)
+	}
+	e := sampleEntry(1)
+	h = MigrateEntry(&e, true)
+	rec, err = ParseMigrate(&h)
+	if err != nil || !rec.Granted {
+		t.Fatalf("entry: rec=%+v err=%v", rec, err)
+	}
+	// The parsed entry is acquire-shaped and byte-identical to the original
+	// request modulo the stripped migrate bits.
+	if rec.Entry != e {
+		t.Fatalf("entry not recovered:\n %v\n %v", &e, &rec.Entry)
+	}
+}
+
+// TestMigrateParseMalformed is the malformed-record table: every validation
+// branch of ParseMigrate must fire with its sentinel error.
+func TestMigrateParseMalformed(t *testing.T) {
+	entry := sampleEntry(0)
+	mut := func(h Header, f func(*Header)) Header { f(&h); return h }
+	cases := []struct {
+		name string
+		h    Header
+		want error
+	}{
+		{"not-migrate", Header{Op: OpAcquire}, ErrNotMigrate},
+		{"kind-zero", Header{Op: OpMigrate, ClientIP: zeroIPv4}, ErrMigrateKind},
+		{"kind-over-max", Header{Op: OpMigrate, Flags: 7 << migKindShift, ClientIP: zeroIPv4}, ErrMigrateKind},
+		{"demote-low-flags", mut(MigrateDemote(1), func(h *Header) { h.Flags |= FlagBounced }), ErrMigrateFlags},
+		{"demote-granted-bit", mut(MigrateDemote(1), func(h *Header) { h.Flags |= FlagMigGranted }), ErrMigrateFlags},
+		{"demote-stray-txn", mut(MigrateDemote(1), func(h *Header) { h.TxnID = 9 }), ErrMigrateField},
+		{"begin-stray-priority", mut(MigrateBegin(1, 5), func(h *Header) { h.Priority = 1 }), ErrMigrateField},
+		{"begin-stray-tenant", mut(MigrateBegin(1, 5), func(h *Header) { h.TenantID = 3 }), ErrMigrateField},
+		{"begin-stray-addr", mut(MigrateBegin(1, 5), func(h *Header) {
+			h.ClientIP = netip.AddrFrom4([4]byte{1, 2, 3, 4})
+		}), ErrMigrateField},
+		{"region-empty", mut(MigrateRegionRec(1, 0, 4, 8), func(h *Header) { h.TxnID = 4<<32 | 4 }), ErrMigrateRegion},
+		{"region-inverted", mut(MigrateRegionRec(1, 0, 4, 8), func(h *Header) { h.TxnID = 8<<32 | 4 }), ErrMigrateRegion},
+		{"region-stray-lease", mut(MigrateRegionRec(1, 0, 4, 8), func(h *Header) { h.LeaseNs = 1 }), ErrMigrateField},
+		{"entry-txn-none", mut(MigrateEntry(&entry, false), func(h *Header) { h.TxnID = TxnNone }), ErrMigrateTxn},
+		{"entry-overflow-flag", mut(MigrateEntry(&entry, false), func(h *Header) { h.Flags |= FlagOverflow }), ErrMigrateFlags},
+		{"entry-bounced-flag", mut(MigrateEntry(&entry, true), func(h *Header) { h.Flags |= FlagBounced }), ErrMigrateFlags},
+		{"commit-count-wide", mut(MigrateCommit(1, 1), func(h *Header) { h.TxnID = 1 << 32 }), ErrMigrateCount},
+		{"commit-stray-mode", mut(MigrateCommit(1, 1), func(h *Header) { h.Mode = Exclusive }), ErrMigrateField},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseMigrate(&tc.h); err == nil {
+				t.Fatalf("malformed record accepted: %v", &tc.h)
+			} else if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// Migrate records must coexist with batch frames: a full state stream packs
+// into one frame and decodes in order.
+func TestMigrateRecordsRideBatchFrames(t *testing.T) {
+	e := sampleEntry(2)
+	stream := []Header{
+		MigrateBegin(7, 1000),
+		MigrateRegionRec(7, 0, 0, 8),
+		MigrateEntry(&e, true),
+		MigrateCommit(7, 1),
+	}
+	var w BatchWriter
+	w.Reset(nil)
+	for i := range stream {
+		if !w.Append(&stream[i]) {
+			t.Fatalf("Append %d refused", i)
+		}
+	}
+	var r BatchReader
+	if err := r.Reset(w.Frame()); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	var h Header
+	for i := range stream {
+		if ok, err := r.Next(&h); !ok || err != nil {
+			t.Fatalf("Next %d: ok=%v err=%v", i, ok, err)
+		}
+		if h != stream[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+		if _, err := ParseMigrate(&h); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+}
+
+// FuzzMigrateDecode mirrors FuzzBatchDecode for OpMigrate records: arbitrary
+// bytes must never panic, and every accepted record must re-encode to the
+// identical wire header (parse∘encode is the identity). The seed corpus
+// lives in testdata/fuzz/FuzzMigrateDecode (regenerated by `go generate
+// ./internal/wire`: one record per kind plus malformed variants).
+func FuzzMigrateDecode(f *testing.F) {
+	entry := sampleEntry(0)
+	for _, h := range []Header{
+		MigrateDemote(1),
+		MigrateBegin(1, 99),
+		MigrateRegionRec(1, 1, 8, 24),
+		MigrateEntry(&entry, true),
+		MigrateEntry(&entry, false),
+		MigrateCommit(1, 2),
+	} {
+		f.Add(h.Marshal())
+	}
+	bad := MigrateDemote(1)
+	bad.TxnID = 5
+	f.Add(bad.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Header
+		if err := h.DecodeFromBytes(data); err != nil {
+			return
+		}
+		rec, err := ParseMigrate(&h)
+		if err != nil {
+			if h.Op == OpMigrate && errors.Is(err, ErrNotMigrate) {
+				t.Fatalf("ErrNotMigrate on an OpMigrate header: %v", &h)
+			}
+			return
+		}
+		re := rec.Header()
+		if re != h {
+			t.Fatalf("parse/encode not identity:\n %v\n %v", &h, &re)
+		}
+		rec2, err := ParseMigrate(&re)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if rec2 != rec {
+			t.Fatalf("records diverge:\n %+v\n %+v", rec, rec2)
+		}
+	})
+}

@@ -75,6 +75,13 @@ const (
 	// safe to drop (clients also discover the head by rotating through
 	// their configured member list on retransmit).
 	OpEpoch
+	// OpMigrate carries one record of a live lock migration between the
+	// switch chain and a lock server (promote/demote without stop-the-world).
+	// The record kind lives in the upper flag bits; see MigrateRecord for the
+	// stream grammar (begin → region* → entry* → commit) and field packing.
+	// Migrate records ride the chain's sequenced op stream and batch frames
+	// unchanged, so replays dedup by chain sequence like every other op.
+	OpMigrate
 )
 
 var opNames = map[Op]string{
@@ -87,6 +94,7 @@ var opNames = map[Op]string{
 	OpFetch:      "fetch",
 	OpReleaseAck: "release-ack",
 	OpEpoch:      "epoch",
+	OpMigrate:    "migrate",
 }
 
 // String returns the lowercase operation name.
@@ -141,6 +149,13 @@ const (
 	// race (§4.3 leaves this race unspecified; see internal/lockserver).
 	FlagBounced
 )
+
+// FlagMoved qualifies an OpReject: the addressed node no longer owns the
+// lock (server draining, or the lock moved mid-flight), so the request was
+// not dropped for capacity — the client should re-resolve the owner and
+// retry immediately rather than backing off. Meaningful only on OpReject;
+// the same upper flag bits carry the record kind on OpMigrate headers.
+const FlagMoved Flags = 1 << 4
 
 // TxnNone is the reserved transaction ID 0: an OpPush carrying TxnNone is a
 // pure control message ("overflow buffer drained, clear overflow mode")

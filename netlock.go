@@ -47,6 +47,7 @@ import (
 	"netlock/internal/lockserver"
 	"netlock/internal/obs"
 	"netlock/internal/p4sim"
+	"netlock/internal/rebalance"
 	"netlock/internal/switchdp"
 	"netlock/internal/wire"
 )
@@ -115,6 +116,21 @@ type Config struct {
 	// knapsack-allocate, migrate locks) at this period. Zero disables the
 	// automatic loop; PlacementTick can still be called manually.
 	PlacementInterval time.Duration
+	// RebalanceInterval runs the online rebalancer at this period: each
+	// tick folds the demand window into a smoothed model and executes up to
+	// RebalanceBudget live moves per shard — queue state migrating intact,
+	// no drain wait (internal/rebalance). Zero disables the automatic loop;
+	// RebalanceTick can still be called manually. The rebalancer and the
+	// placement loop consume the same demand gauges — enable one, not both.
+	RebalanceInterval time.Duration
+	// RebalanceBudget caps live moves per shard per rebalance tick
+	// (default 4).
+	RebalanceBudget int
+	// OnRebalanceMove, when set, observes every attempted live move
+	// (including the explicit MoveToSwitch/MoveToServer calls' automatic
+	// counterparts). Called synchronously from the tick; must not call back
+	// into RebalanceTick.
+	OnRebalanceMove func(RebalanceMove)
 	// Metrics enables the observability layer: per-stage latency
 	// histograms (switch pass, server queue wait, end-to-end acquire) and
 	// paper-aligned counters, striped per shard and read via
@@ -272,6 +288,10 @@ type shard struct {
 	// grow once and are then reused, keeping the hot path allocation-free.
 	swEmits  []switchdp.Emit
 	srvEmits []lockserver.Emit
+
+	// rebal is this shard's online rebalance loop (netlock_rebalance.go);
+	// it holds its own mutex and takes sh.mu per mover call.
+	rebal *rebalance.Loop
 }
 
 type waiterKey struct {
@@ -334,6 +354,11 @@ func New(cfg Config) *Manager {
 	if cfg.PlacementInterval > 0 {
 		m.wg.Add(1)
 		go m.placementLoop()
+	}
+	m.initRebalance()
+	if cfg.RebalanceInterval > 0 {
+		m.wg.Add(1)
+		go m.rebalanceLoop()
 	}
 	return m
 }
@@ -725,8 +750,11 @@ func addServerStats(dst *lockserver.Stats, s lockserver.Stats) {
 // Stats returns a snapshot of the instance's counters, aggregated across
 // shards under the stop-the-shards barrier (a consistent cut).
 func (m *Manager) Stats() Stats {
-	st := Stats{Servers: make([]lockserver.Stats, m.cfg.Servers)}
+	var st Stats
 	m.lockAll()
+	// Sized under the barrier: AddServer mutates the server count while
+	// holding all shard mutexes.
+	st.Servers = make([]lockserver.Stats, m.cfg.Servers)
 	for _, sh := range m.shards {
 		addSwitchStats(&st.Switch, sh.mgr.Switch().Stats())
 		st.SwitchResidentLocks += len(sh.mgr.Switch().CtrlResidentLocks())

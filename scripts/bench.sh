@@ -12,6 +12,9 @@
 #   scripts/bench.sh failover            # head-kill recovery: 3-member chain
 #                                        #   vs single switch -> BENCH_failover.json
 #   scripts/bench.sh failover -quick     # shorter failover measurement
+#   scripts/bench.sh rebalance           # hot-set drift: static placement vs
+#                                        #   the online rebalancer -> BENCH_rebalance.json
+#   scripts/bench.sh rebalance -quick    # shorter drift measurement
 #
 # The default mode runs the embedded hot-path benchmarks (serial, parallel
 # disjoint/contended, sharded vs single-mutex baseline) plus the simulated
@@ -38,6 +41,10 @@ scenarios)
 failover)
 	shift
 	exec go run ./cmd/loadgen -failover "$@"
+	;;
+rebalance)
+	shift
+	exec go run ./cmd/loadgen -rebalance-bench "$@"
 	;;
 *)
 	exec go run ./cmd/benchrunner -embedded -quick "$@"
