@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 
 	"netlock"
 	"netlock/internal/ctrlplane"
+	"netlock/internal/fabric"
 	"netlock/internal/obs"
 	"netlock/internal/rebalance"
 	"netlock/internal/switchdp"
@@ -60,6 +62,9 @@ func main() {
 	report := flag.Duration("report", time.Second, "live readout interval (0 disables)")
 	compare := flag.Bool("compare", false, "run batched vs unbatched back to back and emit a JSON report")
 	rebalanceBench := flag.Bool("rebalance-bench", false, "measure hot-set drift with static placement vs the online rebalancer and emit a JSON report")
+	multirackBench := flag.Bool("multirack-bench", false, "measure a 1-rack vs -racks fabric on the same workload and emit a JSON report")
+	flag.IntVar(&cfg.racks, "racks", 1, "self-host a multi-rack fabric with this many racks (1: plain single rack; -multirack-bench defaults to 4)")
+	flag.IntVar(&cfg.shards, "shards", 64, "fabric shard-map granularity (with -racks > 1)")
 	out := flag.String("out", "", "JSON output path for -compare/-workload ('-' for stdout)")
 	quick := flag.Bool("quick", false, "shorter -compare run")
 	failover := flag.Bool("failover", false, "measure head-failure recovery on a 3-member chain vs a single-switch baseline and emit a JSON report")
@@ -67,7 +72,21 @@ func main() {
 	plane := flag.String("plane", "both", "scenario plane: embedded, udp, or both")
 	seed := flag.Int64("seed", 1, "scenario seed (replays a failing run)")
 	short := flag.Bool("short", false, "CI-sized scenario configuration")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *workload != "" {
 		path := *out
@@ -103,6 +122,17 @@ func main() {
 		}
 		return
 	}
+	if *multirackBench {
+		path := *out
+		if path == "" {
+			path = "BENCH_multirack.json"
+		}
+		if err := runMultirackBench(cfg, path, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *rebalanceBench {
 		path := *out
 		if path == "" {
@@ -126,6 +156,8 @@ type loadConfig struct {
 	switchAddr      string
 	chain           int
 	servers         int
+	racks           int
+	shards          int
 	locks           int
 	slotsPerLock    uint64
 	clients         int
@@ -190,10 +222,19 @@ func nextPow2(n int) int {
 }
 
 // runLoad executes one measured run against cfg's rack (self-hosted when
-// switchAddr is empty) and returns the aggregate result.
+// switchAddr is empty; a fabric of cfg.racks racks when racks > 1) and
+// returns the aggregate result.
 func runLoad(cfg loadConfig, report time.Duration) (result, error) {
 	var tp *ctrlplane.Topology
-	if cfg.switchAddr == "" {
+	var fab *fabric.Fabric
+	if cfg.switchAddr == "" && cfg.racks > 1 {
+		var err error
+		fab, _, err = selfHostFabric(cfg, cfg.racks, cfg.shards)
+		if err != nil {
+			return result{}, err
+		}
+		defer fab.Close()
+	} else if cfg.switchAddr == "" {
 		var err error
 		tp, err = selfHost(cfg)
 		if err != nil {
@@ -229,7 +270,9 @@ func runLoad(cfg loadConfig, report time.Duration) (result, error) {
 		}
 		var c *transport.Client
 		var err error
-		if tp != nil {
+		if fab != nil {
+			c, err = fab.NewClient(ccfg)
+		} else if tp != nil {
 			c, err = tp.NewClient(ccfg)
 		} else {
 			// External rack: -switch lists the chain members head first.

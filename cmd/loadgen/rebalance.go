@@ -173,16 +173,13 @@ func runDriftLeg(cfg loadConfig, hotN int, rebalanced bool) (driftResult, error)
 
 	var loop *rebalance.Loop
 	if rebalanced {
-		// MinSlots matches the static leg's per-lock slot budget so the
-		// comparison isolates placement policy. The planner's default floor
-		// (8) sizes regions at measured peak concurrency, which leaves a
-		// saturated hot lock no admission headroom: every extra acquire
-		// detours through the server's overflow buffer and waits for a
-		// queue-drained push notification that a busy lock rarely sends.
+		// Default sizing: the planner's SlotHeadroom keeps admission margin
+		// above measured peak concurrency, so no per-benchmark slot floor is
+		// needed to stop saturated hot locks detouring through the server
+		// overflow path.
 		loop = rebalance.New(tp.Controller().Mover(), rebalance.Config{
 			Interval: cfg.rebalanceEvery,
 			Budget:   cfg.rebalanceBudget,
-			MinSlots: cfg.slotsPerLock,
 		})
 		loop.Start()
 		defer loop.Stop()

@@ -55,7 +55,28 @@ func main() {
 	metrics := flag.String("metrics", "127.0.0.1:0", "metrics/pprof HTTP listen address (empty disables)")
 	rebalanceEvery := flag.Duration("rebalance", 0, "online lock-placement rebalance interval (0 disables the loop)")
 	rebalanceBudget := flag.Int("rebalance-budget", 0, "max live migrations per rebalance tick (0: rebalance default)")
+	fabricRacks := flag.Int("fabric", 1, "run a multi-rack fabric with this many racks (each -chain deep; 1: single rack)")
+	shards := flag.Int("shards", 64, "fabric shard-map granularity (with -fabric > 1)")
 	flag.Parse()
+
+	if *fabricRacks > 1 {
+		runFabric(fabricConfig{
+			racks:          *fabricRacks,
+			shards:         *shards,
+			chain:          *chain,
+			servers:        *servers,
+			slots:          *slots,
+			maxLocks:       *maxLocks,
+			priorities:     *priorities,
+			preinstall:     *preinstall,
+			slotsPerLock:   *slotsPerLock,
+			lease:          *lease,
+			egressFlush:    *egressFlush,
+			metrics:        *metrics,
+			rebalanceEvery: *rebalanceEvery,
+		})
+		return
+	}
 
 	// Two obs stripes: the head switch writes stripe 0 (the chain applies
 	// every op once per member; counting member 0 keeps obs equal to what

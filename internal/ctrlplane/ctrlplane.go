@@ -215,9 +215,37 @@ func (c *Controller) InstallLock(lockID uint32, regions []switchdp.Region) error
 func (c *Controller) SetTenantQuota(tenant uint8, perSec, burst float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.setTenantQuotaLocked(tenant, perSec, burst)
+}
+
+func (c *Controller) setTenantQuotaLocked(tenant uint8, perSec, burst float64) {
 	for _, m := range c.members {
 		m.WithDataPlane(func(dp *switchdp.Switch) {
 			dp.CtrlSetTenantQuota(tenant, perSec, burst)
 		})
 	}
+}
+
+// ApplyPolicy pushes a batch of per-tenant quota caps through the chain as
+// one epoch-fenced update: the whole batch is validated first, then lands
+// on every member — including the head's ingress meter — while the
+// reconfiguration lock is held, so no failover (which serializes on the
+// same lock and advances the epoch) can interleave a member between old
+// and new caps. The epoch the batch applied under is returned, so callers
+// can correlate a mid-run quota cut against their traces and obs counters.
+func (c *Controller) ApplyPolicy(quotas []TenantQuota) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, q := range quotas {
+		// The data-plane meter rejects these configurations by panicking;
+		// validate the whole batch before any member sees any of it, so a
+		// bad policy cannot land half-applied.
+		if q.PerSec < 0 || q.Burst <= 0 {
+			return c.epoch, fmt.Errorf("ctrlplane: invalid quota for tenant %d: %g/s burst %g", q.Tenant, q.PerSec, q.Burst)
+		}
+	}
+	for _, q := range quotas {
+		c.setTenantQuotaLocked(q.Tenant, q.PerSec, q.Burst)
+	}
+	return c.epoch, nil
 }

@@ -67,7 +67,11 @@ type Config struct {
 // Topology is a running rack: the switch chain, its lock servers, the
 // controller reconfiguring them, and any clients built through NewClient.
 type Topology struct {
-	cn       *transport.ChaosNet
+	cn *transport.ChaosNet
+	// ownsNet records whether New created the chaos network; a shared
+	// network (a multi-rack fabric) is drained by whoever built it, not by
+	// each rack's Close.
+	ownsNet  bool
 	net      transport.Network
 	ctrl     *Controller
 	switches []*transport.Switch
@@ -99,12 +103,21 @@ func New(cfg Config) (*Topology, error) {
 	if t.net == nil {
 		if cfg.Chaos != nil {
 			t.cn = transport.NewChaosNet(*cfg.Chaos)
+			t.ownsNet = true
 			t.net = t.cn
 			if listen == "" {
 				listen = "10.99.0.1:0"
 			}
 		} else {
 			t.net = transport.UDP
+		}
+	} else if cn, ok := t.net.(*transport.ChaosNet); ok {
+		// A rack built on a shared chaos network (a multi-rack fabric)
+		// still gets reliable in-rack links; only the network's creator
+		// drains it on teardown.
+		t.cn = cn
+		if listen == "" {
+			listen = "10.99.0.1:0"
 		}
 	}
 	if listen == "" {
@@ -270,7 +283,7 @@ func (t *Topology) Close() {
 	for _, srv := range t.servers {
 		srv.Close()
 	}
-	if t.cn != nil {
+	if t.cn != nil && t.ownsNet {
 		t.cn.Wait()
 	}
 }

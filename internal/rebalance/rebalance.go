@@ -73,6 +73,15 @@ type Config struct {
 	Headroom float64
 	// MinSlots floors a promoted lock's slot grant (default 8).
 	MinSlots uint64
+	// SlotHeadroom over-provisions every promoted lock's slot grant by
+	// this fraction above its smoothed peak contention (default 0.25;
+	// negative disables). Sizing a region at exactly the measured peak
+	// starves admission: the moment demand ticks above the last window's
+	// peak, the saturated switch queue detours every extra acquire through
+	// the server's overflow buffer, where it waits on a queue-drained push
+	// a busy lock rarely sends. The headroom keeps a margin of free slots
+	// so growth is absorbed in the switch until the next window re-sizes.
+	SlotHeadroom float64
 	// PromoteRate is the minimum smoothed request rate (req/s) for a lock
 	// to be considered for switch residency (default 10). The knapsack
 	// alone would fill leftover capacity with arbitrarily cold locks —
@@ -106,6 +115,11 @@ func (c *Config) withDefaults() Config {
 	if out.MinSlots == 0 {
 		out.MinSlots = 8
 	}
+	if out.SlotHeadroom == 0 {
+		out.SlotHeadroom = 0.25
+	} else if out.SlotHeadroom < 0 {
+		out.SlotHeadroom = 0
+	}
 	if out.PromoteRate == 0 {
 		out.PromoteRate = 10
 	}
@@ -127,22 +141,24 @@ type Stats struct {
 // the same window sequence yields the same plans (memalloc breaks score
 // ties by lock ID). Not safe for concurrent use; the Loop serializes.
 type Planner struct {
-	alpha       float64
-	headroom    float64
-	minSlots    uint64
-	promoteRate float64
-	ewma        map[uint32]memalloc.Demand
+	alpha        float64
+	headroom     float64
+	minSlots     uint64
+	slotHeadroom float64
+	promoteRate  float64
+	ewma         map[uint32]memalloc.Demand
 }
 
 // NewPlanner builds a planner with cfg's smoothing parameters.
 func NewPlanner(cfg Config) *Planner {
 	c := cfg.withDefaults()
 	return &Planner{
-		alpha:       c.Alpha,
-		headroom:    c.Headroom,
-		minSlots:    c.MinSlots,
-		promoteRate: c.PromoteRate,
-		ewma:        make(map[uint32]memalloc.Demand),
+		alpha:        c.Alpha,
+		headroom:     c.Headroom,
+		minSlots:     c.MinSlots,
+		slotHeadroom: c.SlotHeadroom,
+		promoteRate:  c.PromoteRate,
+		ewma:         make(map[uint32]memalloc.Demand),
 	}
 }
 
@@ -181,6 +197,20 @@ func (p *Planner) Observe(window []memalloc.Demand) {
 	}
 }
 
+// padSlots widens a contention gauge by the admission-headroom fraction,
+// rounding up so any non-zero headroom grants at least one spare slot.
+func padSlots(contention uint64, headroom float64) uint64 {
+	if headroom <= 0 || contention == 0 {
+		return contention
+	}
+	v := float64(contention) * (1 + headroom)
+	n := uint64(v)
+	if float64(n) < v {
+		n++
+	}
+	return n
+}
+
 // smooth EWMA-blends an integer gauge, rounding up so a single busy
 // window registers immediately while decay still reaches zero.
 func smooth(alpha float64, sample, old uint64) uint64 {
@@ -192,10 +222,10 @@ func smooth(alpha float64, sample, old uint64) uint64 {
 	return n
 }
 
-// Demands returns the smoothed demand set, ascending by lock ID.
-// Contention is floored at MinSlots here — before the knapsack — so slot
-// grants and capacity accounting agree (a post-hoc floor would hand out
-// more slots than the plan reserved).
+// Demands returns the smoothed demand set, ascending by lock ID. The
+// admission headroom and the MinSlots floor are applied here — before the
+// knapsack — so slot grants and capacity accounting agree (a post-hoc
+// adjustment would hand out more slots than the plan reserved).
 func (p *Planner) Demands() []memalloc.Demand {
 	out := make([]memalloc.Demand, 0, len(p.ewma))
 	for _, d := range p.ewma {
@@ -204,6 +234,7 @@ func (p *Planner) Demands() []memalloc.Demand {
 			// absence from the demand set makes it a demote candidate.
 			continue
 		}
+		d.Contention = padSlots(d.Contention, p.slotHeadroom)
 		if d.Contention < p.minSlots {
 			d.Contention = p.minSlots
 		}

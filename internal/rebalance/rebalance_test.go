@@ -235,3 +235,29 @@ func TestPlannerDecayDropsSilentLocks(t *testing.T) {
 		}
 	}
 }
+
+// TestSlotHeadroom: promoted locks are granted spare slots above measured
+// peak contention, so demand growth is absorbed in the switch instead of
+// detouring through the server overflow path (admission starvation).
+func TestSlotHeadroom(t *testing.T) {
+	p := NewPlanner(Config{Alpha: 1, MinSlots: 1})
+	p.Observe(window(memalloc.Demand{LockID: 3, Rate: 1000, Contention: 8}))
+	ds := p.Demands()
+	if len(ds) != 1 || ds[0].Contention != 10 { // ceil(8 * 1.25)
+		t.Fatalf("demands = %+v, want lock 3 at 10 slots (measured 8 + default headroom)", ds)
+	}
+
+	// Any non-zero headroom grants at least one spare slot.
+	p = NewPlanner(Config{Alpha: 1, MinSlots: 1, SlotHeadroom: 0.01})
+	p.Observe(window(memalloc.Demand{LockID: 3, Rate: 1000, Contention: 2}))
+	if ds := p.Demands(); ds[0].Contention != 3 {
+		t.Fatalf("contention = %d, want 3 (2 + one spare slot)", ds[0].Contention)
+	}
+
+	// Negative disables; the MinSlots floor still applies after padding.
+	p = NewPlanner(Config{Alpha: 1, MinSlots: 8, SlotHeadroom: -1})
+	p.Observe(window(memalloc.Demand{LockID: 3, Rate: 1000, Contention: 2}))
+	if ds := p.Demands(); ds[0].Contention != 8 {
+		t.Fatalf("contention = %d, want the MinSlots floor 8", ds[0].Contention)
+	}
+}

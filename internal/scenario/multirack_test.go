@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"testing"
+
+	"netlock/internal/check"
+)
+
+// TestMultirackSweep is the multirack acceptance sweep: the scenario's
+// oracles (check per-lock trace, no lock live in two racks across the
+// re-home, every transaction commits through the rack-head kill) must
+// hold across 100 seeds on both a 2-rack and a 4-rack fabric. -short
+// trims the sweep for inner loops; a failure replays with -netlock.seed.
+func TestMultirackSweep(t *testing.T) {
+	n := 100
+	if testing.Short() {
+		n = 8
+	}
+	var seeds []int64
+	if s, ok := check.ReplaySeed(); ok {
+		seeds = []int64{s}
+	} else {
+		for i := 0; i < n; i++ {
+			seeds = append(seeds, int64(i+1))
+		}
+	}
+	legs := []struct {
+		name  string
+		plane string
+		chaos bool
+	}{
+		{"2rack", "embedded", false},
+		{"4rack-chaos", "udp", true},
+	}
+	for _, leg := range legs {
+		leg := leg
+		t.Run(leg.name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				sum, err := runMultirack(Config{Seed: seed, Plane: leg.plane, Chaos: leg.chaos, Short: true})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if sum.Ops == 0 {
+					t.Fatalf("seed %d: vacuous run", seed)
+				}
+			}
+		})
+	}
+}

@@ -102,6 +102,7 @@ func All() []Scenario {
 		{Name: "tenants", Run: runTenants},
 		{Name: "failover", Run: runFailoverScenario},
 		{Name: "rebalance", Run: runRebalance},
+		{Name: "multirack", Run: runMultirack},
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netlock"
@@ -15,12 +16,17 @@ import (
 
 // runTenants stresses per-tenant isolation: one worker per tenant over a
 // disjoint lock range (so every grant is immediate and throughput is
-// limited only by the meter), with the first two tenants capped at a
+// limited only by the meter), with the first two wire tenants capped at a
 // tight quota and everyone else effectively uncapped. Capped tenants must
 // observe quota rejects; uncapped tenants must observe none — a capped
 // tenant's pressure may not leak into a neighbour's admission. On the
 // embedded plane the obs per-tenant grant counters must agree exactly
 // with the trace recorder's per-tenant counts.
+//
+// The full-size embedded run storms 1024 workers — four times the wire
+// header's uint8 tenant space — folded 4:1 onto the 256 wire tenant IDs.
+// Counters aggregate per wire ID, so the obs-vs-trace equality stays
+// exact through the fold. -short keeps the historical 8-tenant size.
 //
 // Note the p4sim meter rejects tenants with no configured cell, so with
 // Isolation on every tenant — including "uncapped" ones — needs an
@@ -32,16 +38,23 @@ func runTenants(cfg Config) (*Summary, error) {
 	// milliseconds, so its cap must sit well under the achievable rate or
 	// the meter never fires.
 	cappedRate, cappedBurst := 2000.0, 10.0
-	tenants := 32
-	opsPer := 400
+	tenants := 1024
+	opsPer := 200
 	if cfg.Short {
 		tenants = 8
 		opsPer = 120
 	}
 	if cfg.Plane == "udp" {
 		tenants = 8
-		opsPer /= 2
+		opsPer = 60
 		cappedRate, cappedBurst = 50.0, 5.0
+	}
+
+	// Workers beyond the wire header's uint8 tenant space fold onto it
+	// 4:1; all per-tenant accounting below is per wire ID.
+	wireTenants := tenants
+	if wireTenants > obs.NumTenants {
+		wireTenants = obs.NumTenants
 	}
 
 	pc := PlaneConfig{
@@ -61,7 +74,7 @@ func runTenants(cfg Config) (*Summary, error) {
 		Servers: 2,
 		Server:  lockserver.Config{},
 	}
-	for t := 0; t < tenants; t++ {
+	for t := 0; t < wireTenants; t++ {
 		q := TenantQuota{Tenant: uint8(t), PerSec: 1e9, Burst: 1e6}
 		if t < nCapped {
 			q.PerSec, q.Burst = cappedRate, cappedBurst
@@ -79,36 +92,39 @@ func runTenants(cfg Config) (*Summary, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	rejects := make([]int, tenants)
-	grants := make([]int, tenants)
+	// Per wire-tenant counters: workers folding onto one wire ID share a
+	// slot, so the adds are atomic.
+	rejects := make([]int64, wireTenants)
+	grants := make([]int64, wireTenants)
 	start := time.Now()
 	errs := make([]error, tenants)
 	var wg sync.WaitGroup
-	for t := 0; t < tenants; t++ {
+	for w := 0; w < tenants; w++ {
 		wg.Add(1)
-		go func(t int) {
+		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed*1000 + int64(t)))
-			base := uint32(t)*100 + 1
+			t := w % wireTenants // wire tenant ID this worker folds onto
+			rng := rand.New(rand.NewSource(cfg.Seed*1000 + int64(w)))
+			base := uint32(w)*100 + 1 // lock range disjoint per WORKER
 			for i := 0; i < opsPer; i++ {
 				id := base + uint32(rng.Intn(50))
 				s := time.Now()
-				h, err := plane.Acquire(ctx, t, id, netlock.Exclusive, netlock.WithTenant(uint8(t)))
+				h, err := plane.Acquire(ctx, w, id, netlock.Exclusive, netlock.WithTenant(uint8(t)))
 				if err != nil {
 					if errors.Is(err, netlock.ErrQuotaExceeded) {
-						rejects[t]++
+						atomic.AddInt64(&rejects[t], 1)
 						continue
 					}
-					errs[t] = failf(cfg.Seed, "scenario tenants: tenant %d acquire lock %d: %v", t, id, err)
+					errs[w] = failf(cfg.Seed, "scenario tenants: worker %d (tenant %d) acquire lock %d: %v", w, t, id, err)
 					return
 				}
 				lat.add(time.Since(s))
-				grants[t]++
+				atomic.AddInt64(&grants[t], 1)
 				rec.granted(id, h.Txn(), true, 0, uint8(t))
 				rec.released(id, h.Txn(), true, 0)
 				h.Release()
 			}
-		}(t)
+		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -122,8 +138,8 @@ func runTenants(cfg Config) (*Summary, error) {
 		return nil, failf(cfg.Seed, "scenario tenants: trace: %v", v)
 	}
 
-	totalRejects, totalGrants := 0, 0
-	for t := 0; t < tenants; t++ {
+	var totalRejects, totalGrants int64
+	for t := 0; t < wireTenants; t++ {
 		totalRejects += rejects[t]
 		totalGrants += grants[t]
 		if t < nCapped {
@@ -140,13 +156,15 @@ func runTenants(cfg Config) (*Summary, error) {
 
 	if ms, ok := plane.(MetricsSource); ok {
 		if snap := ms.Metrics(); snap != nil {
-			for t := 0; t < tenants; t++ {
+			// Exact equality per wire tenant — the 4:1 worker fold
+			// aggregates on both sides, so the comparison stays exact.
+			for t := 0; t < wireTenants; t++ {
 				if got, want := snap.TenantGrants[t], rec.tenantCount(uint8(t)); got != want {
 					return nil, failf(cfg.Seed, "scenario tenants: obs counted %d grants for tenant %d, trace saw %d", got, t, want)
 				}
 			}
 			// Tenants outside the active set must stay at zero.
-			for t := tenants; t < obs.NumTenants; t++ {
+			for t := wireTenants; t < obs.NumTenants; t++ {
 				if snap.TenantGrants[t] != 0 {
 					return nil, failf(cfg.Seed, "scenario tenants: phantom grants for inactive tenant %d", t)
 				}
@@ -161,13 +179,14 @@ func runTenants(cfg Config) (*Summary, error) {
 		Seed:         cfg.Seed,
 		Chaos:        cfg.Chaos,
 		DurationSec:  elapsed.Seconds(),
-		Ops:          totalGrants,
+		Ops:          int(totalGrants),
 		Throughput:   float64(totalGrants) / elapsed.Seconds(),
 		P50us:        p50,
 		P99us:        p99,
-		QuotaRejects: totalRejects,
+		QuotaRejects: int(totalRejects),
 		Extra: map[string]float64{
 			"tenants":        float64(tenants),
+			"wire_tenants":   float64(wireTenants),
 			"capped_rejects": float64(rejects[0] + rejects[1]),
 		},
 	}, nil

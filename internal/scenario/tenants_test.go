@@ -1,0 +1,34 @@
+package scenario
+
+import (
+	"testing"
+
+	"netlock/internal/check"
+)
+
+// TestTenantsStorm runs the full-size quota storm: 1024 workers — four
+// times the wire header's uint8 tenant space — folded 4:1 onto the 256
+// wire tenant IDs on the embedded plane, with the obs-vs-trace per-tenant
+// counter equality held exactly through the fold. -short skips it; the
+// scenario matrix covers the CI-sized configuration.
+func TestTenantsStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 1024-tenant storm skipped in -short")
+	}
+	for _, seed := range check.SeedsN(1) {
+		sum, err := runTenants(Config{Seed: seed, Plane: "embedded"})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := sum.Extra["tenants"]; got != 1024 {
+			t.Fatalf("storm ran %v workers, want 1024", got)
+		}
+		if got := sum.Extra["wire_tenants"]; got != 256 {
+			t.Fatalf("storm folded onto %v wire tenants, want 256", got)
+		}
+		if sum.Ops == 0 || sum.QuotaRejects == 0 {
+			t.Fatalf("vacuous storm: %d ops, %d rejects", sum.Ops, sum.QuotaRejects)
+		}
+		t.Logf("%s", sum)
+	}
+}

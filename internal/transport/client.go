@@ -39,6 +39,15 @@ import (
 // the client re-targets and immediately retransmits everything
 // outstanding. If the head dies before any announcement arrives, the sweep
 // rotates through the remaining addresses until one redirects or answers.
+//
+// In fabric mode (ClientConfig.Fabric) the client spans several racks,
+// each its own chain: every op routes by its lock's shard through the
+// epoch-versioned shard map to the owning rack, with one egress batch
+// stream per rack multiplexed over the shared socket. A rack that no
+// longer owns a shard bounces the op with wire.OpWrongRack plus its full
+// map; the client adopts the newer epoch and re-routes everything
+// outstanding. The batched hot path is unchanged — single-rack mode is
+// just a one-rack fabric with no map.
 type Client struct {
 	conn      PacketConn
 	localIP   netip.Addr
@@ -51,18 +60,17 @@ type Client struct {
 	onFailover func(epoch uint64, head string)
 
 	mu sync.Mutex
-	// targets are the known switch addresses; cur indexes the one ops are
-	// sent to (the chain head, as far as this client knows).
-	targets []netip.AddrPort
-	cur     int
-	// epoch is the newest chain epoch seen in an OpEpoch announcement;
-	// older announcements are ignored.
-	epoch uint64
-	// lastRx is the last ingress instant; lastMove the last re-target. The
-	// sweep rotates targets when ops are outstanding but the rack has gone
-	// silent.
-	lastRx   time.Time
-	lastMove time.Time
+	// racks holds per-rack routing state: chain member addresses, the
+	// current head, the newest epoch seen, silence clocks, and the open
+	// egress batch frame. Outside a fabric there is exactly one rack.
+	racks []clientRack
+	// addrRack maps every known switch address to its rack index, so
+	// ingress datagrams are attributed to the rack that sent them.
+	addrRack map[netip.AddrPort]int
+	// smap is the client's copy of the fabric shard map; nil outside a
+	// fabric. Refreshed from the map frames that ride along OpWrongRack
+	// bounces.
+	smap *wire.ShardMap
 	// failovers stages OnFailover notifications; the read loop delivers
 	// them outside the lock.
 	failovers []failoverEvent
@@ -72,16 +80,30 @@ type Client struct {
 	// grants holds delivered, unreleased grants so a duplicated grant
 	// datagram is distinguishable from a grant for an abandoned op.
 	grants map[pendKey]*Grant
-	bw     wire.BatchWriter
-	bstore []byte
 	// scratch encodes bare headers when MaxBatch == 1.
 	scratch [wire.HeaderLen]byte
+	// rackOut is sweep scratch: per-rack outstanding-op counts.
+	rackOut []int
 
 	acqPool   sync.Pool
 	grantPool sync.Pool
 
 	wg     sync.WaitGroup
 	closed chan struct{}
+}
+
+// clientRack is one rack's routing state inside a Client: the chain
+// member addresses (cur indexes the head, as far as this client knows),
+// the newest chain epoch seen from the rack, the rack's silence clocks,
+// and its open egress batch frame.
+type clientRack struct {
+	targets  []netip.AddrPort
+	cur      int
+	epoch    uint64
+	lastRx   time.Time
+	lastMove time.Time
+	bw       wire.BatchWriter
+	bstore   []byte
 }
 
 // failoverEvent is one staged OnFailover notification.
@@ -99,6 +121,9 @@ type ClientConfig struct {
 	// chain, head first. Ops go to the head; the remaining addresses are
 	// failover candidates. Takes precedence over Switch when non-empty.
 	Switches []string
+	// Fabric configures multi-rack routing; nil means a single rack.
+	// Takes precedence over Switch and Switches when set.
+	Fabric *FabricClientConfig
 	// OnFailover, if set, is invoked (from the client's internal
 	// goroutines — it must not block) whenever the client re-targets to a
 	// new head after an epoch announcement.
@@ -118,6 +143,18 @@ type ClientConfig struct {
 	Obs *obs.Stripe
 }
 
+// FabricClientConfig configures a Client for a multi-rack fabric: ops
+// route per lock through the shard map to the owning rack's chain.
+type FabricClientConfig struct {
+	// Racks lists every rack's chain member addresses, head first,
+	// indexed by the shard map's rack numbers.
+	Racks [][]string
+	// Map is the starting shard map (from the fabric controller). The
+	// client keeps its own copy and refreshes it from OpWrongRack
+	// bounces, so a stale starting map only costs one extra round trip.
+	Map *wire.ShardMap
+}
+
 // NewClient creates a client socket pointed at the switch, with default
 // batching. See NewClientConfig to tune.
 func NewClient(switchAddr string) (*Client, error) {
@@ -126,23 +163,46 @@ func NewClient(switchAddr string) (*Client, error) {
 
 // NewClientConfig creates a client from an explicit configuration.
 func NewClientConfig(cfg ClientConfig) (*Client, error) {
-	addrs := cfg.Switches
-	if len(addrs) == 0 {
-		addrs = []string{cfg.Switch}
-	}
-	var targets []netip.AddrPort
-	for _, a := range addrs {
-		ap, err := resolveAddrPort(a)
-		if err != nil {
-			return nil, fmt.Errorf("transport: resolve switch addr: %w", err)
+	var rackAddrs [][]string
+	var smap *wire.ShardMap
+	if cfg.Fabric != nil {
+		if len(cfg.Fabric.Racks) == 0 {
+			return nil, errors.New("transport: fabric config has no racks")
 		}
-		targets = append(targets, ap)
+		if cfg.Fabric.Map == nil {
+			return nil, errors.New("transport: fabric config has no shard map")
+		}
+		if cfg.Fabric.Map.Racks > len(cfg.Fabric.Racks) {
+			return nil, fmt.Errorf("transport: shard map spans %d racks, %d configured",
+				cfg.Fabric.Map.Racks, len(cfg.Fabric.Racks))
+		}
+		rackAddrs = cfg.Fabric.Racks
+		smap = cfg.Fabric.Map.Clone()
+	} else if len(cfg.Switches) > 0 {
+		rackAddrs = [][]string{cfg.Switches}
+	} else {
+		rackAddrs = [][]string{{cfg.Switch}}
+	}
+	racks := make([]clientRack, len(rackAddrs))
+	addrRack := make(map[netip.AddrPort]int)
+	for i, addrs := range rackAddrs {
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("transport: rack %d has no switch addresses", i)
+		}
+		for _, a := range addrs {
+			ap, err := resolveAddrPort(a)
+			if err != nil {
+				return nil, fmt.Errorf("transport: resolve switch addr: %w", err)
+			}
+			racks[i].targets = append(racks[i].targets, ap)
+			addrRack[ap] = i
+		}
 	}
 	nw := cfg.Net
 	if nw == nil {
 		nw = UDP
 	}
-	conn, err := nw.Listen(net.JoinHostPort(targets[0].Addr().String(), "0"))
+	conn, err := nw.Listen(net.JoinHostPort(racks[0].targets[0].Addr().String(), "0"))
 	if err != nil {
 		return nil, fmt.Errorf("transport: client socket: %w", err)
 	}
@@ -163,13 +223,15 @@ func NewClientConfig(cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{
 		conn:       conn,
-		targets:    targets,
+		racks:      racks,
+		addrRack:   addrRack,
+		smap:       smap,
 		o:          cfg.Obs,
 		maxBatch:   maxBatch,
 		flushEvery: flush,
 		retryEvery: retry,
 		onFailover: cfg.OnFailover,
-		lastRx:     time.Now(),
+		rackOut:    make([]int, len(racks)),
 		acquires:   make(map[pendKey]*AsyncAcquire),
 		releases:   make(map[pendKey]*Grant),
 		grants:     make(map[pendKey]*Grant),
@@ -177,7 +239,11 @@ func NewClientConfig(cfg ClientConfig) (*Client, error) {
 	}
 	c.acqPool.New = func() any { return &AsyncAcquire{ch: make(chan struct{}, 1)} }
 	c.grantPool.New = func() any { return &Grant{ackCh: make(chan struct{}, 1)} }
-	c.bw.Reset(nil)
+	now := time.Now()
+	for i := range c.racks {
+		c.racks[i].lastRx = now
+		c.racks[i].bw.Reset(nil)
+	}
 	if ua, ok := conn.LocalAddr().(*net.UDPAddr); ok {
 		if a, ok2 := netip.AddrFromSlice(ua.IP); ok2 {
 			c.localIP = a.Unmap()
@@ -197,6 +263,17 @@ func NewClientConfig(cfg ClientConfig) (*Client, error) {
 		go c.flushLoop()
 	}
 	return c, nil
+}
+
+// ShardMapEpoch returns the epoch of the client's shard map (0 outside a
+// fabric).
+func (c *Client) ShardMapEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.smap == nil {
+		return 0
+	}
+	return c.smap.Epoch
 }
 
 // Close stops the client; blocked Acquire and Wait calls fail with
@@ -406,6 +483,7 @@ type Grant struct {
 	c        *Client
 	key      pendKey
 	hdr      wire.Header // acquire header; release/ack echo its fields
+	rack     int         // rack that issued the grant; 0 outside a fabric
 	state    atomic.Uint32
 	ackCh    chan struct{}
 	lastSend time.Time // guarded by c.mu
@@ -416,6 +494,10 @@ func (g *Grant) LockID() uint32 { return g.key.lock }
 
 // Txn returns the transaction ID the grant was issued under.
 func (g *Grant) Txn() uint64 { return g.key.txn }
+
+// Rack returns the index of the rack that issued the grant (always 0
+// outside a fabric). Valid until the grant handle is recycled.
+func (g *Grant) Rack() int { return g.rack }
 
 // Release releases the lock. It returns immediately; the client keeps
 // retransmitting the release until the switch (or the owning lock server)
@@ -487,48 +569,83 @@ func (c *Client) autoRelease(h *wire.Header, key pendKey) {
 	c.enqueueOp(&rel)
 }
 
-// enqueueOp appends one op to the outgoing frame (or writes it straight
-// out when MaxBatch == 1). Caller holds c.mu.
+// rackFor routes a lock to its rack under the client's shard map. Caller
+// holds c.mu.
+func (c *Client) rackFor(lockID uint32) int {
+	if c.smap == nil {
+		return 0
+	}
+	if r := c.smap.RackOf(lockID); r < len(c.racks) {
+		return r
+	}
+	return 0
+}
+
+// enqueueOp appends one op to its rack's outgoing frame (or writes it
+// straight out when MaxBatch == 1). Caller holds c.mu.
 func (c *Client) enqueueOp(h *wire.Header) {
+	rk := c.rackFor(h.LockID)
+	r := &c.racks[rk]
 	if c.maxBatch <= 1 {
 		buf := h.AppendTo(c.scratch[:0])
-		c.conn.WriteToUDPAddrPort(buf, c.dest())
+		c.conn.WriteToUDPAddrPort(buf, r.targets[r.cur])
 		c.o.Inc(obs.CtrFramesOut)
 		c.o.Observe(obs.StageEgressBatch, 1)
 		return
 	}
-	if c.bw.Count() >= c.maxBatch || !c.bw.Append(h) {
-		c.flushLocked()
-		c.bw.Append(h)
+	if r.bw.Count() >= c.maxBatch || !r.bw.Append(h) {
+		c.flushRackLocked(rk)
+		r.bw.Append(h)
 	}
 }
 
-// maybeFlushLocked applies the adaptive flush rule: send the open frame
-// once it is full, or once every outstanding op is sitting in it (nothing
-// is left in flight whose completion could grow the batch). Caller holds
-// c.mu.
+// maybeFlushLocked applies the adaptive flush rule: send a rack's open
+// frame once it is full, or send everything once every outstanding op is
+// sitting in a frame (nothing is left in flight whose completion could
+// grow a batch). Fullness is judged per rack, not on the buffered total —
+// in fabric mode each rack's frame fills on its own clock, and flushing
+// every rack because the total reached one frame's worth would multiply
+// the frame rate by the rack count at partial fill. With a single rack
+// the two rules coincide. Caller holds c.mu.
 func (c *Client) maybeFlushLocked() {
-	n := c.bw.Count()
+	n := 0
+	for i := range c.racks {
+		n += c.racks[i].bw.Count()
+	}
 	if n == 0 {
 		return
 	}
-	if n >= c.maxBatch || n >= len(c.acquires)+len(c.releases) {
+	if n >= len(c.acquires)+len(c.releases) {
 		c.flushLocked()
+		return
+	}
+	for i := range c.racks {
+		if c.racks[i].bw.Count() >= c.maxBatch {
+			c.flushRackLocked(i)
+		}
 	}
 }
 
-// flushLocked writes the open frame, if any. Caller holds c.mu.
+// flushLocked writes every rack's open frame, if any. Caller holds c.mu.
 func (c *Client) flushLocked() {
-	n := c.bw.Count()
-	frame := c.bw.Frame()
+	for i := range c.racks {
+		c.flushRackLocked(i)
+	}
+}
+
+// flushRackLocked writes one rack's open frame, if any. Caller holds c.mu.
+func (c *Client) flushRackLocked(rk int) {
+	r := &c.racks[rk]
+	n := r.bw.Count()
+	frame := r.bw.Frame()
 	if frame == nil {
 		return
 	}
-	c.conn.WriteToUDPAddrPort(frame, c.dest())
+	c.conn.WriteToUDPAddrPort(frame, r.targets[r.cur])
 	c.o.Inc(obs.CtrFramesOut)
 	c.o.Observe(obs.StageEgressBatch, int64(n))
-	c.bstore = frame[:0]
-	c.bw.Reset(c.bstore)
+	r.bstore = frame[:0]
+	r.bw.Reset(r.bstore)
 }
 
 // flushLoop is the FlushInterval backstop for ops the adaptive rule left
@@ -549,58 +666,77 @@ func (c *Client) flushLoop() {
 	}
 }
 
-// dest is the current head's address. Caller holds c.mu.
-func (c *Client) dest() netip.AddrPort { return c.targets[c.cur] }
-
-// adoptEpoch processes one OpEpoch announcement: TxnID carries the chain
-// epoch, the client address fields the head. Newer epochs (and same-epoch
-// redirects from non-head members) re-target the client and trigger an
-// immediate retransmit of everything outstanding. Caller holds c.mu.
-func (c *Client) adoptEpoch(h *wire.Header) {
-	if h.TxnID < c.epoch {
-		return // stale announcement from a demoted member
-	}
+// adoptEpoch processes one OpEpoch announcement from rack rk: TxnID
+// carries the chain epoch, the client address fields the head. Newer
+// epochs (and same-epoch redirects from non-head members) re-target the
+// rack and trigger an immediate retransmit of everything outstanding
+// toward it. rk < 0 means the datagram source was unknown; the announced
+// head address then attributes the rack, or the announcement is dropped.
+// Caller holds c.mu.
+func (c *Client) adoptEpoch(h *wire.Header, rk int) {
 	head := netip.AddrPortFrom(h.ClientIP.Unmap(), h.ClientPort)
 	if !head.IsValid() {
 		return
 	}
-	moved := c.retarget(head)
-	newer := h.TxnID > c.epoch
-	c.epoch = h.TxnID
+	if rk < 0 {
+		var ok bool
+		if rk, ok = c.addrRack[head]; !ok {
+			return
+		}
+	}
+	r := &c.racks[rk]
+	if h.TxnID < r.epoch {
+		return // stale announcement from a demoted member
+	}
+	moved := c.retarget(rk, head)
+	newer := h.TxnID > r.epoch
+	r.epoch = h.TxnID
 	if !moved && !newer {
 		return
 	}
 	if moved {
-		c.retransmitAllLocked()
+		c.retransmitRackLocked(rk)
 	}
 	if c.onFailover != nil {
-		c.failovers = append(c.failovers, failoverEvent{epoch: c.epoch, head: head.String()})
+		c.failovers = append(c.failovers, failoverEvent{epoch: r.epoch, head: head.String()})
 	}
 }
 
-// retarget points the client at head, learning the address if it was not
-// in the configured set, and reports whether the destination changed.
-// Caller holds c.mu.
-func (c *Client) retarget(head netip.AddrPort) bool {
-	for i, t := range c.targets {
+// retarget points rack rk at head, learning the address if it was not in
+// the configured set, and reports whether the destination changed. Caller
+// holds c.mu.
+func (c *Client) retarget(rk int, head netip.AddrPort) bool {
+	r := &c.racks[rk]
+	for i, t := range r.targets {
 		if t == head {
-			if i == c.cur {
+			if i == r.cur {
 				return false
 			}
-			c.cur = i
-			c.lastMove = time.Now()
+			r.cur = i
+			r.lastMove = time.Now()
 			return true
 		}
 	}
-	c.targets = append(c.targets, head)
-	c.cur = len(c.targets) - 1
-	c.lastMove = time.Now()
+	r.targets = append(r.targets, head)
+	c.addrRack[head] = rk
+	r.cur = len(r.targets) - 1
+	r.lastMove = time.Now()
 	return true
 }
 
-// retransmitAllLocked re-sends every outstanding acquire and release to
-// the current destination, resetting their retry clocks. Caller holds
-// c.mu.
+// adoptMap installs a strictly newer shard map (learned from the frame a
+// wrong-rack bounce carries) and re-routes everything outstanding under
+// the new assignment. Caller holds c.mu.
+func (c *Client) adoptMap(m *wire.ShardMap) {
+	if c.smap == nil || m.Epoch <= c.smap.Epoch {
+		return // single-rack clients ignore maps; older epochs are stale
+	}
+	c.smap = m.Clone()
+	c.retransmitAllLocked()
+}
+
+// retransmitAllLocked re-sends every outstanding acquire and release,
+// routed per lock, resetting their retry clocks. Caller holds c.mu.
 func (c *Client) retransmitAllLocked() {
 	now := time.Now()
 	for _, a := range c.acquires {
@@ -616,23 +752,66 @@ func (c *Client) retransmitAllLocked() {
 	c.flushLocked()
 }
 
+// retransmitRackLocked re-sends the outstanding acquires and releases
+// routed to rack rk, resetting their retry clocks. Caller holds c.mu.
+func (c *Client) retransmitRackLocked(rk int) {
+	if len(c.racks) == 1 {
+		c.retransmitAllLocked()
+		return
+	}
+	now := time.Now()
+	for key, a := range c.acquires {
+		if c.rackFor(key.lock) != rk {
+			continue
+		}
+		a.lastSend = now
+		c.enqueueOp(&a.hdr)
+	}
+	for key, g := range c.releases {
+		if c.rackFor(key.lock) != rk {
+			continue
+		}
+		g.lastSend = now
+		h := g.hdr
+		h.Op = wire.OpRelease
+		c.enqueueOp(&h)
+	}
+	c.flushRackLocked(rk)
+}
+
 // rotateIfSilent is the sweep's failover backstop for the window between a
 // head failing and its successor's epoch announcement (which the dead head
-// obviously cannot deliver): with ops outstanding and nothing received for
-// two retry intervals, try the next known switch address. A live non-head
-// member answers with a redirect; a live head answers the ops themselves.
-// Caller holds c.mu.
+// obviously cannot deliver): for each rack with ops outstanding and
+// nothing received for two retry intervals, try the rack's next known
+// switch address. A live non-head member answers with a redirect; a live
+// head answers the ops themselves. Caller holds c.mu.
 func (c *Client) rotateIfSilent(now time.Time) {
-	if len(c.targets) < 2 || len(c.acquires)+len(c.releases) == 0 {
+	if len(c.acquires)+len(c.releases) == 0 {
 		return
+	}
+	out := c.rackOut
+	for i := range out {
+		out[i] = 0
+	}
+	for key := range c.acquires {
+		out[c.rackFor(key.lock)]++
+	}
+	for key := range c.releases {
+		out[c.rackFor(key.lock)]++
 	}
 	quiet := 2 * c.retryEvery
-	if now.Sub(c.lastRx) < quiet || now.Sub(c.lastMove) < quiet {
-		return
+	for rk := range c.racks {
+		r := &c.racks[rk]
+		if out[rk] == 0 || len(r.targets) < 2 {
+			continue
+		}
+		if now.Sub(r.lastRx) < quiet || now.Sub(r.lastMove) < quiet {
+			continue
+		}
+		r.cur = (r.cur + 1) % len(r.targets)
+		r.lastMove = now
+		c.retransmitRackLocked(rk)
 	}
-	c.cur = (c.cur + 1) % len(c.targets)
-	c.lastMove = now
-	c.retransmitAllLocked()
 }
 
 // sweepLoop enforces acquire deadlines and retransmits unanswered
@@ -691,10 +870,11 @@ func (c *Client) readLoop() {
 	buf := make([]byte, maxPacket)
 	var h wire.Header
 	var br wire.BatchReader
+	var sm wire.ShardMap
 	var doneAcq []*AsyncAcquire
 	var doneRel []*Grant
 	for {
-		n, _, err := c.conn.ReadFromUDPAddrPort(buf)
+		n, from, err := c.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			select {
 			case <-c.closed:
@@ -707,8 +887,24 @@ func (c *Client) readLoop() {
 		doneAcq = doneAcq[:0]
 		doneRel = doneRel[:0]
 		c.mu.Lock()
-		c.lastRx = time.Now()
-		if wire.IsBatch(data) {
+		// Attribute the datagram to the rack that sent it; rk stays -1 for
+		// unknown sources on a multi-rack client (handlers then fall back
+		// to shard-map routing).
+		rk := 0
+		if len(c.racks) > 1 {
+			var ok bool
+			if rk, ok = c.addrRack[normAddrPort(from)]; !ok {
+				rk = -1
+			}
+		}
+		if rk >= 0 {
+			c.racks[rk].lastRx = time.Now()
+		}
+		if wire.IsShardMap(data) {
+			if sm.DecodeFromBytes(data) == nil {
+				c.adoptMap(&sm)
+			}
+		} else if wire.IsBatch(data) {
 			if br.Reset(data) == nil {
 				ops := 0
 				for {
@@ -717,7 +913,7 @@ func (c *Client) readLoop() {
 						break
 					}
 					ops++
-					doneAcq, doneRel = c.handleOp(&h, doneAcq, doneRel)
+					doneAcq, doneRel = c.handleOp(&h, rk, doneAcq, doneRel)
 				}
 				if ops > 0 {
 					c.o.Inc(obs.CtrFramesIn)
@@ -727,7 +923,7 @@ func (c *Client) readLoop() {
 		} else if h.DecodeFromBytes(data) == nil {
 			c.o.Inc(obs.CtrFramesIn)
 			c.o.Inc(obs.CtrOpsIn)
-			doneAcq, doneRel = c.handleOp(&h, doneAcq, doneRel)
+			doneAcq, doneRel = c.handleOp(&h, rk, doneAcq, doneRel)
 		}
 		// Completions may have drained the in-flight set down to the
 		// buffered ops; re-check the adaptive flush rule.
@@ -753,8 +949,9 @@ func (c *Client) readLoop() {
 }
 
 // handleOp matches one ingress op to its in-flight entry and stages the
-// completion. Caller holds c.mu.
-func (c *Client) handleOp(h *wire.Header, doneAcq []*AsyncAcquire, doneRel []*Grant) ([]*AsyncAcquire, []*Grant) {
+// completion. rk is the rack the op arrived from (-1 when unattributed).
+// Caller holds c.mu.
+func (c *Client) handleOp(h *wire.Header, rk int, doneAcq []*AsyncAcquire, doneRel []*Grant) ([]*AsyncAcquire, []*Grant) {
 	key := pendKey{h.LockID, h.TxnID}
 	switch h.Op {
 	case wire.OpGrant, wire.OpFetch:
@@ -764,6 +961,10 @@ func (c *Client) handleOp(h *wire.Header, doneAcq []*AsyncAcquire, doneRel []*Gr
 			g.c = c
 			g.key = key
 			g.hdr = a.hdr
+			g.rack = rk
+			if rk < 0 {
+				g.rack = c.rackFor(key.lock)
+			}
 			g.state.Store(grantHeld)
 			c.grants[key] = g
 			a.g = g
@@ -799,7 +1000,24 @@ func (c *Client) handleOp(h *wire.Header, doneAcq []*AsyncAcquire, doneRel []*Gr
 			return doneAcq, append(doneRel, g)
 		}
 	case wire.OpEpoch:
-		c.adoptEpoch(h)
+		c.adoptEpoch(h, rk)
+	case wire.OpWrongRack:
+		// The addressed rack does not own the lock's shard. The full map
+		// frame travels alongside this bounce and re-routes everything on
+		// adoption; if our map already routes the lock elsewhere (the map
+		// frame won the race, or the op was mis-sent), resend now.
+		if c.smap == nil || (rk >= 0 && c.rackFor(key.lock) == rk) {
+			return doneAcq, doneRel
+		}
+		if a, ok := c.acquires[key]; ok {
+			a.lastSend = time.Now()
+			c.enqueueOp(&a.hdr)
+		} else if g, ok := c.releases[key]; ok {
+			g.lastSend = time.Now()
+			rel := g.hdr
+			rel.Op = wire.OpRelease
+			c.enqueueOp(&rel)
+		}
 	}
 	return doneAcq, doneRel
 }

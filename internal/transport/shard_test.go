@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"netlock"
+	"netlock/internal/wire"
+)
+
+// fabric starts n single-server racks on loopback, installs the shard map
+// on every switch, and returns them rack-indexed.
+func fabric(t *testing.T, n int, m *wire.ShardMap) ([]*Switch, [][]*Server) {
+	t.Helper()
+	sws := make([]*Switch, n)
+	servers := make([][]*Server, n)
+	for i := range sws {
+		sw, srvs := rack(t, 1, dpConfig())
+		sw.SetShardMap(m, i)
+		sws[i] = sw
+		servers[i] = srvs
+	}
+	return sws, servers
+}
+
+// fabricClient dials every rack of a fabric with the given starting map.
+func fabricClient(t *testing.T, sws []*Switch, m *wire.ShardMap) *Client {
+	t.Helper()
+	racks := make([][]string, len(sws))
+	for i, sw := range sws {
+		racks[i] = []string{sw.Addr()}
+	}
+	c, err := NewClientConfig(ClientConfig{Fabric: &FabricClientConfig{Racks: racks, Map: m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// lockOnRack finds a lock ID the map routes to the wanted rack.
+func lockOnRack(t *testing.T, m *wire.ShardMap, rack int) uint32 {
+	t.Helper()
+	for lock := uint32(1); lock < 10000; lock++ {
+		if m.RackOf(lock) == rack {
+			return lock
+		}
+	}
+	t.Fatalf("no lock routes to rack %d", rack)
+	return 0
+}
+
+// TestFabricRouting drives acquires through a 2-rack fabric and checks
+// every grant came from the rack the shard map assigns the lock to.
+func TestFabricRouting(t *testing.T) {
+	m, err := wire.NewShardMap(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sws, _ := fabric(t, 2, m)
+	c := fabricClient(t, sws, m)
+	for want := 0; want < 2; want++ {
+		lock := lockOnRack(t, m, want)
+		g, err := acquire(c, lock, netlock.Exclusive, timeout)
+		if err != nil {
+			t.Fatalf("rack %d lock %d: %v", want, lock, err)
+		}
+		if g.Rack() != want {
+			t.Fatalf("lock %d granted by rack %d, map says %d", lock, g.Rack(), want)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		if err := g.ReleaseWait(ctx); err != nil {
+			t.Fatalf("release lock %d: %v", lock, err)
+		}
+		cancel()
+	}
+}
+
+// TestFabricWrongRackBounce starts a client on a stale map that homes
+// every shard on rack 0 while the fabric runs a newer 2-rack map: the
+// mis-routed acquire must come back as an OpWrongRack bounce with the new
+// map, and the client must adopt the epoch, re-route, and win the grant
+// from the true owner — all inside one acquire call.
+func TestFabricWrongRackBounce(t *testing.T) {
+	cur, err := wire.NewShardMap(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Epoch = 1
+	sws, _ := fabric(t, 2, cur)
+
+	stale, err := wire.NewShardMap(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fabricClient(t, sws, stale)
+
+	lock := lockOnRack(t, cur, 1) // rack 1 owns it; the stale map says rack 0
+	g, err := acquire(c, lock, netlock.Exclusive, timeout)
+	if err != nil {
+		t.Fatalf("acquire through stale map: %v", err)
+	}
+	if g.Rack() != 1 {
+		t.Fatalf("granted by rack %d, want 1", g.Rack())
+	}
+	if e := c.ShardMapEpoch(); e != 1 {
+		t.Fatalf("client map epoch %d after bounce, want 1", e)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := g.ReleaseWait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFabricFenceDrops checks the re-home fence: client ops for a fenced
+// shard are dropped (not rejected) so the client's own retransmit paces
+// the retries, and unfencing lets the next retry through.
+func TestFabricFenceDrops(t *testing.T) {
+	m, err := wire.NewShardMap(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := rack(t, 1, dpConfig())
+	sw.SetShardMap(m, 0)
+
+	c, err := NewClientConfig(ClientConfig{
+		Fabric:        &FabricClientConfig{Racks: [][]string{{sw.Addr()}}, Map: m},
+		RetryInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const lock = 7
+	sw.SetShardFence(m.ShardOf(lock), true)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	if _, err := c.Acquire(ctx, lock, netlock.Exclusive); err == nil {
+		t.Fatal("acquire for a fenced shard completed")
+	}
+	cancel()
+
+	sw.SetShardFence(m.ShardOf(lock), false)
+	g, err := acquire(c, lock, netlock.Exclusive, timeout)
+	if err != nil {
+		t.Fatalf("acquire after unfence: %v", err)
+	}
+	g.Release()
+}
+
+// TestFabricPurgeAndImport moves one granted lock's client-visible state
+// between two switches by hand (the fabric controller's re-home does this
+// at scale): after PurgeClientState the source ignores the lock, and after
+// ImportClientState the destination answers the release exactly as if it
+// had issued the grant itself.
+func TestFabricPurgeAndImport(t *testing.T) {
+	m, err := wire.NewShardMap(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := rack(t, 1, dpConfig())
+	src.SetShardMap(m, 0)
+	dst, _ := rack(t, 1, dpConfig())
+	dst.SetShardMap(m, 0)
+
+	c, err := NewClientConfig(ClientConfig{
+		Fabric: &FabricClientConfig{Racks: [][]string{{src.Addr()}}, Map: m},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const lock = 3
+	g, err := acquire(c, lock, netlock.Exclusive, timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-carry the grant: reconstruct the acquire header the way the
+	// migration stream does and install it on the destination.
+	hdr := wire.Header{
+		Op:         wire.OpAcquire,
+		Mode:       wire.Exclusive,
+		LockID:     lock,
+		TxnID:      g.Txn(),
+		ClientIP:   c.localIP,
+		ClientPort: c.localPort,
+	}
+	dst.ImportClientState(true, &hdr, 0)
+	src.PurgeClientState(func(id uint32) bool { return id == lock })
+
+	// Point the client's rack at the destination, as the adopted map flip
+	// would, and release: the import must answer it.
+	dstAP, err := resolveAddrPort(dst.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.retarget(0, normAddrPort(dstAP))
+	c.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := g.ReleaseWait(ctx); err != nil {
+		t.Fatalf("release against imported state: %v", err)
+	}
+	if got := dst.Snapshot().TrackedGrants; got != 0 {
+		t.Fatalf("destination still tracks %d grants after release", got)
+	}
+}

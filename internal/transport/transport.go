@@ -110,6 +110,14 @@ type Switch struct {
 	chain  chainState
 	selfAP netip.AddrPort
 
+	// Multi-rack fabric routing (see shard.go). smap is nil outside a
+	// fabric; smapFrame caches its encoding for wrong-rack bounces, and
+	// fenced marks shards mid re-home whose client ops are dropped.
+	smap      *wire.ShardMap
+	selfRack  int
+	smapFrame []byte
+	fenced    map[uint32]bool
+
 	flushEvery time.Duration
 
 	wg     sync.WaitGroup
@@ -516,6 +524,13 @@ func (s *Switch) headIngress(origin wire.ChainOrigin, h *wire.Header, from netip
 		return
 	}
 	if origin == wire.OriginClient {
+		// Fabric shard routing runs before the dedup tables: a lock whose
+		// shard moved to another rack may still have stale table entries
+		// here, and answering from them would speak for state that now
+		// lives elsewhere.
+		if s.shardFilter(h, from) {
+			return
+		}
 		switch h.Op {
 		case wire.OpAcquire:
 			if h.Flags&wire.FlagOverflow == 0 {

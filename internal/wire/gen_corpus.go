@@ -87,6 +87,46 @@ func main() {
 	writeCorpus(dir, entries)
 	writeCorpus(filepath.Join("testdata", "fuzz", "FuzzBatchDecode"), batchEntries(base))
 	writeCorpus(filepath.Join("testdata", "fuzz", "FuzzMigrateDecode"), migrateEntries(base))
+	writeCorpus(filepath.Join("testdata", "fuzz", "FuzzShardMapDecode"), shardMapEntries())
+}
+
+// shardMapEntries builds the FuzzShardMapDecode seed corpus: well-formed
+// maps across the size range plus one malformed variant per decoder check.
+func shardMapEntries() map[string][]byte {
+	entries := map[string][]byte{}
+	mk := func(racks, shards int, epoch uint64) []byte {
+		m, err := wire.NewShardMap(racks, shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Epoch = epoch
+		return m.Marshal()
+	}
+	entries["map-1x1"] = mk(1, 1, 0)
+	entries["map-4x64"] = mk(4, 64, 7)
+	entries["map-max"] = mk(wire.MaxRacks, wire.MaxShards, ^uint64(0))
+	rehomed, _ := wire.NewShardMap(4, 8)
+	rehomed.Epoch = 3
+	rehomed.Assign[5] = 0 // shard 5 re-homed off its round-robin rack
+	entries["map-rehomed"] = rehomed.Marshal()
+
+	good := mk(2, 4, 1)
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	entries["bad-version"] = mut(func(b []byte) { b[1] = 0xFF })
+	entries["zero-racks"] = mut(func(b []byte) { b[2], b[3] = 0, 0 })
+	entries["zero-shards"] = mut(func(b []byte) { b[4], b[5] = 0, 0 })
+	entries["count-over-max"] = mut(func(b []byte) { binary.BigEndian.PutUint16(b[4:6], wire.MaxShards+1) })
+	entries["reserved-set"] = mut(func(b []byte) { b[6] = 7 })
+	entries["rack-of-range"] = mut(func(b []byte) { b[wire.ShardMapHdrLen] = 0xEE })
+	entries["short-assign"] = good[:len(good)-1]
+	entries["long-assign"] = append(append([]byte(nil), good...), 0)
+	entries["truncated-hdr"] = good[:wire.ShardMapHdrLen/2]
+	entries["magic-only"] = []byte{wire.ShardMapMagic}
+	return entries
 }
 
 // migrateEntries builds the FuzzMigrateDecode seed corpus: one well-formed

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Multi-rack shard map. A fabric of racks partitions the lock space into
+// a fixed number of shards; the map assigns every shard to exactly one
+// rack and is versioned by a fabric-wide epoch. The fabric controller owns
+// the epoch and pushes the map to every rack chain-wide; a rack answers a
+// request for a shard it does not own with an OpWrongRack bounce plus the
+// full serialized map, so clients converge on the newest epoch without a
+// side channel — the authoritative copy lives in the network, NetChain
+// style.
+//
+// ShardMap frames are their own datagram format, disambiguated from bare
+// headers (first byte = Version), batch frames (BatchMagic), and chain
+// frames (ChainMagic) by ShardMapMagic.
+const (
+	// ShardMapMagic is the first byte of every shard-map frame. Disjoint
+	// from Version (1), BatchMagic (0xB5), and ChainMagic (0xC7).
+	ShardMapMagic = 0xA6
+	// ShardMapHdrLen is the fixed preamble before the per-shard
+	// assignment bytes.
+	ShardMapHdrLen = 16
+	// MaxShards bounds the shard count so an encoded map always fits one
+	// datagram.
+	MaxShards = 1024
+	// MaxRacks bounds the rack count: assignments are one byte per shard.
+	MaxRacks = 256
+)
+
+// ShardMap is the epoch-versioned partition of the lock space across a
+// fabric of racks: Assign[shard] names the rack that owns every lock whose
+// ShardOf maps to that shard.
+type ShardMap struct {
+	// Epoch versions the assignment; receivers adopt strictly newer maps
+	// and ignore older ones.
+	Epoch uint64
+	// Racks is the number of racks in the fabric; every assignment byte
+	// is < Racks.
+	Racks int
+	// Assign maps shard index to owning rack.
+	Assign []uint8
+}
+
+// NewShardMap builds an epoch-0 map of shards striped round-robin across
+// racks — the canonical consistent-hash starting assignment.
+func NewShardMap(racks, shards int) (*ShardMap, error) {
+	if racks < 1 || racks > MaxRacks {
+		return nil, fmt.Errorf("wire: shard map rack count %d out of range [1,%d]", racks, MaxRacks)
+	}
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("wire: shard map shard count %d out of range [1,%d]", shards, MaxShards)
+	}
+	m := &ShardMap{Racks: racks, Assign: make([]uint8, shards)}
+	for s := range m.Assign {
+		m.Assign[s] = uint8(s % racks)
+	}
+	return m, nil
+}
+
+// Shards returns the shard count.
+func (m *ShardMap) Shards() int { return len(m.Assign) }
+
+// ShardOf maps a lock ID to its shard. Fibonacci hashing (the same spread
+// RSSCore uses for server partitioning) keeps adjacent lock IDs on
+// different shards, so hot ranges stripe across the fabric.
+func (m *ShardMap) ShardOf(lockID uint32) uint32 {
+	return uint32((uint64(lockID) * 11400714819323198485 >> 32) % uint64(len(m.Assign)))
+}
+
+// RackOf maps a lock ID to the rack owning its shard.
+func (m *ShardMap) RackOf(lockID uint32) int {
+	return int(m.Assign[m.ShardOf(lockID)])
+}
+
+// RackAt returns the rack owning a shard.
+func (m *ShardMap) RackAt(shard uint32) int { return int(m.Assign[shard]) }
+
+// Clone returns a deep copy (maps are shared read-mostly; mutations go
+// through a copy + epoch bump).
+func (m *ShardMap) Clone() *ShardMap {
+	return &ShardMap{Epoch: m.Epoch, Racks: m.Racks, Assign: append([]uint8(nil), m.Assign...)}
+}
+
+// IsShardMap reports whether data begins with a shard-map frame magic.
+func IsShardMap(data []byte) bool {
+	return len(data) > 0 && data[0] == ShardMapMagic
+}
+
+// AppendTo appends the frame encoding of m to dst and returns the extended
+// slice. Layout (big-endian):
+//
+//	0  magic(1)=0xA6  version(1)=1  racks(2)
+//	4  shards(2)  reserved(2)=0
+//	8  epoch(8)
+//	16 assign[shards] — one rack byte per shard
+func (m *ShardMap) AppendTo(dst []byte) []byte {
+	var b [ShardMapHdrLen]byte
+	b[0] = ShardMapMagic
+	b[1] = Version
+	binary.BigEndian.PutUint16(b[2:4], uint16(m.Racks))
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(m.Assign)))
+	binary.BigEndian.PutUint64(b[8:16], m.Epoch)
+	dst = append(dst, b[:]...)
+	return append(dst, m.Assign...)
+}
+
+// Marshal returns a freshly allocated encoding of m.
+func (m *ShardMap) Marshal() []byte {
+	return m.AppendTo(make([]byte, 0, ShardMapHdrLen+len(m.Assign)))
+}
+
+// Errors returned by ShardMap.DecodeFromBytes.
+var (
+	ErrNotShardMap = fmt.Errorf("wire: not a shard-map frame")
+	ErrBadShardMap = fmt.Errorf("wire: malformed shard-map frame")
+)
+
+// DecodeFromBytes parses a shard-map frame into m, overwriting all fields.
+// The parse is strict — every reserved byte must be zero, the frame length
+// must match the shard count exactly, and every assignment must name a
+// valid rack — so decode∘encode is the identity on accepted frames.
+func (m *ShardMap) DecodeFromBytes(data []byte) error {
+	if !IsShardMap(data) {
+		return ErrNotShardMap
+	}
+	if len(data) < ShardMapHdrLen {
+		return fmt.Errorf("%w: %d bytes", ErrBadShardMap, len(data))
+	}
+	if data[1] != Version {
+		return fmt.Errorf("%w: version %d", ErrBadShardMap, data[1])
+	}
+	racks := int(binary.BigEndian.Uint16(data[2:4]))
+	shards := int(binary.BigEndian.Uint16(data[4:6]))
+	if racks < 1 || racks > MaxRacks {
+		return fmt.Errorf("%w: rack count %d", ErrBadShardMap, racks)
+	}
+	if shards < 1 || shards > MaxShards {
+		return fmt.Errorf("%w: shard count %d", ErrBadShardMap, shards)
+	}
+	if data[6] != 0 || data[7] != 0 {
+		return fmt.Errorf("%w: nonzero reserved bytes", ErrBadShardMap)
+	}
+	if len(data) != ShardMapHdrLen+shards {
+		return fmt.Errorf("%w: %d bytes for %d shards", ErrBadShardMap, len(data), shards)
+	}
+	assign := data[ShardMapHdrLen:]
+	for s, r := range assign {
+		if int(r) >= racks {
+			return fmt.Errorf("%w: shard %d assigned to rack %d of %d", ErrBadShardMap, s, r, racks)
+		}
+	}
+	m.Epoch = binary.BigEndian.Uint64(data[8:16])
+	m.Racks = racks
+	m.Assign = append(m.Assign[:0], assign...)
+	return nil
+}

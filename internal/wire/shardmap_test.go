@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestShardMapRoundTrip(t *testing.T) {
+	m, err := NewShardMap(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Epoch = 7
+	m.Assign[3] = 2 // a re-homed shard
+	buf := m.Marshal()
+	var got ShardMap
+	if err := got.DecodeFromBytes(buf); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Epoch != 7 || got.Racks != 4 || got.Shards() != 64 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if !bytes.Equal(got.Assign, m.Assign) {
+		t.Fatalf("assignment mismatch: %v vs %v", got.Assign, m.Assign)
+	}
+	if !bytes.Equal(got.Marshal(), buf) {
+		t.Fatalf("re-encode differs from input")
+	}
+}
+
+func TestShardMapStriping(t *testing.T) {
+	m, err := NewShardMap(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for s := range m.Assign {
+		counts[m.Assign[s]]++
+	}
+	for r, n := range counts {
+		if n == 0 {
+			t.Fatalf("rack %d owns no shards: %v", r, m.Assign)
+		}
+	}
+	// Every lock routes to the rack its shard is assigned to, and the
+	// shard function is total and stable.
+	for lock := uint32(1); lock < 10000; lock += 37 {
+		sh := m.ShardOf(lock)
+		if int(sh) >= m.Shards() {
+			t.Fatalf("lock %d -> shard %d out of range", lock, sh)
+		}
+		if m.RackOf(lock) != m.RackAt(sh) {
+			t.Fatalf("lock %d rack mismatch", lock)
+		}
+	}
+}
+
+func TestShardMapBounds(t *testing.T) {
+	if _, err := NewShardMap(0, 8); err == nil {
+		t.Fatal("rack count 0 accepted")
+	}
+	if _, err := NewShardMap(2, MaxShards+1); err == nil {
+		t.Fatal("oversized shard count accepted")
+	}
+	if _, err := NewShardMap(MaxRacks+1, 8); err == nil {
+		t.Fatal("oversized rack count accepted")
+	}
+}
+
+func TestShardMapDecodeRejects(t *testing.T) {
+	m, _ := NewShardMap(2, 4)
+	good := m.Marshal()
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":         nil,
+		"not-magic":     {Version},
+		"truncated-hdr": good[:ShardMapHdrLen-1],
+		"bad-version":   mut(func(b []byte) { b[1] = 0xFF }),
+		"zero-racks":    mut(func(b []byte) { b[2], b[3] = 0, 0 }),
+		"zero-shards":   mut(func(b []byte) { b[4], b[5] = 0, 0 }),
+		"reserved-set":  mut(func(b []byte) { b[6] = 1 }),
+		"short-assign":  good[:len(good)-1],
+		"long-assign":   append(append([]byte(nil), good...), 0),
+		"rack-of-range": mut(func(b []byte) { b[ShardMapHdrLen] = 9 }),
+	}
+	var sm ShardMap
+	for name, buf := range cases {
+		if err := sm.DecodeFromBytes(buf); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzShardMapDecode asserts the shard-map decoder never panics and that
+// every accepted frame re-encodes to the identical bytes (the parse is
+// strict, so decode∘encode is the identity).
+func FuzzShardMapDecode(f *testing.F) {
+	m, _ := NewShardMap(4, 64)
+	m.Epoch = 3
+	f.Add(m.Marshal())
+	one, _ := NewShardMap(1, 1)
+	f.Add(one.Marshal())
+	big, _ := NewShardMap(MaxRacks, MaxShards)
+	big.Epoch = ^uint64(0)
+	f.Add(big.Marshal())
+	f.Add([]byte{ShardMapMagic})
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sm ShardMap
+		if err := sm.DecodeFromBytes(data); err != nil {
+			return
+		}
+		if sm.Racks < 1 || sm.Racks > MaxRacks || sm.Shards() < 1 || sm.Shards() > MaxShards {
+			t.Fatalf("accepted out-of-range map %+v", sm)
+		}
+		if !bytes.Equal(sm.Marshal(), data) {
+			t.Fatalf("re-encode differs from accepted input")
+		}
+		// The routing functions must be total on an accepted map.
+		for _, lock := range []uint32{0, 1, ^uint32(0)} {
+			if r := sm.RackOf(lock); r < 0 || r >= sm.Racks {
+				t.Fatalf("lock %d -> rack %d of %d", lock, r, sm.Racks)
+			}
+		}
+	})
+}

@@ -82,6 +82,13 @@ const (
 	// Migrate records ride the chain's sequenced op stream and batch frames
 	// unchanged, so replays dedup by chain sequence like every other op.
 	OpMigrate
+	// OpWrongRack bounces a client request addressed to a rack that does
+	// not own the lock's shard under the responder's shard map: LockID and
+	// TxnID echo the request, LeaseNs carries the responder's map epoch.
+	// The responder also sends its full serialized ShardMap frame, so the
+	// client adopts the newer assignment and re-routes everything
+	// outstanding; the bounce header alone is a hint that routing is stale.
+	OpWrongRack
 )
 
 var opNames = map[Op]string{
@@ -95,6 +102,7 @@ var opNames = map[Op]string{
 	OpReleaseAck: "release-ack",
 	OpEpoch:      "epoch",
 	OpMigrate:    "migrate",
+	OpWrongRack:  "wrong-rack",
 }
 
 // String returns the lowercase operation name.

@@ -15,6 +15,9 @@
 #   scripts/bench.sh rebalance           # hot-set drift: static placement vs
 #                                        #   the online rebalancer -> BENCH_rebalance.json
 #   scripts/bench.sh rebalance -quick    # shorter drift measurement
+#   scripts/bench.sh multirack           # shard-map fabric: 1-rack vs 4-rack
+#                                        #   aggregate throughput -> BENCH_multirack.json
+#   scripts/bench.sh multirack -quick    # shorter fabric comparison
 #
 # The default mode runs the embedded hot-path benchmarks (serial, parallel
 # disjoint/contended, sharded vs single-mutex baseline) plus the simulated
@@ -45,6 +48,14 @@ failover)
 rebalance)
 	shift
 	exec go run ./cmd/loadgen -rebalance-bench "$@"
+	;;
+multirack)
+	# 1024 locks against a fixed 16k-slot per-switch budget: one rack fits a
+	# quarter of the space switch-resident, four racks fit all of it — the
+	# aggregate-SRAM scaling the fabric exists for. 256 workers keep every
+	# rack's egress frames full.
+	shift
+	exec go run ./cmd/loadgen -multirack-bench -racks 4 -workers 256 -locks 1024 "$@"
 	;;
 *)
 	exec go run ./cmd/benchrunner -embedded -quick "$@"
